@@ -1,0 +1,129 @@
+"""A1 — ablation of the paper's crawl design (BFS snowball sampling).
+
+The paper seeds from per-country most-popular feeds and expands through
+related videos. Alternatives at the same video budget:
+
+- ``popular-only``: scrape deeper most-popular charts, no expansion;
+- ``random``: uniform random sampling of the id space (the unbiased but
+  practically unavailable baseline — YouTube ids cannot be enumerated).
+
+Measured: corpus coverage of *niche* content (tags outside the head) and
+view bias. Expected shape: snowball discovers far more of the tag
+vocabulary than popular-only charts at equal budget (that is why the
+paper crawled this way); random sampling is the least view-biased but
+was not feasible against the real service.
+"""
+
+import numpy as np
+
+from repro.api.service import YoutubeService
+from repro.crawler.snowball import SnowballCrawler
+from repro.datamodel.dataset import Dataset
+from repro.synth.rng import spawn_rng
+from repro.viz.report import format_table
+
+BUDGET = 2_000
+
+
+def crawl_snowball(universe):
+    service = YoutubeService(universe)
+    return SnowballCrawler(service, max_videos=BUDGET).run().dataset
+
+
+def crawl_popular_only(universe):
+    # Depth-0 crawl over deep most-popular charts: same budget, no
+    # related-video expansion.
+    service = YoutubeService(universe)
+    return SnowballCrawler(
+        service,
+        seeds_per_country=50,
+        max_videos=BUDGET,
+        max_depth=0,
+    ).run().dataset
+
+
+def crawl_random(universe):
+    rng = spawn_rng(31, "random-crawl")
+    ids = universe.video_ids()
+    chosen = rng.choice(len(ids), size=min(BUDGET, len(ids)), replace=False)
+    service = YoutubeService(universe)
+    videos = []
+    for index in chosen:
+        resource = service.get_video(ids[int(index)])
+        videos.append(
+            __import__("repro.datamodel.video", fromlist=["Video"]).Video(
+                video_id=resource.video_id,
+                title=resource.title,
+                uploader=resource.uploader,
+                upload_date=resource.upload_date,
+                views=resource.view_count,
+                tags=resource.tags,
+            )
+        )
+    return Dataset(videos, universe.registry)
+
+
+def corpus_profile(universe, dataset):
+    tags = set()
+    for video in dataset:
+        tags.update(video.tags)
+    niche_tags = {
+        tag
+        for tag in tags
+        if tag in universe.vocabulary and universe.vocabulary.get(tag).rank > 100
+    }
+    views = np.array([video.views for video in dataset], dtype=float)
+    return {
+        "videos": len(dataset),
+        "unique_tags": len(tags),
+        "niche_tags": len(niche_tags),
+        "mean_views": float(views.mean()) if len(views) else 0.0,
+    }
+
+
+def test_a1_crawl_design_ablation(benchmark, bench_pipeline, report_writer):
+    universe = bench_pipeline.universe
+
+    snowball = benchmark.pedantic(
+        lambda: crawl_snowball(universe), rounds=1, iterations=1
+    )
+    popular = crawl_popular_only(universe)
+    random_sample = crawl_random(universe)
+
+    profiles = {
+        "snowball (paper)": corpus_profile(universe, snowball),
+        "popular-only": corpus_profile(universe, popular),
+        "random": corpus_profile(universe, random_sample),
+    }
+    rows = [
+        (
+            name,
+            f"videos={p['videos']:,}  tags={p['unique_tags']:,}  "
+            f"niche tags={p['niche_tags']:,}  mean views={p['mean_views']:,.0f}",
+        )
+        for name, p in profiles.items()
+    ]
+    report_writer(
+        "a1_crawl_ablation",
+        format_table(rows, title=f"Crawl strategies at a {BUDGET:,}-video budget"),
+    )
+
+    # Popular-only charts are capped: they cannot fill the budget and see
+    # only head content.
+    assert profiles["popular-only"]["videos"] < profiles["snowball (paper)"]["videos"]
+    assert (
+        profiles["snowball (paper)"]["niche_tags"]
+        > 2 * profiles["popular-only"]["niche_tags"]
+    )
+    # Snowball is view-biased relative to random sampling.
+    assert (
+        profiles["snowball (paper)"]["mean_views"]
+        > profiles["random"]["mean_views"]
+    )
+    # Random sampling covers at least as much niche vocabulary per video.
+    snowball_rate = (
+        profiles["snowball (paper)"]["niche_tags"]
+        / profiles["snowball (paper)"]["videos"]
+    )
+    random_rate = profiles["random"]["niche_tags"] / profiles["random"]["videos"]
+    assert random_rate > 0.5 * snowball_rate

@@ -1,0 +1,74 @@
+"""A2 — ablation: do the concentration metrics agree?
+
+The paper eyeballed maps; we compute four concentration metrics plus the
+JSD-to-prior for every measurable tag. If they rank tags consistently
+(high Spearman correlation), any of them supports the global/local
+dichotomy and the library's default (JSD to prior) is not load-bearing.
+Expected: entropy anti-correlates with Gini/HHI/top-1 (all concentration
+measures), and |ρ| is high across the board.
+"""
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.analysis.tagstats import TagGeographyReport
+from repro.viz.report import format_table
+
+MIN_VIDEOS = 5
+
+
+def test_a2_concentration_metric_agreement(
+    benchmark, bench_pipeline, report_writer
+):
+    table = bench_pipeline.tag_table
+    traffic = bench_pipeline.universe.traffic
+
+    geo_report = benchmark.pedantic(
+        lambda: TagGeographyReport(table, traffic, min_videos=MIN_VIDEOS),
+        rounds=1,
+        iterations=1,
+    )
+    stats = geo_report.all()
+    assert len(stats) > 50, "need a populous tag sample"
+
+    metrics = {
+        "entropy": np.array([s.entropy for s in stats]),
+        "gini": np.array([s.gini for s in stats]),
+        "hhi": np.array([s.hhi for s in stats]),
+        "top1": np.array([s.top1_share for s in stats]),
+        "jsd": np.array([s.jsd_to_prior for s in stats]),
+    }
+
+    def spearman(a, b):
+        return float(scipy_stats.spearmanr(metrics[a], metrics[b]).statistic)
+
+    pairs = [
+        ("entropy", "gini"),
+        ("entropy", "hhi"),
+        ("entropy", "top1"),
+        ("gini", "hhi"),
+        ("gini", "top1"),
+        ("hhi", "top1"),
+        ("jsd", "top1"),
+        ("jsd", "entropy"),
+    ]
+    correlations = {pair: spearman(*pair) for pair in pairs}
+
+    rows = [
+        (f"ρ({a}, {b})", f"{rho:+.3f}") for (a, b), rho in correlations.items()
+    ]
+    rows.append(("tags measured", len(stats)))
+    report_writer(
+        "a2_metric_agreement",
+        format_table(rows, title="Spearman rank agreement of concentration metrics"),
+    )
+
+    # Concentration metrics must agree strongly.
+    assert correlations[("gini", "hhi")] > 0.8
+    assert correlations[("gini", "top1")] > 0.8
+    assert correlations[("hhi", "top1")] > 0.8
+    # Entropy is a dispersion measure: strong anti-correlation.
+    assert correlations[("entropy", "gini")] < -0.8
+    assert correlations[("entropy", "hhi")] < -0.8
+    # JSD-to-prior tracks concentration (positive, material correlation).
+    assert correlations[("jsd", "top1")] > 0.5

@@ -1,0 +1,57 @@
+"""A3 — the paper's premise, tested: semantics → geography.
+
+§1 of the paper: "Tags capture elements of a video's semantic, and
+therefore provide a particularly promising starting point to analyze how
+videos with related content may be viewed and distributed
+geographically." If that chain (co-tagging ⇒ related content ⇒ related
+geography) is real, then communities of the tag co-occurrence graph must
+be geographically coherent: two tags from the same community should have
+much closer view distributions than two tags from different communities.
+
+Measured: mean pairwise JSD within vs across greedy-modularity
+communities of the co-occurrence graph. Expected: within ≪ across
+(ratio well above 1.5).
+"""
+
+from repro.analysis.cooccurrence import CooccurrenceGraph, geographic_coherence
+from repro.viz.report import format_table
+
+MIN_TAG_COUNT = 4
+MAX_COMMUNITIES = 40
+
+
+def test_a3_cooccurrence_communities_share_geography(
+    benchmark, bench_pipeline, report_writer
+):
+    dataset = bench_pipeline.dataset
+    table = bench_pipeline.tag_table
+
+    def build_and_score():
+        graph = CooccurrenceGraph(dataset, min_tag_count=MIN_TAG_COUNT)
+        communities = graph.communities(max_communities=MAX_COMMUNITIES)
+        coherence = geographic_coherence(communities, table, max_pairs=1_000)
+        return graph, communities, coherence
+
+    graph, communities, coherence = benchmark.pedantic(
+        build_and_score, rounds=1, iterations=1
+    )
+
+    sizes = [len(community) for community in communities[:10]]
+    rows = [
+        ("tags in graph", len(graph)),
+        ("co-occurrence edges", graph.edge_count()),
+        ("communities (top sizes)", ", ".join(str(s) for s in sizes)),
+        ("mean JSD within communities", f"{coherence['within']:.3f}"),
+        ("mean JSD across communities", f"{coherence['across']:.3f}"),
+        ("across/within ratio", f"{coherence['ratio']:.2f}"),
+    ]
+    report_writer(
+        "a3_semantic_geography",
+        format_table(rows, title="Tag co-occurrence communities vs geography"),
+    )
+
+    assert len(graph) > 100
+    assert coherence["within"] < coherence["across"]
+    assert coherence["ratio"] > 1.5, (
+        "co-tagged content must share geography (the paper's premise)"
+    )

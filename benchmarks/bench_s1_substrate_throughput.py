@@ -1,0 +1,91 @@
+"""S1 — substrate micro-benchmarks (throughput, not experiment shape).
+
+Times the hot paths a paper-scale (million-video) run leans on, so
+regressions in the core loops are caught by the benchmark suite:
+
+- chart URL build + parse (the per-video extraction step);
+- Eq. (1)–(2) single-video reconstruction;
+- Eq. (3) full tag-table construction;
+- frontier push/pop churn;
+- LRU cache request/admit churn.
+
+No shape assertions beyond sanity — pytest-benchmark's timing table is
+the deliverable.
+"""
+
+import numpy as np
+
+from repro.chartmap.mapchart import build_map_chart_url, parse_map_chart_url
+from repro.crawler.frontier import BFSFrontier
+from repro.placement.cache import LRUCache
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.reconstruct.views import reconstruct_views
+
+
+def test_s1_chart_roundtrip_throughput(benchmark, bench_pipeline):
+    video = bench_pipeline.dataset.most_viewed_video()
+    popularity = video.popularity
+
+    def roundtrip():
+        return parse_map_chart_url(build_map_chart_url(popularity))
+
+    chart = benchmark(roundtrip)
+    assert len(chart.countries) == len(popularity)
+
+
+def test_s1_reconstruction_throughput(benchmark, bench_pipeline):
+    video = bench_pipeline.dataset.most_viewed_video()
+    traffic = bench_pipeline.universe.traffic
+
+    estimated = benchmark(
+        lambda: reconstruct_views(video.popularity, video.views, traffic)
+    )
+    assert estimated.sum() > 0
+
+
+def test_s1_tag_table_build(benchmark, bench_pipeline):
+    dataset = bench_pipeline.dataset
+    reconstructor = bench_pipeline.reconstructor
+
+    table = benchmark.pedantic(
+        lambda: TagViewsTable(dataset, reconstructor), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+
+
+def test_s1_frontier_churn(benchmark):
+    ids = [f"AAAAAAA{i:04d}" for i in range(2000)]
+
+    def churn():
+        frontier = BFSFrontier()
+        frontier.push_all(ids, 0)
+        drained = 0
+        while frontier:
+            frontier.pop()
+            drained += 1
+        return drained
+
+    assert benchmark(churn) == 2000
+
+
+def test_s1_lru_churn(benchmark):
+    ids = [f"AAAAAAA{i:04d}" for i in range(1000)]
+    rng = np.random.default_rng(0)
+    # Zipf-ish access pattern over 1000 ids.
+    weights = 1.0 / np.arange(1, len(ids) + 1)
+    probabilities = weights / weights.sum()
+    accesses = rng.choice(len(ids), size=5000, p=probabilities)
+
+    def churn():
+        cache = LRUCache(100)
+        hits = 0
+        for index in accesses:
+            video_id = ids[int(index)]
+            if cache.request(video_id):
+                hits += 1
+            else:
+                cache.admit(video_id)
+        return hits
+
+    hits = benchmark(churn)
+    assert 0 < hits < 5000

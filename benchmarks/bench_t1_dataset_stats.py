@@ -1,0 +1,59 @@
+"""T1 — the paper's §2 dataset statistics (its only "table").
+
+Paper numbers: 1,063,844 crawled videos → remove 6,736 with no tags
+(0.63%) and every video with a bad popularity vector → 691,349 retained
+(65.0%), carrying 705,415 unique tags (1.02 per retained video) and
+173,288,616,473 views. Absolute sizes are scaled down; the benchmark
+asserts the *ratios*: rare no-tags removals, dominant popularity-vector
+removals, ≈2/3 retention, tag vocabulary of the same order as the video
+count, and a Zipfian tag-usage curve.
+"""
+
+from repro.analysis.zipf import fit_zipf
+from repro.viz.report import format_table, funnel_report, stats_report
+
+#: The paper's §2 reference ratios.
+PAPER_NO_TAGS_RATE = 6_736 / 1_063_844          # ≈ 0.63%
+PAPER_RETENTION = 691_349 / 1_063_844           # ≈ 65.0%
+PAPER_TAGS_PER_RETAINED = 705_415 / 691_349     # ≈ 1.02
+
+
+def test_t1_dataset_statistics(benchmark, bench_pipeline, report_writer):
+    raw = bench_pipeline.crawl.dataset
+
+    def funnel_and_stats():
+        filtered, report = raw.apply_paper_filter()
+        return filtered.stats(), report
+
+    stats, report = benchmark(funnel_and_stats)
+
+    no_tags_rate = report.removed_no_tags / report.input_videos
+    tags_per_retained = stats.unique_tags / stats.videos
+    zipf = fit_zipf(bench_pipeline.dataset.tag_frequencies(), max_ranks=500)
+
+    comparison = format_table(
+        [
+            ("no-tags removal rate (paper 0.63%)", f"{no_tags_rate:.2%}"),
+            ("retention rate (paper 65.0%)", f"{report.retention_rate:.1%}"),
+            (
+                "unique tags per retained video (paper 1.02)",
+                f"{tags_per_retained:.2f}",
+            ),
+            ("tag-usage Zipf exponent", f"{zipf.exponent:.2f}"),
+            ("tag-usage Zipf fit R²", f"{zipf.r_squared:.3f}"),
+        ],
+        title="Shape comparison vs paper §2",
+    )
+    report_writer(
+        "t1_dataset_stats",
+        funnel_report(report) + "\n\n" + stats_report(stats) + "\n\n" + comparison,
+    )
+
+    # Shape assertions.
+    assert no_tags_rate < 0.05, "no-tags removals must be rare"
+    assert 0.5 < report.retention_rate < 0.8, "retention ≈ 2/3 as in paper"
+    assert (
+        report.removed_bad_popularity > 5 * report.removed_no_tags
+    ), "popularity filter dominates the funnel"
+    assert 0.3 < tags_per_retained < 3.0, "tag vocabulary ~ video count"
+    assert zipf.r_squared > 0.8, "tag usage is Zipfian"

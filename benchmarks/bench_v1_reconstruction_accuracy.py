@@ -1,0 +1,74 @@
+"""V1 — validation the paper could not run: Eq. (1)–(2) accuracy.
+
+Using the synthetic universe's ground truth, score the paper's view
+estimator against:
+
+- the naive readout (pop(v) as view shares — the interpretation the
+  paper's USA-vs-Singapore argument rejects), and
+- itself under a *perturbed* Alexa prior (how wrong can the traffic
+  shares be before the estimator degrades to naive quality?).
+
+Expected shape: paper's estimator ≪ naive; degradation grows smoothly
+with prior error and stays below naive even at 50% relative error.
+"""
+
+import pytest
+
+from repro.reconstruct.validation import validate_against_universe
+from repro.reconstruct.views import ViewReconstructor
+from repro.viz.report import format_table
+
+PERTURBATIONS = (0.0, 0.05, 0.10, 0.20, 0.50)
+
+
+def test_v1_reconstruction_accuracy(benchmark, bench_pipeline, report_writer):
+    universe = bench_pipeline.universe
+    dataset = bench_pipeline.dataset
+
+    smart = benchmark.pedantic(
+        lambda: validate_against_universe(
+            universe, dataset, ViewReconstructor(universe.traffic)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    naive = validate_against_universe(
+        universe, dataset, ViewReconstructor(universe.traffic, naive=True)
+    )
+
+    perturbed_rows = []
+    perturbed_tv = {}
+    for error in PERTURBATIONS:
+        traffic = universe.traffic.perturbed(error, seed=7)
+        result = validate_against_universe(
+            universe, dataset, ViewReconstructor(traffic)
+        )
+        perturbed_tv[error] = result.mean_tv()
+        perturbed_rows.append(
+            (
+                f"prior error {error:.0%}",
+                f"mean TV={result.mean_tv():.4f}  mean JSD={result.mean_jsd():.4f}",
+            )
+        )
+
+    rows = [
+        ("estimator (Eq. 1-2)", f"mean TV={smart.mean_tv():.4f}  mean JSD={smart.mean_jsd():.4f}"),
+        ("naive share readout", f"mean TV={naive.mean_tv():.4f}  mean JSD={naive.mean_jsd():.4f}"),
+    ] + perturbed_rows
+    report_writer(
+        "v1_reconstruction_accuracy",
+        format_table(rows, title=f"Estimator accuracy over {smart.count:,} videos"),
+    )
+
+    # Shape assertions.
+    assert smart.mean_tv() < 0.5 * naive.mean_tv(), (
+        "the paper's intensity interpretation must beat the naive readout"
+    )
+    assert smart.mean_jsd() < 0.5 * naive.mean_jsd()
+    assert perturbed_tv[0.0] == pytest.approx(smart.mean_tv(), rel=1e-6)
+    assert perturbed_tv[0.50] > perturbed_tv[0.0], (
+        "a badly wrong prior must cost accuracy"
+    )
+    assert perturbed_tv[0.50] < naive.mean_tv(), (
+        "even a 50%-wrong prior beats ignoring traffic shares entirely"
+    )

@@ -1,0 +1,62 @@
+"""V2 — the paper's §3 conjecture as a hold-out prediction experiment.
+
+"The geographic distribution of a video's views might be strongly
+related to that of its associated tags." If true, the tag-mixture
+predictor must beat the traffic prior, which must beat uniform, on
+held-out videos scored against *ground truth*. The benchmark also sweeps
+the mixture weighting schemes (position / uniform / views / specificity).
+"""
+
+from repro.analysis.conjecture import evaluate_conjecture
+from repro.viz.report import format_table
+
+WEIGHTINGS = ("position", "uniform", "views", "specificity")
+
+
+def test_v2_tag_predictiveness(benchmark, bench_pipeline, report_writer):
+    dataset = bench_pipeline.dataset
+    reconstructor = bench_pipeline.reconstructor
+    universe = bench_pipeline.universe
+
+    main_result = benchmark.pedantic(
+        lambda: evaluate_conjecture(
+            dataset, reconstructor, universe=universe, weighting="position"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        (
+            score.name,
+            f"mean JSD={score.mean_jsd:.4f}  median={score.median_jsd:.4f}  "
+            f"n={score.videos}",
+        )
+        for score in main_result.scores
+    ]
+    rows.append(
+        ("tag win rate vs prior", f"{main_result.tag_win_rate_vs_prior:.1%}")
+    )
+    rows.append(("cold-start test videos", main_result.skipped_cold_start))
+
+    weighting_rows = []
+    for weighting in WEIGHTINGS:
+        result = evaluate_conjecture(
+            dataset, reconstructor, universe=universe, weighting=weighting
+        )
+        weighting_rows.append(
+            (f"weighting={weighting}", f"tags mean JSD={result.score('tags').mean_jsd:.4f}")
+        )
+
+    report_writer(
+        "v2_tag_predictiveness",
+        format_table(rows, title="Hold-out prediction vs ground truth")
+        + "\n\n"
+        + format_table(weighting_rows, title="Mixture weighting ablation"),
+    )
+
+    # The conjecture's ordering: tags < prior < uniform.
+    assert main_result.conjecture_holds()
+    tags = main_result.score("tags").mean_jsd
+    prior = main_result.score("prior").mean_jsd
+    assert tags < 0.75 * prior, "tags must beat the prior by a clear margin"

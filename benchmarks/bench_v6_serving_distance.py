@@ -1,0 +1,84 @@
+"""V6 — backbone cost: mean serving distance under proactive placement.
+
+Hit rate flattens the geography; transit cost does not. Each request is
+served from the nearest replica of its video (0 km if the requesting
+country holds one) or from the provider's origin. Expected shape:
+oracle ≤ tags < prior < none, with tag-predictive placement achieving a
+large share of local serving — the paper's "deliver locally" motivation
+(its ref. 7) quantified.
+"""
+
+from repro.placement.distance import evaluate_serving_distance
+from repro.placement.policies import (
+    NoPlacement,
+    OraclePlacement,
+    PriorPlacement,
+    TagPredictivePlacement,
+)
+from repro.placement.predictor import TagGeoPredictor
+from repro.viz.report import format_table
+from repro.world.geo import distance_matrix
+
+CAPACITY = 30
+REPLICAS = 8
+
+
+def test_v6_serving_distance(benchmark, bench_pipeline, bench_trace, report_writer):
+    universe = bench_pipeline.universe
+    dataset = bench_pipeline.dataset
+    predictor = TagGeoPredictor(bench_pipeline.tag_table)
+    distances = distance_matrix(universe.registry)
+
+    policies = [
+        NoPlacement(),
+        PriorPlacement(universe.traffic, REPLICAS),
+        TagPredictivePlacement(predictor, REPLICAS),
+        OraclePlacement(universe, REPLICAS),
+    ]
+
+    reports = {}
+    for policy in policies:
+        evaluate = lambda policy=policy: evaluate_serving_distance(
+            dataset,
+            bench_trace,
+            policy,
+            capacity=CAPACITY,
+            registry=universe.registry,
+            distances=distances,
+        )
+        if policy.name == "tags":
+            reports[policy.name] = benchmark.pedantic(
+                evaluate, rounds=1, iterations=1
+            )
+        else:
+            reports[policy.name] = evaluate()
+
+    rows = [
+        (
+            name,
+            f"mean={report.mean_km:7.1f} km  local={report.local_fraction:.1%}  "
+            f"remote={report.remote_fraction:.1%}  origin={report.origin_fraction:.1%}",
+        )
+        for name, report in reports.items()
+    ]
+    report_writer(
+        "v6_serving_distance",
+        format_table(
+            rows,
+            title=(
+                f"Serving distance, {len(bench_trace):,} requests, "
+                f"{CAPACITY} pins/country, {REPLICAS} replicas/video"
+            ),
+        ),
+    )
+
+    assert reports["oracle"].mean_km <= reports["tags"].mean_km
+    assert reports["tags"].mean_km < reports["prior"].mean_km
+    assert reports["prior"].mean_km < reports["none"].mean_km
+    # Tag placement serves a large share locally — at least double what
+    # the content-blind policy manages.
+    assert reports["tags"].local_fraction > 0.3
+    assert reports["tags"].local_fraction > 2 * reports["prior"].local_fraction
+    # And cuts the content-blind policy's mean distance by a clear margin
+    # (at least 20%; measured ≈26% on the committed seed).
+    assert reports["tags"].mean_km < 0.8 * reports["prior"].mean_km

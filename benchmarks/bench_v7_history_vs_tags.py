@@ -1,0 +1,138 @@
+"""V7 — the incumbent: view-history placement vs the paper's tags.
+
+An operator's obvious placement signal is *observed demand*: place each
+video where it was watched before. The experiment splits the catalogue
+80/20 into established/new videos, trains history on a trace of
+established-only traffic, and evaluates both signals on a test trace
+covering everything (static caches isolate placement quality; the tag
+table is also built from established videos only, so neither signal
+sees the new uploads).
+
+Expected shape — the sharpest version of the paper's pitch:
+
+- on **established** videos, history ties the oracle (it *is* the
+  empirical distribution) and beats tags;
+- on **new** videos, history collapses to the traffic prior (no data)
+  while tags stay near the oracle;
+- so tags win overall whenever new content carries real traffic — and
+  on UGC platforms it always does.
+"""
+
+from repro.analysis.conjecture import split_dataset
+from repro.placement.cache import StaticCache
+from repro.placement.history import BlendedPlacement, HistoryPlacement
+from repro.placement.policies import (
+    OraclePlacement,
+    PriorPlacement,
+    TagPredictivePlacement,
+)
+from repro.placement.predictor import TagGeoPredictor
+from repro.placement.simulator import CacheSimulator
+from repro.placement.workload import RequestTrace, WorkloadGenerator
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.viz.report import format_table
+
+CAPACITY = 30
+REPLICAS = 8
+TRAIN_REQUESTS = 60_000
+TEST_REQUESTS = 40_000
+
+
+def test_v7_history_vs_tags(benchmark, bench_pipeline, report_writer):
+    universe = bench_pipeline.universe
+    dataset = bench_pipeline.dataset
+    established, new = split_dataset(dataset, test_fraction=0.2, salt="v7")
+
+    train_trace = WorkloadGenerator(
+        universe, established.video_ids(), seed=71
+    ).generate(TRAIN_REQUESTS)
+    test_trace = WorkloadGenerator(
+        universe, dataset.video_ids(), seed=72
+    ).generate(TEST_REQUESTS)
+    new_ids = set(new.video_ids())
+    test_new = RequestTrace(
+        tuple(r for r in test_trace if r.video_id in new_ids)
+    )
+    test_established = RequestTrace(
+        tuple(r for r in test_trace if r.video_id not in new_ids)
+    )
+
+    # Both learned signals see only the established corpus.
+    table = TagViewsTable(established, bench_pipeline.reconstructor)
+    predictor = TagGeoPredictor(table)
+    history = HistoryPlacement(train_trace, universe.traffic, REPLICAS)
+    policies = {
+        "prior": PriorPlacement(universe.traffic, REPLICAS),
+        "history": history,
+        "tags": TagPredictivePlacement(predictor, REPLICAS),
+        "blend": BlendedPlacement(history, predictor, REPLICAS),
+        "oracle": OraclePlacement(universe, REPLICAS),
+    }
+    sim = CacheSimulator(
+        universe.registry,
+        lambda: StaticCache(CAPACITY),
+        reactive_admission=False,
+    )
+
+    def evaluate(policy):
+        return {
+            "overall": sim.run(dataset, test_trace, policy).overall_hit_rate,
+            "established": sim.run(
+                dataset, test_established, policy
+            ).overall_hit_rate,
+            "new": sim.run(dataset, test_new, policy).overall_hit_rate,
+        }
+
+    results = {}
+    for name, policy in policies.items():
+        if name == "tags":
+            results[name] = benchmark.pedantic(
+                lambda policy=policy: evaluate(policy), rounds=1, iterations=1
+            )
+        else:
+            results[name] = evaluate(policy)
+
+    rows = [
+        (
+            name,
+            f"overall={r['overall']:.3f}  established={r['established']:.3f}  "
+            f"new={r['new']:.3f}",
+        )
+        for name, r in results.items()
+    ]
+    rows.append(
+        (
+            "test traffic split",
+            f"{len(test_established):,} established / {len(test_new):,} new requests",
+        )
+    )
+    report_writer(
+        "v7_history_vs_tags",
+        format_table(
+            rows,
+            title=(
+                f"Hit rate by signal, static {CAPACITY}/country, "
+                f"{REPLICAS} replicas"
+            ),
+        ),
+    )
+
+    # History is (near-)oracle on established content and beats tags there.
+    assert results["history"]["established"] >= results["tags"]["established"]
+    assert (
+        results["history"]["established"]
+        >= 0.95 * results["oracle"]["established"]
+    )
+    # On new uploads history degenerates to the prior; tags stay strong.
+    assert (
+        abs(results["history"]["new"] - results["prior"]["new"]) < 0.05
+    ), "history must collapse to the prior on unseen videos"
+    assert results["tags"]["new"] > 1.5 * results["history"]["new"]
+    assert results["tags"]["new"] >= 0.85 * results["oracle"]["new"]
+    # The production blend dominates both pure signals: near-history on
+    # established content, near-tags on new content, best overall.
+    assert results["blend"]["established"] >= results["tags"]["established"] - 0.01
+    assert results["blend"]["new"] >= results["history"]["new"]
+    assert results["blend"]["overall"] >= max(
+        results["history"]["overall"], results["tags"]["overall"]
+    ) - 0.01

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+All experiment benchmarks run against one session-scoped ``medium``
+pipeline (12,000-video universe, exhaustive snowball crawl) so the heavy
+generation/crawl cost is paid once. Every benchmark both *times* its
+computation (pytest-benchmark) and *asserts the paper's qualitative
+shape*, and writes a human-readable report to ``benchmarks/out/`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.placement.workload import WorkloadGenerator
+from repro.synth.presets import preset_config
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline():
+    """The medium-preset pipeline every experiment shares."""
+    return run_pipeline(PipelineConfig(universe=preset_config("medium")))
+
+
+@pytest.fixture(scope="session")
+def bench_trace(bench_pipeline):
+    """A 60k-request trace over the filtered catalogue."""
+    generator = WorkloadGenerator(
+        bench_pipeline.universe,
+        bench_pipeline.dataset.video_ids(),
+        seed=2014,
+    )
+    return generator.generate(60_000)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write an experiment's printable report under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _write(experiment_id: str, text: str) -> None:
+        (OUT_DIR / f"{experiment_id}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {experiment_id} =====")
+        print(text)
+
+    return _write

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Validating the paper's Eq. (1)–(2) estimator against ground truth.
+
+The original study could not check its view-reconstruction against
+reality — YouTube never published per-country view counts. Our
+synthetic universe retains them, so this example measures:
+
+- how accurate the paper's intensity interpretation is on the exact
+  observable the paper had (the quantized 0–61 popularity vector);
+- how much worse the naive "intensity = view share" readout is (the
+  interpretation the paper's USA-vs-Singapore argument rejects);
+- how sensitive the estimator is to errors in the Alexa traffic prior.
+
+Run:  python examples/estimator_validation.py
+"""
+
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.reconstruct.validation import validate_against_universe
+from repro.reconstruct.views import ViewReconstructor
+from repro.synth.presets import preset_config
+from repro.viz.report import format_table
+
+
+def main() -> None:
+    print("Building universe + crawling (small preset)...\n")
+    result = run_pipeline(PipelineConfig(universe=preset_config("small")))
+    universe = result.universe
+    dataset = result.dataset
+
+    smart = validate_against_universe(
+        universe, dataset, ViewReconstructor(universe.traffic)
+    )
+    naive = validate_against_universe(
+        universe, dataset, ViewReconstructor(universe.traffic, naive=True)
+    )
+
+    print(format_table(smart.as_rows(), title="Paper's estimator (Eq. 1-2)"))
+    print()
+    print(format_table(naive.as_rows(), title="Naive share readout"))
+    print()
+
+    rows = []
+    for error in (0.0, 0.05, 0.10, 0.20, 0.50):
+        perturbed = validate_against_universe(
+            universe,
+            dataset,
+            ViewReconstructor(universe.traffic.perturbed(error, seed=3)),
+        )
+        rows.append(
+            (
+                f"Alexa prior error ±{error:.0%}",
+                f"mean TV = {perturbed.mean_tv():.4f}",
+            )
+        )
+    print(format_table(rows, title="Sensitivity to the traffic prior"))
+    print(
+        "\nReading: the intensity interpretation recovers per-country views"
+        "\nwith a small total-variation error; the naive readout is several"
+        "\ntimes worse — and even a 50%-wrong prior beats ignoring traffic"
+        "\nshares entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Tag-driven proactive geo-caching — the paper's future work, running.
+
+Simulates per-country edge storage serving a ground-truth request trace
+and compares placement policies at several storage budgets:
+
+- ``prior``   — content-blind: replicate every video into the biggest
+  markets (what a tag-agnostic system can do);
+- ``tags``    — the paper's proposal: place each video where its tags
+  predict the viewers are;
+- ``oracle``  — place by true future views (upper bound);
+- ``lru``     — no proactive placement, reactive per-country LRU.
+
+The interesting shape: tags ≫ prior always; tags beat reactive LRU when
+edge storage is scarce, and reactive catches up as storage grows.
+
+Run:  python examples/proactive_caching.py
+"""
+
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.placement.cache import StaticCache
+from repro.placement.policies import (
+    NoPlacement,
+    OraclePlacement,
+    PriorPlacement,
+    TagPredictivePlacement,
+)
+from repro.placement.predictor import TagGeoPredictor
+from repro.placement.simulator import CacheSimulator, default_simulator
+from repro.placement.workload import WorkloadGenerator
+from repro.synth.presets import preset_config
+from repro.viz.report import format_table
+
+CAPACITIES = (10, 30, 100)
+REPLICAS = 8
+REQUESTS = 40_000
+
+
+def main() -> None:
+    print("Building universe + crawling (small preset)...\n")
+    result = run_pipeline(PipelineConfig(universe=preset_config("small")))
+    universe = result.universe
+    dataset = result.dataset
+
+    print(f"Generating a {REQUESTS:,}-request ground-truth trace...\n")
+    trace = WorkloadGenerator(
+        universe, dataset.video_ids(), seed=7
+    ).generate(REQUESTS)
+
+    predictor = TagGeoPredictor(result.tag_table)
+    policies = [
+        PriorPlacement(universe.traffic, REPLICAS),
+        TagPredictivePlacement(predictor, REPLICAS),
+        OraclePlacement(universe, REPLICAS),
+    ]
+
+    rows = []
+    for capacity in CAPACITIES:
+        static_sim = CacheSimulator(
+            universe.registry,
+            lambda capacity=capacity: StaticCache(capacity),
+            reactive_admission=False,
+        )
+        hit_rates = {
+            report.policy: report.overall_hit_rate
+            for report in static_sim.compare(dataset, trace, policies)
+        }
+        lru = default_simulator(universe.registry, capacity).run(
+            dataset, trace, NoPlacement()
+        )
+        hit_rates["lru (reactive)"] = lru.overall_hit_rate
+        rows.append(
+            (
+                f"{capacity:>3} videos/country",
+                "  ".join(
+                    f"{name}={rate:.3f}" for name, rate in sorted(hit_rates.items())
+                ),
+            )
+        )
+
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Edge hit rates ({REQUESTS:,} requests, "
+                f"{REPLICAS} replicas per video)"
+            ),
+        )
+    )
+    print(
+        "\nReading: 'tags' beats the content-blind 'prior' everywhere and"
+        "\napproaches 'oracle'; it also beats reactive LRU when edge storage"
+        "\nis scarce, with LRU catching up as capacity grows (the crossover)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's whole pipeline in one script.
+
+Generates a small YouTube-like universe, snowball-crawls it through the
+simulated API (exactly as the paper crawled YouTube in March 2011),
+applies the §2 filter funnel, reconstructs per-country views with
+Eq. (1)–(2), aggregates per-tag views with Eq. (3), and renders the
+paper's three figures as ASCII world maps.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.synth.presets import preset_config
+from repro.viz.report import (
+    funnel_report,
+    stats_report,
+    tag_map_report,
+    video_map_report,
+)
+
+
+def main() -> None:
+    print("Building universe + crawling (small preset, ~2,500 videos)...\n")
+    result = run_pipeline(PipelineConfig(universe=preset_config("small")))
+
+    # --- The paper's §2 "table": the dataset funnel and statistics.
+    print(funnel_report(result.filter_report))
+    print()
+    print(stats_report(result.dataset.stats()))
+
+    # --- Fig. 1: the most-viewed video's popularity map.
+    video = result.dataset.most_viewed_video()
+    shares = result.reconstructor.shares_for_video(video)
+    print("\n" + "=" * 70)
+    print(video_map_report(video, shares, result.reconstructor.registry))
+
+    # --- Fig. 2: a global tag (the paper's 'pop').
+    table = result.tag_table
+    global_tag = "pop" if "pop" in table else table.top_tags_by_views(1)[0][0]
+    print("\n" + "=" * 70)
+    print(
+        tag_map_report(
+            global_tag,
+            table.shares_for(global_tag),
+            result.universe.traffic,
+            video_count=table.video_count(global_tag),
+            total_views=table.total_views(global_tag),
+        )
+    )
+
+    # --- Fig. 3: the most geographically concentrated well-viewed tag.
+    from repro.analysis.tagstats import TagGeographyReport
+
+    geography = TagGeographyReport(table, result.universe.traffic, min_videos=5)
+    local = geography.most_local(1)
+    if local:
+        tag = local[0].tag
+        print("\n" + "=" * 70)
+        print(
+            tag_map_report(
+                tag,
+                table.shares_for(tag),
+                result.universe.traffic,
+                video_count=table.video_count(tag),
+                total_views=table.total_views(tag),
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

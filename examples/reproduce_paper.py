@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""One-command reproduction of every artefact in the paper.
+
+Runs the full pipeline and regenerates, in order:
+
+- the §2 dataset statistics (crawl funnel, corpus counts) with the
+  paper's reference ratios alongside;
+- Fig. 1 — the most-viewed video's popularity world map;
+- Fig. 2 — the geography of the top global tag ('pop');
+- Fig. 3 — the geography of the most geo-concentrated tag;
+- plus the headline numbers of the extension experiments (estimator
+  accuracy, conjecture test) that the benchmarks cover in full.
+
+Usage:  python examples/reproduce_paper.py [preset]
+        (preset ∈ tiny/small/medium/large; default small)
+"""
+
+import sys
+
+from repro.analysis.conjecture import evaluate_conjecture
+from repro.analysis.metrics import jensen_shannon
+from repro.analysis.tagstats import TagGeographyReport
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.reconstruct.validation import validate_against_universe
+from repro.reconstruct.views import ViewReconstructor
+from repro.synth.presets import preset_config
+from repro.viz.report import (
+    format_table,
+    funnel_report,
+    stats_report,
+    tag_map_report,
+    video_map_report,
+)
+
+PAPER_RETENTION = 691_349 / 1_063_844
+PAPER_NO_TAGS = 6_736 / 1_063_844
+
+
+def heading(text: str) -> None:
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    preset = sys.argv[1] if len(sys.argv) > 1 else "small"
+    print(f"Reproducing the paper on the {preset!r} preset...")
+    result = run_pipeline(PipelineConfig(universe=preset_config(preset)))
+    table = result.tag_table
+    traffic = result.universe.traffic
+
+    # --- §2: the dataset table.
+    heading("§2 — dataset statistics")
+    print(funnel_report(result.filter_report))
+    print()
+    print(stats_report(result.dataset.stats()))
+    print()
+    print(
+        format_table(
+            [
+                (
+                    "retention rate",
+                    f"{result.filter_report.retention_rate:.1%} "
+                    f"(paper: {PAPER_RETENTION:.1%})",
+                ),
+                (
+                    "no-tags removal rate",
+                    f"{result.filter_report.removed_no_tags / result.filter_report.input_videos:.2%} "
+                    f"(paper: {PAPER_NO_TAGS:.2%})",
+                ),
+            ],
+            title="Shape check vs paper",
+        )
+    )
+
+    # --- Fig. 1.
+    heading("Fig. 1 — popularity map of the most-viewed video")
+    video = result.dataset.most_viewed_video()
+    print(
+        video_map_report(
+            video,
+            result.reconstructor.shares_for_video(video),
+            result.reconstructor.registry,
+        )
+    )
+
+    # --- Fig. 2.
+    heading("Fig. 2 — a global tag follows the user distribution")
+    global_tag = "pop" if "pop" in table else table.top_tags_by_views(1)[0][0]
+    print(
+        tag_map_report(
+            global_tag,
+            table.shares_for(global_tag),
+            traffic,
+            video_count=table.video_count(global_tag),
+            total_views=table.total_views(global_tag),
+        )
+    )
+
+    # --- Fig. 3.
+    heading("Fig. 3 — a local tag concentrates in one country")
+    geography = TagGeographyReport(table, traffic, min_videos=5)
+    local = geography.most_local(1)
+    if local:
+        print(
+            tag_map_report(
+                local[0].tag,
+                table.shares_for(local[0].tag),
+                traffic,
+                video_count=local[0].video_count,
+                total_views=local[0].total_views,
+            )
+        )
+
+    # --- Extensions (headline numbers; full sweeps in benchmarks/).
+    heading("Extensions (details: pytest benchmarks/ --benchmark-only)")
+    accuracy = validate_against_universe(
+        result.universe, result.dataset, result.reconstructor
+    )
+    naive = validate_against_universe(
+        result.universe,
+        result.dataset,
+        ViewReconstructor(traffic, naive=True),
+    )
+    conjecture = evaluate_conjecture(
+        result.dataset, result.reconstructor, universe=result.universe
+    )
+    print(
+        format_table(
+            [
+                (
+                    "Eq. (1)-(2) mean TV error",
+                    f"{accuracy.mean_tv():.4f} (naive readout: {naive.mean_tv():.4f})",
+                ),
+                (
+                    "conjecture (mean JSD)",
+                    "tags "
+                    f"{conjecture.score('tags').mean_jsd:.4f} < prior "
+                    f"{conjecture.score('prior').mean_jsd:.4f} < uniform "
+                    f"{conjecture.score('uniform').mean_jsd:.4f}",
+                ),
+                ("conjecture holds", conjecture.conjecture_holds()),
+            ],
+            title="Validation headlines",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

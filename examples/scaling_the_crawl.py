@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Operating at paper scale: parallel crawling, disk storage, bias audit.
+
+The 2011 study crawled a million videos over weeks. This example shows
+the machinery you would use for that scale, on a smaller world:
+
+1. save a generated world to disk (shareable, ground truth included);
+2. crawl it with the multi-worker crawler against a latency-bound API,
+   and compare wall-clock with the sequential crawler;
+3. stream the crawl into a SQLite-backed :class:`VideoStore` and query
+   it without materializing the corpus;
+4. audit the snowball sample's bias against the world's ground truth
+   (popularity bias, tag coverage, geographic distortion);
+5. serve the API over TCP and crawl it from a remote client — the
+   crawler code is identical, only the service object changes.
+
+Run:  python examples/scaling_the_crawl.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.sampling import compare_sample_to_universe, tag_coverage_curve
+from repro.api.service import YoutubeService
+from repro.crawler.parallel import ParallelSnowballCrawler
+from repro.crawler.snowball import SnowballCrawler
+from repro.datamodel.store import VideoStore
+from repro.synth.io import load_universe, save_universe
+from repro.synth.presets import preset_config
+from repro.synth.universe import build_universe
+from repro.viz.report import format_table
+
+CRAWL_BUDGET = 400
+LATENCY = 0.002  # 2 ms per API request
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-scale-"))
+
+    # 1. Persist the world.
+    print("1) Generating and saving a world (small preset)...")
+    universe = build_universe(preset_config("small"))
+    world_path = workdir / "world.jsonl.gz"
+    save_universe(universe, world_path)
+    print(f"   {world_path} ({world_path.stat().st_size / 1024:.0f} KiB)")
+    universe = load_universe(world_path)  # prove the round trip
+
+    # 2. Sequential vs parallel crawl under API latency.
+    print(f"\n2) Crawling {CRAWL_BUDGET} videos at {LATENCY*1000:.0f} ms/request...")
+
+    start = time.perf_counter()
+    sequential = SnowballCrawler(
+        YoutubeService(universe, latency_seconds=LATENCY),
+        max_videos=CRAWL_BUDGET,
+    ).run()
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = ParallelSnowballCrawler(
+        YoutubeService(universe, latency_seconds=LATENCY),
+        workers=8,
+        max_videos=CRAWL_BUDGET,
+    ).run()
+    parallel_s = time.perf_counter() - start
+
+    print(
+        format_table(
+            [
+                ("sequential crawler", f"{sequential_s:.2f} s"),
+                ("parallel crawler (8 workers)", f"{parallel_s:.2f} s"),
+                ("speedup", f"{sequential_s / parallel_s:.1f}×"),
+            ],
+            title="Wall-clock comparison",
+        )
+    )
+
+    # 3. SQLite store.
+    print("\n3) Loading the crawl into a SQLite store and querying it...")
+    store_path = workdir / "crawl.db"
+    with VideoStore(store_path) as store:
+        store.add_many(iter(parallel.dataset))
+        top = store.most_viewed(3)
+        heavy_tags = store.tag_frequencies(min_count=5)[:5]
+        print(
+            format_table(
+                [
+                    ("videos stored", len(store)),
+                    ("unique tags", store.unique_tag_count()),
+                    ("total views", store.total_views()),
+                    ("top video", f"{top[0].title!r} ({top[0].views:,} views)"),
+                    (
+                        "heaviest tags",
+                        ", ".join(f"{tag}×{n}" for tag, n in heavy_tags),
+                    ),
+                ],
+                title=f"VideoStore at {store_path}",
+            )
+        )
+
+    # 4. Sample-bias audit.
+    print("\n4) Auditing the snowball sample against ground truth...")
+    report = compare_sample_to_universe(universe, parallel.dataset)
+    print(format_table(report.as_rows(), title="Sample bias report"))
+    xs, ys = tag_coverage_curve(parallel.dataset, step=CRAWL_BUDGET // 8)
+    curve = "  ".join(f"{x}:{y}" for x, y in zip(xs.tolist(), ys.tolist()))
+    print(f"\ntag discovery curve (videos:tags):\n  {curve}")
+    print(
+        "\nReading: the snowball over-samples popular videos (bias ratio > 1)"
+        "\nand under-covers niche local tags — exactly the bias the paper's"
+        "\nmethodology section should make you expect."
+    )
+
+    # 5. The same crawl over a real TCP boundary.
+    print("\n5) Serving the API over TCP and crawling it remotely...")
+    from repro.api.transport import RemoteYoutubeClient, YoutubeAPIServer
+
+    with YoutubeAPIServer(YoutubeService(universe)) as server:
+        with RemoteYoutubeClient(server.host, server.port) as remote:
+            info = remote.describe()
+            over_wire = SnowballCrawler(remote, max_videos=100).run()
+    print(
+        f"   server reported {info['videos']:,} videos; crawled "
+        f"{len(over_wire.dataset)} over 127.0.0.1:{server.port} — "
+        "same crawler code, remote service."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The paper's premise, end to end: tag semantics → shared geography.
+
+§1 of the paper argues tags are a promising geographic signal *because*
+they capture video semantics. This example checks the whole chain on a
+crawled corpus:
+
+1. build the tag co-occurrence graph (tags that appear together);
+2. detect communities (topics) with greedy modularity;
+3. measure whether same-community tags share geography (mean pairwise
+   JSD within vs across communities);
+4. aggregate the corpus's views to world regions, the ISP/CDN view the
+   paper's introduction cites (Sandvine 2013 figures);
+5. replay an *online* upload+view timeline and show tag-predictive
+   placement rescuing cold requests a reactive cache must miss.
+
+Run:  python examples/semantic_geography.py
+"""
+
+from repro.analysis.cooccurrence import CooccurrenceGraph, geographic_coherence
+from repro.analysis.regionview import dataset_continent_shares
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.placement.cache import LRUCache
+from repro.placement.online import OnlineCacheSimulator, OnlineWorkloadGenerator
+from repro.placement.policies import NoPlacement, TagPredictivePlacement
+from repro.placement.predictor import TagGeoPredictor
+from repro.synth.presets import preset_config
+from repro.viz.report import format_table
+
+
+def main() -> None:
+    print("Building universe + crawling (small preset)...\n")
+    result = run_pipeline(PipelineConfig(universe=preset_config("small")))
+
+    # 1-2. Co-occurrence communities.
+    graph = CooccurrenceGraph(result.dataset, min_tag_count=4)
+    communities = graph.communities(max_communities=30)
+    print(
+        format_table(
+            [
+                ("tags in graph", len(graph)),
+                ("co-occurrence edges", graph.edge_count()),
+                (
+                    "top community sizes",
+                    ", ".join(str(len(c)) for c in communities[:6]),
+                ),
+            ],
+            title="Tag co-occurrence graph",
+        )
+    )
+    if "music" in graph:
+        print("\nmost associated with 'music':")
+        for tag, score in graph.most_associated("music", 5):
+            print(f"  {tag:<20} jaccard={score:.3f}")
+
+    # 3. Geographic coherence of topics.
+    coherence = geographic_coherence(communities, result.tag_table, max_pairs=800)
+    print(
+        "\n"
+        + format_table(
+            [
+                ("mean JSD within communities", f"{coherence['within']:.3f}"),
+                ("mean JSD across communities", f"{coherence['across']:.3f}"),
+                ("across / within", f"{coherence['ratio']:.2f}×"),
+            ],
+            title="Do co-tagged topics share geography?",
+        )
+    )
+
+    # 4. Regional (ISP) view of the corpus.
+    continents = dataset_continent_shares(result.dataset, result.reconstructor)
+    print(
+        "\n"
+        + format_table(
+            [(name, f"{share:.1%}") for name, share in continents.items()],
+            title="Share of estimated views by world region",
+        )
+    )
+
+    # 5. Online cold-start experiment.
+    print("\nReplaying an online upload+view timeline (30,000 views)...")
+    trace = OnlineWorkloadGenerator(
+        result.universe, result.dataset.video_ids(), seed=8
+    ).generate(30_000)
+    sim = OnlineCacheSimulator(
+        result.universe.registry, lambda: LRUCache(30), cold_window=3
+    )
+    predictor = TagGeoPredictor(result.tag_table)
+    rows = []
+    for policy in (NoPlacement(), TagPredictivePlacement(predictor, replicas=8)):
+        report = sim.run(result.dataset, trace, policy)
+        rows.append(
+            (
+                policy.name,
+                f"overall={report.hit_rate:.3f}  cold={report.cold_hit_rate:.3f}  "
+                f"warm={report.warm_hit_rate:.3f}",
+            )
+        )
+    print(
+        format_table(
+            rows, title="Edge hit rates (cold = a video's first 3 views)"
+        )
+    )
+    print(
+        "\nReading: reactive caching structurally misses first views;"
+        "\ntag-predictive placement is there before the first viewer."
+    )
+
+
+if __name__ == "__main__":
+    main()

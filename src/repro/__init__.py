@@ -1,0 +1,45 @@
+"""repro — a full reproduction of *From Views to Tags Distribution in
+YouTube* (Delbruel & Taïani, Middleware'14).
+
+The original study crawled YouTube in March 2011 and asked how a video's
+descriptive tags relate to where the video is watched. Both the dataset
+and the APIs are gone; this library rebuilds the complete system on a
+synthetic-but-faithful substrate and extends the study with the
+validation and application experiments the poster could only hint at.
+
+Subsystem map (see ``DESIGN.md`` for the full inventory):
+
+- :mod:`repro.world` — countries, regions, the Alexa-style traffic prior;
+- :mod:`repro.datamodel` — videos, tags, popularity vectors, datasets;
+- :mod:`repro.chartmap` — the Google Image Chart codec (the 0–61 maps);
+- :mod:`repro.synth` — the generated YouTube-like universe (with ground
+  truth);
+- :mod:`repro.api` — the simulated YouTube Data API;
+- :mod:`repro.crawler` — breadth-first snowball sampling;
+- :mod:`repro.reconstruct` — the paper's Eq. (1)–(3);
+- :mod:`repro.analysis` — concentration metrics, tag geography, the
+  conjecture test;
+- :mod:`repro.placement` — tag-driven proactive geo-caching;
+- :mod:`repro.viz` — ASCII choropleths and text reports;
+- :mod:`repro.pipeline` — one-call end-to-end orchestration.
+
+Quickstart::
+
+    from repro.pipeline import PipelineConfig, run_pipeline
+    from repro.synth import preset_config
+
+    result = run_pipeline(PipelineConfig(universe=preset_config("small")))
+    print(result.filter_report.as_rows())
+    print(result.tag_table.top_tags_by_views(5))
+"""
+
+from repro.pipeline import PipelineConfig, PipelineResult, run_pipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "run_pipeline",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""Bootstrap confidence intervals for tag geography statistics.
+
+A tag's Eq. (3) geography is an aggregate over ``videos(t)`` — often a
+handful of videos, one of which may dominate. Point estimates like
+"top-1 share = 63%" deserve error bars. This module resamples a tag's
+videos with replacement and rebuilds the aggregate, yielding percentile
+confidence intervals for any share-vector statistic (top-1 share,
+JSD-to-prior, entropy, or a caller-supplied function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    jensen_shannon,
+    normalized_entropy,
+    top_k_share,
+)
+from repro.datamodel.dataset import Dataset
+from repro.errors import AnalysisError
+from repro.reconstruct.views import ViewReconstructor
+from repro.synth.rng import spawn_rng
+
+StatisticFn = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A percentile bootstrap interval.
+
+    Attributes:
+        point: Statistic on the full (unresampled) aggregate.
+        low: Lower percentile bound.
+        high: Upper percentile bound.
+        n_boot: Resamples drawn.
+        confidence: Interval mass (e.g. 0.95).
+    """
+
+    point: float
+    low: float
+    high: float
+    n_boot: int
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def _resolve_statistic(
+    statistic: Union[str, StatisticFn],
+    reconstructor: ViewReconstructor,
+) -> StatisticFn:
+    if callable(statistic):
+        return statistic
+    if statistic == "top1":
+        return lambda shares: top_k_share(shares, 1)
+    if statistic == "entropy":
+        return normalized_entropy
+    if statistic == "jsd":
+        prior = reconstructor.traffic.as_vector()
+        return lambda shares: jensen_shannon(shares, prior)
+    raise AnalysisError(
+        f"unknown statistic {statistic!r}; use 'top1', 'entropy', 'jsd' "
+        "or pass a callable"
+    )
+
+
+def bootstrap_tag_ci(
+    dataset: Dataset,
+    tag: str,
+    statistic: Union[str, StatisticFn] = "top1",
+    reconstructor: Optional[ViewReconstructor] = None,
+    n_boot: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for a tag's geography statistic.
+
+    Args:
+        dataset: Filtered corpus.
+        tag: Tag under study; needs at least 2 eligible videos.
+        statistic: ``'top1'`` / ``'entropy'`` / ``'jsd'`` or a callable on
+            the aggregated share vector.
+        reconstructor: View estimator (default Eq. 1–2 on the default
+            prior).
+        n_boot: Number of resamples.
+        confidence: Interval mass, in (0, 1).
+        seed: Resampling determinism key.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must be in (0, 1)")
+    if n_boot < 10:
+        raise AnalysisError("n_boot must be >= 10")
+    if reconstructor is None:
+        reconstructor = ViewReconstructor()
+    videos = [
+        video
+        for video in dataset.videos_with_tag(tag)
+        if video.has_valid_popularity()
+    ]
+    if len(videos) < 2:
+        raise AnalysisError(
+            f"tag {tag!r} has {len(videos)} eligible videos; need >= 2"
+        )
+    stat_fn = _resolve_statistic(statistic, reconstructor)
+
+    matrix = np.vstack([reconstructor.for_video(video) for video in videos])
+    full = matrix.sum(axis=0)
+    point = stat_fn(full / full.sum())
+
+    rng = spawn_rng(seed, f"bootstrap:{tag}")
+    n = len(videos)
+    samples = np.empty(n_boot)
+    for b in range(n_boot):
+        indices = rng.integers(0, n, size=n)
+        aggregate = matrix[indices].sum(axis=0)
+        total = aggregate.sum()
+        if total <= 0:
+            samples[b] = point
+            continue
+        samples[b] = stat_fn(aggregate / total)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(samples, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        point=float(point),
+        low=float(low),
+        high=float(high),
+        n_boot=n_boot,
+        confidence=confidence,
+    )

@@ -1,0 +1,117 @@
+"""Distribution metrics for geographic concentration.
+
+All functions take nonnegative weight vectors (they normalize internally
+via :func:`as_distribution`) and are safe on sparse vectors with zeros.
+Conventions:
+
+- :func:`normalized_entropy` ∈ [0, 1]: 1 = uniform over the axis, 0 =
+  a single country. The paper's "uniformly distributed" tags (Fig. 2)
+  score high; *favela*-like tags (Fig. 3) score low.
+- :func:`gini` ∈ [0, 1): 0 = perfectly equal shares.
+- :func:`herfindahl` ∈ (0, 1]: Σ share², 1 = single country.
+- :func:`jensen_shannon` ∈ [0, ln 2] (natural log): symmetric,
+  finite-everywhere divergence; the library's workhorse for "does this
+  tag follow the traffic prior?".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+ArrayLike = Union[np.ndarray, Sequence[float]]
+
+
+def as_distribution(weights: ArrayLike) -> np.ndarray:
+    """Validate a nonnegative weight vector and normalize it to sum 1.
+
+    Raises :class:`~repro.errors.AnalysisError` on negative entries,
+    non-finite values, or all-zero vectors.
+    """
+    values = np.asarray(weights, dtype=float)
+    if values.ndim != 1:
+        raise AnalysisError(f"expected a 1-D vector, got shape {values.shape}")
+    if values.size == 0:
+        raise AnalysisError("empty vector has no distribution")
+    if not np.all(np.isfinite(values)):
+        raise AnalysisError("weights must be finite")
+    if np.any(values < 0):
+        raise AnalysisError("weights must be nonnegative")
+    total = values.sum()
+    if total <= 0:
+        raise AnalysisError("weights sum to zero; no distribution")
+    return values / total
+
+
+def normalized_entropy(weights: ArrayLike) -> float:
+    """Shannon entropy normalized by ``ln(n)`` → [0, 1].
+
+    Degenerate single-bin axes return 0 (there is no spread to measure).
+    """
+    p = as_distribution(weights)
+    if p.size == 1:
+        return 0.0
+    nonzero = p[p > 0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+    return entropy / float(np.log(p.size))
+
+
+def gini(weights: ArrayLike) -> float:
+    """Gini coefficient of the share vector, in [0, 1)."""
+    p = np.sort(as_distribution(weights))
+    n = p.size
+    # Standard formula over sorted shares: G = (2 Σ i·p_i)/(n Σ p) - (n+1)/n
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * p).sum()) / n - (n + 1.0) / n)
+
+
+def herfindahl(weights: ArrayLike) -> float:
+    """Herfindahl–Hirschman concentration index, Σ share², in (0, 1]."""
+    p = as_distribution(weights)
+    return float((p * p).sum())
+
+
+def top_k_share(weights: ArrayLike, k: int = 1) -> float:
+    """Combined share of the ``k`` largest entries, in (0, 1]."""
+    if k < 1:
+        raise AnalysisError(f"k must be >= 1, got {k}")
+    p = as_distribution(weights)
+    k = min(k, p.size)
+    return float(np.sort(p)[-k:].sum())
+
+
+def total_variation(weights_p: ArrayLike, weights_q: ArrayLike) -> float:
+    """Total-variation distance ``½ Σ |p - q|``, in [0, 1]."""
+    p = as_distribution(weights_p)
+    q = as_distribution(weights_q)
+    if p.size != q.size:
+        raise AnalysisError(
+            f"distribution sizes differ: {p.size} vs {q.size}"
+        )
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def jensen_shannon(weights_p: ArrayLike, weights_q: ArrayLike) -> float:
+    """Jensen–Shannon divergence (natural log), in [0, ln 2].
+
+    ``JSD(p, q) = ½ KL(p ‖ m) + ½ KL(q ‖ m)`` with ``m = (p + q)/2``.
+    Finite for any pair of distributions (zeros included).
+    """
+    p = as_distribution(weights_p)
+    q = as_distribution(weights_q)
+    if p.size != q.size:
+        raise AnalysisError(
+            f"distribution sizes differ: {p.size} vs {q.size}"
+        )
+    m = 0.5 * (p + q)
+
+    def _kl(a: np.ndarray, b: np.ndarray) -> float:
+        mask = a > 0
+        return float((a[mask] * np.log(a[mask] / b[mask])).sum())
+
+    divergence = 0.5 * _kl(p, m) + 0.5 * _kl(q, m)
+    # Clip tiny negative values from floating-point round-off.
+    return max(divergence, 0.0)

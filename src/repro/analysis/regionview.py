@@ -1,0 +1,93 @@
+"""Regional traffic aggregation — the ISP/CDN view.
+
+The paper's introduction frames the problem in per-region ISP terms
+(Sandvine 2013: YouTube was 18.69% of network traffic in North America,
+28.73% in Europe, 31.22% in Asia). This module aggregates the library's
+per-country view estimates up to world regions, giving the
+infrastructure-level picture a CDN planner would consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datamodel.dataset import Dataset
+from repro.errors import AnalysisError
+from repro.reconstruct.views import ViewReconstructor
+from repro.world.countries import CountryRegistry
+from repro.world.regions import REGIONS
+
+#: Region groupings reported by the Sandvine figures the paper cites.
+CONTINENT_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "North America": ("north-america",),
+    "Latin America": ("latin-america",),
+    "Europe": ("western-europe", "northern-europe", "eastern-europe"),
+    "Middle East & Africa": ("middle-east", "africa"),
+    "Asia-Pacific": ("east-asia", "south-asia", "southeast-asia", "oceania"),
+}
+
+
+def region_shares(
+    views: np.ndarray, registry: CountryRegistry
+) -> Dict[str, float]:
+    """Collapse a per-country view vector into per-region shares."""
+    if len(views) != len(registry):
+        raise AnalysisError(
+            f"vector length {len(views)} != registry size {len(registry)}"
+        )
+    total = float(views.sum())
+    if total <= 0:
+        raise AnalysisError("view vector has no mass")
+    by_region: Dict[str, float] = {region: 0.0 for region in REGIONS}
+    for i, country in enumerate(registry):
+        by_region[country.region] += float(views[i])
+    return {region: value / total for region, value in by_region.items()}
+
+
+def continent_shares(
+    views: np.ndarray, registry: CountryRegistry
+) -> Dict[str, float]:
+    """Collapse a per-country view vector into the Sandvine-style groups."""
+    by_region = region_shares(views, registry)
+    return {
+        name: sum(by_region[region] for region in regions)
+        for name, regions in CONTINENT_GROUPS.items()
+    }
+
+
+def dataset_region_shares(
+    dataset: Dataset,
+    reconstructor: Optional[ViewReconstructor] = None,
+) -> Dict[str, float]:
+    """Per-region share of all reconstructed views in a dataset."""
+    if reconstructor is None:
+        reconstructor = ViewReconstructor()
+    total = np.zeros(len(reconstructor.registry))
+    any_video = False
+    for video in dataset:
+        if video.has_valid_popularity():
+            total += reconstructor.for_video(video)
+            any_video = True
+    if not any_video:
+        raise AnalysisError("no videos with a valid popularity vector")
+    return region_shares(total, reconstructor.registry)
+
+
+def dataset_continent_shares(
+    dataset: Dataset,
+    reconstructor: Optional[ViewReconstructor] = None,
+) -> Dict[str, float]:
+    """Sandvine-style continental shares of a dataset's views."""
+    if reconstructor is None:
+        reconstructor = ViewReconstructor()
+    total = np.zeros(len(reconstructor.registry))
+    any_video = False
+    for video in dataset:
+        if video.has_valid_popularity():
+            total += reconstructor.for_video(video)
+            any_video = True
+    if not any_video:
+        raise AnalysisError("no videos with a valid popularity vector")
+    return continent_shares(total, reconstructor.registry)

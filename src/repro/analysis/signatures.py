@@ -1,0 +1,104 @@
+"""Per-country tag signatures: what does each country watch?
+
+The paper reads the tag→geography direction (where is *favela*
+watched?). The transpose is just as useful for a UGC operator: for a
+given country, which tags are *over-represented* relative to the world?
+The lift of tag ``t`` in country ``c`` is
+
+    lift(t, c) = share of views(t) in c  /  share of ALL views in c
+
+— lift 5 means the country watches that tag five times more than its
+size predicts. Signatures are the dual view of Fig. 3: Brazil's
+signature surfaces *favela*-like tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.world.countries import CountryRegistry
+
+
+@dataclass(frozen=True)
+class TagLift:
+    """One signature entry.
+
+    Attributes:
+        tag: The tag.
+        lift: Over-representation factor (>1 = over-watched there).
+        country_share: Share of the tag's views from the country.
+        video_count: |videos(t)| backing the estimate.
+    """
+
+    tag: str
+    lift: float
+    country_share: float
+    video_count: int
+
+
+class CountrySignatures:
+    """Signature queries over a :class:`TagViewsTable`.
+
+    Args:
+        table: The Eq. (3) table.
+        min_videos: Ignore tags with fewer videos (lift on one video is
+            noise).
+    """
+
+    def __init__(self, table: TagViewsTable, min_videos: int = 3):
+        if min_videos < 1:
+            raise AnalysisError("min_videos must be >= 1")
+        self.table = table
+        self.registry: CountryRegistry = table.registry
+        self.min_videos = min_videos
+        # Baseline: each country's share of all tag-weighted views.
+        total = np.zeros(len(self.registry))
+        for _, views in table.items():
+            total += views
+        mass = total.sum()
+        if mass <= 0:
+            raise AnalysisError("tag table has no view mass")
+        self._baseline = total / mass
+
+    def baseline_share(self, country: str) -> float:
+        """The country's share of all (tag-weighted) views."""
+        return float(self._baseline[self.registry.index_of(country)])
+
+    def lift(self, tag: str, country: str) -> float:
+        """Over-representation of ``tag`` in ``country``."""
+        shares = self.table.shares_for(tag)
+        index = self.registry.index_of(country)
+        baseline = self._baseline[index]
+        if baseline <= 0:
+            raise AnalysisError(f"country {country} has no baseline mass")
+        return float(shares[index] / baseline)
+
+    def signature(self, country: str, count: int = 10) -> List[TagLift]:
+        """The ``count`` most over-represented tags in ``country``."""
+        index = self.registry.index_of(country)
+        baseline = self._baseline[index]
+        if baseline <= 0:
+            raise AnalysisError(f"country {country} has no baseline mass")
+        entries: List[TagLift] = []
+        for tag, views in self.table.items():
+            if self.table.video_count(tag) < self.min_videos:
+                continue
+            total = views.sum()
+            if total <= 0:
+                continue
+            share = float(views[index] / total)
+            entries.append(
+                TagLift(
+                    tag=tag,
+                    lift=share / baseline,
+                    country_share=share,
+                    video_count=self.table.video_count(tag),
+                )
+            )
+        entries.sort(key=lambda entry: (-entry.lift, entry.tag))
+        return entries[:count]

@@ -1,0 +1,165 @@
+"""Per-tag geography statistics and global/local classification.
+
+Makes the paper's §3 observation systematic: for every tag in a
+:class:`~repro.reconstruct.TagViewsTable`, compute concentration metrics
+and the divergence from the worldwide traffic prior, then classify the
+tag as *global* (follows the prior, like *pop* in Fig. 2) or *local*
+(concentrated in few countries, like *favela* in Fig. 3), with an
+*intermediate* band in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    gini,
+    herfindahl,
+    jensen_shannon,
+    normalized_entropy,
+    top_k_share,
+)
+from repro.errors import AnalysisError
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.world.traffic import TrafficModel
+
+#: Classification thresholds on JSD-to-prior (natural log, max ln2≈0.693).
+#: Below the first → global; above the second → local.
+GLOBAL_JSD_THRESHOLD = 0.10
+LOCAL_JSD_THRESHOLD = 0.30
+
+
+@dataclass(frozen=True)
+class TagGeography:
+    """The geographic fingerprint of one tag.
+
+    Attributes:
+        tag: The tag.
+        total_views: Worldwide reconstructed views over ``videos(t)``.
+        video_count: |videos(t)|.
+        entropy: Normalized entropy of ``views(t)`` (1 = uniform).
+        gini: Gini coefficient of the share vector.
+        hhi: Herfindahl–Hirschman index.
+        top1_share: Largest single-country share.
+        top_country: That country's code.
+        jsd_to_prior: Jensen–Shannon divergence from the traffic prior.
+    """
+
+    tag: str
+    total_views: float
+    video_count: int
+    entropy: float
+    gini: float
+    hhi: float
+    top1_share: float
+    top_country: str
+    jsd_to_prior: float
+
+    @property
+    def classification(self) -> str:
+        """``"global"``, ``"local"``, or ``"intermediate"``."""
+        if self.jsd_to_prior <= GLOBAL_JSD_THRESHOLD:
+            return "global"
+        if self.jsd_to_prior >= LOCAL_JSD_THRESHOLD:
+            return "local"
+        return "intermediate"
+
+
+class TagGeographyReport:
+    """Geography statistics for every (sufficiently viewed) tag.
+
+    Args:
+        table: The Eq. (3) tag view table.
+        traffic: Prior to compare against (defaults to the table's
+            reconstructor's traffic model).
+        min_videos: Ignore tags carried by fewer videos (tiny tags have
+            meaninglessly noisy geography; the paper, too, discusses only
+            heavily used tags).
+    """
+
+    def __init__(
+        self,
+        table: TagViewsTable,
+        traffic: Optional[TrafficModel] = None,
+        min_videos: int = 3,
+    ):
+        if traffic is None:
+            traffic = table.reconstructor.traffic
+        if min_videos < 1:
+            raise AnalysisError("min_videos must be >= 1")
+        self.traffic = traffic
+        prior = traffic.as_vector()
+        self._stats: Dict[str, TagGeography] = {}
+        for tag, views in table.items():
+            count = table.video_count(tag)
+            if count < min_videos:
+                continue
+            total = float(views.sum())
+            if total <= 0:
+                continue
+            shares = views / total
+            self._stats[tag] = TagGeography(
+                tag=tag,
+                total_views=total,
+                video_count=count,
+                entropy=normalized_entropy(shares),
+                gini=gini(shares),
+                hhi=herfindahl(shares),
+                top1_share=top_k_share(shares, 1),
+                top_country=table.registry.codes()[int(np.argmax(shares))],
+                jsd_to_prior=jensen_shannon(shares, prior),
+            )
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._stats
+
+    def get(self, tag: str) -> TagGeography:
+        try:
+            return self._stats[tag]
+        except KeyError:
+            raise AnalysisError(f"tag not in report: {tag!r}") from None
+
+    def all(self) -> List[TagGeography]:
+        return list(self._stats.values())
+
+    def by_classification(self) -> Dict[str, List[TagGeography]]:
+        """Group tags into global / intermediate / local buckets."""
+        groups: Dict[str, List[TagGeography]] = {
+            "global": [],
+            "intermediate": [],
+            "local": [],
+        }
+        for stat in self._stats.values():
+            groups[stat.classification].append(stat)
+        return groups
+
+    def most_global(self, count: int = 10) -> List[TagGeography]:
+        """Tags closest to the traffic prior (Fig.-2-like), best first."""
+        return sorted(self._stats.values(), key=lambda s: s.jsd_to_prior)[:count]
+
+    def most_local(self, count: int = 10) -> List[TagGeography]:
+        """Tags most concentrated away from the prior (Fig.-3-like)."""
+        return sorted(
+            self._stats.values(), key=lambda s: s.jsd_to_prior, reverse=True
+        )[:count]
+
+    def most_viewed(self, count: int = 10) -> List[TagGeography]:
+        return sorted(
+            self._stats.values(), key=lambda s: s.total_views, reverse=True
+        )[:count]
+
+
+def classify_tags(
+    table: TagViewsTable,
+    traffic: Optional[TrafficModel] = None,
+    min_videos: int = 3,
+) -> Dict[str, str]:
+    """Convenience: tag → ``"global"``/``"intermediate"``/``"local"``."""
+    report = TagGeographyReport(table, traffic, min_videos)
+    return {stat.tag: stat.classification for stat in report.all()}

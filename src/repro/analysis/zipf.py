@@ -1,0 +1,93 @@
+"""Rank-frequency (Zipf) fitting for tag usage and view counts.
+
+Tagging studies of the era (the paper's refs. 3–4) report heavy-tailed
+tag usage; our synthetic vocabulary generates tags from an explicit Zipf
+law, and this module closes the loop: fit the observed rank-frequency
+curve of a crawled corpus and recover the exponent. Used by the T1
+benchmark as a shape check and available to users profiling their own
+corpora.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+CountsLike = Union[Counter, Mapping[str, int], Sequence[int]]
+
+
+def rank_frequency(counts: CountsLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted rank-frequency arrays ``(ranks, frequencies)``.
+
+    Accepts a Counter/dict of item → count or a bare sequence of counts.
+    Frequencies are sorted descending; ranks start at 1.
+    """
+    if isinstance(counts, Mapping):
+        values = np.array(sorted(counts.values(), reverse=True), dtype=float)
+    else:
+        values = np.array(sorted(counts, reverse=True), dtype=float)
+    if values.size == 0:
+        raise AnalysisError("no counts to rank")
+    if np.any(values < 0):
+        raise AnalysisError("counts must be nonnegative")
+    ranks = np.arange(1, values.size + 1, dtype=float)
+    return ranks, values
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """A log-log linear fit ``log f = intercept - exponent · log r``.
+
+    Attributes:
+        exponent: The fitted Zipf exponent ``s`` (positive for decaying
+            frequencies).
+        intercept: Fit intercept in log-space.
+        r_squared: Coefficient of determination of the log-log fit.
+        ranks_used: Number of leading ranks the fit was computed on.
+    """
+
+    exponent: float
+    intercept: float
+    r_squared: float
+    ranks_used: int
+
+    def predicted_frequency(self, rank: int) -> float:
+        """The fitted frequency at ``rank``."""
+        if rank < 1:
+            raise AnalysisError(f"rank must be >= 1, got {rank}")
+        return float(np.exp(self.intercept - self.exponent * np.log(rank)))
+
+
+def fit_zipf(counts: CountsLike, max_ranks: int = 1000) -> ZipfFit:
+    """Least-squares Zipf fit over the ``max_ranks`` most frequent items.
+
+    Zero-count items are excluded (log undefined); at least 3 positive
+    counts are required.
+    """
+    ranks, freqs = rank_frequency(counts)
+    mask = freqs > 0
+    ranks, freqs = ranks[mask], freqs[mask]
+    if ranks.size > max_ranks:
+        ranks, freqs = ranks[:max_ranks], freqs[:max_ranks]
+    if ranks.size < 3:
+        raise AnalysisError(
+            f"need >= 3 positive counts for a Zipf fit, got {ranks.size}"
+        )
+    log_r = np.log(ranks)
+    log_f = np.log(freqs)
+    slope, intercept = np.polyfit(log_r, log_f, deg=1)
+    predicted = intercept + slope * log_r
+    ss_res = float(((log_f - predicted) ** 2).sum())
+    ss_tot = float(((log_f - log_f.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ZipfFit(
+        exponent=float(-slope),
+        intercept=float(intercept),
+        r_squared=r_squared,
+        ranks_used=int(ranks.size),
+    )

@@ -1,0 +1,42 @@
+"""Simulated YouTube Data API (2011 vintage).
+
+The paper's crawl hit YouTube's public API for per-country "most popular"
+feeds, video metadata, and related-video lists. Those endpoints (GData
+API v2) were retired in 2015, so this package provides an in-process
+stand-in with the same *interface contract and failure modes*:
+
+- :class:`~repro.api.service.YoutubeService` — ``most_popular(country)``,
+  ``get_video(id)``, ``related_videos(id)`` with pagination. Video
+  resources expose the popularity map as a **chart URL** (not a decoded
+  vector): clients must parse it with :mod:`repro.chartmap`, exactly as
+  the paper's tooling did.
+- :class:`~repro.api.quota.QuotaBudget` — per-request quota accounting
+  with the GData-style daily-unit flavour.
+- :class:`~repro.api.faults.FaultInjector` — deterministic transient
+  failures (HTTP 500/503 analogues) so crawler retry logic is genuinely
+  exercised.
+"""
+
+from repro.api.quota import QuotaBudget, UNLIMITED
+from repro.api.faults import FaultInjector
+from repro.api.pagination import Page, encode_page_token, decode_page_token
+from repro.api.service import VideoResource, YoutubeService
+from repro.api.transport import (
+    RemoteYoutubeClient,
+    TransportError,
+    YoutubeAPIServer,
+)
+
+__all__ = [
+    "RemoteYoutubeClient",
+    "TransportError",
+    "YoutubeAPIServer",
+    "QuotaBudget",
+    "UNLIMITED",
+    "FaultInjector",
+    "Page",
+    "encode_page_token",
+    "decode_page_token",
+    "VideoResource",
+    "YoutubeService",
+]

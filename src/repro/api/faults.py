@@ -1,0 +1,66 @@
+"""Deterministic transient-fault injection.
+
+A real 2011 crawl saw sporadic HTTP 500/503 responses; the crawler's
+retry-with-backoff logic must be exercised, not mocked. The injector
+decides failures from a BLAKE2-keyed hash of ``(seed, request_counter)``,
+so a given seed produces the same fault pattern regardless of request
+content — which keeps crawl runs reproducible while still failing
+"randomly" from the crawler's point of view.
+
+Optionally, faults arrive in bursts (a flaky backend stays flaky for a
+few consecutive requests), controlled by ``burst_length``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigError, TransientAPIError
+
+
+class FaultInjector:
+    """Injects :class:`~repro.errors.TransientAPIError` at a fixed rate.
+
+    Args:
+        rate: Probability that a request (or burst window) fails.
+        seed: Determinism key.
+        burst_length: Number of consecutive requests sharing one failure
+            decision; 1 means i.i.d. faults.
+    """
+
+    def __init__(self, rate: float = 0.0, seed: int = 0, burst_length: int = 1):
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError(f"fault rate must be in [0, 1), got {rate}")
+        if burst_length < 1:
+            raise ConfigError("burst_length must be >= 1")
+        self.rate = rate
+        self.seed = seed
+        self.burst_length = burst_length
+        self._counter = 0
+        self._injected = 0
+
+    def _unit_uniform(self, window: int) -> float:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{window}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def before_request(self, description: str = "") -> None:
+        """Call before serving a request; raises to simulate a failure."""
+        window = self._counter // self.burst_length
+        self._counter += 1
+        if self.rate > 0 and self._unit_uniform(window) < self.rate:
+            self._injected += 1
+            raise TransientAPIError(
+                f"simulated transient failure (request #{self._counter}"
+                + (f", {description}" if description else "")
+                + ")"
+            )
+
+    @property
+    def requests_seen(self) -> int:
+        return self._counter
+
+    @property
+    def faults_injected(self) -> int:
+        return self._injected

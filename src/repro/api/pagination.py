@@ -1,0 +1,85 @@
+"""Opaque page tokens and result pages.
+
+The GData API paginated feeds with opaque continuation tokens. We keep
+the tokens opaque-but-checkable: a token encodes the offset plus a short
+checksum of the query it belongs to, so clients that mix tokens across
+queries get a clean :class:`~repro.errors.BadRequestError` instead of
+silently wrong pages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import BadRequestError
+
+T = TypeVar("T")
+
+_TOKEN_PREFIX = "CT"  # "continuation token"
+
+
+def _query_digest(query_key: str) -> str:
+    return hashlib.blake2b(query_key.encode("utf-8"), digest_size=4).hexdigest()
+
+
+def encode_page_token(query_key: str, offset: int) -> str:
+    """Encode an offset into an opaque token bound to ``query_key``."""
+    if offset < 0:
+        raise BadRequestError(f"offset must be >= 0, got {offset}")
+    return f"{_TOKEN_PREFIX}-{_query_digest(query_key)}-{offset}"
+
+
+def decode_page_token(query_key: str, token: str) -> int:
+    """Decode a token back to an offset, validating the query binding."""
+    parts = token.split("-")
+    if len(parts) != 3 or parts[0] != _TOKEN_PREFIX:
+        raise BadRequestError(f"malformed page token: {token!r}")
+    if parts[1] != _query_digest(query_key):
+        raise BadRequestError(
+            f"page token {token!r} does not belong to this query"
+        )
+    try:
+        offset = int(parts[2])
+    except ValueError:
+        raise BadRequestError(f"malformed page token offset: {token!r}") from None
+    if offset < 0:
+        raise BadRequestError(f"malformed page token offset: {token!r}")
+    return offset
+
+
+@dataclass(frozen=True)
+class Page(Generic[T]):
+    """One page of results.
+
+    Attributes:
+        items: The page's items.
+        next_page_token: Token for the following page, or ``None`` at the
+            end of the feed.
+        total_results: Total items in the full feed.
+    """
+
+    items: Tuple[T, ...]
+    next_page_token: Optional[str]
+    total_results: int
+
+
+def paginate(
+    items: Sequence[T],
+    query_key: str,
+    page_token: Optional[str],
+    max_results: int,
+) -> Page[T]:
+    """Slice ``items`` into the page identified by ``page_token``."""
+    if max_results < 1:
+        raise BadRequestError(f"max_results must be >= 1, got {max_results}")
+    offset = 0 if page_token is None else decode_page_token(query_key, page_token)
+    window = tuple(items[offset : offset + max_results])
+    next_offset = offset + len(window)
+    next_token = (
+        encode_page_token(query_key, next_offset)
+        if next_offset < len(items)
+        else None
+    )
+    return Page(items=window, next_page_token=next_token, total_results=len(items))

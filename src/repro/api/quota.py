@@ -1,0 +1,76 @@
+"""Request-quota accounting for the simulated API.
+
+Modeled on the GData API's daily quota units: every request costs a
+number of units depending on its kind, and the service refuses requests
+once the budget is exhausted. Crawlers use the budget to plan crawl size;
+the T1 benchmark uses it to cap crawl effort reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigError, QuotaExceededError
+
+#: Sentinel for "no limit".
+UNLIMITED = float("inf")
+
+#: Default unit costs per request kind (GData flavour: feed reads were
+#: costlier than single-entity reads).
+DEFAULT_COSTS: Dict[str, int] = {
+    "get_video": 1,
+    "related_videos": 3,
+    "most_popular": 3,
+}
+
+
+class QuotaBudget:
+    """A consumable request budget.
+
+    Args:
+        limit: Total units available (:data:`UNLIMITED` for none).
+        costs: Unit cost per request kind; unknown kinds cost 1.
+    """
+
+    def __init__(self, limit: float = UNLIMITED, costs: Dict[str, int] = None):
+        if limit is not UNLIMITED and limit < 0:
+            raise ConfigError(f"quota limit must be >= 0, got {limit}")
+        self.limit = limit
+        self.costs = dict(DEFAULT_COSTS if costs is None else costs)
+        self._used = 0
+        self._by_kind: Dict[str, int] = {}
+
+    def charge(self, kind: str) -> None:
+        """Consume units for one request; raise when the budget is gone."""
+        cost = self.costs.get(kind, 1)
+        if self._used + cost > self.limit:
+            raise QuotaExceededError(
+                f"quota exhausted: {self._used}/{self.limit} units used, "
+                f"{kind} costs {cost}"
+            )
+        self._used += cost
+        self._by_kind[kind] = self._by_kind.get(kind, 0) + cost
+
+    @property
+    def used(self) -> int:
+        """Units consumed so far."""
+        return self._used
+
+    @property
+    def remaining(self) -> float:
+        """Units left (may be ``inf``)."""
+        return self.limit - self._used
+
+    def usage_by_kind(self) -> Dict[str, int]:
+        """Units consumed per request kind (copy)."""
+        return dict(self._by_kind)
+
+    def can_afford(self, kind: str) -> bool:
+        """True when one more ``kind`` request would fit."""
+        return self._used + self.costs.get(kind, 1) <= self.limit
+
+    def reset(self) -> None:
+        """Restore the full budget (a new 'day')."""
+        self._used = 0
+        self._by_kind.clear()

@@ -1,0 +1,328 @@
+"""TCP transport for the simulated YouTube service.
+
+Everything else in :mod:`repro.api` is in-process; this module puts a
+real network boundary in the loop, so crawls exercise serialization,
+connection handling, and server-side concurrency:
+
+- a newline-delimited JSON protocol (one request object per line, one
+  response per line) carrying the three endpoints plus a ``describe``
+  handshake;
+- :class:`YoutubeAPIServer` — a threaded TCP server wrapping a
+  :class:`~repro.api.service.YoutubeService` (one thread per
+  connection; the service itself is thread-safe);
+- :class:`RemoteYoutubeClient` — a drop-in replacement for the local
+  service object: it exposes ``get_video`` / ``related_videos`` /
+  ``most_popular`` / ``registry``, so both crawlers run over it
+  unchanged.
+
+Error fidelity matters for crawler behaviour: server-side
+:class:`~repro.errors.APIError` subclasses are transported by name and
+re-raised as the *same class* client-side, so retry/skip/stop logic is
+identical locally and remotely.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from dataclasses import asdict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.pagination import Page
+from repro.api.service import VideoResource, YoutubeService
+from repro.errors import (
+    APIError,
+    BadRequestError,
+    QuotaExceededError,
+    ReproError,
+    TransientAPIError,
+    VideoNotFoundError,
+)
+from repro.world.countries import CountryRegistry, default_registry
+
+#: Exceptions that cross the wire, by stable name.
+_ERROR_TYPES = {
+    "BadRequestError": BadRequestError,
+    "QuotaExceededError": QuotaExceededError,
+    "TransientAPIError": TransientAPIError,
+    "VideoNotFoundError": VideoNotFoundError,
+    "APIError": APIError,
+}
+
+
+class TransportError(APIError):
+    """The connection failed or the peer spoke garbage."""
+
+
+def _encode_video(resource: VideoResource) -> Dict[str, Any]:
+    return {
+        "video_id": resource.video_id,
+        "title": resource.title,
+        "uploader": resource.uploader,
+        "upload_date": resource.upload_date,
+        "view_count": resource.view_count,
+        "tags": list(resource.tags),
+        "stats_map_url": resource.stats_map_url,
+    }
+
+
+def _decode_video(data: Dict[str, Any]) -> VideoResource:
+    return VideoResource(
+        video_id=data["video_id"],
+        title=data["title"],
+        uploader=data["uploader"],
+        upload_date=data["upload_date"],
+        view_count=int(data["view_count"]),
+        tags=tuple(data["tags"]),
+        stats_map_url=data.get("stats_map_url"),
+    )
+
+
+def _encode_page(page: Page) -> Dict[str, Any]:
+    return {
+        "items": list(page.items),
+        "next_page_token": page.next_page_token,
+        "total_results": page.total_results,
+    }
+
+
+def _decode_page(data: Dict[str, Any]) -> Page:
+    return Page(
+        items=tuple(data["items"]),
+        next_page_token=data.get("next_page_token"),
+        total_results=int(data["total_results"]),
+    )
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: loop over JSON lines until the peer hangs up."""
+
+    def handle(self) -> None:
+        service: YoutubeService = self.server.service  # type: ignore[attr-defined]
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                response = self._dispatch(service, request)
+            except json.JSONDecodeError as exc:
+                response = _error_response(None, BadRequestError(f"bad frame: {exc}"))
+            except APIError as exc:
+                response = _error_response(request.get("id"), exc)
+            except Exception as exc:  # defensive: never kill the connection
+                response = _error_response(
+                    request.get("id") if isinstance(request, dict) else None,
+                    APIError(f"internal error: {exc}"),
+                )
+            self.wfile.write(json.dumps(response).encode("utf-8"))
+            self.wfile.write(b"\n")
+            self.wfile.flush()
+
+    @staticmethod
+    def _dispatch(service: YoutubeService, request: Dict[str, Any]) -> Dict[str, Any]:
+        method = request.get("method")
+        params = request.get("params", {})
+        request_id = request.get("id")
+        if method == "describe":
+            result: Any = {
+                "videos": len(service.universe),
+                "countries": service.registry.codes(),
+            }
+        elif method == "get_video":
+            result = _encode_video(service.get_video(params["video_id"]))
+        elif method == "related_videos":
+            result = _encode_page(
+                service.related_videos(
+                    params["video_id"],
+                    page_token=params.get("page_token"),
+                    max_results=int(params.get("max_results", 25)),
+                )
+            )
+        elif method == "most_popular":
+            result = _encode_page(
+                service.most_popular(
+                    params["country_code"],
+                    page_token=params.get("page_token"),
+                    max_results=int(params.get("max_results", 10)),
+                )
+            )
+        else:
+            raise BadRequestError(f"unknown method: {method!r}")
+        return {"id": request_id, "ok": True, "result": result}
+
+
+def _error_response(request_id, exc: ReproError) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class YoutubeAPIServer:
+    """Serves a :class:`YoutubeService` over TCP.
+
+    Use as a context manager::
+
+        with YoutubeAPIServer(service) as server:
+            client = RemoteYoutubeClient("127.0.0.1", server.port)
+            ...
+
+    Port 0 (the default) picks a free ephemeral port, exposed as
+    :attr:`port`.
+    """
+
+    def __init__(self, service: YoutubeService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._server = _Server((host, port), _RequestHandler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    def start(self) -> "YoutubeAPIServer":
+        if self._thread is not None:
+            raise TransportError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="yt-api-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "YoutubeAPIServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class RemoteYoutubeClient:
+    """Client-side counterpart: the crawler-facing service interface.
+
+    Thread-safe (one socket, calls serialized under a lock — crawler
+    workers multiplex over it; open several clients for true request
+    parallelism). Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        registry: Optional[CountryRegistry] = None,
+        timeout: float = 10.0,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._reader = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _call(self, method: str, params: Dict[str, Any]) -> Any:
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            frame = json.dumps(
+                {"id": request_id, "method": method, "params": params}
+            ).encode("utf-8")
+            try:
+                self._sock.sendall(frame + b"\n")
+                line = self._reader.readline()
+            except OSError as exc:
+                raise TransportError(f"connection lost: {exc}") from exc
+        if not line:
+            raise TransportError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TransportError(f"bad response frame: {exc}") from exc
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error", {})
+        error_type = _ERROR_TYPES.get(error.get("type"), APIError)
+        if error_type is VideoNotFoundError:
+            # Reconstruct with its structured argument.
+            message = error.get("message", "")
+            video_id = message.split("'")[1] if "'" in message else message
+            raise VideoNotFoundError(video_id)
+        raise error_type(error.get("message", "remote error"))
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "RemoteYoutubeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the service interface --------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """Server handshake: corpus size and country axis."""
+        return self._call("describe", {})
+
+    def get_video(self, video_id: str) -> VideoResource:
+        return _decode_video(self._call("get_video", {"video_id": video_id}))
+
+    def related_videos(
+        self,
+        video_id: str,
+        page_token: Optional[str] = None,
+        max_results: int = 25,
+    ) -> Page:
+        return _decode_page(
+            self._call(
+                "related_videos",
+                {
+                    "video_id": video_id,
+                    "page_token": page_token,
+                    "max_results": max_results,
+                },
+            )
+        )
+
+    def most_popular(
+        self,
+        country_code: str,
+        page_token: Optional[str] = None,
+        max_results: int = 10,
+    ) -> Page:
+        return _decode_page(
+            self._call(
+                "most_popular",
+                {
+                    "country_code": country_code,
+                    "page_token": page_token,
+                    "max_results": max_results,
+                },
+            )
+        )

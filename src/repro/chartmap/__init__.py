@@ -1,0 +1,66 @@
+"""Google Image Chart map codec.
+
+In 2011 a YouTube video page embedded its "popularity around the world"
+map as a Google Image Chart (``cht=t`` map chart). The chart URL carried
+the list of coloured countries (``chld=``, concatenated ISO codes) and
+one *simple-encoding* symbol per country (``chd=s:``, alphabet
+``A``–``Z``, ``a``–``z``, ``0``–``9`` → integers 0–61). The paper's
+crawler parsed those URLs to extract each video's popularity vector; the
+0–61 intensity range in the paper is exactly this alphabet's size.
+
+This package implements:
+
+- :mod:`repro.chartmap.encoding` — the Chart API simple and extended data
+  encodings (encode + decode).
+- :mod:`repro.chartmap.mapchart` — building and parsing map-chart URLs
+  from/to :class:`~repro.datamodel.PopularityVector`.
+- :mod:`repro.chartmap.colors` — a pixel-colour extraction simulation
+  (gradient rendering + nearest-colour inversion), reproducing the lossier
+  fallback path of scraping the rendered image instead of the URL.
+"""
+
+from repro.chartmap.encoding import (
+    SIMPLE_ALPHABET,
+    SIMPLE_MAX,
+    EXTENDED_MAX,
+    encode_simple,
+    decode_simple,
+    encode_extended,
+    decode_extended,
+)
+from repro.chartmap.mapchart import (
+    MapChart,
+    build_map_chart_url,
+    parse_map_chart_url,
+    popularity_from_chart,
+    chart_from_popularity,
+)
+from repro.chartmap.colors import (
+    GRADIENT_LOW,
+    GRADIENT_HIGH,
+    intensity_to_color,
+    color_to_intensity,
+    render_map_colors,
+    extract_popularity_from_colors,
+)
+
+__all__ = [
+    "SIMPLE_ALPHABET",
+    "SIMPLE_MAX",
+    "EXTENDED_MAX",
+    "encode_simple",
+    "decode_simple",
+    "encode_extended",
+    "decode_extended",
+    "MapChart",
+    "build_map_chart_url",
+    "parse_map_chart_url",
+    "popularity_from_chart",
+    "chart_from_popularity",
+    "GRADIENT_LOW",
+    "GRADIENT_HIGH",
+    "intensity_to_color",
+    "color_to_intensity",
+    "render_map_colors",
+    "extract_popularity_from_colors",
+]

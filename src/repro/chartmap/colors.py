@@ -1,0 +1,101 @@
+"""Pixel-colour extraction simulation for popularity maps.
+
+When a chart URL was not directly recoverable, a 2011 scraper's fallback
+was to sample the *rendered* map image: each country's fill colour lies on
+the chart's two-colour gradient, and inverting the gradient recovers the
+intensity. This module simulates that lossier path:
+
+- :func:`intensity_to_color` renders intensity → 8-bit RGB exactly as the
+  Chart API interpolated its ``chco`` gradient;
+- :func:`color_to_intensity` inverts a (possibly perturbed) RGB back to
+  the nearest representable intensity.
+
+Because 62 intensity levels collapse onto at most 256 channel values and
+renderers introduce anti-aliasing noise, the round trip can lose
+precision; benchmark V1 uses this to quantify how robust the paper's
+estimator is to extraction noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.datamodel.popularity import MAX_INTENSITY, PopularityVector
+from repro.errors import ChartDecodingError
+from repro.world.countries import CountryRegistry, default_registry
+
+RGB = Tuple[int, int, int]
+
+#: Gradient endpoints of YouTube's popularity maps (``chco`` low, high).
+GRADIENT_LOW: RGB = (0xED, 0xF0, 0xD4)
+GRADIENT_HIGH: RGB = (0x13, 0x39, 0x0A)
+
+
+def _lerp_channel(low: int, high: int, t: float) -> int:
+    return int(round(low + (high - low) * t))
+
+
+def intensity_to_color(
+    intensity: int, low: RGB = GRADIENT_LOW, high: RGB = GRADIENT_HIGH
+) -> RGB:
+    """Render an intensity in [0, 61] to its 8-bit gradient colour."""
+    if not 0 <= intensity <= MAX_INTENSITY:
+        raise ChartDecodingError(
+            f"intensity {intensity} outside [0, {MAX_INTENSITY}]"
+        )
+    t = intensity / MAX_INTENSITY
+    return tuple(_lerp_channel(lo, hi, t) for lo, hi in zip(low, high))  # type: ignore[return-value]
+
+
+def color_to_intensity(
+    color: RGB, low: RGB = GRADIENT_LOW, high: RGB = GRADIENT_HIGH
+) -> int:
+    """Invert a gradient colour to the nearest representable intensity.
+
+    Projects ``color`` onto the low→high gradient segment (least squares)
+    and rounds to the nearest integer intensity. Tolerant to small
+    perturbations (anti-aliasing, JPEG artefacts); a colour wildly off the
+    gradient still maps to the nearest point, matching what a scraper's
+    nearest-colour table lookup would do.
+    """
+    direction = [hi - lo for lo, hi in zip(low, high)]
+    norm_sq = sum(d * d for d in direction)
+    if norm_sq == 0:
+        raise ChartDecodingError("degenerate gradient: endpoints are equal")
+    offset = [c - lo for c, lo in zip(color, low)]
+    t = sum(o * d for o, d in zip(offset, direction)) / norm_sq
+    t = min(max(t, 0.0), 1.0)
+    return int(round(t * MAX_INTENSITY))
+
+
+def render_map_colors(popularity: PopularityVector) -> Dict[str, RGB]:
+    """Render every non-zero country of a popularity vector to its colour."""
+    return {code: intensity_to_color(value) for code, value in popularity}
+
+
+def extract_popularity_from_colors(
+    colors: Dict[str, RGB],
+    registry: Optional[CountryRegistry] = None,
+    noise: Optional[Dict[str, Tuple[int, int, int]]] = None,
+) -> PopularityVector:
+    """Recover a popularity vector from sampled country colours.
+
+    Args:
+        colors: Country code → sampled RGB fill colour.
+        registry: Country registry for validation.
+        noise: Optional per-country additive channel offsets, simulating
+            sampling error; channels are clamped to [0, 255].
+    """
+    if registry is None:
+        registry = default_registry()
+    intensities: Dict[str, int] = {}
+    for code, color in colors.items():
+        if code not in registry:
+            continue
+        if noise and code in noise:
+            color = tuple(
+                min(max(channel + delta, 0), 255)
+                for channel, delta in zip(color, noise[code])
+            )  # type: ignore[assignment]
+        intensities[code] = color_to_intensity(color)
+    return PopularityVector(intensities, registry)

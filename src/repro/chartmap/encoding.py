@@ -1,0 +1,126 @@
+"""Google Chart API data encodings (simple and extended).
+
+Reference: the (retired) Google Image Charts developer documentation.
+
+*Simple encoding* (``chd=s:``): one symbol per data point from the
+62-symbol alphabet ``A-Za-z0-9``, representing integers 0–61. Missing
+values are encoded as ``_``.
+
+*Extended encoding* (``chd=e:``): two symbols per data point from the
+64-symbol alphabet ``A-Za-z0-9-.``, representing integers 0–4095. Missing
+values are encoded as ``__``.
+
+The simple encoding is why the paper's popularity intensities live in
+``[0, 61]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ChartDecodingError, ChartEncodingError
+
+SIMPLE_ALPHABET = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+)
+EXTENDED_ALPHABET = SIMPLE_ALPHABET + "-."
+
+#: Largest value representable in simple encoding (inclusive).
+SIMPLE_MAX = len(SIMPLE_ALPHABET) - 1  # 61
+#: Largest value representable in extended encoding (inclusive).
+EXTENDED_MAX = len(EXTENDED_ALPHABET) ** 2 - 1  # 4095
+
+_SIMPLE_INDEX = {symbol: value for value, symbol in enumerate(SIMPLE_ALPHABET)}
+_EXTENDED_INDEX = {symbol: value for value, symbol in enumerate(EXTENDED_ALPHABET)}
+
+#: Placeholder for a missing data point.
+MISSING = None
+
+
+def encode_simple(values: Sequence[Optional[int]]) -> str:
+    """Encode integers in [0, 61] (or ``None`` for missing) to ``s:`` data.
+
+    >>> encode_simple([0, 61, None, 26])
+    'A9_a'
+    """
+    symbols: List[str] = []
+    for position, value in enumerate(values):
+        if value is MISSING:
+            symbols.append("_")
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ChartEncodingError(
+                f"simple encoding needs ints, got {value!r} at index {position}"
+            )
+        if not 0 <= value <= SIMPLE_MAX:
+            raise ChartEncodingError(
+                f"value {value} at index {position} outside [0, {SIMPLE_MAX}]"
+            )
+        symbols.append(SIMPLE_ALPHABET[value])
+    return "".join(symbols)
+
+
+def decode_simple(data: str) -> List[Optional[int]]:
+    """Decode an ``s:`` data string back to integers (``None`` = missing).
+
+    >>> decode_simple('A9_a')
+    [0, 61, None, 26]
+    """
+    values: List[Optional[int]] = []
+    for position, symbol in enumerate(data):
+        if symbol == "_":
+            values.append(None)
+        elif symbol in _SIMPLE_INDEX:
+            values.append(_SIMPLE_INDEX[symbol])
+        else:
+            raise ChartDecodingError(
+                f"invalid simple-encoding symbol {symbol!r} at index {position}"
+            )
+    return values
+
+
+def encode_extended(values: Sequence[Optional[int]]) -> str:
+    """Encode integers in [0, 4095] (or ``None``) to ``e:`` data.
+
+    >>> encode_extended([0, 4095, None])
+    'AA..__'
+    """
+    pairs: List[str] = []
+    for position, value in enumerate(values):
+        if value is MISSING:
+            pairs.append("__")
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ChartEncodingError(
+                f"extended encoding needs ints, got {value!r} at index {position}"
+            )
+        if not 0 <= value <= EXTENDED_MAX:
+            raise ChartEncodingError(
+                f"value {value} at index {position} outside [0, {EXTENDED_MAX}]"
+            )
+        high, low = divmod(value, len(EXTENDED_ALPHABET))
+        pairs.append(EXTENDED_ALPHABET[high] + EXTENDED_ALPHABET[low])
+    return "".join(pairs)
+
+
+def decode_extended(data: str) -> List[Optional[int]]:
+    """Decode an ``e:`` data string back to integers (``None`` = missing)."""
+    if len(data) % 2 != 0:
+        raise ChartDecodingError(
+            f"extended-encoding data must have even length, got {len(data)}"
+        )
+    values: List[Optional[int]] = []
+    for position in range(0, len(data), 2):
+        pair = data[position : position + 2]
+        if pair == "__":
+            values.append(None)
+            continue
+        try:
+            high = _EXTENDED_INDEX[pair[0]]
+            low = _EXTENDED_INDEX[pair[1]]
+        except KeyError:
+            raise ChartDecodingError(
+                f"invalid extended-encoding pair {pair!r} at index {position}"
+            ) from None
+        values.append(high * len(EXTENDED_ALPHABET) + low)
+    return values

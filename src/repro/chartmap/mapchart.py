@@ -1,0 +1,140 @@
+"""Build and parse Google map-chart URLs for popularity vectors.
+
+The 2011-era map chart URL format (``cht=t``) that YouTube's popularity
+maps used looks like::
+
+    http://chart.apis.google.com/chart?cht=t&chtm=world&chs=440x220
+        &chld=USBRSG...            (concatenated 2-letter ISO codes)
+        &chd=s:9fA...              (one simple-encoding symbol per country)
+        &chco=ffffff,edf0d4,13390a (default, gradient-low, gradient-high)
+
+The paper "extract[s] for each country an integer—from 0 to 61—
+representing the video's popularity in this country" from these charts.
+:func:`parse_map_chart_url` is that extraction; :func:`build_map_chart_url`
+is what the simulated YouTube service uses to publish maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlencode, urlsplit
+
+from repro.chartmap.encoding import decode_simple, encode_simple
+from repro.datamodel.popularity import PopularityVector
+from repro.errors import ChartURLError
+from repro.world.countries import CountryRegistry, default_registry
+
+#: Host+path of the legacy Image Charts endpoint.
+CHART_ENDPOINT = "http://chart.apis.google.com/chart"
+
+#: Default colour triple: country-default, gradient-low, gradient-high.
+DEFAULT_CHCO = "ffffff,edf0d4,13390a"
+
+#: Default chart pixel size used by YouTube's statistics panel.
+DEFAULT_CHS = "440x220"
+
+
+@dataclass(frozen=True)
+class MapChart:
+    """A parsed map chart: parallel country and intensity lists.
+
+    Attributes:
+        countries: 2-letter ISO codes, in chart order.
+        intensities: One intensity in [0, 61] (or ``None`` for a missing
+            data point) per country.
+        size: ``(width, height)`` in pixels.
+        colors: The ``chco`` colour triple as given.
+    """
+
+    countries: Tuple[str, ...]
+    intensities: Tuple[Optional[int], ...]
+    size: Tuple[int, int] = (440, 220)
+    colors: str = DEFAULT_CHCO
+
+    def __post_init__(self) -> None:
+        if len(self.countries) != len(self.intensities):
+            raise ChartURLError(
+                f"{len(self.countries)} countries but "
+                f"{len(self.intensities)} intensities"
+            )
+
+
+def chart_from_popularity(popularity: PopularityVector) -> MapChart:
+    """Render a popularity vector as a :class:`MapChart` (non-zero entries)."""
+    pairs = list(popularity)
+    return MapChart(
+        countries=tuple(code for code, _ in pairs),
+        intensities=tuple(value for _, value in pairs),
+    )
+
+
+def popularity_from_chart(
+    chart: MapChart, registry: Optional[CountryRegistry] = None
+) -> PopularityVector:
+    """Extract the popularity vector from a parsed chart.
+
+    Missing data points and countries absent from ``registry`` are dropped —
+    matching a real scraper, which could only attribute intensities to
+    countries it knew.
+    """
+    if registry is None:
+        registry = default_registry()
+    intensities: Dict[str, int] = {}
+    for code, value in zip(chart.countries, chart.intensities):
+        if value is not None and code in registry:
+            intensities[code] = value
+    return PopularityVector(intensities, registry)
+
+
+def build_map_chart_url(popularity: PopularityVector) -> str:
+    """Build the legacy chart URL YouTube would have served for this vector."""
+    chart = chart_from_popularity(popularity)
+    params = [
+        ("cht", "t"),
+        ("chtm", "world"),
+        ("chs", f"{chart.size[0]}x{chart.size[1]}"),
+        ("chld", "".join(chart.countries)),
+        ("chd", "s:" + encode_simple(list(chart.intensities))),
+        ("chco", chart.colors),
+    ]
+    return CHART_ENDPOINT + "?" + urlencode(params)
+
+
+def parse_map_chart_url(url: str) -> MapChart:
+    """Parse a legacy map-chart URL into a :class:`MapChart`.
+
+    Raises :class:`~repro.errors.ChartURLError` for anything that is not a
+    well-formed ``cht=t`` world map with simple-encoded data.
+    """
+    split = urlsplit(url)
+    params = dict(parse_qsl(split.query, keep_blank_values=True))
+    if params.get("cht") != "t":
+        raise ChartURLError(f"not a map chart (cht={params.get('cht')!r})")
+    chld = params.get("chld", "")
+    if len(chld) % 2 != 0:
+        raise ChartURLError(f"chld length must be even, got {len(chld)}")
+    countries = tuple(chld[i : i + 2] for i in range(0, len(chld), 2))
+    chd = params.get("chd", "")
+    if not chd.startswith("s:"):
+        raise ChartURLError(f"expected simple-encoded chd, got {chd[:2]!r}")
+    intensities = tuple(decode_simple(chd[2:]))
+    if len(intensities) != len(countries):
+        raise ChartURLError(
+            f"{len(countries)} countries but {len(intensities)} data points"
+        )
+    size = _parse_size(params.get("chs", DEFAULT_CHS))
+    return MapChart(
+        countries=countries,
+        intensities=intensities,
+        size=size,
+        colors=params.get("chco", DEFAULT_CHCO),
+    )
+
+
+def _parse_size(chs: str) -> Tuple[int, int]:
+    try:
+        width_str, height_str = chs.split("x", 1)
+        return int(width_str), int(height_str)
+    except ValueError as exc:
+        raise ChartURLError(f"malformed chs parameter: {chs!r}") from exc

@@ -1,0 +1,484 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro crawl    --preset small --out crawl.jsonl [--max-videos N]
+                   [--fault-rate P] [--world world.gz]
+    repro stats    --in crawl.jsonl
+    repro topvideo --in crawl.jsonl            (Fig. 1)
+    repro tag      --in crawl.jsonl TAG        (Figs. 2/3)
+    repro toptags  --in crawl.jsonl [--count N]
+    repro classify --in crawl.jsonl [--min-videos N] [--csv out.csv]
+    repro country  --in crawl.jsonl BR
+    repro regions  --in crawl.jsonl
+    repro cooccur  --in crawl.jsonl TAG
+    repro plot     --in crawl.jsonl
+    repro audit    --in crawl.jsonl [--check-references]
+    repro genworld --preset small --out world.gz [--seed N]
+    repro validate --world world.gz --in crawl.jsonl [--smoothing L]
+    repro demo     [--preset tiny]             (end-to-end walkthrough)
+
+Datasets written by ``crawl`` are plain JSONL (one video per line) and
+are re-read by the analysis subcommands with the library's default
+traffic model. ``genworld`` saves a universe *with ground truth* so
+``validate`` (and crawls of the same world) can run in later processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.io import read_videos_jsonl, write_videos_jsonl
+from repro.errors import ReproError
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.reconstruct.views import ViewReconstructor
+from repro.synth.presets import PRESETS, preset_config
+from repro.viz.report import (
+    funnel_report,
+    stats_report,
+    tag_map_report,
+    video_map_report,
+)
+from repro.world.traffic import default_traffic_model
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'From Views to Tags Distribution in YouTube' "
+            "(Middleware'14)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    crawl = sub.add_parser("crawl", help="run a snowball crawl, write JSONL")
+    crawl.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    crawl.add_argument("--out", required=True, help="output JSONL path")
+    crawl.add_argument("--max-videos", type=int, default=None)
+    crawl.add_argument("--fault-rate", type=float, default=0.0)
+    crawl.add_argument("--seed", type=int, default=None, help="universe seed")
+    crawl.add_argument(
+        "--world", default=None, help="crawl a saved world instead of a preset"
+    )
+
+    stats = sub.add_parser("stats", help="funnel + corpus statistics")
+    stats.add_argument("--in", dest="input", required=True)
+
+    topvideo = sub.add_parser("topvideo", help="Fig. 1: most-viewed video map")
+    topvideo.add_argument("--in", dest="input", required=True)
+
+    tag = sub.add_parser("tag", help="Figs. 2/3: a tag's view geography")
+    tag.add_argument("--in", dest="input", required=True)
+    tag.add_argument("tag", help="the tag to map")
+
+    toptags = sub.add_parser("toptags", help="most-viewed tags ranking")
+    toptags.add_argument("--in", dest="input", required=True)
+    toptags.add_argument("--count", type=int, default=15)
+
+    classify = sub.add_parser(
+        "classify", help="global/local classification of every tag"
+    )
+    classify.add_argument("--in", dest="input", required=True)
+    classify.add_argument("--min-videos", type=int, default=3)
+    classify.add_argument("--csv", default=None, help="write full table as CSV")
+    classify.add_argument("--count", type=int, default=10, help="rows to print")
+
+    regions = sub.add_parser(
+        "regions", help="continental share of estimated views"
+    )
+    regions.add_argument("--in", dest="input", required=True)
+
+    cooccur = sub.add_parser(
+        "cooccur", help="tags most associated with a tag (co-occurrence)"
+    )
+    cooccur.add_argument("--in", dest="input", required=True)
+    cooccur.add_argument("tag")
+    cooccur.add_argument("--count", type=int, default=10)
+    cooccur.add_argument("--min-tag-count", type=int, default=3)
+
+    country = sub.add_parser(
+        "country", help="a country's tag signature (most over-watched tags)"
+    )
+    country.add_argument("--in", dest="input", required=True)
+    country.add_argument("code", help="ISO country code, e.g. BR")
+    country.add_argument("--count", type=int, default=10)
+    country.add_argument("--min-videos", type=int, default=3)
+
+    plot = sub.add_parser(
+        "plot", help="view-count and tag-usage distribution plots (ASCII)"
+    )
+    plot.add_argument("--in", dest="input", required=True)
+
+    audit = sub.add_parser("audit", help="integrity audit of a crawl file")
+    audit.add_argument("--in", dest="input", required=True)
+    audit.add_argument(
+        "--check-references",
+        action="store_true",
+        help="also flag related ids missing from the file",
+    )
+
+    genworld = sub.add_parser(
+        "genworld", help="generate and save a universe (with ground truth)"
+    )
+    genworld.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    genworld.add_argument("--out", required=True)
+    genworld.add_argument("--seed", type=int, default=None)
+
+    validate = sub.add_parser(
+        "validate", help="score Eq. (1)-(2) against a saved world's ground truth"
+    )
+    validate.add_argument("--world", required=True)
+    validate.add_argument("--in", dest="input", required=True)
+    validate.add_argument("--smoothing", type=float, default=0.0)
+
+    demo = sub.add_parser("demo", help="end-to-end walkthrough on a preset")
+    demo.add_argument("--preset", default="tiny", choices=sorted(PRESETS))
+
+    return parser
+
+
+def _load_dataset(path: str) -> Dataset:
+    return Dataset(read_videos_jsonl(path))
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    if args.world is not None:
+        from repro.api.service import YoutubeService
+        from repro.api.faults import FaultInjector
+        from repro.crawler.snowball import SnowballCrawler
+        from repro.synth.io import load_universe
+
+        universe = load_universe(args.world)
+        service = YoutubeService(
+            universe,
+            faults=FaultInjector(rate=args.fault_rate, seed=universe.config.seed),
+        )
+        budget = args.max_videos if args.max_videos else len(universe)
+        crawl = SnowballCrawler(service, max_videos=budget).run()
+    else:
+        universe_config = preset_config(args.preset)
+        if args.seed is not None:
+            universe_config = type(universe_config)(
+                **{**universe_config.__dict__, "seed": args.seed}
+            )
+        crawl = run_pipeline(
+            PipelineConfig(
+                universe=universe_config,
+                crawl_budget=args.max_videos,
+                fault_rate=args.fault_rate,
+            )
+        ).crawl
+    written = write_videos_jsonl(crawl.dataset, args.out)
+    print(f"wrote {written:,} videos to {args.out}")
+    for label, value in crawl.stats.as_rows():
+        print(f"  {label}: {value}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    raw = _load_dataset(args.input)
+    filtered, report = raw.apply_paper_filter()
+    print(funnel_report(report))
+    print()
+    print(stats_report(filtered.stats()))
+    return 0
+
+
+def _cmd_topvideo(args: argparse.Namespace) -> int:
+    raw = _load_dataset(args.input)
+    filtered, _ = raw.apply_paper_filter()
+    video = filtered.most_viewed_video()
+    reconstructor = ViewReconstructor()
+    print(
+        video_map_report(
+            video,
+            reconstructor.shares_for_video(video),
+            reconstructor.registry,
+        )
+    )
+    return 0
+
+
+def _cmd_tag(args: argparse.Namespace) -> int:
+    raw = _load_dataset(args.input)
+    filtered, _ = raw.apply_paper_filter()
+    reconstructor = ViewReconstructor()
+    table = TagViewsTable(filtered, reconstructor)
+    if args.tag not in table:
+        print(f"tag {args.tag!r} not found in dataset", file=sys.stderr)
+        return 1
+    print(
+        tag_map_report(
+            args.tag,
+            table.shares_for(args.tag),
+            reconstructor.traffic,
+            video_count=table.video_count(args.tag),
+            total_views=table.total_views(args.tag),
+        )
+    )
+    return 0
+
+
+def _cmd_toptags(args: argparse.Namespace) -> int:
+    raw = _load_dataset(args.input)
+    filtered, _ = raw.apply_paper_filter()
+    table = TagViewsTable(filtered, ViewReconstructor())
+    print(f"{'rank':>4}  {'tag':<24} {'est. views':>16} {'videos':>8}")
+    for rank, (tag, views) in enumerate(
+        table.top_tags_by_views(args.count), start=1
+    ):
+        print(
+            f"{rank:>4}  {tag:<24} {views:>16,.0f} "
+            f"{table.video_count(tag):>8,}"
+        )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.analysis.tagstats import TagGeographyReport
+
+    raw = _load_dataset(args.input)
+    filtered, _ = raw.apply_paper_filter()
+    reconstructor = ViewReconstructor()
+    table = TagViewsTable(filtered, reconstructor)
+    report = TagGeographyReport(
+        table, reconstructor.traffic, min_videos=args.min_videos
+    )
+    groups = report.by_classification()
+    print(
+        f"{len(report)} tags with >= {args.min_videos} videos: "
+        + ", ".join(f"{kind}={len(tags)}" for kind, tags in groups.items())
+    )
+    print(f"\nmost local (top {args.count}):")
+    print(f"{'tag':<26} {'top':>4} {'top1':>6} {'JSD':>6} {'H':>6} {'videos':>7}")
+    for stat in report.most_local(args.count):
+        print(
+            f"{stat.tag:<26} {stat.top_country:>4} {stat.top1_share:>6.1%} "
+            f"{stat.jsd_to_prior:>6.3f} {stat.entropy:>6.3f} {stat.video_count:>7,}"
+        )
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "tag", "classification", "top_country", "top1_share",
+                    "jsd_to_prior", "entropy", "gini", "hhi",
+                    "video_count", "total_views",
+                ]
+            )
+            for stat in report.all():
+                writer.writerow(
+                    [
+                        stat.tag, stat.classification, stat.top_country,
+                        f"{stat.top1_share:.6f}", f"{stat.jsd_to_prior:.6f}",
+                        f"{stat.entropy:.6f}", f"{stat.gini:.6f}",
+                        f"{stat.hhi:.6f}", stat.video_count,
+                        f"{stat.total_views:.0f}",
+                    ]
+                )
+        print(f"\nwrote {len(report)} rows to {args.csv}")
+    return 0
+
+
+def _cmd_regions(args: argparse.Namespace) -> int:
+    from repro.analysis.regionview import dataset_continent_shares
+    from repro.viz.report import format_table
+
+    raw = _load_dataset(args.input)
+    filtered, _ = raw.apply_paper_filter()
+    shares = dataset_continent_shares(filtered, ViewReconstructor())
+    print(
+        format_table(
+            [(name, f"{share:.1%}") for name, share in shares.items()],
+            title="Share of estimated views by world region",
+        )
+    )
+    return 0
+
+
+def _cmd_cooccur(args: argparse.Namespace) -> int:
+    from repro.analysis.cooccurrence import CooccurrenceGraph
+
+    raw = _load_dataset(args.input)
+    filtered, _ = raw.apply_paper_filter()
+    graph = CooccurrenceGraph(filtered, min_tag_count=args.min_tag_count)
+    if args.tag not in graph:
+        print(
+            f"tag {args.tag!r} not in the co-occurrence graph "
+            f"(needs >= {args.min_tag_count} videos)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"tags most associated with {args.tag!r}:")
+    for tag, score in graph.most_associated(args.tag, args.count):
+        print(f"  {tag:<26} jaccard={score:.3f}")
+    return 0
+
+
+def _cmd_country(args: argparse.Namespace) -> int:
+    from repro.analysis.signatures import CountrySignatures
+
+    raw = _load_dataset(args.input)
+    filtered, _ = raw.apply_paper_filter()
+    table = TagViewsTable(filtered, ViewReconstructor())
+    signatures = CountrySignatures(table, min_videos=args.min_videos)
+    code = args.code.upper()
+    entries = signatures.signature(code, args.count)
+    if not entries:
+        print(
+            f"no tags with >= {args.min_videos} videos have views in {code}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"tags most over-watched in {code} "
+        f"(baseline share {signatures.baseline_share(code):.1%}):"
+    )
+    print(f"{'tag':<26} {'lift':>7} {'share':>7} {'videos':>7}")
+    for entry in entries:
+        print(
+            f"{entry.tag:<26} {entry.lift:>6.1f}× {entry.country_share:>7.1%} "
+            f"{entry.video_count:>7,}"
+        )
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.analysis.zipf import rank_frequency
+    from repro.viz.plots import render_histogram, render_loglog_ccdf
+
+    raw = _load_dataset(args.input)
+    views = [video.views for video in raw if video.views > 0]
+    print(
+        render_histogram(
+            views, bins=12, log_x=True, title="View counts (log-width bins)"
+        )
+    )
+    print()
+    print(render_loglog_ccdf(views, title="View-count CCDF (log-log)"))
+    print()
+    _, tag_counts = rank_frequency(raw.tag_frequencies())
+    print(
+        render_loglog_ccdf(
+            tag_counts.tolist(),
+            title="Tag usage CCDF (log-log)",
+        )
+    )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.datamodel.audit import audit_dataset
+    from repro.viz.report import format_table
+
+    dataset = _load_dataset(args.input)
+    report = audit_dataset(dataset, check_references=args.check_references)
+    print(format_table(report.as_rows(), title="Dataset integrity audit"))
+    return 0 if report.clean else 1
+
+
+def _cmd_genworld(args: argparse.Namespace) -> int:
+    from repro.synth.io import save_universe
+    from repro.synth.universe import build_universe
+
+    from repro.synth.stats import summarize_universe
+    from repro.viz.report import format_table
+
+    config = preset_config(args.preset)
+    if args.seed is not None:
+        config = type(config)(**{**config.__dict__, "seed": args.seed})
+    universe = build_universe(config)
+    written = save_universe(universe, args.out)
+    print(f"wrote universe of {written:,} videos (seed {config.seed}) to {args.out}")
+    print()
+    print(format_table(summarize_universe(universe).as_rows(), title="World summary"))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.reconstruct.validation import validate_against_universe
+    from repro.synth.io import load_universe
+    from repro.viz.report import format_table
+
+    universe = load_universe(args.world)
+    raw = _load_dataset(args.input)
+    filtered, _ = raw.apply_paper_filter()
+    reconstructor = ViewReconstructor(
+        universe.traffic, smoothing=args.smoothing
+    )
+    report = validate_against_universe(universe, filtered, reconstructor)
+    title = "Estimator accuracy vs ground truth"
+    if args.smoothing:
+        title += f" (smoothing λ={args.smoothing})"
+    print(format_table(list(report.as_rows()), title=title))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    result = run_pipeline(PipelineConfig(universe=preset_config(args.preset)))
+    print(funnel_report(result.filter_report))
+    print()
+    print(stats_report(result.dataset.stats()))
+    print()
+    video = result.dataset.most_viewed_video()
+    print(
+        video_map_report(
+            video,
+            result.reconstructor.shares_for_video(video),
+            result.reconstructor.registry,
+        )
+    )
+    print()
+    top = result.tag_table.top_tags_by_views(1)
+    if top:
+        tag = top[0][0]
+        print(
+            tag_map_report(
+                tag,
+                result.tag_table.shares_for(tag),
+                result.reconstructor.traffic,
+                video_count=result.tag_table.video_count(tag),
+                total_views=result.tag_table.total_views(tag),
+            )
+        )
+    return 0
+
+
+_COMMANDS = {
+    "crawl": _cmd_crawl,
+    "stats": _cmd_stats,
+    "topvideo": _cmd_topvideo,
+    "tag": _cmd_tag,
+    "toptags": _cmd_toptags,
+    "classify": _cmd_classify,
+    "country": _cmd_country,
+    "plot": _cmd_plot,
+    "audit": _cmd_audit,
+    "regions": _cmd_regions,
+    "cooccur": _cmd_cooccur,
+    "genworld": _cmd_genworld,
+    "validate": _cmd_validate,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Breadth-first snowball crawler.
+
+The paper's dataset "was […] completed using a breadth-first snowball
+sampling of the graph of related videos, as reported by Youtube", seeded
+with "the 10 most popular videos in 25 different countries". This package
+implements that crawl against the simulated API:
+
+- :class:`~repro.crawler.frontier.BFSFrontier` — FIFO frontier with
+  duplicate suppression and depth tracking;
+- :class:`~repro.crawler.snowball.SnowballCrawler` — the crawl loop:
+  seed from per-country most-popular feeds, fetch video metadata, decode
+  the popularity chart URL, page through related videos, expand;
+  retries transient API failures with exponential backoff (simulated
+  time), survives 404s, and stops cleanly on quota exhaustion;
+- :class:`~repro.crawler.checkpoint.CrawlCheckpoint` — suspend/resume
+  support, so a long crawl interrupted mid-flight continues identically;
+- :class:`~repro.crawler.stats.CrawlStats` — the run's accounting.
+"""
+
+from repro.crawler.frontier import BFSFrontier
+from repro.crawler.stats import CrawlStats
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.snowball import CrawlResult, SnowballCrawler
+from repro.crawler.parallel import ParallelSnowballCrawler
+from repro.crawler.politeness import TokenBucket
+
+__all__ = [
+    "BFSFrontier",
+    "CrawlStats",
+    "CrawlCheckpoint",
+    "CrawlResult",
+    "SnowballCrawler",
+    "ParallelSnowballCrawler",
+    "TokenBucket",
+]

@@ -1,0 +1,108 @@
+"""Crawl checkpointing: suspend a crawl, resume it identically.
+
+A checkpoint captures everything the crawl loop needs to continue:
+the frontier (queued entries + the lifetime admitted set), the videos
+collected so far, cumulative statistics, and whether seeding already
+happened. Checkpoints are single JSON documents — small enough for the
+corpus sizes this library targets and trivially inspectable.
+
+The invariant tests lean on: *crawl(budget=N) == resume(checkpoint at
+k) for all k ≤ N* when the API is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.crawler.frontier import BFSFrontier
+from repro.crawler.stats import CrawlStats
+from repro.datamodel.io import video_from_record, video_to_record
+from repro.datamodel.video import Video
+from repro.errors import CheckpointError
+from repro.world.countries import CountryRegistry
+
+#: Format version stamped into checkpoint files.
+CHECKPOINT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class CrawlCheckpoint:
+    """A suspended crawl's full state."""
+
+    pending: List[Tuple[str, int]]
+    admitted: List[str]
+    videos: List[Video]
+    stats: CrawlStats
+    seeded: bool
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "seeded": self.seeded,
+            "pending": [[video_id, depth] for video_id, depth in self.pending],
+            "admitted": list(self.admitted),
+            "videos": [video_to_record(video) for video in self.videos],
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict, registry: Optional[CountryRegistry] = None
+    ) -> "CrawlCheckpoint":
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(f"unsupported checkpoint version: {version}")
+        try:
+            return cls(
+                pending=[
+                    (str(video_id), int(depth)) for video_id, depth in data["pending"]
+                ],
+                admitted=[str(video_id) for video_id in data["admitted"]],
+                videos=[
+                    video_from_record(record, registry) for record in data["videos"]
+                ],
+                stats=CrawlStats.from_dict(data.get("stats", {})),
+                seeded=bool(data.get("seeded", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    def save(self, path: PathLike) -> None:
+        """Write the checkpoint to ``path`` atomically (write + rename)."""
+        path = Path(path)
+        tmp_path = path.with_suffix(path.suffix + ".tmp")
+        try:
+            with tmp_path.open("w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, ensure_ascii=False)
+            tmp_path.replace(path)
+        except OSError as exc:
+            raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+
+    @classmethod
+    def load(
+        cls, path: PathLike, registry: Optional[CountryRegistry] = None
+    ) -> "CrawlCheckpoint":
+        """Read a checkpoint previously written by :meth:`save`."""
+        path = Path(path)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+        return cls.from_dict(data, registry)
+
+    def restore_frontier(self) -> BFSFrontier:
+        """Rebuild the frontier object this checkpoint captured."""
+        try:
+            return BFSFrontier.restore(self.pending, self.admitted)
+        except ValueError as exc:
+            raise CheckpointError(str(exc)) from exc

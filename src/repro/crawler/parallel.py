@@ -1,0 +1,289 @@
+"""Multi-worker snowball crawling.
+
+A 2011-scale crawl (a million videos against a remote, latency-bound
+API) ran many concurrent fetchers. :class:`ParallelSnowballCrawler`
+reproduces that architecture against the simulated service:
+
+- a shared, lock-guarded frontier with lifetime duplicate suppression
+  (the same invariant as the sequential :class:`BFSFrontier`);
+- N worker threads, each running fetch → decode map → page related →
+  record → expand;
+- correct termination: BFS can have an *empty queue while work is still
+  in flight* (a busy worker may be about to enqueue neighbours), so
+  workers only exit when the queue is empty AND no worker is mid-item —
+  tracked with an in-flight counter under the frontier lock;
+- a shared video budget: workers stop claiming items once the budget is
+  reached; quota exhaustion anywhere stops everyone.
+
+The traversal order — and therefore the exact crawled subset under a
+budget — is nondeterministic across runs (thread scheduling), but an
+*exhaustive* parallel crawl collects exactly the same video set as the
+sequential crawler, which the test suite asserts. Per-video records are
+identical either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api.service import VideoResource, YoutubeService
+from repro.chartmap.mapchart import parse_map_chart_url, popularity_from_chart
+from repro.crawler.stats import CrawlStats
+from repro.crawler.snowball import CrawlResult
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.video import Video
+from repro.errors import (
+    ChartError,
+    ConfigError,
+    QuotaExceededError,
+    TransientAPIError,
+    VideoNotFoundError,
+)
+from repro.world.countries import SEED_COUNTRIES
+
+
+class _SharedFrontier:
+    """Thread-safe FIFO frontier with lifetime dedup and in-flight tracking."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queue: Deque[Tuple[str, int]] = deque()
+        self._admitted: Set[str] = set()
+        self._in_flight = 0
+        self._stopped = False
+
+    def push_all(self, video_ids: Sequence[str], depth: int) -> int:
+        with self._lock:
+            added = 0
+            for video_id in video_ids:
+                if video_id not in self._admitted:
+                    self._admitted.add(video_id)
+                    self._queue.append((video_id, depth))
+                    added += 1
+            return added
+
+    def claim(self) -> Optional[Tuple[str, int]]:
+        """Pop one item and mark a worker busy; None = drained or stopped."""
+        with self._lock:
+            if self._stopped or not self._queue:
+                return None
+            self._in_flight += 1
+            return self._queue.popleft()
+
+    def release(self) -> None:
+        """The claiming worker finished its item (and any expansion)."""
+        with self._lock:
+            self._in_flight -= 1
+
+    def drained(self) -> bool:
+        """True when nothing is queued and nobody is mid-item."""
+        with self._lock:
+            return self._stopped or (not self._queue and self._in_flight == 0)
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopped = True
+
+
+class ParallelSnowballCrawler:
+    """Thread-pool variant of :class:`~repro.crawler.SnowballCrawler`.
+
+    Args:
+        service: The (thread-safe) API to crawl.
+        workers: Number of fetcher threads.
+        seed_countries / seeds_per_country / max_videos / max_depth /
+            max_retries / backoff_base / related_page_size /
+            max_related_per_video: As in the sequential crawler.
+    """
+
+    def __init__(
+        self,
+        service: YoutubeService,
+        workers: int = 8,
+        seed_countries: Sequence[str] = SEED_COUNTRIES,
+        seeds_per_country: int = 10,
+        max_videos: int = 1_000,
+        max_depth: Optional[int] = None,
+        max_retries: int = 3,
+        backoff_base: float = 0.5,
+        related_page_size: int = 25,
+        max_related_per_video: int = 50,
+    ):
+        if workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if max_videos < 1:
+            raise ConfigError("max_videos must be >= 1")
+        if seeds_per_country < 1:
+            raise ConfigError("seeds_per_country must be >= 1")
+        self.service = service
+        self.workers = workers
+        self.seed_countries = list(seed_countries)
+        self.seeds_per_country = seeds_per_country
+        self.max_videos = max_videos
+        self.max_depth = max_depth
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.related_page_size = related_page_size
+        self.max_related_per_video = max_related_per_video
+
+        self._frontier = _SharedFrontier()
+        self._results_lock = threading.Lock()
+        self._videos: Dict[str, Video] = {}
+        self._stats = CrawlStats()
+        self._quota_hit = threading.Event()
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self) -> CrawlResult:
+        """Seed, spawn workers, join, and assemble the result."""
+        self._seed()
+        threads = [
+            threading.Thread(target=self._worker, name=f"crawler-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self._quota_hit.is_set():
+            self._stats.stopped_by_quota = True
+        if len(self._videos) >= self.max_videos:
+            self._stats.stopped_by_budget = True
+        registry = self.service.registry
+        return CrawlResult(
+            Dataset(self._videos.values(), registry), self._stats
+        )
+
+    @property
+    def collected(self) -> int:
+        with self._results_lock:
+            return len(self._videos)
+
+    # -- crawl mechanics ----------------------------------------------------------
+
+    def _seed(self) -> None:
+        for country in self.seed_countries:
+            try:
+                page = self._with_retries(
+                    lambda country=country: self.service.most_popular(
+                        country, max_results=min(self.seeds_per_country, 50)
+                    )
+                )
+            except QuotaExceededError:
+                self._quota_hit.set()
+                return
+            if page is None:
+                continue
+            with self._results_lock:
+                self._stats.seed_pages += 1
+            self._frontier.push_all(page.items[: self.seeds_per_country], 0)
+
+    def _worker(self) -> None:
+        while not self._quota_hit.is_set():
+            if self.collected >= self.max_videos:
+                self._frontier.stop()
+                return
+            claimed = self._frontier.claim()
+            if claimed is None:
+                if self._frontier.drained():
+                    return
+                # Queue momentarily empty while peers expand; yield and retry.
+                threading.Event().wait(0.001)
+                continue
+            video_id, depth = claimed
+            try:
+                self._visit(video_id, depth)
+            except QuotaExceededError:
+                self._quota_hit.set()
+                self._frontier.stop()
+            finally:
+                self._frontier.release()
+
+    def _visit(self, video_id: str, depth: int) -> None:
+        resource = self._with_retries(lambda: self._get_video(video_id))
+        if resource is None:
+            return
+        popularity = self._decode_popularity(resource)
+        expand = self.max_depth is None or depth < self.max_depth
+        related: Tuple[str, ...] = ()
+        if expand:
+            related = self._fetch_related(video_id)
+        video = Video(
+            video_id=resource.video_id,
+            title=resource.title,
+            uploader=resource.uploader,
+            upload_date=resource.upload_date,
+            views=resource.view_count,
+            tags=resource.tags,
+            popularity=popularity,
+            related_ids=related,
+        )
+        with self._results_lock:
+            if len(self._videos) >= self.max_videos:
+                return
+            self._videos[video.video_id] = video
+            self._stats.record_fetch(depth)
+        if expand:
+            self._frontier.push_all(related, depth + 1)
+
+    def _get_video(self, video_id: str) -> Optional[VideoResource]:
+        try:
+            return self.service.get_video(video_id)
+        except VideoNotFoundError:
+            with self._results_lock:
+                self._stats.not_found += 1
+            return None
+
+    def _decode_popularity(
+        self, resource: VideoResource
+    ) -> Optional[PopularityVector]:
+        if resource.stats_map_url is None:
+            return None
+        try:
+            chart = parse_map_chart_url(resource.stats_map_url)
+            return popularity_from_chart(chart, self.service.registry)
+        except ChartError:
+            with self._results_lock:
+                self._stats.map_decode_failures += 1
+            return None
+
+    def _fetch_related(self, video_id: str) -> Tuple[str, ...]:
+        collected: List[str] = []
+        token: Optional[str] = None
+        while len(collected) < self.max_related_per_video:
+            page = self._with_retries(
+                lambda token=token: self.service.related_videos(
+                    video_id,
+                    page_token=token,
+                    max_results=self.related_page_size,
+                )
+            )
+            if page is None:
+                break
+            with self._results_lock:
+                self._stats.related_pages += 1
+            collected.extend(page.items)
+            token = page.next_page_token
+            if token is None:
+                break
+        return tuple(collected[: self.max_related_per_video])
+
+    def _with_retries(self, request):
+        delay = self.backoff_base
+        for attempt in range(self.max_retries + 1):
+            try:
+                return request()
+            except TransientAPIError:
+                with self._results_lock:
+                    self._stats.transient_errors += 1
+                if attempt == self.max_retries:
+                    with self._results_lock:
+                        self._stats.retries_exhausted += 1
+                    return None
+                with self._results_lock:
+                    self._stats.backoff_seconds += delay
+                delay *= 2
+        return None

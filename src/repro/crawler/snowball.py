@@ -1,0 +1,283 @@
+"""The breadth-first snowball crawl loop (the paper's §2 methodology).
+
+Seeding: the top ``seeds_per_country`` videos from the most-popular feed
+of each seed country (paper: 10 videos × 25 countries). Expansion: BFS
+over related-video lists up to ``max_depth``, stopping at ``max_videos``
+or on quota exhaustion.
+
+Per-video work mirrors the 2011 tooling: fetch metadata (with
+retry/backoff on transient failures), *decode the popularity world map
+from its chart URL* (the paper's 0–61 extraction), page through the
+related feed, record the video, and enqueue its neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api.service import VideoResource, YoutubeService
+from repro.chartmap.mapchart import parse_map_chart_url, popularity_from_chart
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.frontier import BFSFrontier
+from repro.crawler.politeness import TokenBucket
+from repro.crawler.stats import CrawlStats
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.video import Video
+from repro.errors import (
+    ChartError,
+    ConfigError,
+    QuotaExceededError,
+    TransientAPIError,
+    VideoNotFoundError,
+)
+from repro.world.countries import SEED_COUNTRIES
+
+
+@dataclass(frozen=True)
+class CrawlResult:
+    """Outcome of a crawl run: the collected dataset plus accounting."""
+
+    dataset: Dataset
+    stats: CrawlStats
+
+
+class SnowballCrawler:
+    """Breadth-first snowball sampler over the (simulated) YouTube API.
+
+    Args:
+        service: The API to crawl.
+        seed_countries: Countries whose most-popular feeds seed the BFS
+            (default: the paper's 25).
+        seeds_per_country: Seeds taken per country (paper: 10).
+        max_videos: Stop after recording this many videos.
+        max_depth: Maximum BFS depth (seeds are depth 0); ``None`` for
+            unbounded (the video budget still applies).
+        max_retries: Transient-failure retries per request.
+        backoff_base: First retry's simulated sleep, in seconds; doubles
+            per retry (exponential backoff). Time is accounted in
+            :class:`CrawlStats`, not actually slept.
+        related_page_size: Page size for related-video feeds.
+        max_related_per_video: Cap on neighbours expanded per video.
+        requests_per_second: Optional politeness limit. Waiting happens in
+            simulated time and is accounted in
+            :attr:`CrawlStats.politeness_wait_seconds`, not slept.
+        politeness_burst: Token-bucket depth for the politeness limiter.
+    """
+
+    def __init__(
+        self,
+        service: YoutubeService,
+        seed_countries: Sequence[str] = SEED_COUNTRIES,
+        seeds_per_country: int = 10,
+        max_videos: int = 1_000,
+        max_depth: Optional[int] = None,
+        max_retries: int = 3,
+        backoff_base: float = 0.5,
+        related_page_size: int = 25,
+        max_related_per_video: int = 50,
+        requests_per_second: Optional[float] = None,
+        politeness_burst: int = 5,
+    ):
+        if seeds_per_country < 1:
+            raise ConfigError("seeds_per_country must be >= 1")
+        if max_videos < 1:
+            raise ConfigError("max_videos must be >= 1")
+        if max_depth is not None and max_depth < 0:
+            raise ConfigError("max_depth must be >= 0")
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if backoff_base < 0:
+            raise ConfigError("backoff_base must be >= 0")
+        self.service = service
+        self.seed_countries = list(seed_countries)
+        self.seeds_per_country = seeds_per_country
+        self.max_videos = max_videos
+        self.max_depth = max_depth
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.related_page_size = related_page_size
+        self.max_related_per_video = max_related_per_video
+
+        if requests_per_second is not None:
+            self._rate_limiter: Optional[TokenBucket] = TokenBucket(
+                requests_per_second, politeness_burst
+            )
+        else:
+            self._rate_limiter = None
+        self._clock = 0.0
+
+        self._frontier = BFSFrontier()
+        self._videos: List[Video] = []
+        self._stats = CrawlStats()
+        self._seeded = False
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self) -> CrawlResult:
+        """Crawl until the budget, the frontier, or the quota runs out."""
+        if not self._seeded:
+            self._seed()
+        while self._frontier and len(self._videos) < self.max_videos:
+            video_id, depth = self._frontier.pop()
+            try:
+                self._visit(video_id, depth)
+            except QuotaExceededError:
+                self._stats.stopped_by_quota = True
+                break
+        if len(self._videos) >= self.max_videos:
+            self._stats.stopped_by_budget = True
+        registry = self.service.registry
+        return CrawlResult(Dataset(self._videos, registry), self._stats)
+
+    def checkpoint(self) -> CrawlCheckpoint:
+        """Capture the crawl's current state (frontier, videos, stats)."""
+        return CrawlCheckpoint(
+            pending=self._frontier.pending(),
+            admitted=sorted(self._frontier.admitted()),
+            videos=list(self._videos),
+            stats=CrawlStats.from_dict(self._stats.to_dict()),
+            seeded=self._seeded,
+        )
+
+    @classmethod
+    def resume(
+        cls, service: YoutubeService, checkpoint: CrawlCheckpoint, **kwargs
+    ) -> "SnowballCrawler":
+        """Rebuild a crawler from a checkpoint (same config kwargs)."""
+        crawler = cls(service, **kwargs)
+        crawler._frontier = checkpoint.restore_frontier()
+        crawler._videos = list(checkpoint.videos)
+        crawler._stats = CrawlStats.from_dict(checkpoint.stats.to_dict())
+        crawler._seeded = checkpoint.seeded
+        return crawler
+
+    @property
+    def stats(self) -> CrawlStats:
+        return self._stats
+
+    @property
+    def collected(self) -> int:
+        """Videos recorded so far."""
+        return len(self._videos)
+
+    # -- crawl mechanics ----------------------------------------------------------
+
+    def _seed(self) -> None:
+        """Fill the frontier from the per-country most-popular feeds."""
+        for country in self.seed_countries:
+            try:
+                page = self._with_retries(
+                    lambda: self.service.most_popular(
+                        country, max_results=min(self.seeds_per_country, 50)
+                    )
+                )
+            except QuotaExceededError:
+                self._stats.stopped_by_quota = True
+                break
+            if page is None:
+                continue
+            self._stats.seed_pages += 1
+            self._frontier.push_all(
+                page.items[: self.seeds_per_country], depth=0
+            )
+        self._seeded = True
+
+    def _visit(self, video_id: str, depth: int) -> None:
+        """Fetch, record, and expand one video."""
+        resource = self._with_retries(lambda: self._get_video(video_id))
+        if resource is None:
+            return
+        popularity = self._decode_popularity(resource)
+        related: Tuple[str, ...] = ()
+        expand = self.max_depth is None or depth < self.max_depth
+        if expand:
+            related = self._fetch_related(video_id)
+        video = Video(
+            video_id=resource.video_id,
+            title=resource.title,
+            uploader=resource.uploader,
+            upload_date=resource.upload_date,
+            views=resource.view_count,
+            tags=resource.tags,
+            popularity=popularity,
+            related_ids=related,
+        )
+        self._videos.append(video)
+        self._stats.record_fetch(depth)
+        if expand:
+            self._frontier.push_all(related, depth + 1)
+
+    def _get_video(self, video_id: str) -> Optional[VideoResource]:
+        try:
+            return self.service.get_video(video_id)
+        except VideoNotFoundError:
+            self._stats.not_found += 1
+            return None
+
+    def _decode_popularity(
+        self, resource: VideoResource
+    ) -> Optional[PopularityVector]:
+        """The paper's extraction step: chart URL → popularity vector."""
+        if resource.stats_map_url is None:
+            return None
+        try:
+            chart = parse_map_chart_url(resource.stats_map_url)
+            return popularity_from_chart(
+                chart, self.service.registry
+            )
+        except ChartError:
+            self._stats.map_decode_failures += 1
+            return None
+
+    def _fetch_related(self, video_id: str) -> Tuple[str, ...]:
+        """Page through the related feed up to ``max_related_per_video``."""
+        collected: List[str] = []
+        token: Optional[str] = None
+        while len(collected) < self.max_related_per_video:
+            page = self._with_retries(
+                lambda token=token: self.service.related_videos(
+                    video_id,
+                    page_token=token,
+                    max_results=self.related_page_size,
+                )
+            )
+            if page is None:
+                break
+            self._stats.related_pages += 1
+            collected.extend(page.items)
+            token = page.next_page_token
+            if token is None:
+                break
+        return tuple(collected[: self.max_related_per_video])
+
+    def _with_retries(self, request):
+        """Run ``request`` with exponential-backoff retry on transient errors.
+
+        Returns the request's result, or ``None`` when retries are
+        exhausted (the caller skips the work item). Quota errors always
+        propagate — there is no point retrying those.
+        """
+        delay = self.backoff_base
+        for attempt in range(self.max_retries + 1):
+            self._throttle()
+            try:
+                return request()
+            except TransientAPIError:
+                self._stats.transient_errors += 1
+                if attempt == self.max_retries:
+                    self._stats.retries_exhausted += 1
+                    return None
+                self._stats.backoff_seconds += delay
+                self._clock += delay
+                delay *= 2
+        return None  # unreachable; keeps type-checkers satisfied
+
+    def _throttle(self) -> None:
+        """Pay the politeness limiter in simulated time (if configured)."""
+        if self._rate_limiter is None:
+            return
+        wait = self._rate_limiter.acquire(self._clock)
+        self._clock += wait
+        self._stats.politeness_wait_seconds += wait

@@ -1,0 +1,108 @@
+"""Crawl-run accounting.
+
+Separately counts every way a fetch can end (success, 404, retries
+exhausted) and every recovery action (transient errors seen, backoff
+time simulated), so crawl behaviour under fault injection is fully
+observable in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class CrawlStats:
+    """Counters for one crawl run (cumulative across resume)."""
+
+    #: Videos successfully fetched and recorded.
+    fetched: int = 0
+    #: Video ids skipped because the API returned not-found.
+    not_found: int = 0
+    #: Fetches abandoned after exhausting transient-error retries.
+    retries_exhausted: int = 0
+    #: Transient errors observed (each may or may not have been retried).
+    transient_errors: int = 0
+    #: Total simulated backoff seconds spent sleeping between retries.
+    backoff_seconds: float = 0.0
+    #: Total simulated seconds spent waiting on the politeness limiter.
+    politeness_wait_seconds: float = 0.0
+    #: Related-feed pages fetched.
+    related_pages: int = 0
+    #: Most-popular feed pages fetched (seeding).
+    seed_pages: int = 0
+    #: True when the crawl stopped because the API quota ran out.
+    stopped_by_quota: bool = False
+    #: True when the crawl stopped because it hit its video budget.
+    stopped_by_budget: bool = False
+    #: Videos recorded per BFS depth.
+    fetched_by_depth: Dict[int, int] = field(default_factory=dict)
+    #: Videos whose popularity chart URL failed to parse.
+    map_decode_failures: int = 0
+
+    def record_fetch(self, depth: int) -> None:
+        self.fetched += 1
+        self.fetched_by_depth[depth] = self.fetched_by_depth.get(depth, 0) + 1
+
+    @property
+    def max_depth_reached(self) -> int:
+        """Deepest BFS level that produced a recorded video (-1 if none)."""
+        return max(self.fetched_by_depth, default=-1)
+
+    def as_rows(self) -> List[Tuple[str, object]]:
+        """Printable summary rows."""
+        return [
+            ("videos fetched", self.fetched),
+            ("not found (404)", self.not_found),
+            ("transient errors seen", self.transient_errors),
+            ("fetches abandoned (retries exhausted)", self.retries_exhausted),
+            ("simulated backoff seconds", round(self.backoff_seconds, 3)),
+            ("simulated politeness wait seconds", round(self.politeness_wait_seconds, 3)),
+            ("related pages fetched", self.related_pages),
+            ("seed pages fetched", self.seed_pages),
+            ("map decode failures", self.map_decode_failures),
+            ("max BFS depth reached", self.max_depth_reached),
+            ("stopped by quota", self.stopped_by_quota),
+            ("stopped by budget", self.stopped_by_budget),
+        ]
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "fetched": self.fetched,
+            "not_found": self.not_found,
+            "retries_exhausted": self.retries_exhausted,
+            "transient_errors": self.transient_errors,
+            "backoff_seconds": self.backoff_seconds,
+            "politeness_wait_seconds": self.politeness_wait_seconds,
+            "related_pages": self.related_pages,
+            "seed_pages": self.seed_pages,
+            "stopped_by_quota": self.stopped_by_quota,
+            "stopped_by_budget": self.stopped_by_budget,
+            "fetched_by_depth": {str(k): v for k, v in self.fetched_by_depth.items()},
+            "map_decode_failures": self.map_decode_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CrawlStats":
+        stats = cls(
+            fetched=int(data.get("fetched", 0)),
+            not_found=int(data.get("not_found", 0)),
+            retries_exhausted=int(data.get("retries_exhausted", 0)),
+            transient_errors=int(data.get("transient_errors", 0)),
+            backoff_seconds=float(data.get("backoff_seconds", 0.0)),
+            politeness_wait_seconds=float(
+                data.get("politeness_wait_seconds", 0.0)
+            ),
+            related_pages=int(data.get("related_pages", 0)),
+            seed_pages=int(data.get("seed_pages", 0)),
+            stopped_by_quota=bool(data.get("stopped_by_quota", False)),
+            stopped_by_budget=bool(data.get("stopped_by_budget", False)),
+            map_decode_failures=int(data.get("map_decode_failures", 0)),
+        )
+        stats.fetched_by_depth = {
+            int(k): int(v) for k, v in data.get("fetched_by_depth", {}).items()
+        }
+        return stats

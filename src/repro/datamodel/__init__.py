@@ -1,0 +1,45 @@
+"""Core data model: videos, tags, popularity vectors, datasets.
+
+Mirrors the structure of the paper's March-2011 crawl records: each video
+carries an id, a title, an uploader, a total view count, a set of
+user-provided descriptive tags, the ids of its related videos (the edges
+the snowball crawl follows), and a per-country *popularity vector* with
+integer intensities in ``[0, 61]`` extracted from YouTube's Google Map
+Chart popularity maps.
+"""
+
+from repro.datamodel.popularity import MAX_INTENSITY, PopularityVector
+from repro.datamodel.tags import normalize_tag, normalize_tags
+from repro.datamodel.video import Video
+from repro.datamodel.dataset import Dataset, DatasetStats, FilterReport
+from repro.datamodel.io import (
+    read_videos_jsonl,
+    write_videos_jsonl,
+    video_to_record,
+    video_from_record,
+)
+from repro.datamodel.store import VideoStore
+from repro.datamodel.audit import (
+    AuditFinding,
+    DatasetAuditReport,
+    audit_dataset,
+)
+
+__all__ = [
+    "MAX_INTENSITY",
+    "PopularityVector",
+    "normalize_tag",
+    "normalize_tags",
+    "Video",
+    "Dataset",
+    "DatasetStats",
+    "FilterReport",
+    "read_videos_jsonl",
+    "write_videos_jsonl",
+    "video_to_record",
+    "video_from_record",
+    "VideoStore",
+    "AuditFinding",
+    "DatasetAuditReport",
+    "audit_dataset",
+]

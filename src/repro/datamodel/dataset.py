@@ -1,0 +1,225 @@
+"""Dataset container, the paper's §2 filter funnel, and corpus statistics.
+
+The paper starts from 1,063,844 crawled videos, removes the 6,736 with no
+tags and every video with an "incorrect or empty popularity vector", and
+is left with 691,349 videos, 705,415 unique tags and 173,288,616,473
+views. :class:`Dataset` reproduces that funnel (:meth:`Dataset.apply_paper_filter`
+returns both the filtered dataset and a :class:`FilterReport` with the same
+funnel counters), and computes the §2 summary statistics
+(:meth:`Dataset.stats`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.datamodel.video import Video
+from repro.errors import DatasetError
+from repro.world.countries import CountryRegistry, default_registry
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """Funnel counters for the paper's §2 filtering step.
+
+    Attributes:
+        input_videos: Videos before filtering (paper: 1,063,844).
+        removed_no_tags: Videos dropped for having no tags (paper: 6,736).
+        removed_bad_popularity: Videos dropped for a missing/empty
+            popularity vector.
+        retained: Videos surviving both filters (paper: 691,349).
+    """
+
+    input_videos: int
+    removed_no_tags: int
+    removed_bad_popularity: int
+    retained: int
+
+    @property
+    def retention_rate(self) -> float:
+        """Fraction of input videos retained."""
+        if self.input_videos == 0:
+            return 0.0
+        return self.retained / self.input_videos
+
+    def as_rows(self) -> List[Tuple[str, int]]:
+        """Funnel as printable (label, count) rows."""
+        return [
+            ("crawled videos", self.input_videos),
+            ("removed: no tags", self.removed_no_tags),
+            ("removed: bad popularity vector", self.removed_bad_popularity),
+            ("retained videos", self.retained),
+        ]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The paper's §2 corpus summary.
+
+    Attributes:
+        videos: Number of videos (paper: 691,349 after filtering).
+        unique_tags: Number of distinct normalized tags (paper: 705,415).
+        total_views: Sum of total view counts (paper: 173,288,616,473).
+        tags_per_video_mean: Mean tag-list length.
+        views_max: Largest single-video view count.
+    """
+
+    videos: int
+    unique_tags: int
+    total_views: int
+    tags_per_video_mean: float
+    views_max: int
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        return [
+            ("videos", self.videos),
+            ("unique tags", self.unique_tags),
+            ("total views", self.total_views),
+            ("mean tags/video", round(self.tags_per_video_mean, 2)),
+            ("max views (single video)", self.views_max),
+        ]
+
+
+class Dataset:
+    """An ordered, id-indexed collection of :class:`Video` records.
+
+    Insertion order is preserved (it reflects crawl order). Ids are unique;
+    adding a duplicate id raises :class:`~repro.errors.DatasetError`.
+    """
+
+    def __init__(
+        self,
+        videos: Iterable[Video] = (),
+        registry: Optional[CountryRegistry] = None,
+    ):
+        if registry is None:
+            registry = default_registry()
+        self.registry = registry
+        self._by_id: Dict[str, Video] = {}
+        for video in videos:
+            self.add(video)
+        self._tag_index: Optional[Dict[str, List[str]]] = None
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, video: Video) -> None:
+        """Append a video; raises on duplicate id."""
+        if video.video_id in self._by_id:
+            raise DatasetError(f"duplicate video id: {video.video_id}")
+        self._by_id[video.video_id] = video
+        self._tag_index = None
+
+    # -- access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Video]:
+        return iter(self._by_id.values())
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._by_id
+
+    def get(self, video_id: str) -> Video:
+        try:
+            return self._by_id[video_id]
+        except KeyError:
+            raise DatasetError(f"no such video in dataset: {video_id}") from None
+
+    def video_ids(self) -> List[str]:
+        return list(self._by_id.keys())
+
+    # -- the paper's filter funnel (§2) -------------------------------------
+
+    def apply_paper_filter(self) -> Tuple["Dataset", FilterReport]:
+        """Apply the paper's filters; return (filtered dataset, funnel report).
+
+        Order matters for the counters (and matches the paper's narrative):
+        the no-tags filter is counted first, then the popularity filter on
+        the remainder.
+        """
+        no_tags = 0
+        bad_pop = 0
+        kept: List[Video] = []
+        for video in self:
+            if not video.has_tags():
+                no_tags += 1
+            elif not video.has_valid_popularity():
+                bad_pop += 1
+            else:
+                kept.append(video)
+        report = FilterReport(
+            input_videos=len(self),
+            removed_no_tags=no_tags,
+            removed_bad_popularity=bad_pop,
+            retained=len(kept),
+        )
+        return Dataset(kept, self.registry), report
+
+    # -- statistics -----------------------------------------------------------
+
+    def stats(self) -> DatasetStats:
+        """Compute the §2 corpus summary over this dataset as-is."""
+        n = len(self)
+        unique_tags = set()
+        total_views = 0
+        total_tags = 0
+        views_max = 0
+        for video in self:
+            unique_tags.update(video.tags)
+            total_views += video.views
+            total_tags += len(video.tags)
+            if video.views > views_max:
+                views_max = video.views
+        return DatasetStats(
+            videos=n,
+            unique_tags=len(unique_tags),
+            total_views=total_views,
+            tags_per_video_mean=(total_tags / n) if n else 0.0,
+            views_max=views_max,
+        )
+
+    # -- tag indexing (the paper's videos(t)) -----------------------------
+
+    def tag_index(self) -> Dict[str, List[str]]:
+        """Map each tag to the ids of the videos carrying it (``videos(t)``).
+
+        Built lazily and cached; invalidated by :meth:`add`.
+        """
+        if self._tag_index is None:
+            index: Dict[str, List[str]] = {}
+            for video in self:
+                for tag in video.tags:
+                    index.setdefault(tag, []).append(video.video_id)
+            self._tag_index = index
+        return self._tag_index
+
+    def videos_with_tag(self, tag: str) -> List[Video]:
+        """All videos carrying ``tag`` (empty list when the tag is unseen)."""
+        return [self._by_id[vid] for vid in self.tag_index().get(tag, [])]
+
+    def tag_frequencies(self) -> Counter:
+        """Tag → number of videos carrying it."""
+        return Counter(
+            {tag: len(ids) for tag, ids in self.tag_index().items()}
+        )
+
+    def tag_view_totals(self) -> Counter:
+        """Tag → summed total views of the videos carrying it.
+
+        This is the worldwide aggregate of the paper's Eq. (3) — the
+        per-country split lives in :mod:`repro.reconstruct.tagviews`.
+        """
+        totals: Counter = Counter()
+        for video in self:
+            for tag in video.tags:
+                totals[tag] += video.views
+        return totals
+
+    def most_viewed_video(self) -> Video:
+        """The video with the most views (the paper's Fig. 1 subject)."""
+        if not self._by_id:
+            raise DatasetError("dataset is empty")
+        return max(self, key=lambda v: v.views)

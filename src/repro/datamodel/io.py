@@ -1,0 +1,110 @@
+"""JSONL persistence for video records and datasets.
+
+One JSON object per line, schema-versioned, append-friendly — the format a
+long-running crawl writes incrementally and the analysis pipeline reads
+back. Popularity vectors are stored sparsely (only non-zero countries).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.video import Video
+from repro.errors import DatasetIOError
+from repro.world.countries import CountryRegistry, default_registry
+
+#: Schema version stamped into every record.
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def video_to_record(video: Video) -> Dict:
+    """Convert a :class:`Video` to a JSON-serializable dict."""
+    record = {
+        "schema": SCHEMA_VERSION,
+        "id": video.video_id,
+        "title": video.title,
+        "uploader": video.uploader,
+        "upload_date": video.upload_date,
+        "views": video.views,
+        "tags": list(video.tags),
+        "related": list(video.related_ids),
+    }
+    if video.popularity is not None:
+        record["pop"] = video.popularity.as_dict()
+    return record
+
+
+def video_from_record(
+    record: Dict, registry: Optional[CountryRegistry] = None
+) -> Video:
+    """Rebuild a :class:`Video` from a dict produced by :func:`video_to_record`."""
+    if registry is None:
+        registry = default_registry()
+    try:
+        schema = record.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise DatasetIOError(f"unsupported schema version: {schema}")
+        popularity = None
+        if "pop" in record:
+            popularity = PopularityVector(record["pop"], registry)
+        return Video(
+            video_id=record["id"],
+            title=record.get("title", ""),
+            uploader=record.get("uploader", ""),
+            upload_date=record.get("upload_date", ""),
+            views=int(record["views"]),
+            tags=tuple(record.get("tags", ())),
+            popularity=popularity,
+            related_ids=tuple(record.get("related", ())),
+        )
+    except DatasetIOError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetIOError(f"malformed video record: {exc}") from exc
+
+
+def write_videos_jsonl(videos: Iterable[Video], path: PathLike) -> int:
+    """Write videos to ``path`` as JSONL. Returns the number written."""
+    count = 0
+    path = Path(path)
+    try:
+        with path.open("w", encoding="utf-8") as handle:
+            for video in videos:
+                handle.write(json.dumps(video_to_record(video), ensure_ascii=False))
+                handle.write("\n")
+                count += 1
+    except OSError as exc:
+        raise DatasetIOError(f"cannot write {path}: {exc}") from exc
+    return count
+
+
+def read_videos_jsonl(
+    path: PathLike, registry: Optional[CountryRegistry] = None
+) -> Iterator[Video]:
+    """Stream videos back from a JSONL file written by :func:`write_videos_jsonl`.
+
+    Yields videos lazily so multi-gigabyte crawls can be scanned without
+    loading everything; wrap in :class:`~repro.datamodel.Dataset` to
+    materialize.
+    """
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise DatasetIOError(
+                        f"{path}:{line_no}: invalid JSON: {exc}"
+                    ) from exc
+                yield video_from_record(record, registry)
+    except OSError as exc:
+        raise DatasetIOError(f"cannot read {path}: {exc}") from exc

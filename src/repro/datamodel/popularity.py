@@ -1,0 +1,170 @@
+"""Per-country popularity vectors (the paper's ``pop(v)``).
+
+YouTube's 2011 video pages embedded a popularity world map rendered by
+Google's Map Chart service. The map colour-coded each country with an
+intensity that the chart data string expressed as an integer in
+``[0, 61]`` — exactly the range of the Chart API's *simple encoding*
+alphabet (``A``–``Z``, ``a``–``z``, ``0``–``9`` = 62 symbols). The paper
+extracts this integer per country and calls the resulting vector the
+video's *popularity vector* ``pop(v)``.
+
+A :class:`PopularityVector` is a sparse mapping from country code to
+intensity; countries that did not appear on the map (intensity 0) may be
+omitted. The paper filters out videos whose vector is empty or invalid —
+:meth:`PopularityVector.is_empty` and the constructor's validation support
+that funnel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidPopularityVectorError
+from repro.world.countries import CountryRegistry, default_registry
+
+#: Maximum representable intensity: the Chart API simple-encoding alphabet
+#: has 62 symbols, so intensities span 0..61 inclusive.
+MAX_INTENSITY: int = 61
+
+
+class PopularityVector:
+    """An immutable per-country intensity vector with values in [0, 61].
+
+    Args:
+        intensities: Mapping from ISO country code to integer intensity.
+            Zero entries are dropped (the map simply leaves those countries
+            uncoloured). Values outside ``[0, 61]``, non-integers, or
+            unknown country codes raise
+            :class:`~repro.errors.InvalidPopularityVectorError`.
+        registry: Country registry used for validation and for the dense
+            representation axis.
+    """
+
+    __slots__ = ("_intensities", "_registry")
+
+    def __init__(
+        self,
+        intensities: Mapping[str, int],
+        registry: Optional[CountryRegistry] = None,
+    ):
+        if registry is None:
+            registry = default_registry()
+        cleaned: Dict[str, int] = {}
+        for code, value in intensities.items():
+            if code not in registry:
+                raise InvalidPopularityVectorError(f"unknown country code: {code!r}")
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise InvalidPopularityVectorError(
+                    f"intensity for {code} must be an integer, got {value!r}"
+                )
+            value = int(value)
+            if not 0 <= value <= MAX_INTENSITY:
+                raise InvalidPopularityVectorError(
+                    f"intensity for {code} out of range [0, {MAX_INTENSITY}]: {value}"
+                )
+            if value > 0:
+                cleaned[code] = value
+        self._intensities = cleaned
+        self._registry = registry
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __getitem__(self, code: str) -> int:
+        """Intensity for ``code`` (0 when the country is uncoloured)."""
+        if code not in self._registry:
+            raise InvalidPopularityVectorError(f"unknown country code: {code!r}")
+        return self._intensities.get(code, 0)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        """Iterate non-zero ``(code, intensity)`` pairs in registry order."""
+        for code in self._registry.codes():
+            if code in self._intensities:
+                yield code, self._intensities[code]
+
+    def __len__(self) -> int:
+        """Number of countries with non-zero intensity."""
+        return len(self._intensities)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PopularityVector):
+            return NotImplemented
+        return self._intensities == other._intensities
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._intensities.items()))
+
+    def __repr__(self) -> str:
+        head = dict(sorted(self._intensities.items(), key=lambda kv: -kv[1])[:4])
+        suffix = "…" if len(self._intensities) > 4 else ""
+        return f"PopularityVector({head}{suffix})"
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def registry(self) -> CountryRegistry:
+        return self._registry
+
+    def is_empty(self) -> bool:
+        """True when every country has intensity 0 (the paper filters these)."""
+        return not self._intensities
+
+    def max_intensity(self) -> int:
+        """The largest intensity in the vector (0 when empty)."""
+        return max(self._intensities.values(), default=0)
+
+    def is_saturated(self) -> bool:
+        """True when at least one country hits the cap of 61.
+
+        YouTube's maps were normalized per video, so a well-formed vector
+        is saturated; decoding noise can break this, which the validation
+        benches exploit.
+        """
+        return self.max_intensity() == MAX_INTENSITY
+
+    def countries(self) -> Tuple[str, ...]:
+        """Country codes with non-zero intensity, in registry order."""
+        return tuple(code for code, _ in self)
+
+    # -- representations -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, int]:
+        """Non-zero intensities as a plain dict (copies)."""
+        return dict(self._intensities)
+
+    def as_array(self) -> np.ndarray:
+        """Dense int array on the registry's canonical axis."""
+        dense = np.zeros(len(self._registry), dtype=np.int64)
+        for i, code in enumerate(self._registry.codes()):
+            value = self._intensities.get(code)
+            if value:
+                dense[i] = value
+        return dense
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_array(
+        cls, values: np.ndarray, registry: Optional[CountryRegistry] = None
+    ) -> "PopularityVector":
+        """Build from a dense array on the registry axis."""
+        if registry is None:
+            registry = default_registry()
+        if len(values) != len(registry):
+            raise InvalidPopularityVectorError(
+                f"array length {len(values)} != registry size {len(registry)}"
+            )
+        return cls(
+            {
+                code: int(values[i])
+                for i, code in enumerate(registry.codes())
+                if values[i]
+            },
+            registry,
+        )
+
+    @classmethod
+    def empty(cls, registry: Optional[CountryRegistry] = None) -> "PopularityVector":
+        """An all-zero vector (a video with no popularity map data)."""
+        return cls({}, registry)

@@ -1,0 +1,235 @@
+"""SQLite-backed video store for paper-scale crawls.
+
+The paper's corpus (1.06M videos, ~10 tags each) is too large to want in
+a Python dict on modest hardware. :class:`VideoStore` keeps crawl output
+in a single SQLite file with a tag inverted index, so analyses can
+stream videos, resolve ``videos(t)`` and rank by views without
+materializing the corpus. The store speaks the same :class:`Video`
+records as :class:`~repro.datamodel.Dataset`, and converts both ways.
+
+SQLite is in the standard library, transactional (a crashed crawl loses
+at most the current batch), and queryable for free — the right tool for
+a single-writer crawl pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.video import Video
+from repro.errors import DatasetError, DatasetIOError
+from repro.world.countries import CountryRegistry, default_registry
+
+PathLike = Union[str, Path]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS videos (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    id          TEXT UNIQUE NOT NULL,
+    title       TEXT NOT NULL,
+    uploader    TEXT NOT NULL,
+    upload_date TEXT NOT NULL,
+    views       INTEGER NOT NULL,
+    pop         TEXT,
+    tags        TEXT NOT NULL,
+    related     TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS video_tags (
+    tag      TEXT NOT NULL,
+    video_id TEXT NOT NULL,
+    PRIMARY KEY (tag, video_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_videos_views ON videos (views DESC);
+CREATE INDEX IF NOT EXISTS idx_video_tags_tag ON video_tags (tag);
+"""
+
+
+class VideoStore:
+    """A disk-resident, tag-indexed collection of :class:`Video` records.
+
+    Args:
+        path: SQLite file path, or ``":memory:"`` for an ephemeral store.
+        registry: Country registry for popularity-vector decoding.
+
+    Use as a context manager or call :meth:`close`; writes are committed
+    per :meth:`add` / :meth:`add_many` call.
+    """
+
+    def __init__(
+        self,
+        path: PathLike = ":memory:",
+        registry: Optional[CountryRegistry] = None,
+    ):
+        if registry is None:
+            registry = default_registry()
+        self.registry = registry
+        self.path = str(path)
+        try:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise DatasetIOError(f"cannot open video store {path}: {exc}") from exc
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "VideoStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- writes -------------------------------------------------------------
+
+    def add(self, video: Video) -> None:
+        """Insert one video; raises on duplicate id."""
+        self.add_many([video])
+
+    def add_many(self, videos: Iterable[Video]) -> int:
+        """Insert a batch in one transaction; returns the number inserted."""
+        rows = []
+        tag_rows = []
+        for video in videos:
+            rows.append(
+                (
+                    video.video_id,
+                    video.title,
+                    video.uploader,
+                    video.upload_date,
+                    video.views,
+                    (
+                        json.dumps(video.popularity.as_dict())
+                        if video.popularity is not None
+                        else None
+                    ),
+                    json.dumps(list(video.tags)),
+                    json.dumps(list(video.related_ids)),
+                )
+            )
+            for tag in video.tags:
+                tag_rows.append((tag, video.video_id))
+        try:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT INTO videos "
+                    "(id, title, uploader, upload_date, views, pop, tags, related) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+                self._conn.executemany(
+                    "INSERT INTO video_tags (tag, video_id) VALUES (?, ?)",
+                    tag_rows,
+                )
+        except sqlite3.IntegrityError as exc:
+            raise DatasetError(f"duplicate video id: {exc}") from exc
+        except sqlite3.Error as exc:
+            raise DatasetIOError(f"store write failed: {exc}") from exc
+        return len(rows)
+
+    # -- reads ----------------------------------------------------------------
+
+    def _row_to_video(self, row: Tuple) -> Video:
+        (video_id, title, uploader, upload_date, views, pop, tags, related) = row
+        popularity = None
+        if pop is not None:
+            popularity = PopularityVector(json.loads(pop), self.registry)
+        return Video(
+            video_id=video_id,
+            title=title,
+            uploader=uploader,
+            upload_date=upload_date,
+            views=views,
+            tags=tuple(json.loads(tags)),
+            popularity=popularity,
+            related_ids=tuple(json.loads(related)),
+        )
+
+    _COLUMNS = "id, title, uploader, upload_date, views, pop, tags, related"
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM videos").fetchone()
+        return int(count)
+
+    def __contains__(self, video_id: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM videos WHERE id = ?", (video_id,)
+        ).fetchone()
+        return row is not None
+
+    def get(self, video_id: str) -> Video:
+        row = self._conn.execute(
+            f"SELECT {self._COLUMNS} FROM videos WHERE id = ?", (video_id,)
+        ).fetchone()
+        if row is None:
+            raise DatasetError(f"no such video in store: {video_id}")
+        return self._row_to_video(row)
+
+    def __iter__(self) -> Iterator[Video]:
+        """Stream all videos in insertion order."""
+        cursor = self._conn.execute(
+            f"SELECT {self._COLUMNS} FROM videos ORDER BY seq"
+        )
+        for row in cursor:
+            yield self._row_to_video(row)
+
+    def videos_with_tag(self, tag: str) -> List[Video]:
+        """``videos(t)`` resolved through the inverted index."""
+        cursor = self._conn.execute(
+            f"SELECT {self._COLUMNS} FROM videos "
+            "WHERE id IN (SELECT video_id FROM video_tags WHERE tag = ?) "
+            "ORDER BY seq",
+            (tag,),
+        )
+        return [self._row_to_video(row) for row in cursor]
+
+    def tag_frequencies(self, min_count: int = 1) -> List[Tuple[str, int]]:
+        """Tags and their video counts, most-used first."""
+        cursor = self._conn.execute(
+            "SELECT tag, COUNT(*) AS n FROM video_tags "
+            "GROUP BY tag HAVING n >= ? ORDER BY n DESC, tag",
+            (min_count,),
+        )
+        return [(tag, int(count)) for tag, count in cursor]
+
+    def most_viewed(self, count: int = 10) -> List[Video]:
+        """The ``count`` most-viewed videos."""
+        cursor = self._conn.execute(
+            f"SELECT {self._COLUMNS} FROM videos ORDER BY views DESC LIMIT ?",
+            (count,),
+        )
+        return [self._row_to_video(row) for row in cursor]
+
+    def unique_tag_count(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(DISTINCT tag) FROM video_tags"
+        ).fetchone()
+        return int(count)
+
+    def total_views(self) -> int:
+        (total,) = self._conn.execute(
+            "SELECT COALESCE(SUM(views), 0) FROM videos"
+        ).fetchone()
+        return int(total)
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_dataset(self) -> Dataset:
+        """Materialize the whole store as an in-memory dataset."""
+        return Dataset(iter(self), self.registry)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: Dataset, path: PathLike = ":memory:"
+    ) -> "VideoStore":
+        """Build a store from an in-memory dataset."""
+        store = cls(path, dataset.registry)
+        store.add_many(iter(dataset))
+        return store

@@ -1,0 +1,57 @@
+"""Tag normalization.
+
+YouTube tags in the 2011 era were free-form strings entered by uploaders
+[Geisler & Burns 2007; Greenaway et al. 2009 — the paper's refs 3 and 4].
+The paper counts *unique tags* (705,415 of them), which presupposes a
+normalization convention. We adopt the conventional one for that
+literature: case-fold, trim, and collapse internal whitespace; drop empty
+results. Tags remain otherwise verbatim — no stemming, no de-accenting —
+because tag identity is what anchors geography (``favela`` and
+``favelas`` are genuinely different tags with similar geography, and the
+analysis should see that, not have it normalized away).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+#: Upper bound on a single tag's length; YouTube enforced 30 characters per
+#: tag (and 500 for the whole field) in this era. Longer strings are
+#: truncated rather than rejected, matching the platform behaviour.
+MAX_TAG_LENGTH = 30
+
+
+def normalize_tag(raw: str) -> str:
+    """Normalize a single raw tag string.
+
+    Returns the canonical form: case-folded, stripped, internal whitespace
+    collapsed to single spaces, truncated to :data:`MAX_TAG_LENGTH`.
+    Returns the empty string when nothing survives (caller should drop it).
+
+    >>> normalize_tag("  Justin   BIEBER ")
+    'justin bieber'
+    """
+    collapsed = _WHITESPACE_RE.sub(" ", raw.strip())
+    return collapsed.casefold()[:MAX_TAG_LENGTH].strip()
+
+
+def normalize_tags(raw_tags: Iterable[str]) -> Tuple[str, ...]:
+    """Normalize a tag list, dropping empties and duplicates, keeping order.
+
+    The first occurrence of each canonical tag wins, preserving the
+    uploader's ordering (earlier tags tend to be more descriptive).
+
+    >>> normalize_tags(["Pop", "POP ", "", "baile  funk"])
+    ('pop', 'baile funk')
+    """
+    seen = set()
+    result: List[str] = []
+    for raw in raw_tags:
+        tag = normalize_tag(raw)
+        if tag and tag not in seen:
+            seen.add(tag)
+            result.append(tag)
+    return tuple(result)

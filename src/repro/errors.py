@@ -1,0 +1,151 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries. Sub-hierarchies
+mirror the subsystems (world model, dataset, chart codec, simulated API,
+crawler, reconstruction, placement).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+# --------------------------------------------------------------------------
+# World model
+# --------------------------------------------------------------------------
+
+
+class WorldError(ReproError):
+    """Base class for world-model errors."""
+
+
+class UnknownCountryError(WorldError, KeyError):
+    """A country code was not found in the registry."""
+
+    def __init__(self, code: str):
+        super().__init__(code)
+        self.code = code
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep a message
+        return f"unknown country code: {self.code!r}"
+
+
+class TrafficModelError(WorldError):
+    """A traffic-share model was malformed (e.g. shares do not sum to 1)."""
+
+
+# --------------------------------------------------------------------------
+# Data model / dataset
+# --------------------------------------------------------------------------
+
+
+class DatasetError(ReproError):
+    """Base class for dataset errors."""
+
+
+class InvalidVideoError(DatasetError):
+    """A video record violates a structural invariant."""
+
+
+class InvalidPopularityVectorError(DatasetError):
+    """A popularity vector is malformed (bad range, unknown country...)."""
+
+
+class DatasetIOError(DatasetError):
+    """A dataset could not be serialized or deserialized."""
+
+
+# --------------------------------------------------------------------------
+# Chart-map codec
+# --------------------------------------------------------------------------
+
+
+class ChartError(ReproError):
+    """Base class for Google Image Chart codec errors."""
+
+
+class ChartEncodingError(ChartError):
+    """A value cannot be represented in the requested chart encoding."""
+
+
+class ChartDecodingError(ChartError):
+    """A chart data string cannot be decoded."""
+
+
+class ChartURLError(ChartError):
+    """A map-chart URL is malformed or not a map chart."""
+
+
+# --------------------------------------------------------------------------
+# Simulated YouTube API
+# --------------------------------------------------------------------------
+
+
+class APIError(ReproError):
+    """Base class for simulated-API errors."""
+
+
+class QuotaExceededError(APIError):
+    """The client exhausted its request quota."""
+
+
+class TransientAPIError(APIError):
+    """A transient (retryable) service failure, e.g. HTTP 500/503."""
+
+
+class VideoNotFoundError(APIError):
+    """The requested video id does not exist (HTTP 404 analogue)."""
+
+    def __init__(self, video_id: str):
+        super().__init__(f"video not found: {video_id!r}")
+        self.video_id = video_id
+
+
+class BadRequestError(APIError):
+    """The request parameters were invalid (HTTP 400 analogue)."""
+
+
+# --------------------------------------------------------------------------
+# Crawler
+# --------------------------------------------------------------------------
+
+
+class CrawlError(ReproError):
+    """Base class for crawler errors."""
+
+
+class CheckpointError(CrawlError):
+    """A crawl checkpoint could not be written or restored."""
+
+
+# --------------------------------------------------------------------------
+# Reconstruction / analysis
+# --------------------------------------------------------------------------
+
+
+class ReconstructionError(ReproError):
+    """View reconstruction failed (missing data, degenerate inputs)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received degenerate or inconsistent input."""
+
+
+# --------------------------------------------------------------------------
+# Placement / caching
+# --------------------------------------------------------------------------
+
+
+class PlacementError(ReproError):
+    """Base class for placement-simulation errors."""
+
+
+class CacheError(PlacementError):
+    """A cache was configured or used incorrectly."""

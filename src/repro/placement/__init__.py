@@ -1,0 +1,94 @@
+"""Tag-driven proactive geographic caching (the paper's future work).
+
+The paper's closing conjecture: "tags might help implement a form of
+proactive geographic caching, i.e. predicting where a video will be
+consumed, based on the geographic study of its embodied tags". This
+package builds that system and the baselines needed to judge it:
+
+- :mod:`repro.placement.predictor` — :class:`TagGeoPredictor`: new video
+  in, predicted per-country view distribution out (tag mixture over the
+  Eq. (3) table, traffic-prior fallback for cold starts).
+- :mod:`repro.placement.workload` — request-trace generation from the
+  universe's ground truth (video drawn by views, country drawn from the
+  video's true geography).
+- :mod:`repro.placement.cache` — per-country edge caches (LRU / LFU /
+  static pinning) with hit/miss accounting.
+- :mod:`repro.placement.policies` — proactive placement policies: tag-
+  predictive, traffic-prior, oracle (true shares), and none (reactive
+  only).
+- :mod:`repro.placement.replication` — coverage-adaptive per-video
+  replica counts (spend copies where the predicted geography says they
+  earn hits).
+- :mod:`repro.placement.history` — the incumbent baseline: place by
+  observed per-video demand; collapses to the prior on new uploads.
+- :mod:`repro.placement.simulator` — the two-phase simulation: place the
+  catalogue, replay requests against per-country edge caches.
+- :mod:`repro.placement.online` — the event-driven variant: uploads
+  interleave with views on a timeline; separates cold (first-views)
+  from warm hit rates.
+- :mod:`repro.placement.distance` — serving-distance cost model
+  (nearest replica vs origin, haversine km).
+"""
+
+from repro.placement.predictor import TagGeoPredictor
+from repro.placement.workload import Request, RequestTrace, WorkloadGenerator
+from repro.placement.cache import CacheStats, EdgeCache, LFUCache, LRUCache, StaticCache
+from repro.placement.policies import (
+    NoPlacement,
+    OraclePlacement,
+    PlacementPolicy,
+    PriorPlacement,
+    TagPredictivePlacement,
+)
+from repro.placement.simulator import (
+    SimulationReport,
+    CacheSimulator,
+    default_simulator,
+)
+from repro.placement.simulator import budgeted_placements
+from repro.placement.replication import AdaptiveTagPlacement
+from repro.placement.history import BlendedPlacement, HistoryPlacement
+from repro.placement.distance import (
+    ServingDistanceReport,
+    evaluate_serving_distance,
+)
+from repro.placement.online import (
+    UploadEvent,
+    ViewEvent,
+    OnlineTrace,
+    OnlineWorkloadGenerator,
+    OnlineReport,
+    OnlineCacheSimulator,
+)
+
+__all__ = [
+    "TagGeoPredictor",
+    "Request",
+    "RequestTrace",
+    "WorkloadGenerator",
+    "CacheStats",
+    "EdgeCache",
+    "LRUCache",
+    "LFUCache",
+    "StaticCache",
+    "PlacementPolicy",
+    "NoPlacement",
+    "PriorPlacement",
+    "OraclePlacement",
+    "TagPredictivePlacement",
+    "SimulationReport",
+    "CacheSimulator",
+    "default_simulator",
+    "budgeted_placements",
+    "AdaptiveTagPlacement",
+    "HistoryPlacement",
+    "BlendedPlacement",
+    "ServingDistanceReport",
+    "evaluate_serving_distance",
+    "UploadEvent",
+    "ViewEvent",
+    "OnlineTrace",
+    "OnlineWorkloadGenerator",
+    "OnlineReport",
+    "OnlineCacheSimulator",
+]

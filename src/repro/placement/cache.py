@@ -1,0 +1,181 @@
+"""Per-country edge caches with hit/miss accounting.
+
+Caches store video ids with unit cost (videos-as-objects; byte-weighted
+variants belong to future work, as in the paper). Three eviction
+families cover the design space the benchmarks compare:
+
+- :class:`LRUCache` — classic reactive recency eviction;
+- :class:`LFUCache` — frequency eviction (ties broken by recency);
+- :class:`StaticCache` — pin-only: contents are placed proactively and
+  never evicted by requests (models pre-positioned storage).
+
+All caches share the :class:`EdgeCache` interface: ``request(video_id)``
+returns hit/miss (inserting on miss is the policy's decision, made via
+``admit``), and ``pin`` inserts proactively.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import CacheError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    pins: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / requests; 0.0 when no requests were served."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class EdgeCache:
+    """Base class: capacity accounting + stats; eviction left to subclasses."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise CacheError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+
+    # -- interface -----------------------------------------------------------
+
+    def request(self, video_id: str) -> bool:
+        """Record a lookup; True on hit. Does not insert on miss."""
+        if self._contains(video_id):
+            self.stats.hits += 1
+            self._touch(video_id)
+            return True
+        self.stats.misses += 1
+        return False
+
+    def admit(self, video_id: str) -> None:
+        """Insert after a miss (reactive path), evicting if needed."""
+        if self.capacity == 0 or self._contains(video_id):
+            return
+        self._insert(video_id)
+        self.stats.insertions += 1
+
+    def pin(self, video_id: str) -> None:
+        """Insert proactively (placement path), evicting if needed."""
+        if self.capacity == 0 or self._contains(video_id):
+            return
+        self._insert(video_id)
+        self.stats.pins += 1
+
+    def __len__(self) -> int:
+        return self._size()
+
+    def __contains__(self, video_id: str) -> bool:
+        return self._contains(video_id)
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _contains(self, video_id: str) -> bool:
+        raise NotImplementedError
+
+    def _touch(self, video_id: str) -> None:
+        raise NotImplementedError
+
+    def _insert(self, video_id: str) -> None:
+        raise NotImplementedError
+
+    def _size(self) -> int:
+        raise NotImplementedError
+
+
+class LRUCache(EdgeCache):
+    """Least-recently-used eviction."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._entries: "OrderedDict[str, None]" = OrderedDict()
+
+    def _contains(self, video_id: str) -> bool:
+        return video_id in self._entries
+
+    def _touch(self, video_id: str) -> None:
+        self._entries.move_to_end(video_id)
+
+    def _insert(self, video_id: str) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[video_id] = None
+
+    def _size(self) -> int:
+        return len(self._entries)
+
+
+class LFUCache(EdgeCache):
+    """Least-frequently-used eviction; ties broken by least recency.
+
+    Simple ordered-scan implementation — adequate for simulation sizes;
+    swap in an O(1) frequency-list structure if traces grow very large.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._frequency: "OrderedDict[str, int]" = OrderedDict()
+
+    def _contains(self, video_id: str) -> bool:
+        return video_id in self._frequency
+
+    def _touch(self, video_id: str) -> None:
+        self._frequency[video_id] += 1
+        self._frequency.move_to_end(video_id)
+
+    def _insert(self, video_id: str) -> None:
+        if len(self._frequency) >= self.capacity:
+            victim = min(self._frequency, key=self._frequency.get)
+            del self._frequency[victim]
+            self.stats.evictions += 1
+        self._frequency[video_id] = 1
+
+    def _size(self) -> int:
+        return len(self._frequency)
+
+
+class StaticCache(EdgeCache):
+    """Pin-only cache: requests never insert or evict.
+
+    ``admit`` is a no-op; ``pin`` refuses (silently skips) beyond
+    capacity — proactive placement must budget its pins.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._pinned: Set[str] = set()
+
+    def admit(self, video_id: str) -> None:  # reactive path disabled
+        return
+
+    def _contains(self, video_id: str) -> bool:
+        return video_id in self._pinned
+
+    def _touch(self, video_id: str) -> None:
+        return
+
+    def _insert(self, video_id: str) -> None:
+        if len(self._pinned) >= self.capacity:
+            return
+        self._pinned.add(video_id)
+
+    def _size(self) -> int:
+        return len(self._pinned)

@@ -1,0 +1,299 @@
+"""Event-driven online caching simulation.
+
+The two-phase simulator (:mod:`repro.placement.simulator`) pre-places the
+whole catalogue, then replays requests — fine for steady-state analysis,
+but it understates proactive placement's real selling point: a *reactive*
+cache always misses a video's first request in each country, while
+*proactive* placement can be there before the first viewer. This module
+simulates the interleaving explicitly:
+
+- :class:`OnlineWorkloadGenerator` builds a timeline where videos are
+  uploaded over time and each video's views arrive after its upload with
+  an exponentially decaying age profile (young videos are hot — the
+  standard UGC finding);
+- :class:`OnlineCacheSimulator` processes the event stream in order.
+  Upload events trigger the placement policy (pins go into the same
+  LRU caches as reactive admissions, so pinned content competes for
+  space realistically); view events hit the viewer country's cache;
+- the report separates **cold requests** (each video's first
+  ``cold_window`` views) from warm ones — cold hit rate is where
+  proactive placement earns its keep.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datamodel.dataset import Dataset
+from repro.errors import ConfigError, PlacementError
+from repro.placement.cache import EdgeCache, LRUCache
+from repro.placement.policies import PlacementPolicy
+from repro.synth.rng import spawn_rng
+from repro.synth.universe import Universe
+from repro.world.countries import CountryRegistry
+
+
+@dataclass(frozen=True)
+class UploadEvent:
+    """A video becomes available at ``time``."""
+
+    time: float
+    video_id: str
+
+
+@dataclass(frozen=True)
+class ViewEvent:
+    """A view request for ``video_id`` from ``country`` at ``time``."""
+
+    time: float
+    video_id: str
+    country: str
+
+
+Event = Union[UploadEvent, ViewEvent]
+
+
+@dataclass(frozen=True)
+class OnlineTrace:
+    """A time-ordered stream of upload and view events."""
+
+    events: Tuple[Event, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def view_count(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, ViewEvent))
+
+    def upload_count(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, UploadEvent))
+
+
+class OnlineWorkloadGenerator:
+    """Builds an :class:`OnlineTrace` from the universe's ground truth.
+
+    Args:
+        universe: Ground-truth source.
+        video_ids: Catalogue restriction (e.g. the filtered crawl).
+        seed: Determinism key.
+        upload_window: Uploads are spread uniformly over
+            ``[0, upload_window)`` (arbitrary time units).
+        horizon: Views arrive in ``[upload_time, horizon)``.
+        age_decay: Mean of the exponential age profile — most of a video's
+            views land within ``age_decay`` time units of its upload.
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        video_ids: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        upload_window: float = 50.0,
+        horizon: float = 100.0,
+        age_decay: float = 10.0,
+    ):
+        if upload_window <= 0 or horizon <= upload_window:
+            raise ConfigError("need 0 < upload_window < horizon")
+        if age_decay <= 0:
+            raise ConfigError("age_decay must be positive")
+        self.universe = universe
+        if video_ids is None:
+            video_ids = universe.video_ids()
+        else:
+            video_ids = [vid for vid in video_ids if vid in universe]
+        if not video_ids:
+            raise ConfigError("online workload has no videos")
+        self._video_ids = list(video_ids)
+        self._rng = spawn_rng(seed, "online-workload")
+        self.upload_window = upload_window
+        self.horizon = horizon
+        self.age_decay = age_decay
+        views = np.array(
+            [universe.get(vid).views for vid in self._video_ids], dtype=float
+        )
+        self._video_probs = views / views.sum()
+        self._codes = universe.registry.codes()
+
+    def generate(self, n_views: int) -> OnlineTrace:
+        """Build a trace with one upload per video and ``n_views`` views."""
+        if n_views < 0:
+            raise ConfigError("n_views must be >= 0")
+        rng = self._rng
+        upload_times = {
+            video_id: float(rng.uniform(0.0, self.upload_window))
+            for video_id in self._video_ids
+        }
+        events: List[Tuple[float, int, Event]] = []
+        for serial, (video_id, time) in enumerate(upload_times.items()):
+            events.append((time, serial, UploadEvent(time, video_id)))
+
+        serial = len(events)
+        video_indices = rng.choice(
+            len(self._video_ids), size=n_views, p=self._video_probs
+        )
+        for video_index in video_indices:
+            video_index = int(video_index)
+            video_id = self._video_ids[video_index]
+            country_index = int(
+                rng.choice(
+                    len(self._codes),
+                    p=self.universe.get(video_id).true_shares,
+                )
+            )
+            upload = upload_times[video_id]
+            # Exponential age profile, truncated to the horizon.
+            age = float(rng.exponential(self.age_decay))
+            time = min(upload + age, self.horizon - 1e-9)
+            events.append(
+                (time, serial, ViewEvent(time, video_id, self._codes[country_index]))
+            )
+            serial += 1
+
+        events.sort(key=lambda entry: (entry[0], entry[1]))
+        return OnlineTrace(tuple(event for _, _, event in events))
+
+
+@dataclass(frozen=True)
+class OnlineReport:
+    """Outcome of an online simulation.
+
+    Attributes:
+        policy: Placement policy name.
+        views: Total view events processed.
+        hits: Total cache hits.
+        cold_views: Views within each video's first ``cold_window``
+            requests.
+        cold_hits: Hits among those.
+        pins: Proactive copies pushed at upload time.
+    """
+
+    policy: str
+    views: int
+    hits: int
+    cold_views: int
+    cold_hits: int
+    pins: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.views if self.views else 0.0
+
+    @property
+    def cold_hit_rate(self) -> float:
+        return self.cold_hits / self.cold_views if self.cold_views else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        warm = self.views - self.cold_views
+        if warm == 0:
+            return 0.0
+        return (self.hits - self.cold_hits) / warm
+
+    def as_rows(self) -> List[Tuple[str, object]]:
+        return [
+            ("policy", self.policy),
+            ("views", self.views),
+            ("overall hit rate", round(self.hit_rate, 4)),
+            ("cold hit rate", round(self.cold_hit_rate, 4)),
+            ("warm hit rate", round(self.warm_hit_rate, 4)),
+            ("proactive copies", self.pins),
+        ]
+
+
+class OnlineCacheSimulator:
+    """Processes an :class:`OnlineTrace` against per-country caches.
+
+    Args:
+        registry: One cache per country.
+        cache_factory: Builds each country's cache (e.g.
+            ``lambda: LRUCache(100)``). Pins and reactive admissions share
+            the cache, so proactive copies compete for space.
+        cold_window: A video's first ``cold_window`` views count as cold.
+        reactive_admission: Insert on miss.
+    """
+
+    def __init__(
+        self,
+        registry: CountryRegistry,
+        cache_factory: Callable[[], EdgeCache],
+        cold_window: int = 3,
+        reactive_admission: bool = True,
+    ):
+        if cold_window < 0:
+            raise ConfigError("cold_window must be >= 0")
+        self.registry = registry
+        self.cache_factory = cache_factory
+        self.cold_window = cold_window
+        self.reactive_admission = reactive_admission
+
+    def run(
+        self,
+        catalogue: Dataset,
+        trace: OnlineTrace,
+        policy: PlacementPolicy,
+    ) -> OnlineReport:
+        caches: Dict[str, EdgeCache] = {
+            code: self.cache_factory() for code in self.registry.codes()
+        }
+        seen_views: Dict[str, int] = {}
+        hits = 0
+        views = 0
+        cold_views = 0
+        cold_hits = 0
+        pins = 0
+        for event in trace:
+            if isinstance(event, UploadEvent):
+                if event.video_id not in catalogue:
+                    continue
+                video = catalogue.get(event.video_id)
+                for country in policy.place(video):
+                    cache = caches.get(country)
+                    if cache is None:
+                        raise PlacementError(
+                            f"policy {policy.name!r} targeted unknown "
+                            f"country {country!r}"
+                        )
+                    cache.pin(video.video_id)
+                    pins += 1
+            else:
+                cache = caches.get(event.country)
+                if cache is None:
+                    raise PlacementError(
+                        f"trace contains unknown country {event.country!r}"
+                    )
+                views += 1
+                order = seen_views.get(event.video_id, 0)
+                seen_views[event.video_id] = order + 1
+                is_cold = order < self.cold_window
+                if is_cold:
+                    cold_views += 1
+                if cache.request(event.video_id):
+                    hits += 1
+                    if is_cold:
+                        cold_hits += 1
+                elif self.reactive_admission:
+                    cache.admit(event.video_id)
+        return OnlineReport(
+            policy=policy.name,
+            views=views,
+            hits=hits,
+            cold_views=cold_views,
+            cold_hits=cold_hits,
+            pins=pins,
+        )
+
+    def compare(
+        self,
+        catalogue: Dataset,
+        trace: OnlineTrace,
+        policies: Iterable[PlacementPolicy],
+    ) -> List[OnlineReport]:
+        """Run several policies against identical caches and trace."""
+        return [self.run(catalogue, trace, policy) for policy in policies]

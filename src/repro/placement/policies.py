@@ -1,0 +1,121 @@
+"""Proactive placement policies.
+
+At upload time a policy sees a video's *observable* metadata (the
+:class:`~repro.datamodel.Video` record) and decides which countries'
+edge caches receive a pinned copy. The benchmark compares:
+
+- :class:`NoPlacement` — pure reactive caching (the deployed default);
+- :class:`PriorPlacement` — pin in the globally biggest markets
+  regardless of content (what a tag-agnostic proactive system can do);
+- :class:`TagPredictivePlacement` — the paper's proposal: pin where the
+  tags predict the views will be;
+- :class:`OraclePlacement` — pin where the views *will actually* be
+  (upper bound; uses ground truth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datamodel.video import Video
+from repro.errors import PlacementError
+from repro.placement.predictor import TagGeoPredictor
+from repro.synth.universe import Universe
+from repro.world.traffic import TrafficModel
+
+
+class PlacementPolicy:
+    """Interface: score (country, video) placements for a new upload.
+
+    ``place(video)`` returns ``{country: score}`` for the video's
+    ``replicas`` most promising countries. The score estimates the
+    *expected local views* of the video in that country — the currency
+    the simulator uses to budget each country's finite pin capacity
+    across competing videos.
+    """
+
+    #: Human-readable policy name (subclasses override).
+    name = "abstract"
+
+    def __init__(self, replicas: int):
+        if replicas < 0:
+            raise PlacementError(f"replicas must be >= 0, got {replicas}")
+        self.replicas = replicas
+
+    def place(self, video: Video) -> Dict[str, float]:
+        """Country → placement score for the top ``replicas`` countries."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _top_scores(
+        shares: np.ndarray, codes: Sequence[str], views: int, replicas: int
+    ) -> Dict[str, float]:
+        order = np.argsort(-shares)[:replicas]
+        return {codes[int(i)]: float(shares[int(i)]) * views for i in order}
+
+
+class NoPlacement(PlacementPolicy):
+    """Reactive only: never pre-position anything."""
+
+    name = "none"
+
+    def __init__(self):
+        super().__init__(replicas=0)
+
+    def place(self, video: Video) -> Dict[str, float]:
+        return {}
+
+
+class PriorPlacement(PlacementPolicy):
+    """Tag-agnostic: score by traffic share × total views.
+
+    Every video targets the same ``replicas`` biggest markets; within a
+    country, videos compete on worldwide popularity alone. This is the
+    best a proactive system can do without content signals.
+    """
+
+    name = "prior"
+
+    def __init__(self, traffic: TrafficModel, replicas: int):
+        super().__init__(replicas)
+        self._shares = traffic.as_vector()
+        self._codes = traffic.registry.codes()
+
+    def place(self, video: Video) -> Dict[str, float]:
+        return self._top_scores(
+            self._shares, self._codes, video.views, self.replicas
+        )
+
+
+class TagPredictivePlacement(PlacementPolicy):
+    """The paper's proposal: pin where the tags say the viewers are."""
+
+    name = "tags"
+
+    def __init__(self, predictor: TagGeoPredictor, replicas: int):
+        super().__init__(replicas)
+        self.predictor = predictor
+        self._codes = predictor.registry.codes()
+
+    def place(self, video: Video) -> Dict[str, float]:
+        shares = self.predictor.predict_shares(video)
+        return self._top_scores(shares, self._codes, video.views, self.replicas)
+
+
+class OraclePlacement(PlacementPolicy):
+    """Upper bound: score by the *true* per-country views (ground truth)."""
+
+    name = "oracle"
+
+    def __init__(self, universe: Universe, replicas: int):
+        super().__init__(replicas)
+        self.universe = universe
+        self._codes = universe.registry.codes()
+
+    def place(self, video: Video) -> Dict[str, float]:
+        if video.video_id not in self.universe:
+            return {}
+        truth = self.universe.get(video.video_id).true_shares
+        return self._top_scores(truth, self._codes, video.views, self.replicas)

@@ -1,0 +1,75 @@
+"""Adaptive replica allocation under a global storage budget.
+
+Fixed-replica policies give every video the same number of copies, but
+the tag predictor knows more: a *global* video's views spread over many
+countries (high predicted entropy → many replicas pay off), while a
+*favela*-like video needs one or two well-placed copies. Under a fixed
+total copy budget, spending copies where the geography says they earn
+hits should beat uniform spending.
+
+:class:`AdaptiveTagPlacement` scores every (video, country) pair by
+predicted local views and emits, per video, only the countries whose
+predicted share clears a coverage threshold — then the simulator's
+per-country budgeting (top-score wins) does the global arbitration. The
+``coverage`` knob sets how much predicted view mass each video must have
+covered by its replicas; entropy decides how many countries that takes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datamodel.video import Video
+from repro.errors import PlacementError
+from repro.placement.policies import PlacementPolicy
+from repro.placement.predictor import TagGeoPredictor
+
+
+class AdaptiveTagPlacement(PlacementPolicy):
+    """Coverage-driven replica counts from the tag predictor.
+
+    Args:
+        predictor: Tag-mixture geographic predictor.
+        coverage: Predicted view-mass each video's replica set must
+            cover, in (0, 1]. Local videos reach it with 1–2 countries;
+            global videos need many.
+        max_replicas: Hard cap per video (protects the budget from
+            perfectly uniform predictions).
+    """
+
+    name = "adaptive-tags"
+
+    def __init__(
+        self,
+        predictor: TagGeoPredictor,
+        coverage: float = 0.6,
+        max_replicas: int = 16,
+    ):
+        if not 0.0 < coverage <= 1.0:
+            raise PlacementError(f"coverage must be in (0, 1], got {coverage}")
+        if max_replicas < 1:
+            raise PlacementError("max_replicas must be >= 1")
+        super().__init__(replicas=max_replicas)
+        self.predictor = predictor
+        self.coverage = coverage
+        self.max_replicas = max_replicas
+        self._codes = predictor.registry.codes()
+
+    def place(self, video: Video) -> Dict[str, float]:
+        shares = self.predictor.predict_shares(video)
+        order = np.argsort(-shares)
+        placement: Dict[str, float] = {}
+        covered = 0.0
+        for position in order[: self.max_replicas]:
+            position = int(position)
+            placement[self._codes[position]] = float(shares[position]) * video.views
+            covered += float(shares[position])
+            if covered >= self.coverage:
+                break
+        return placement
+
+    def replica_count(self, video: Video) -> int:
+        """How many replicas this video would receive."""
+        return len(self.place(video))

@@ -1,0 +1,186 @@
+"""End-to-end proactive-caching simulation.
+
+Topology: one edge cache per country plus an always-hit origin. The
+simulation has two phases:
+
+1. **Upload phase** — every catalogue video is "uploaded"; the placement
+   policy picks target countries and each target's cache pins a copy.
+2. **Request phase** — the trace replays; each request consults its
+   country's cache. On a miss the video is fetched from origin and the
+   cache may admit it reactively (LRU/LFU) — the static cache does not.
+
+The reported metric is the overall (and per-country) edge hit rate —
+equivalently, one minus the normalized origin/backbone traffic, the cost
+the paper's introduction says dominates UGC serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.datamodel.dataset import Dataset
+from repro.errors import PlacementError
+from repro.placement.cache import CacheStats, EdgeCache, LRUCache
+from repro.placement.policies import PlacementPolicy
+from repro.placement.workload import RequestTrace
+from repro.world.countries import CountryRegistry
+
+CacheFactory = Callable[[], EdgeCache]
+
+
+def budgeted_placements(
+    catalogue: Dataset,
+    policy: PlacementPolicy,
+    capacity: int,
+    registry: CountryRegistry,
+) -> Dict[str, List[str]]:
+    """Resolve a policy's pins under per-country storage budgets.
+
+    Collects every (country, score, video) candidate the policy emits
+    over the catalogue, then keeps each country's top ``capacity``
+    candidates by score (ties broken by video id for determinism).
+    Returns ``{country: [video_id, ...]}`` — the contents proactive
+    storage would hold. Shared by the static-cache simulation and the
+    serving-distance evaluator.
+    """
+    candidates: Dict[str, List[Tuple[float, str]]] = {}
+    for video in catalogue:
+        for country, score in policy.place(video).items():
+            if country not in registry:
+                raise PlacementError(
+                    f"policy {policy.name!r} targeted unknown country "
+                    f"{country!r}"
+                )
+            candidates.setdefault(country, []).append((score, video.video_id))
+    placements: Dict[str, List[str]] = {}
+    for country, scored in candidates.items():
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        placements[country] = [video_id for _, video_id in scored[:capacity]]
+    return placements
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of one simulation run.
+
+    Attributes:
+        policy: Placement policy name.
+        overall_hit_rate: Hits / requests across all countries.
+        per_country: Country → :class:`CacheStats`.
+        requests: Total requests replayed.
+        pins: Total proactive copies placed.
+    """
+
+    policy: str
+    overall_hit_rate: float
+    per_country: Dict[str, CacheStats]
+    requests: int
+    pins: int
+
+    def hit_rate_for(self, country: str) -> float:
+        stats = self.per_country.get(country)
+        return stats.hit_rate if stats is not None else 0.0
+
+    def as_rows(self) -> List[Tuple[str, object]]:
+        return [
+            ("policy", self.policy),
+            ("requests", self.requests),
+            ("proactive copies", self.pins),
+            ("overall hit rate", round(self.overall_hit_rate, 4)),
+        ]
+
+
+class CacheSimulator:
+    """Replays a request trace against per-country edge caches.
+
+    Args:
+        registry: Country axis (one cache per country).
+        cache_factory: Builds each country's cache (capacity included),
+            e.g. ``lambda: LRUCache(200)``.
+        reactive_admission: Insert on miss (True for LRU/LFU flavours;
+            set False to model placement-only storage).
+    """
+
+    def __init__(
+        self,
+        registry: CountryRegistry,
+        cache_factory: CacheFactory,
+        reactive_admission: bool = True,
+    ):
+        self.registry = registry
+        self.cache_factory = cache_factory
+        self.reactive_admission = reactive_admission
+
+    def run(
+        self,
+        catalogue: Dataset,
+        trace: RequestTrace,
+        policy: PlacementPolicy,
+    ) -> SimulationReport:
+        """Simulate ``policy`` over ``catalogue`` and ``trace``."""
+        caches: Dict[str, EdgeCache] = {
+            code: self.cache_factory() for code in self.registry.codes()
+        }
+
+        # Phase 1: uploads → proactive placement. All candidate pins are
+        # collected first, then each country keeps its highest-scoring
+        # candidates up to its pin budget — a country's storage is a
+        # scarce resource that videos compete for.
+        candidates: Dict[str, List[Tuple[float, str]]] = {}
+        for video in catalogue:
+            for country, score in policy.place(video).items():
+                if country not in caches:
+                    raise PlacementError(
+                        f"policy {policy.name!r} targeted unknown country "
+                        f"{country!r}"
+                    )
+                candidates.setdefault(country, []).append(
+                    (score, video.video_id)
+                )
+        pins = 0
+        for country, scored in candidates.items():
+            cache = caches[country]
+            budget = cache.capacity
+            scored.sort(key=lambda pair: (-pair[0], pair[1]))
+            for score, video_id in scored[:budget]:
+                cache.pin(video_id)
+                pins += 1
+
+        # Phase 2: request replay.
+        hits = 0
+        for request in trace:
+            cache = caches.get(request.country)
+            if cache is None:
+                raise PlacementError(
+                    f"trace contains unknown country {request.country!r}"
+                )
+            if cache.request(request.video_id):
+                hits += 1
+            elif self.reactive_admission:
+                cache.admit(request.video_id)
+
+        total = len(trace)
+        return SimulationReport(
+            policy=policy.name,
+            overall_hit_rate=(hits / total) if total else 0.0,
+            per_country={code: cache.stats for code, cache in caches.items()},
+            requests=total,
+            pins=pins,
+        )
+
+    def compare(
+        self,
+        catalogue: Dataset,
+        trace: RequestTrace,
+        policies: Iterable[PlacementPolicy],
+    ) -> List[SimulationReport]:
+        """Run several policies on identical caches and trace."""
+        return [self.run(catalogue, trace, policy) for policy in policies]
+
+
+def default_simulator(
+    registry: CountryRegistry, capacity: int
+) -> CacheSimulator:
+    """LRU-per-country simulator with uniform ``capacity``."""
+    return CacheSimulator(registry, lambda: LRUCache(capacity))

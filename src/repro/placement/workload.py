@@ -1,0 +1,115 @@
+"""Request-trace generation from the universe's ground truth.
+
+A trace is a sequence of ``(video_id, country)`` view requests. Videos
+are drawn proportionally to their total view counts; for each request
+the country is drawn from the video's *true* per-country distribution.
+This is exactly the traffic a UGC provider's edge infrastructure would
+see if the universe were real, and it is independent of everything the
+placement policies are allowed to observe (tags, popularity vectors,
+reconstructions) — so the simulation cannot leak ground truth into a
+policy by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.synth.rng import spawn_rng
+from repro.synth.universe import Universe
+
+
+@dataclass(frozen=True)
+class Request:
+    """One view request: ``video_id`` watched from ``country``."""
+
+    video_id: str
+    country: str
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """An immutable sequence of requests."""
+
+    requests: Tuple[Request, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def countries(self) -> List[str]:
+        """Distinct countries appearing in the trace."""
+        return sorted({request.country for request in self.requests})
+
+    def requests_by_country(self) -> dict:
+        """Country → request count."""
+        counts: dict = {}
+        for request in self.requests:
+            counts[request.country] = counts.get(request.country, 0) + 1
+        return counts
+
+
+class WorkloadGenerator:
+    """Samples request traces from a universe.
+
+    Args:
+        universe: Ground-truth source.
+        video_ids: Restrict the workload to these videos (e.g. the crawled
+            and filtered subset a provider actually serves); default: all.
+        seed: Trace determinism key.
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        video_ids: Optional[Sequence[str]] = None,
+        seed: int = 0,
+    ):
+        self.universe = universe
+        if video_ids is None:
+            video_ids = universe.video_ids()
+        else:
+            video_ids = [vid for vid in video_ids if vid in universe]
+        if not video_ids:
+            raise ConfigError("workload has no videos")
+        self._video_ids = list(video_ids)
+        self._rng = spawn_rng(seed, "workload")
+        views = np.array(
+            [universe.get(vid).views for vid in self._video_ids], dtype=float
+        )
+        if views.sum() <= 0:
+            raise ConfigError("workload videos have no views")
+        self._video_probs = views / views.sum()
+        self._codes = universe.registry.codes()
+        # Per-video country distributions, materialized once.
+        self._country_shares = np.vstack(
+            [universe.get(vid).true_shares for vid in self._video_ids]
+        )
+
+    def generate(self, n_requests: int) -> RequestTrace:
+        """Draw ``n_requests`` i.i.d. requests."""
+        if n_requests < 0:
+            raise ConfigError("n_requests must be >= 0")
+        video_indices = self._rng.choice(
+            len(self._video_ids), size=n_requests, p=self._video_probs
+        )
+        requests: List[Request] = []
+        for video_index in video_indices:
+            video_index = int(video_index)
+            country_index = int(
+                self._rng.choice(
+                    len(self._codes), p=self._country_shares[video_index]
+                )
+            )
+            requests.append(
+                Request(
+                    video_id=self._video_ids[video_index],
+                    country=self._codes[country_index],
+                )
+            )
+        return RequestTrace(tuple(requests))

@@ -1,0 +1,52 @@
+"""Per-country view reconstruction — the paper's primary contribution.
+
+Section 3 of the paper turns the opaque popularity vector ``pop(v)`` into
+an estimate of where a video's views happened:
+
+- Eq. (1) *interprets* ``pop(v)[c]`` as the video's **intensity** in
+  country ``c`` — "a number proportional to the share of this video's
+  views in this country's YouTube traffic":
+  ``pop(v)[c] = views(v)[c] / ytube[c] × K(v)``.
+- Eq. (2) *approximates* the unknown per-country YouTube volume with the
+  Alexa traffic shares: ``ytube[c] ≈ p̂_yt[c] × T_yt``.
+- Combining both with the video's known total view count eliminates both
+  unknowns (``K(v)`` and ``T_yt``) and yields
+  ``views(v)[c] = views(v) × pop(v)[c]·p̂_yt[c] / Σ_c' pop(v)[c']·p̂_yt[c']``.
+- Eq. (3) aggregates reconstructed views per tag:
+  ``views(t)[c] = Σ_{v ∈ videos(t)} views(v)[c]``.
+
+Modules:
+
+- :mod:`repro.reconstruct.views` — the Eq. (1)–(2) estimator
+  (:class:`ViewReconstructor`) plus the naive "intensity = share"
+  baseline the paper argues against (its USA-vs-Singapore example).
+- :mod:`repro.reconstruct.tagviews` — the Eq. (3) tag view table.
+- :mod:`repro.reconstruct.validation` — accuracy of the estimator against
+  the synthetic universe's ground truth (paper could not do this).
+"""
+
+from repro.reconstruct.views import (
+    ViewReconstructor,
+    reconstruct_views,
+    reconstruct_views_naive,
+    reconstruct_views_smoothed,
+)
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.reconstruct.validation import (
+    VideoReconstructionError,
+    ReconstructionReport,
+    validate_against_universe,
+    per_country_bias,
+)
+
+__all__ = [
+    "ViewReconstructor",
+    "reconstruct_views",
+    "reconstruct_views_naive",
+    "reconstruct_views_smoothed",
+    "TagViewsTable",
+    "VideoReconstructionError",
+    "ReconstructionReport",
+    "validate_against_universe",
+    "per_country_bias",
+]

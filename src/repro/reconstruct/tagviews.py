@@ -1,0 +1,113 @@
+"""Eq. (3): per-tag geographic view aggregation.
+
+``views(t)[c] = Σ_{v ∈ videos(t)} views(v)[c]`` — the quantity behind the
+paper's Figs. 2 and 3. :class:`TagViewsTable` materializes it for every
+tag of a dataset in one pass over the reconstructed videos.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datamodel.dataset import Dataset
+from repro.errors import AnalysisError
+from repro.reconstruct.views import ViewReconstructor
+from repro.world.countries import CountryRegistry
+
+
+class TagViewsTable:
+    """The complete ``views(t)`` table over a dataset.
+
+    Args:
+        dataset: A (filtered) dataset; videos without a valid popularity
+            vector are ignored, as in the paper.
+        reconstructor: The Eq. (1)–(2) estimator to use; defaults to the
+            standard one.
+
+    The table is built eagerly in the constructor: one reconstruction per
+    eligible video, one accumulation per (video, tag) pair.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        reconstructor: Optional[ViewReconstructor] = None,
+    ):
+        if reconstructor is None:
+            reconstructor = ViewReconstructor()
+        self.reconstructor = reconstructor
+        self.registry: CountryRegistry = reconstructor.registry
+        self._views: Dict[str, np.ndarray] = {}
+        self._video_counts: Dict[str, int] = {}
+        axis = len(self.registry)
+        for video in dataset:
+            if not video.has_valid_popularity() or not video.tags:
+                continue
+            estimated = reconstructor.for_video(video)
+            for tag in video.tags:
+                bucket = self._views.get(tag)
+                if bucket is None:
+                    bucket = np.zeros(axis)
+                    self._views[tag] = bucket
+                bucket += estimated
+                self._video_counts[tag] = self._video_counts.get(tag, 0) + 1
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct tags in the table."""
+        return len(self._views)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._views
+
+    def tags(self) -> List[str]:
+        return list(self._views.keys())
+
+    def views_for(self, tag: str) -> np.ndarray:
+        """``views(t)`` as a vector on the registry axis (copy)."""
+        try:
+            return self._views[tag].copy()
+        except KeyError:
+            raise AnalysisError(f"tag not in table: {tag!r}") from None
+
+    def shares_for(self, tag: str) -> np.ndarray:
+        """``views(t)`` normalized to a distribution."""
+        views = self.views_for(tag)
+        total = views.sum()
+        if total <= 0:
+            raise AnalysisError(f"tag {tag!r} has zero reconstructed views")
+        return views / total
+
+    def total_views(self, tag: str) -> float:
+        """Worldwide reconstructed views carrying ``tag``."""
+        return float(self.views_for(tag).sum())
+
+    def video_count(self, tag: str) -> int:
+        """|videos(t)| — number of contributing videos."""
+        return self._video_counts.get(tag, 0)
+
+    def items(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Iterate ``(tag, views-vector)`` pairs (vectors are live; do not
+        mutate)."""
+        return iter(self._views.items())
+
+    def top_tags_by_views(self, count: int = 10) -> List[Tuple[str, float]]:
+        """The ``count`` most-viewed tags, best first.
+
+        The paper reports *pop* as "the second most viewed tag in our
+        dataset" — this is that ranking.
+        """
+        ranked = sorted(
+            ((tag, float(vec.sum())) for tag, vec in self._views.items()),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+        return ranked[:count]
+
+    def top_country(self, tag: str) -> str:
+        """The country with the largest share of ``views(t)``."""
+        views = self.views_for(tag)
+        return self.registry.codes()[int(np.argmax(views))]

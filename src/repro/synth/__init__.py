@@ -1,0 +1,66 @@
+"""Synthetic YouTube-like universe (the dataset substitute).
+
+The paper's March-2011 dataset and the YouTube APIs that produced it are
+no longer accessible, so this package generates a corpus with the same
+*statistical anatomy*, from mechanisms documented in the paper and in its
+references [2, 6]:
+
+- a Zipf-distributed tag vocabulary in which each tag carries a hidden
+  *geographic affinity profile* — either global (tracking the YouTube
+  traffic prior, like *pop*), country-anchored (like *favela* → Brazil),
+  language-anchored (spreading across a language cluster), or
+  region-anchored;
+- videos with heavy-tailed (log-normal) view counts whose *true*
+  per-country view distribution is a noisy mixture of their tags'
+  profiles — the generative counterpart of the paper's §3 conjecture;
+- a related-videos graph combining preferential attachment with tag/geo
+  similarity, giving the snowball crawl the locality structure reported
+  in [6];
+- per-video popularity vectors derived from the ground-truth views by the
+  *forward* direction of the paper's Eq. (1) (intensity ∝ local view share
+  over the traffic prior, normalized to a max of 61), then quantized to
+  integers — exactly the observable the paper had to invert;
+- realistic imperfections: a small fraction of untagged videos and a
+  substantial fraction of missing/empty popularity maps, reproducing the
+  paper's filter funnel (1,063,844 → 691,349).
+
+Because the universe retains the ground-truth per-country views, the
+library can *validate* the paper's Eq. (1)–(2) estimator — something the
+original study could not do.
+"""
+
+from repro.synth.rng import derive_seed, spawn_rng
+from repro.synth.geo_profiles import (
+    ProfileKind,
+    GeoProfile,
+    GeoProfileFactory,
+)
+from repro.synth.tagmodel import TagInfo, TagVocabulary
+from repro.synth.videomodel import SynthVideo, VideoGenerator
+from repro.synth.graph import RelatedGraphBuilder
+from repro.synth.universe import Universe, UniverseConfig, build_universe
+from repro.synth.presets import PRESETS, preset_config
+from repro.synth.io import save_universe, load_universe
+from repro.synth.stats import UniverseStats, summarize_universe
+
+__all__ = [
+    "derive_seed",
+    "spawn_rng",
+    "ProfileKind",
+    "GeoProfile",
+    "GeoProfileFactory",
+    "TagInfo",
+    "TagVocabulary",
+    "SynthVideo",
+    "VideoGenerator",
+    "RelatedGraphBuilder",
+    "Universe",
+    "UniverseConfig",
+    "build_universe",
+    "PRESETS",
+    "preset_config",
+    "save_universe",
+    "load_universe",
+    "UniverseStats",
+    "summarize_universe",
+]

@@ -1,0 +1,39 @@
+"""Named universe presets.
+
+The paper's corpus had ~1.06M videos; generating that many is possible
+but unnecessary for shape-level reproduction. Presets trade size for
+runtime; every benchmark states which preset it uses.
+
+========  ========  =======  =============================================
+Preset    Videos    Tags     Intended use
+========  ========  =======  =============================================
+tiny      400       300      unit/integration tests (sub-second)
+small     2,500     1,500    examples, quick exploration
+medium    12,000    8,000    default for benchmarks (seconds)
+large     40,000    22,000   heavier-duty benchmark runs
+========  ========  =======  =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.synth.universe import UniverseConfig
+
+PRESETS: Dict[str, UniverseConfig] = {
+    "tiny": UniverseConfig(n_videos=400, n_tags=300, seed=2011),
+    "small": UniverseConfig(n_videos=2_500, n_tags=1_500, seed=2011),
+    "medium": UniverseConfig(n_videos=12_000, n_tags=8_000, seed=2011),
+    "large": UniverseConfig(n_videos=40_000, n_tags=22_000, seed=2011),
+}
+
+
+def preset_config(name: str) -> UniverseConfig:
+    """Look up a preset by name; raises :class:`~repro.errors.ConfigError`."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

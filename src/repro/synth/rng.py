@@ -1,0 +1,33 @@
+"""Deterministic seed derivation for the synthetic universe.
+
+Every random component of the universe derives its own
+:class:`numpy.random.Generator` from ``(master_seed, label)`` so that
+
+- the whole universe is reproducible from one integer seed, and
+- adding a new randomized component (a new label) never perturbs the
+  streams of existing components — generated corpora stay stable across
+  library versions that add features.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, label: str) -> int:
+    """Derive a 64-bit child seed from a master seed and a component label.
+
+    Uses BLAKE2b over the canonical byte encoding, so the mapping is stable
+    across Python versions and platforms (unlike ``hash()``).
+    """
+    digest = hashlib.blake2b(
+        f"{master_seed}:{label}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def spawn_rng(master_seed: int, label: str) -> np.random.Generator:
+    """A fresh, independent generator for the component named ``label``."""
+    return np.random.default_rng(derive_seed(master_seed, label))

@@ -1,0 +1,78 @@
+"""Universe summary statistics.
+
+A generated world is a model with knobs; before running experiments on
+one you want a one-screen sanity summary: corpus size, view-count
+skew, tag-kind composition, map availability, and related-graph degree.
+``repro genworld`` prints this via :func:`summarize_universe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.synth.geo_profiles import ProfileKind
+from repro.synth.universe import Universe
+
+
+@dataclass(frozen=True)
+class UniverseStats:
+    """One-screen summary of a generated world."""
+
+    videos: int
+    tags: int
+    total_views: int
+    median_views: float
+    p99_views: float
+    untagged_fraction: float
+    missing_map_fraction: float
+    mean_tags_per_video: float
+    mean_out_degree: float
+    tag_kind_counts: Dict[str, int]
+
+    def as_rows(self) -> List[Tuple[str, object]]:
+        rows: List[Tuple[str, object]] = [
+            ("videos", self.videos),
+            ("tag vocabulary", self.tags),
+            ("total views", self.total_views),
+            ("median views / video", round(self.median_views)),
+            ("p99 views / video", round(self.p99_views)),
+            ("untagged videos", f"{self.untagged_fraction:.2%}"),
+            ("missing popularity maps", f"{self.missing_map_fraction:.2%}"),
+            ("mean tags / video", round(self.mean_tags_per_video, 2)),
+            ("mean related-graph out-degree", round(self.mean_out_degree, 1)),
+        ]
+        rows.extend(
+            (f"{kind} tags", count)
+            for kind, count in sorted(self.tag_kind_counts.items())
+        )
+        return rows
+
+
+def summarize_universe(universe: Universe) -> UniverseStats:
+    """Compute a :class:`UniverseStats` over the whole universe."""
+    views = np.array([video.views for video in universe.videos()], dtype=float)
+    untagged = sum(1 for video in universe.videos() if not video.tags)
+    missing_map = sum(
+        1 for video in universe.videos() if video.popularity is None
+    )
+    tag_counts = [len(video.tags) for video in universe.videos()]
+    out_degrees = [len(video.related_ids) for video in universe.videos()]
+    kind_counts: Dict[str, int] = {kind.value: 0 for kind in ProfileKind}
+    for tag in universe.vocabulary:
+        kind_counts[tag.kind.value] += 1
+    n = len(universe)
+    return UniverseStats(
+        videos=n,
+        tags=len(universe.vocabulary),
+        total_views=int(views.sum()),
+        median_views=float(np.median(views)),
+        p99_views=float(np.quantile(views, 0.99)),
+        untagged_fraction=untagged / n if n else 0.0,
+        missing_map_fraction=missing_map / n if n else 0.0,
+        mean_tags_per_video=float(np.mean(tag_counts)) if tag_counts else 0.0,
+        mean_out_degree=float(np.mean(out_degrees)) if out_degrees else 0.0,
+        tag_kind_counts=kind_counts,
+    )

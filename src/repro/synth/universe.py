@@ -1,0 +1,211 @@
+"""The :class:`Universe` facade: a fully generated YouTube-like world.
+
+A universe bundles the country registry, the traffic model, the tag
+vocabulary, the generated videos (with ground truth), and the related
+graph. It is what the simulated YouTube API serves, and what validation
+benchmarks consult for ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datamodel.dataset import Dataset
+from repro.errors import ConfigError, UnknownCountryError
+from repro.synth.graph import RelatedGraphBuilder
+from repro.synth.geo_profiles import GeoProfileFactory, ProfileKind
+from repro.synth.rng import spawn_rng
+from repro.synth.tagmodel import TagVocabulary
+from repro.synth.videomodel import SynthVideo, VideoGenerator
+from repro.world.countries import CountryRegistry, default_registry
+from repro.world.traffic import TrafficModel, default_traffic_model
+
+
+@dataclass(frozen=True)
+class UniverseConfig:
+    """Knobs of the synthetic universe.
+
+    Attributes:
+        n_videos: Corpus size before any filtering.
+        n_tags: Tag vocabulary size.
+        seed: Master seed; every random component derives from it.
+        zipf_exponent: Tag rank-frequency exponent.
+        mean_tags: Mean tag-list length.
+        p_no_tags: Fraction of untagged videos (paper: ≈0.63%).
+        p_missing_map: Fraction of videos without a popularity map
+            (paper's funnel: ≈34%).
+        views_lognormal_mu: μ of the view-count law.
+        views_lognormal_sigma: σ of the view-count law.
+        tag_coupling: Video-to-tag-geography Dirichlet concentration.
+        tag_coherence: Probability a non-primary tag stays in the primary
+            tag's topic group (0 = independent tagging, ablation mode).
+        audience_effect: Views-to-reach coupling exponent (global content
+            collects more views); 0 disables.
+        related_count: Related-sidebar length.
+        p_local_edge: Fraction of related edges staying in the primary-tag
+            community.
+        preferential_exponent: Popularity-bias exponent for global edges.
+        global_dirichlet: GLOBAL-profile tightness around the traffic prior.
+    """
+
+    n_videos: int = 2_000
+    n_tags: int = 1_200
+    seed: int = 2011
+    zipf_exponent: float = 1.1
+    mean_tags: float = 7.0
+    p_no_tags: float = 0.0063
+    p_missing_map: float = 0.344
+    views_lognormal_mu: float = 8.0
+    views_lognormal_sigma: float = 2.3
+    tag_coupling: float = 150.0
+    tag_coherence: float = 0.75
+    audience_effect: float = 0.5
+    related_count: int = 20
+    p_local_edge: float = 0.7
+    preferential_exponent: float = 0.85
+    global_dirichlet: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.n_videos < 1:
+            raise ConfigError("n_videos must be >= 1")
+        if self.n_tags < 30:
+            raise ConfigError("n_tags must be >= 30 (curated head)")
+
+
+class Universe:
+    """A generated world: videos with ground truth plus lookup structure.
+
+    Build with :func:`build_universe`; construct directly only in tests.
+    """
+
+    def __init__(
+        self,
+        config: UniverseConfig,
+        registry: CountryRegistry,
+        traffic: TrafficModel,
+        vocabulary: TagVocabulary,
+        videos: List[SynthVideo],
+    ):
+        self.config = config
+        self.registry = registry
+        self.traffic = traffic
+        self.vocabulary = vocabulary
+        self._videos: Dict[str, SynthVideo] = {}
+        self._order: List[str] = []
+        for video in videos:
+            if video.video_id in self._videos:
+                raise ConfigError(f"duplicate video id: {video.video_id}")
+            self._videos[video.video_id] = video
+            self._order.append(video.video_id)
+        self._country_rankings: Dict[str, List[str]] = {}
+
+    # -- basic access ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._videos)
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._videos
+
+    def get(self, video_id: str) -> SynthVideo:
+        try:
+            return self._videos[video_id]
+        except KeyError:
+            raise ConfigError(f"no such video in universe: {video_id}") from None
+
+    def video_ids(self) -> List[str]:
+        return list(self._order)
+
+    def videos(self) -> List[SynthVideo]:
+        return [self._videos[vid] for vid in self._order]
+
+    # -- ground truth -----------------------------------------------------------
+
+    def true_views(self, video_id: str) -> np.ndarray:
+        """Ground-truth per-country views of a video (float vector)."""
+        return self.get(video_id).true_views_by_country()
+
+    def true_tag_views(self, tag: str) -> np.ndarray:
+        """Ground-truth Eq. (3): summed per-country views over videos(t)."""
+        total = np.zeros(len(self.registry))
+        for video in self._videos.values():
+            if tag in video.tags:
+                total += video.true_views_by_country()
+        return total
+
+    # -- feeds (what the simulated API serves) ---------------------------------
+
+    def most_popular(self, country_code: str, count: int = 10) -> List[str]:
+        """Ids of the ``count`` most-viewed videos *in* ``country_code``.
+
+        Ranks by ground-truth local views — the quantity YouTube's
+        per-country "most popular" feeds reflected.
+        """
+        if country_code not in self.registry:
+            raise UnknownCountryError(country_code)
+        ranking = self._country_rankings.get(country_code)
+        if ranking is None:
+            index = self.registry.index_of(country_code)
+            scored = sorted(
+                self._order,
+                key=lambda vid: self._videos[vid].views
+                * self._videos[vid].true_shares[index],
+                reverse=True,
+            )
+            ranking = scored
+            self._country_rankings[country_code] = ranking
+        return ranking[:count]
+
+    # -- conversions -----------------------------------------------------------
+
+    def to_dataset(self) -> Dataset:
+        """The observable, *unfiltered* dataset (what a perfect crawl sees)."""
+        return Dataset(
+            (video.to_video() for video in self.videos()), self.registry
+        )
+
+
+def build_universe(config: Optional[UniverseConfig] = None) -> Universe:
+    """Generate a universe deterministically from ``config.seed``."""
+    if config is None:
+        config = UniverseConfig()
+    registry = default_registry()
+    traffic = default_traffic_model(registry)
+
+    profile_factory = GeoProfileFactory(
+        registry,
+        traffic,
+        rng=spawn_rng(config.seed, "profiles"),
+        global_dirichlet=config.global_dirichlet,
+    )
+    vocabulary = TagVocabulary(
+        n_tags=config.n_tags,
+        zipf_exponent=config.zipf_exponent,
+        profile_factory=profile_factory,
+        rng=spawn_rng(config.seed, "tags"),
+        registry=registry,
+    )
+    generator = VideoGenerator(
+        vocabulary,
+        traffic=traffic,
+        rng=spawn_rng(config.seed, "videos"),
+        mean_tags=config.mean_tags,
+        p_no_tags=config.p_no_tags,
+        p_missing_map=config.p_missing_map,
+        views_lognormal_mu=config.views_lognormal_mu,
+        views_lognormal_sigma=config.views_lognormal_sigma,
+        tag_coupling=config.tag_coupling,
+        tag_coherence=config.tag_coherence,
+        audience_effect=config.audience_effect,
+    )
+    videos = generator.generate(config.n_videos)
+    RelatedGraphBuilder(
+        rng=spawn_rng(config.seed, "graph"),
+        related_count=min(config.related_count, max(len(videos) - 1, 1)),
+        p_local=config.p_local_edge,
+        preferential_exponent=config.preferential_exponent,
+    ).build(videos)
+    return Universe(config, registry, traffic, vocabulary, videos)

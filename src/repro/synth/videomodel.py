@@ -1,0 +1,278 @@
+"""Synthetic video generation with ground-truth geographic views.
+
+Each generated video gets:
+
+- a heavy-tailed (log-normal) total view count — UGC view counts are
+  famously skewed [Brodersen et al., the paper's ref. 2];
+- a Zipf-sampled tag list whose length follows a shifted geometric law
+  (most uploaders enter a handful of tags, a few enter dozens);
+- a hidden *true* per-country view-share vector drawn from a Dirichlet
+  centred on the weighted mixture of its tags' geo profiles — the
+  generative counterpart of the paper's §3 conjecture that "the geographic
+  distribution of a video's views might be strongly related to that of its
+  associated tags". The Dirichlet concentration ``tag_coupling`` controls
+  how tightly videos follow their tags; benchmark V2 sweeps it;
+- an observable popularity vector derived from the true shares by the
+  *forward* direction of the paper's Eq. (1): intensity proportional to
+  the local view share divided by the country's traffic share, normalized
+  so the maximum country scores 61, then rounded to integers (the Chart
+  API quantization). This is exactly the lossy observable the paper had
+  to invert;
+- realistic gaps: with probability ``p_no_tags`` the tag list is empty,
+  and with probability ``p_missing_map`` the popularity map is absent —
+  reproducing the paper's §2 filter funnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel.popularity import MAX_INTENSITY, PopularityVector
+from repro.datamodel.video import VIDEO_ID_LENGTH, Video
+from repro.errors import ConfigError
+from repro.synth.tagmodel import TagInfo, TagVocabulary
+from repro.world.countries import CountryRegistry, default_registry
+from repro.world.traffic import TrafficModel, default_traffic_model
+
+_ID_ALPHABET = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
+)
+
+#: Weight decay across a video's tag list when mixing tag profiles: the
+#: first tags an uploader enters are the most descriptive ones [Geisler &
+#: Burns 2007], so they dominate the video's geography.
+TAG_POSITION_DECAY = 0.6
+
+
+@dataclass
+class SynthVideo:
+    """A generated video plus its hidden ground truth.
+
+    Attributes:
+        video_id: 11-character id.
+        title: Human-readable title derived from the tag list.
+        uploader: Synthetic account name.
+        upload_date: ISO date between 2006 and early 2011.
+        views: Total view count.
+        tags: Tag names (may be empty).
+        true_shares: Ground-truth per-country view-share vector on the
+            registry axis (sums to 1). The paper could not observe this.
+        popularity: The observable quantized popularity vector, or ``None``
+            when the map is missing.
+        related_ids: Filled in by the graph builder.
+    """
+
+    video_id: str
+    title: str
+    uploader: str
+    upload_date: str
+    views: int
+    tags: Tuple[str, ...]
+    true_shares: np.ndarray
+    popularity: Optional[PopularityVector]
+    related_ids: Tuple[str, ...] = ()
+
+    def true_views_by_country(self) -> np.ndarray:
+        """Ground-truth per-country view counts (float)."""
+        return self.views * self.true_shares
+
+    def to_video(self) -> Video:
+        """The observable :class:`~repro.datamodel.Video` record (no ground truth)."""
+        return Video(
+            video_id=self.video_id,
+            title=self.title,
+            uploader=self.uploader,
+            upload_date=self.upload_date,
+            views=self.views,
+            tags=self.tags,
+            popularity=self.popularity,
+            related_ids=self.related_ids,
+        )
+
+
+def quantize_popularity(
+    true_shares: np.ndarray,
+    traffic: TrafficModel,
+    registry: Optional[CountryRegistry] = None,
+) -> PopularityVector:
+    """Forward Eq. (1): true view shares → quantized popularity vector.
+
+    ``pop(v)[c] = round( 61 × (s_v[c] / p̂_yt[c]) / max_c'(s_v[c'] / p̂_yt[c']) )``
+
+    Countries that round to zero disappear from the map, exactly as on the
+    real charts.
+    """
+    if registry is None:
+        registry = default_registry()
+    prior = traffic.as_vector()
+    intensity = true_shares / prior
+    peak = intensity.max()
+    if peak <= 0:
+        return PopularityVector.empty(registry)
+    scaled = np.rint(intensity / peak * MAX_INTENSITY).astype(int)
+    return PopularityVector.from_array(scaled, registry)
+
+
+class VideoGenerator:
+    """Generates :class:`SynthVideo` populations.
+
+    Args:
+        vocabulary: Tag vocabulary (provides profiles and Zipf sampling).
+        traffic: Traffic model used for the forward Eq. (1) quantization.
+        rng: Source of randomness.
+        mean_tags: Mean tag-list length for tagged videos (paper-era
+            studies report ~6–9).
+        p_no_tags: Probability of an untagged video (paper: 6,736 of
+            1,063,844 ≈ 0.63%).
+        p_missing_map: Probability the popularity map is missing/empty
+            (paper's funnel implies ≈ 34%).
+        views_lognormal_mu: μ of the log-normal view-count law.
+        views_lognormal_sigma: σ of the log-normal view-count law.
+        tag_coupling: Dirichlet concentration tying a video's true shares
+            to its tags' mixture profile. Higher = tighter coupling
+            (stronger version of the paper's conjecture).
+        tag_coherence: Probability each non-primary tag stays in the
+            primary tag's topic group (see
+            :meth:`~repro.synth.tagmodel.TagVocabulary.sample_coherent_tags`).
+            0 reproduces fully independent tagging (ablation mode).
+        audience_effect: Exponent coupling a video's view count to its
+            *accessible audience*: the log-normal draw is scaled by
+            ``(⟨shares, p̂_yt⟩ / ⟨uniform, p̂_yt⟩)^audience_effect``.
+            Globally-watched content reaches more viewers and therefore
+            collects more views — the head-is-global regularity reported
+            by Brodersen et al. [paper ref. 2]. 0 disables the coupling.
+    """
+
+    def __init__(
+        self,
+        vocabulary: TagVocabulary,
+        traffic: Optional[TrafficModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        mean_tags: float = 7.0,
+        p_no_tags: float = 0.0063,
+        p_missing_map: float = 0.344,
+        views_lognormal_mu: float = 8.0,
+        views_lognormal_sigma: float = 2.3,
+        tag_coupling: float = 150.0,
+        tag_coherence: float = 0.75,
+        audience_effect: float = 0.5,
+    ):
+        if mean_tags < 1:
+            raise ConfigError("mean_tags must be >= 1")
+        if not 0 <= p_no_tags < 1:
+            raise ConfigError("p_no_tags must be in [0, 1)")
+        if not 0 <= p_missing_map < 1:
+            raise ConfigError("p_missing_map must be in [0, 1)")
+        if tag_coupling <= 0:
+            raise ConfigError("tag_coupling must be positive")
+        if not 0.0 <= tag_coherence <= 1.0:
+            raise ConfigError("tag_coherence must be in [0, 1]")
+        if audience_effect < 0:
+            raise ConfigError("audience_effect must be >= 0")
+        self.vocabulary = vocabulary
+        self.registry = vocabulary.registry
+        self.traffic = (
+            traffic if traffic is not None else default_traffic_model(self.registry)
+        )
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.mean_tags = mean_tags
+        self.p_no_tags = p_no_tags
+        self.p_missing_map = p_missing_map
+        self.views_mu = views_lognormal_mu
+        self.views_sigma = views_lognormal_sigma
+        self.tag_coupling = tag_coupling
+        self.tag_coherence = tag_coherence
+        self.audience_effect = audience_effect
+        self._prior = self.traffic.as_vector()
+        self._uniform_reach = float(self._prior.mean())
+        self._used_ids = set()
+
+    # -- public API ----------------------------------------------------------
+
+    def generate(self, count: int) -> List[SynthVideo]:
+        """Generate ``count`` videos (related edges left empty)."""
+        return [self._generate_one(i) for i in range(count)]
+
+    # -- internals -----------------------------------------------------------
+
+    def _generate_one(self, serial: int) -> SynthVideo:
+        rng = self.rng
+        video_id = self._fresh_id()
+        untagged = rng.random() < self.p_no_tags
+        if untagged:
+            tag_infos: List[TagInfo] = []
+            tags: Tuple[str, ...] = ()
+        else:
+            n_tags = 1 + rng.geometric(1.0 / self.mean_tags)
+            tag_infos = self.vocabulary.sample_coherent_tags(
+                rng, n_tags, self.tag_coherence
+            )
+            tags = tuple(info.name for info in tag_infos)
+
+        true_shares = self._draw_true_shares(tag_infos)
+        views = self._draw_views(true_shares)
+
+        if rng.random() < self.p_missing_map:
+            popularity = None
+        else:
+            popularity = quantize_popularity(true_shares, self.traffic, self.registry)
+
+        return SynthVideo(
+            video_id=video_id,
+            title=self._title_for(tags, serial),
+            uploader=f"user{int(rng.integers(0, 200_000)):06d}",
+            upload_date=self._draw_upload_date(),
+            views=views,
+            tags=tags,
+            true_shares=true_shares,
+            popularity=popularity,
+        )
+
+    def _draw_true_shares(self, tag_infos: Sequence[TagInfo]) -> np.ndarray:
+        """Dirichlet draw centred on the position-weighted tag mixture."""
+        if tag_infos:
+            weights = np.array(
+                [TAG_POSITION_DECAY**i for i in range(len(tag_infos))], dtype=float
+            )
+            weights = weights / weights.sum()
+            centre = np.zeros(len(self.registry))
+            for weight, info in zip(weights, tag_infos):
+                centre = centre + weight * info.profile.shares
+        else:
+            # Untagged videos still have geography; use the traffic prior.
+            centre = self._prior
+        alpha = np.maximum(centre * self.tag_coupling, 1e-4)
+        shares = self.rng.dirichlet(alpha)
+        # Guard against numerically zero entries for divergence math.
+        shares = shares + 1e-12
+        return shares / shares.sum()
+
+    def _draw_views(self, true_shares: np.ndarray) -> int:
+        base = self.rng.lognormal(self.views_mu, self.views_sigma)
+        if self.audience_effect > 0:
+            reach = float(true_shares @ self._prior) / self._uniform_reach
+            base *= reach**self.audience_effect
+        return int(base) + 1
+
+    def _draw_upload_date(self) -> str:
+        year = int(self.rng.integers(2006, 2011))
+        month = int(self.rng.integers(1, 13))
+        day = int(self.rng.integers(1, 29))
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def _title_for(self, tags: Tuple[str, ...], serial: int) -> str:
+        if not tags:
+            return f"Untitled video #{serial}"
+        head = " ".join(tag.title() for tag in tags[:3])
+        return f"{head} — video #{serial}"
+
+    def _fresh_id(self) -> str:
+        while True:
+            chars = self.rng.choice(len(_ID_ALPHABET), size=VIDEO_ID_LENGTH)
+            video_id = "".join(_ID_ALPHABET[i] for i in chars)
+            if video_id not in self._used_ids:
+                self._used_ids.add(video_id)
+                return video_id

@@ -1,0 +1,41 @@
+"""Terminal visualization: ASCII choropleths, bars, text reports.
+
+The paper's three figures are world choropleth maps. This package
+renders their terminal equivalents:
+
+- :mod:`repro.viz.asciimap` — a hand-laid ASCII world grid and
+  region-strip choropleths with block-character shading, plus horizontal
+  bar charts;
+- :mod:`repro.viz.report` — composed text reports for the paper's
+  artefacts (Fig. 1 video map, Figs. 2–3 tag maps, the §2 funnel/stats
+  tables).
+"""
+
+from repro.viz.asciimap import (
+    shade_for,
+    render_world_grid,
+    render_region_strips,
+    render_bar_chart,
+)
+from repro.viz.report import (
+    format_table,
+    video_map_report,
+    tag_map_report,
+    funnel_report,
+    stats_report,
+)
+from repro.viz.plots import render_histogram, render_loglog_ccdf
+
+__all__ = [
+    "shade_for",
+    "render_world_grid",
+    "render_region_strips",
+    "render_bar_chart",
+    "format_table",
+    "video_map_report",
+    "tag_map_report",
+    "funnel_report",
+    "stats_report",
+    "render_histogram",
+    "render_loglog_ccdf",
+]

@@ -1,0 +1,134 @@
+"""ASCII choropleths and bar charts.
+
+Values are arbitrary nonnegative weights (views, shares, intensities);
+shading is always relative to the rendered vector's maximum, exactly as
+the paper's per-video maps were normalized to their own peak (K(v) in
+Eq. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.world.countries import CountryRegistry, default_registry
+from repro.world.regions import REGIONS
+
+#: Shade ramp, lightest to darkest (empty = zero).
+SHADES = (" ", "·", "░", "▒", "▓", "█")
+
+#: Hand-laid world grid: rows are latitude bands (north on top), entries
+#: are country codes placed roughly west→east. ``None`` renders as water.
+WORLD_GRID: Tuple[Tuple[Optional[str], ...], ...] = (
+    (None, None, "IS", "NO", "SE", "FI", None, "RU", None, None, None, None),
+    ("CA", None, "IE", "GB", "DK", "PL", "UA", None, None, None, None, None),
+    ("US", None, "FR", "BE", "NL", "DE", "CZ", "SK", None, "KR", "JP", None),
+    ("MX", None, "PT", "ES", "CH", "AT", "HU", "RO", "CN", None, "TW", None),
+    (None, "CO", "VE", "IT", "HR", "RS", "BG", "GR", "TR", "IN", "HK", None),
+    ("PE", "BR", None, "MA", "IL", "SA", "AE", "PK", "BD", "TH", "VN", "PH"),
+    ("CL", "AR", None, "EG", "NG", "KE", "LK", "MY", "SG", "ID", None, None),
+    (None, None, None, None, "ZA", None, None, None, "AU", "NZ", None, None),
+)
+
+
+def shade_for(value: float, max_value: float) -> str:
+    """The shade character for ``value`` relative to ``max_value``."""
+    if value < 0 or max_value < 0:
+        raise AnalysisError("shade values must be nonnegative")
+    if max_value == 0 or value == 0:
+        return SHADES[0]
+    fraction = min(value / max_value, 1.0)
+    # Nonzero values always get at least the faintest visible shade.
+    index = max(1, int(round(fraction * (len(SHADES) - 1))))
+    return SHADES[index]
+
+
+def _normalize_values(values: Mapping[str, float]) -> Dict[str, float]:
+    cleaned = {}
+    for code, value in values.items():
+        value = float(value)
+        if value < 0:
+            raise AnalysisError(f"negative weight for {code}: {value}")
+        cleaned[code] = value
+    return cleaned
+
+
+def render_world_grid(values: Mapping[str, float], legend: bool = True) -> str:
+    """Render a world choropleth on the hand-laid grid.
+
+    Each present country renders as ``CC█`` (code + shade); countries
+    absent from ``values`` (or zero) render dim; water is blank.
+    """
+    cleaned = _normalize_values(values)
+    peak = max(cleaned.values(), default=0.0)
+    lines: List[str] = []
+    for row in WORLD_GRID:
+        cells: List[str] = []
+        for code in row:
+            if code is None:
+                cells.append("    ")
+            else:
+                shade = shade_for(cleaned.get(code, 0.0), peak) if peak else SHADES[0]
+                cells.append(f"{code}{shade} ")
+        lines.append("".join(cells).rstrip())
+    if legend:
+        ramp = "".join(SHADES[1:])
+        lines.append("")
+        lines.append(f"legend: low {ramp} high (relative to peak)")
+    return "\n".join(lines)
+
+
+def render_region_strips(
+    values: Mapping[str, float],
+    registry: Optional[CountryRegistry] = None,
+) -> str:
+    """Render one shaded strip of countries per world region."""
+    if registry is None:
+        registry = default_registry()
+    cleaned = _normalize_values(values)
+    peak = max(cleaned.values(), default=0.0)
+    label_width = max(len(name) for name in REGIONS.values())
+    lines: List[str] = []
+    for region, region_name in REGIONS.items():
+        members = [c for c in registry if c.region == region]
+        if not members:
+            continue
+        cells = []
+        for country in members:
+            shade = (
+                shade_for(cleaned.get(country.code, 0.0), peak)
+                if peak
+                else SHADES[0]
+            )
+            cells.append(f"{country.code}{shade}")
+        lines.append(f"{region_name:<{label_width}}  " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    top: int = 10,
+    width: int = 40,
+    value_format: str = "{:.1%}",
+) -> str:
+    """Horizontal bar chart of the ``top`` largest entries.
+
+    ``value_format`` renders the numeric annotation (default: percent —
+    pass ``"{:,.0f}"`` for raw view counts).
+    """
+    if top < 1:
+        raise AnalysisError(f"top must be >= 1, got {top}")
+    if width < 1:
+        raise AnalysisError(f"width must be >= 1, got {width}")
+    cleaned = _normalize_values(values)
+    ranked = sorted(cleaned.items(), key=lambda kv: -kv[1])[:top]
+    if not ranked:
+        return "(no data)"
+    peak = ranked[0][1]
+    lines: List[str] = []
+    for code, value in ranked:
+        bar_length = int(round(width * (value / peak))) if peak else 0
+        bar = "█" * max(bar_length, 1 if value > 0 else 0)
+        annotation = value_format.format(value)
+        lines.append(f"{code:>3} {bar:<{width}} {annotation}")
+    return "\n".join(lines)

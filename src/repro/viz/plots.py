@@ -1,0 +1,104 @@
+"""ASCII distribution plots: histograms and log-log CCDFs.
+
+Terminal-grade companions to the choropleths: quick visual checks of
+heavy-tailed view counts and tag rank-frequency curves without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Characters used for plot marks.
+_BAR = "█"
+_POINT = "•"
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """An ASCII histogram, optionally with logarithmic bin edges.
+
+    ``log_x=True`` is the right choice for view counts: equal-width bins
+    in log-space show the heavy tail instead of one giant first bin.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise AnalysisError("no values to plot")
+    if bins < 1:
+        raise AnalysisError("bins must be >= 1")
+    if width < 1:
+        raise AnalysisError("width must be >= 1")
+    if log_x:
+        if np.any(data <= 0):
+            raise AnalysisError("log_x requires strictly positive values")
+        edges = np.logspace(
+            math.log10(data.min()), math.log10(data.max()), bins + 1
+        )
+    else:
+        edges = np.linspace(data.min(), data.max(), bins + 1)
+    counts, edges = np.histogram(data, bins=edges)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, count in enumerate(counts):
+        low, high = edges[i], edges[i + 1]
+        bar = _BAR * max(int(round(width * count / peak)), 1 if count else 0)
+        lines.append(f"[{low:>10.3g}, {high:>10.3g})  {bar:<{width}} {count}")
+    return "\n".join(lines)
+
+
+def render_loglog_ccdf(
+    values: Sequence[float],
+    rows: int = 12,
+    cols: int = 50,
+    title: str = "",
+) -> str:
+    """An ASCII log-log complementary-CDF scatter.
+
+    Heavy-tailed data (power laws, log-normals) appear as a slowly
+    bending or straight descending front; exponential data collapses.
+    """
+    data = np.asarray([v for v in values if v > 0], dtype=float)
+    if data.size == 0:
+        raise AnalysisError("no positive values to plot")
+    if rows < 2 or cols < 2:
+        raise AnalysisError("rows and cols must be >= 2")
+    sorted_values = np.sort(data)
+    n = sorted_values.size
+    probabilities = (n - np.arange(n)) / n
+
+    log_x = np.log10(sorted_values)
+    log_y = np.log10(probabilities)
+    x_min, x_max = log_x.min(), log_x.max()
+    y_min, y_max = log_y.min(), log_y.max()
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * cols for _ in range(rows)]
+    for x, y in zip(log_x, log_y):
+        col = min(int((x - x_min) / x_span * (cols - 1)), cols - 1)
+        row = min(int((y_max - y) / y_span * (rows - 1)), rows - 1)
+        grid[row][col] = _POINT
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"P>=v 1e{y_max:+.0f} ┐")
+    for row in grid:
+        lines.append("           │" + "".join(row))
+    lines.append(f"     1e{y_min:+.0f} ┴" + "─" * cols)
+    lines.append(
+        f"            v: 1e{x_min:+.1f} … 1e{x_max:+.1f} (log scale)"
+    )
+    return "\n".join(lines)

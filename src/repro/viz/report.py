@@ -1,0 +1,128 @@
+"""Composed text reports for the paper's artefacts."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import jensen_shannon, normalized_entropy, top_k_share
+from repro.datamodel.dataset import DatasetStats, FilterReport
+from repro.datamodel.video import Video
+from repro.viz.asciimap import render_bar_chart, render_world_grid
+from repro.world.countries import CountryRegistry, default_registry
+from repro.world.traffic import TrafficModel
+
+
+def format_table(rows: Sequence[Tuple[str, object]], title: str = "") -> str:
+    """Align (label, value) rows into a simple two-column table."""
+    if not rows:
+        return title
+    label_width = max(len(str(label)) for label, _ in rows)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in rows:
+        if isinstance(value, bool):
+            rendered = "yes" if value else "no"
+        elif isinstance(value, int):
+            rendered = f"{value:,}"
+        else:
+            rendered = str(value)
+        lines.append(f"{str(label):<{label_width}}  {rendered}")
+    return "\n".join(lines)
+
+
+def _vector_as_mapping(
+    vector: np.ndarray, registry: CountryRegistry
+) -> Mapping[str, float]:
+    return {
+        code: float(vector[i]) for i, code in enumerate(registry.codes())
+    }
+
+
+def video_map_report(
+    video: Video,
+    shares: np.ndarray,
+    registry: Optional[CountryRegistry] = None,
+) -> str:
+    """Fig.-1-style report: a video's popularity world map + top countries.
+
+    Args:
+        video: The video (title/views used in the header).
+        shares: Its reconstructed per-country view shares.
+        registry: Country axis.
+    """
+    if registry is None:
+        registry = default_registry()
+    mapping = _vector_as_mapping(shares, registry)
+    header = (
+        f"Popularity map of {video.title!r}\n"
+        f"total views: {video.views:,}   tags: {', '.join(video.tags[:6])}"
+    )
+    intensity_note = ""
+    if video.popularity is not None:
+        saturated = [
+            code
+            for code, value in video.popularity
+            if value == video.popularity.max_intensity()
+        ]
+        intensity_note = (
+            f"\nmap peak intensity {video.popularity.max_intensity()} in: "
+            + ", ".join(saturated[:8])
+        )
+    return (
+        header
+        + intensity_note
+        + "\n\n"
+        + render_world_grid(mapping)
+        + "\n\ntop countries by estimated views:\n"
+        + render_bar_chart(mapping, top=8)
+    )
+
+
+def tag_map_report(
+    tag: str,
+    shares: np.ndarray,
+    traffic: TrafficModel,
+    video_count: int = 0,
+    total_views: float = 0.0,
+) -> str:
+    """Fig.-2/3-style report: a tag's view geography vs the traffic prior."""
+    registry = traffic.registry
+    mapping = _vector_as_mapping(shares, registry)
+    prior = traffic.as_vector()
+    jsd = jensen_shannon(shares, prior)
+    entropy = normalized_entropy(shares)
+    top1 = top_k_share(shares, 1)
+    top_code = registry.codes()[int(np.argmax(shares))]
+    header = f"Geographic view distribution of tag {tag!r}"
+    facts = (
+        f"videos: {video_count:,}   est. views: {total_views:,.0f}\n"
+        f"JSD to traffic prior: {jsd:.3f}   normalized entropy: {entropy:.3f}   "
+        f"top country: {top_code} ({top1:.1%})"
+    )
+    return (
+        header
+        + "\n"
+        + facts
+        + "\n\n"
+        + render_world_grid(mapping)
+        + "\n\ntop countries by estimated views share:\n"
+        + render_bar_chart(mapping, top=8)
+    )
+
+
+def funnel_report(report: FilterReport) -> str:
+    """The §2 filter funnel as a table (T1's printable form)."""
+    rows = list(report.as_rows())
+    rows.append(("retention rate", f"{report.retention_rate:.1%}"))
+    return format_table(rows, title="Dataset filter funnel (paper §2)")
+
+
+def stats_report(stats: DatasetStats) -> str:
+    """The §2 corpus statistics as a table."""
+    return format_table(
+        list(stats.as_rows()), title="Corpus statistics (paper §2)"
+    )

@@ -1,0 +1,41 @@
+"""World model: countries, regions, and YouTube traffic shares.
+
+This package provides the geographic substrate every other subsystem builds
+on:
+
+- :mod:`repro.world.countries` — an ISO-3166-alpha-2 country registry with
+  2011 populations, regions, and primary languages (the vintage matching the
+  paper's March 2011 dataset).
+- :mod:`repro.world.traffic` — the Alexa-style per-country YouTube
+  traffic-share model used by the paper's Eq. (2) to approximate
+  ``ytube[c]``.
+- :mod:`repro.world.regions` — continent/region groupings and language
+  clusters used by the synthetic tag-affinity generator.
+"""
+
+from repro.world.countries import (
+    Country,
+    CountryRegistry,
+    default_registry,
+    SEED_COUNTRIES,
+)
+from repro.world.regions import (
+    REGIONS,
+    LANGUAGE_CLUSTERS,
+    countries_in_region,
+    countries_speaking,
+)
+from repro.world.traffic import TrafficModel, default_traffic_model
+
+__all__ = [
+    "Country",
+    "CountryRegistry",
+    "default_registry",
+    "SEED_COUNTRIES",
+    "REGIONS",
+    "LANGUAGE_CLUSTERS",
+    "countries_in_region",
+    "countries_speaking",
+    "TrafficModel",
+    "default_traffic_model",
+]

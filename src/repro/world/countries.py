@@ -1,0 +1,223 @@
+"""ISO-3166 country registry with 2011-era metadata.
+
+The paper's dataset was collected in March 2011 and seeded from the 10 most
+popular videos in 25 countries (the set of countries for which YouTube
+published a "most popular" feed at the time). YouTube's popularity world
+maps, rendered with Google's Map Chart service, coloured individual
+countries with an intensity in ``[0, 61]``.
+
+This module provides a :class:`CountryRegistry` over a curated table of 62
+countries that covers every country YouTube localized to in 2011 plus the
+remaining large internet populations. Populations are mid-2011 estimates in
+thousands (UN World Population Prospects vintage); they are used by the
+synthetic universe to size per-country audiences and by documentation
+examples (e.g. the paper's USA-vs-Singapore saturation discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import UnknownCountryError
+
+
+@dataclass(frozen=True)
+class Country:
+    """A single country entry.
+
+    Attributes:
+        code: ISO-3166 alpha-2 code, upper-case (e.g. ``"BR"``).
+        name: English short name.
+        population: Mid-2011 population estimate, in thousands.
+        region: Coarse region key (see :mod:`repro.world.regions`).
+        languages: Primary languages, most-spoken first (lower-case English
+            names, e.g. ``("portuguese",)``).
+        internet_penetration: Fraction of the population online in 2011,
+            in ``[0, 1]``. Used to derive audience sizes.
+    """
+
+    code: str
+    name: str
+    population: int
+    region: str
+    languages: Tuple[str, ...]
+    internet_penetration: float
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 2 or not self.code.isupper():
+            raise ValueError(f"country code must be 2 upper-case letters: {self.code!r}")
+        if self.population <= 0:
+            raise ValueError(f"population must be positive: {self.population}")
+        if not 0.0 <= self.internet_penetration <= 1.0:
+            raise ValueError(
+                f"internet_penetration must be in [0, 1]: {self.internet_penetration}"
+            )
+
+    @property
+    def online_population(self) -> float:
+        """Estimated online population in thousands."""
+        return self.population * self.internet_penetration
+
+
+# (code, name, population_thousands_2011, region, languages, penetration)
+_COUNTRY_TABLE: List[Tuple[str, str, int, str, Tuple[str, ...], float]] = [
+    # --- Americas ---
+    ("US", "United States", 311_583, "north-america", ("english",), 0.78),
+    ("CA", "Canada", 34_342, "north-america", ("english", "french"), 0.83),
+    ("MX", "Mexico", 115_683, "latin-america", ("spanish",), 0.37),
+    ("BR", "Brazil", 196_935, "latin-america", ("portuguese",), 0.45),
+    ("AR", "Argentina", 41_261, "latin-america", ("spanish",), 0.51),
+    ("CL", "Chile", 17_255, "latin-america", ("spanish",), 0.52),
+    ("CO", "Colombia", 46_406, "latin-america", ("spanish",), 0.40),
+    ("PE", "Peru", 29_614, "latin-america", ("spanish",), 0.36),
+    ("VE", "Venezuela", 29_500, "latin-america", ("spanish",), 0.40),
+    # --- Western Europe ---
+    ("GB", "United Kingdom", 62_752, "western-europe", ("english",), 0.85),
+    ("IE", "Ireland", 4_571, "western-europe", ("english",), 0.75),
+    ("FR", "France", 63_230, "western-europe", ("french",), 0.78),
+    ("DE", "Germany", 80_274, "western-europe", ("german",), 0.83),
+    ("AT", "Austria", 8_423, "western-europe", ("german",), 0.79),
+    ("CH", "Switzerland", 7_912, "western-europe", ("german", "french", "italian"), 0.85),
+    ("NL", "Netherlands", 16_693, "western-europe", ("dutch",), 0.91),
+    ("BE", "Belgium", 11_047, "western-europe", ("dutch", "french"), 0.81),
+    ("ES", "Spain", 46_742, "western-europe", ("spanish",), 0.67),
+    ("PT", "Portugal", 10_558, "western-europe", ("portuguese",), 0.58),
+    ("IT", "Italy", 59_379, "western-europe", ("italian",), 0.56),
+    ("GR", "Greece", 11_123, "western-europe", ("greek",), 0.52),
+    # --- Northern Europe ---
+    ("SE", "Sweden", 9_449, "northern-europe", ("swedish", "english"), 0.92),
+    ("NO", "Norway", 4_953, "northern-europe", ("norwegian", "english"), 0.93),
+    ("DK", "Denmark", 5_571, "northern-europe", ("danish", "english"), 0.90),
+    ("FI", "Finland", 5_388, "northern-europe", ("finnish", "english"), 0.89),
+    # --- Eastern Europe ---
+    ("PL", "Poland", 38_534, "eastern-europe", ("polish",), 0.62),
+    ("CZ", "Czech Republic", 10_496, "eastern-europe", ("czech",), 0.71),
+    ("SK", "Slovakia", 5_398, "eastern-europe", ("slovak", "czech"), 0.74),
+    ("HU", "Hungary", 9_971, "eastern-europe", ("hungarian",), 0.65),
+    ("RO", "Romania", 20_147, "eastern-europe", ("romanian",), 0.40),
+    ("BG", "Bulgaria", 7_348, "eastern-europe", ("bulgarian",), 0.48),
+    ("UA", "Ukraine", 45_706, "eastern-europe", ("ukrainian", "russian"), 0.29),
+    ("RU", "Russia", 142_961, "eastern-europe", ("russian",), 0.49),
+    # --- Middle East & Africa ---
+    ("TR", "Turkey", 73_200, "middle-east", ("turkish",), 0.43),
+    ("IL", "Israel", 7_766, "middle-east", ("hebrew", "english"), 0.69),
+    ("SA", "Saudi Arabia", 28_083, "middle-east", ("arabic",), 0.48),
+    ("AE", "United Arab Emirates", 8_925, "middle-east", ("arabic", "english"), 0.78),
+    ("EG", "Egypt", 82_537, "middle-east", ("arabic",), 0.26),
+    ("MA", "Morocco", 32_273, "middle-east", ("arabic", "french"), 0.53),
+    ("ZA", "South Africa", 51_579, "africa", ("english", "afrikaans"), 0.34),
+    ("NG", "Nigeria", 164_193, "africa", ("english",), 0.28),
+    ("KE", "Kenya", 42_028, "africa", ("english", "swahili"), 0.28),
+    # --- Asia-Pacific ---
+    ("JP", "Japan", 127_834, "east-asia", ("japanese",), 0.79),
+    ("KR", "South Korea", 49_779, "east-asia", ("korean",), 0.84),
+    ("TW", "Taiwan", 23_225, "east-asia", ("chinese",), 0.72),
+    ("HK", "Hong Kong", 7_072, "east-asia", ("chinese", "english"), 0.75),
+    ("CN", "China", 1_347_565, "east-asia", ("chinese",), 0.38),
+    ("IN", "India", 1_241_492, "south-asia", ("hindi", "english"), 0.10),
+    ("PK", "Pakistan", 176_745, "south-asia", ("urdu", "english"), 0.09),
+    ("BD", "Bangladesh", 150_494, "south-asia", ("bengali",), 0.05),
+    ("LK", "Sri Lanka", 21_045, "south-asia", ("sinhala", "english"), 0.15),
+    ("ID", "Indonesia", 242_326, "southeast-asia", ("indonesian",), 0.18),
+    ("MY", "Malaysia", 28_859, "southeast-asia", ("malay", "english"), 0.61),
+    ("SG", "Singapore", 5_188, "southeast-asia", ("english", "chinese"), 0.71),
+    ("TH", "Thailand", 69_519, "southeast-asia", ("thai",), 0.24),
+    ("PH", "Philippines", 94_852, "southeast-asia", ("filipino", "english"), 0.29),
+    ("VN", "Vietnam", 87_840, "southeast-asia", ("vietnamese",), 0.35),
+    ("AU", "Australia", 22_340, "oceania", ("english",), 0.79),
+    ("NZ", "New Zealand", 4_405, "oceania", ("english",), 0.81),
+    # --- Others with YouTube localization in 2011 ---
+    ("IS", "Iceland", 319, "northern-europe", ("icelandic", "english"), 0.95),
+    ("HR", "Croatia", 4_396, "eastern-europe", ("croatian",), 0.58),
+    ("RS", "Serbia", 7_234, "eastern-europe", ("serbian",), 0.42),
+]
+
+
+#: The 25 countries whose "most popular videos" feeds seeded the paper's
+#: crawl (YouTube's localized country list as of early 2011).
+SEED_COUNTRIES: Tuple[str, ...] = (
+    "US", "GB", "CA", "AU", "NZ", "IE",
+    "FR", "DE", "ES", "IT", "NL", "PT",
+    "SE", "PL", "CZ", "RU",
+    "BR", "MX", "AR",
+    "JP", "KR", "TW", "HK", "IN", "IL",
+)
+
+
+class CountryRegistry:
+    """A lookup table of :class:`Country` entries.
+
+    The registry is ordered: iteration order (and the order of
+    :meth:`codes`) is the table order, which all vector representations in
+    the library (popularity vectors, view vectors) use as their canonical
+    axis.
+    """
+
+    def __init__(self, countries: Optional[List[Country]] = None):
+        if countries is None:
+            countries = [
+                Country(code, name, pop, region, langs, pen)
+                for code, name, pop, region, langs, pen in _COUNTRY_TABLE
+            ]
+        self._by_code: Dict[str, Country] = {}
+        self._order: List[str] = []
+        for country in countries:
+            if country.code in self._by_code:
+                raise ValueError(f"duplicate country code: {country.code}")
+            self._by_code[country.code] = country
+            self._order.append(country.code)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Country]:
+        for code in self._order:
+            yield self._by_code[code]
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._by_code
+
+    def get(self, code: str) -> Country:
+        """Return the country for ``code``, raising if unknown."""
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise UnknownCountryError(code) from None
+
+    def codes(self) -> List[str]:
+        """All country codes, in canonical (registry) order."""
+        return list(self._order)
+
+    def index_of(self, code: str) -> int:
+        """Position of ``code`` on the canonical vector axis."""
+        if code not in self._by_code:
+            raise UnknownCountryError(code)
+        return self._order.index(code)
+
+    def subset(self, codes: List[str]) -> "CountryRegistry":
+        """A new registry restricted to ``codes`` (in the given order)."""
+        return CountryRegistry([self.get(code) for code in codes])
+
+    def total_population(self) -> int:
+        """Total population across the registry, in thousands."""
+        return sum(country.population for country in self)
+
+    def total_online_population(self) -> float:
+        """Total online population across the registry, in thousands."""
+        return sum(country.online_population for country in self)
+
+
+_DEFAULT_REGISTRY: Optional[CountryRegistry] = None
+
+
+def default_registry() -> CountryRegistry:
+    """The shared default registry (62 countries, 2011 vintage).
+
+    The instance is created lazily and cached; it is immutable in practice
+    (entries are frozen dataclasses and the registry exposes no mutators).
+    """
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = CountryRegistry()
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,60 @@
+"""Region groupings and language clusters.
+
+The synthetic tag-affinity generator (:mod:`repro.synth.geo_profiles`)
+anchors geographically local tags either to a single country (*favela* →
+Brazil), to a language cluster (a Spanish-language meme spreads across
+Latin America and Spain), or to a region (a Scandinavian TV show). This
+module provides those groupings over the default country registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.world.countries import CountryRegistry, default_registry
+
+#: Region keys used by the default registry, with human-readable names.
+REGIONS: Dict[str, str] = {
+    "north-america": "North America",
+    "latin-america": "Latin America",
+    "western-europe": "Western Europe",
+    "northern-europe": "Northern Europe",
+    "eastern-europe": "Eastern Europe",
+    "middle-east": "Middle East & North Africa",
+    "africa": "Sub-Saharan Africa",
+    "east-asia": "East Asia",
+    "south-asia": "South Asia",
+    "southeast-asia": "Southeast Asia",
+    "oceania": "Oceania",
+}
+
+#: Language clusters that matter for cross-border content spread. Only
+#: languages spoken (as a primary language) in at least two registry
+#: countries form a cluster; single-country languages anchor strictly
+#: local content instead.
+LANGUAGE_CLUSTERS: List[str] = [
+    "english",
+    "spanish",
+    "portuguese",
+    "french",
+    "german",
+    "dutch",
+    "russian",
+    "arabic",
+    "chinese",
+    "czech",
+]
+
+
+def countries_in_region(region: str, registry: CountryRegistry = None) -> List[str]:
+    """Country codes belonging to ``region``, in canonical order."""
+    if registry is None:
+        registry = default_registry()
+    return [country.code for country in registry if country.region == region]
+
+
+def countries_speaking(language: str, registry: CountryRegistry = None) -> List[str]:
+    """Country codes where ``language`` is a primary language."""
+    if registry is None:
+        registry = default_registry()
+    return [country.code for country in registry if language in country.languages]

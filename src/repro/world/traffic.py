@@ -1,0 +1,162 @@
+"""Alexa-style per-country YouTube traffic shares (the paper's Eq. 2).
+
+The paper approximates the per-country YouTube view volume ``ytube[c]``
+with ``p̂_yt[c] × T_yt``, where ``p̂_yt[c]`` is the share of worldwide
+YouTube traffic originating from country ``c`` as estimated by Alexa
+Internet. Alexa's 2011 numbers are no longer retrievable, so
+:func:`default_traffic_model` ships a 2011-flavoured share table derived
+from each country's online population weighted by a per-region engagement
+factor (video streaming was substantially more prevalent per online user
+in North America, Western Europe, Japan/Korea and Brazil than in South
+Asia or Africa in 2011). The *exact* values do not matter for any of the
+paper's qualitative results; what matters is that the model is a fixed,
+plausible prior — and :meth:`TrafficModel.perturbed` lets benchmark V1
+measure how sensitive the paper's estimator is to errors in this prior.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import TrafficModelError, UnknownCountryError
+from repro.world.countries import CountryRegistry, default_registry
+
+#: Relative YouTube engagement per online user, by region (2011 flavour).
+#: Dimensionless weights; only ratios matter.
+_REGION_ENGAGEMENT: Dict[str, float] = {
+    "north-america": 1.00,
+    "latin-america": 0.80,
+    "western-europe": 0.95,
+    "northern-europe": 0.95,
+    "eastern-europe": 0.70,
+    "middle-east": 0.65,
+    "africa": 0.40,
+    "east-asia": 0.75,
+    "south-asia": 0.55,
+    "southeast-asia": 0.60,
+    "oceania": 0.95,
+}
+
+#: Per-country engagement overrides. China blocked YouTube in 2011, so its
+#: share is (nearly) zero despite its huge online population; a trickle
+#: remains to model VPN traffic and keep the model strictly positive.
+_COUNTRY_ENGAGEMENT_OVERRIDE: Dict[str, float] = {
+    "CN": 0.005,
+    "JP": 0.95,  # Japan's engagement was above the East-Asia average
+    "KR": 0.90,
+    "BR": 1.00,  # Brazil was one of YouTube's most engaged markets
+    "TR": 0.90,  # Turkey had very high YouTube engagement pre-ban cycles
+}
+
+
+class TrafficModel:
+    """Per-country shares of worldwide YouTube views, ``p̂_yt``.
+
+    Shares are strictly positive and sum to 1 over the model's registry.
+    The model is the denominator of the paper's Eq. (1)-(2) machinery: a
+    video's per-country *intensity* is its local view share normalized by
+    this prior.
+
+    Args:
+        shares: Mapping from country code to share. Will be validated and
+            re-normalized to sum exactly to 1.
+        registry: Country registry defining the vector axis; defaults to
+            the library-wide default.
+    """
+
+    def __init__(
+        self,
+        shares: Mapping[str, float],
+        registry: Optional[CountryRegistry] = None,
+    ):
+        if registry is None:
+            registry = default_registry()
+        self.registry = registry
+        missing = [code for code in registry.codes() if code not in shares]
+        if missing:
+            raise TrafficModelError(f"missing shares for countries: {missing}")
+        extra = [code for code in shares if code not in registry]
+        if extra:
+            raise TrafficModelError(f"shares given for unknown countries: {extra}")
+        values = np.array([shares[code] for code in registry.codes()], dtype=float)
+        if not np.all(np.isfinite(values)):
+            raise TrafficModelError("shares must be finite")
+        if np.any(values <= 0):
+            raise TrafficModelError("shares must be strictly positive")
+        total = values.sum()
+        if total <= 0 or not math.isfinite(total):
+            raise TrafficModelError(f"share total must be positive, got {total}")
+        self._shares = values / total
+        self._index = {code: i for i, code in enumerate(registry.codes())}
+
+    # -- access -----------------------------------------------------------
+
+    def share(self, code: str) -> float:
+        """Share of worldwide YouTube views from country ``code``."""
+        try:
+            return float(self._shares[self._index[code]])
+        except KeyError:
+            raise UnknownCountryError(code) from None
+
+    def as_vector(self) -> np.ndarray:
+        """Shares as a vector on the registry's canonical axis (copies)."""
+        return self._shares.copy()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Shares as a ``{code: share}`` dict."""
+        return {code: float(self._shares[i]) for code, i in self._index.items()}
+
+    def codes(self) -> Iterable[str]:
+        return self.registry.codes()
+
+    # -- derived models -----------------------------------------------------
+
+    def perturbed(self, relative_error: float, seed: int = 0) -> "TrafficModel":
+        """A copy with multiplicative log-normal noise on every share.
+
+        Used by benchmark V1 to study the estimator's sensitivity to errors
+        in the Alexa prior. ``relative_error`` is (approximately) the
+        standard deviation of the relative error; 0 returns an identical
+        model.
+        """
+        if relative_error < 0:
+            raise TrafficModelError("relative_error must be >= 0")
+        if relative_error == 0:
+            return TrafficModel(self.as_dict(), self.registry)
+        rng = np.random.default_rng(seed)
+        sigma = math.sqrt(math.log(1.0 + relative_error**2))
+        noise = rng.lognormal(mean=-sigma**2 / 2.0, sigma=sigma, size=len(self._shares))
+        noisy = self._shares * noise
+        return TrafficModel(
+            dict(zip(self.registry.codes(), noisy.tolist())), self.registry
+        )
+
+    def restricted(self, codes: Iterable[str]) -> "TrafficModel":
+        """A re-normalized model over a subset of countries."""
+        codes = list(codes)
+        sub = self.registry.subset(codes)
+        return TrafficModel({code: self.share(code) for code in codes}, sub)
+
+    def __len__(self) -> int:
+        return len(self._shares)
+
+    def __repr__(self) -> str:
+        top = sorted(self.as_dict().items(), key=lambda kv: -kv[1])[:3]
+        head = ", ".join(f"{code}={share:.3f}" for code, share in top)
+        return f"TrafficModel({len(self)} countries; top: {head})"
+
+
+def default_traffic_model(registry: Optional[CountryRegistry] = None) -> TrafficModel:
+    """The 2011-flavoured default traffic model (see module docstring)."""
+    if registry is None:
+        registry = default_registry()
+    weights: Dict[str, float] = {}
+    for country in registry:
+        engagement = _COUNTRY_ENGAGEMENT_OVERRIDE.get(
+            country.code, _REGION_ENGAGEMENT.get(country.region, 0.5)
+        )
+        weights[country.code] = max(country.online_population * engagement, 1e-9)
+    return TrafficModel(weights, registry)

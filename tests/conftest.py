@@ -1,0 +1,70 @@
+"""Shared fixtures.
+
+Heavy objects (universe, crawled dataset, tag table) are session-scoped:
+they are deterministic (fixed seeds) and read-only in tests, so building
+them once keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.service import YoutubeService
+from repro.crawler.snowball import SnowballCrawler
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.reconstruct.views import ViewReconstructor
+from repro.synth.presets import preset_config
+from repro.synth.universe import UniverseConfig, build_universe
+from repro.world.countries import default_registry
+from repro.world.traffic import default_traffic_model
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def traffic(registry):
+    return default_traffic_model(registry)
+
+
+@pytest.fixture(scope="session")
+def tiny_universe():
+    """A 400-video universe (the ``tiny`` preset)."""
+    return build_universe(preset_config("tiny"))
+
+
+@pytest.fixture(scope="session")
+def tiny_service(tiny_universe):
+    """Fault-free unmetered service over the tiny universe."""
+    return YoutubeService(tiny_universe)
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline():
+    """A full pipeline run on the tiny preset (exhaustive crawl)."""
+    return run_pipeline(PipelineConfig(universe=preset_config("tiny")))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_pipeline):
+    """The filtered dataset from the tiny pipeline."""
+    return tiny_pipeline.dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_reconstructor(tiny_pipeline):
+    return tiny_pipeline.reconstructor
+
+
+@pytest.fixture(scope="session")
+def tiny_tag_table(tiny_pipeline):
+    return tiny_pipeline.tag_table
+
+
+@pytest.fixture()
+def fresh_service(tiny_universe):
+    """A per-test service (quota/fault state must not leak across tests)."""
+    return YoutubeService(tiny_universe)

@@ -1,0 +1,121 @@
+"""Tests for bootstrap confidence intervals."""
+
+import pytest
+
+from repro.analysis.bootstrap import bootstrap_tag_ci
+from repro.analysis.metrics import top_k_share
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def heavy_tag(tiny_pipeline):
+    """A tag with many videos (stable bootstrap)."""
+    return tiny_pipeline.tag_table.top_tags_by_views(1)[0][0]
+
+
+class TestBootstrapCI:
+    def test_interval_contains_point(self, tiny_pipeline, heavy_tag):
+        ci = bootstrap_tag_ci(
+            tiny_pipeline.dataset,
+            heavy_tag,
+            "top1",
+            tiny_pipeline.reconstructor,
+            n_boot=100,
+        )
+        assert ci.low <= ci.point <= ci.high
+        assert ci.contains(ci.point)
+        assert ci.width >= 0.0
+
+    def test_point_matches_direct_computation(self, tiny_pipeline, heavy_tag):
+        ci = bootstrap_tag_ci(
+            tiny_pipeline.dataset,
+            heavy_tag,
+            "top1",
+            tiny_pipeline.reconstructor,
+            n_boot=50,
+        )
+        direct = top_k_share(
+            tiny_pipeline.tag_table.shares_for(heavy_tag), 1
+        )
+        assert ci.point == pytest.approx(direct, rel=1e-9)
+
+    def test_deterministic_given_seed(self, tiny_pipeline, heavy_tag):
+        kwargs = dict(
+            statistic="jsd",
+            reconstructor=tiny_pipeline.reconstructor,
+            n_boot=60,
+            seed=5,
+        )
+        a = bootstrap_tag_ci(tiny_pipeline.dataset, heavy_tag, **kwargs)
+        b = bootstrap_tag_ci(tiny_pipeline.dataset, heavy_tag, **kwargs)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_more_videos_narrower_interval(self, tiny_pipeline):
+        # The heaviest tag (many videos) should have a narrower top1 CI
+        # than a tag with barely enough videos.
+        table = tiny_pipeline.tag_table
+        heavy = table.top_tags_by_views(1)[0][0]
+        sparse_candidates = [
+            tag for tag in table.tags() if 2 <= table.video_count(tag) <= 4
+        ]
+        if not sparse_candidates:
+            pytest.skip("no sparse tag in tiny corpus")
+        sparse = sparse_candidates[0]
+        wide = bootstrap_tag_ci(
+            tiny_pipeline.dataset, sparse, "top1",
+            tiny_pipeline.reconstructor, n_boot=100,
+        )
+        narrow = bootstrap_tag_ci(
+            tiny_pipeline.dataset, heavy, "top1",
+            tiny_pipeline.reconstructor, n_boot=100,
+        )
+        assert narrow.width < wide.width + 0.25  # weak but robust ordering
+
+    def test_custom_statistic_callable(self, tiny_pipeline, heavy_tag):
+        ci = bootstrap_tag_ci(
+            tiny_pipeline.dataset,
+            heavy_tag,
+            lambda shares: float(shares.max()),
+            tiny_pipeline.reconstructor,
+            n_boot=50,
+        )
+        assert 0.0 < ci.point <= 1.0
+
+    def test_all_named_statistics(self, tiny_pipeline, heavy_tag):
+        for name in ("top1", "entropy", "jsd"):
+            ci = bootstrap_tag_ci(
+                tiny_pipeline.dataset,
+                heavy_tag,
+                name,
+                tiny_pipeline.reconstructor,
+                n_boot=30,
+            )
+            assert ci.n_boot == 30
+
+    def test_unknown_statistic_rejected(self, tiny_pipeline, heavy_tag):
+        with pytest.raises(AnalysisError):
+            bootstrap_tag_ci(
+                tiny_pipeline.dataset, heavy_tag, "magic",
+                tiny_pipeline.reconstructor,
+            )
+
+    def test_insufficient_videos_rejected(self, tiny_pipeline):
+        with pytest.raises(AnalysisError):
+            bootstrap_tag_ci(
+                tiny_pipeline.dataset,
+                "tag-that-does-not-exist",
+                "top1",
+                tiny_pipeline.reconstructor,
+            )
+
+    def test_invalid_params_rejected(self, tiny_pipeline, heavy_tag):
+        with pytest.raises(AnalysisError):
+            bootstrap_tag_ci(
+                tiny_pipeline.dataset, heavy_tag,
+                reconstructor=tiny_pipeline.reconstructor, confidence=1.5,
+            )
+        with pytest.raises(AnalysisError):
+            bootstrap_tag_ci(
+                tiny_pipeline.dataset, heavy_tag,
+                reconstructor=tiny_pipeline.reconstructor, n_boot=5,
+            )

@@ -1,0 +1,113 @@
+"""Tests for the hold-out conjecture experiment."""
+
+import pytest
+
+from repro.analysis.conjecture import (
+    evaluate_conjecture,
+    predict_from_tags,
+    split_dataset,
+)
+from repro.errors import AnalysisError
+
+
+class TestSplit:
+    def test_split_partitions(self, tiny_dataset):
+        train, test = split_dataset(tiny_dataset, 0.3)
+        assert len(train) + len(test) == len(tiny_dataset)
+        assert not set(train.video_ids()) & set(test.video_ids())
+
+    def test_split_deterministic(self, tiny_dataset):
+        a_train, _ = split_dataset(tiny_dataset, 0.3)
+        b_train, _ = split_dataset(tiny_dataset, 0.3)
+        assert a_train.video_ids() == b_train.video_ids()
+
+    def test_salt_changes_split(self, tiny_dataset):
+        a_train, _ = split_dataset(tiny_dataset, 0.3, salt="a")
+        b_train, _ = split_dataset(tiny_dataset, 0.3, salt="b")
+        assert a_train.video_ids() != b_train.video_ids()
+
+    def test_fraction_roughly_respected(self, tiny_dataset):
+        _, test = split_dataset(tiny_dataset, 0.3)
+        fraction = len(test) / len(tiny_dataset)
+        assert 0.15 < fraction < 0.45
+
+    def test_invalid_fraction_rejected(self, tiny_dataset):
+        with pytest.raises(AnalysisError):
+            split_dataset(tiny_dataset, 0.0)
+        with pytest.raises(AnalysisError):
+            split_dataset(tiny_dataset, 1.0)
+
+
+class TestPredictFromTags:
+    def test_prediction_is_distribution(self, tiny_pipeline):
+        table = tiny_pipeline.tag_table
+        video = next(iter(tiny_pipeline.dataset))
+        prediction = predict_from_tags(video, table)
+        assert prediction is not None
+        assert prediction.sum() == pytest.approx(1.0)
+        assert prediction.min() >= 0.0
+
+    def test_unknown_tags_give_none(self, tiny_pipeline):
+        from repro.datamodel.video import Video
+
+        video = Video(
+            video_id="AAAAAAAAAAA",
+            title="t",
+            uploader="u",
+            upload_date="2010-01-01",
+            views=10,
+            tags=("tag-that-does-not-exist-xyz",),
+        )
+        assert predict_from_tags(video, tiny_pipeline.tag_table) is None
+
+    def test_all_weightings_produce_distributions(self, tiny_pipeline):
+        table = tiny_pipeline.tag_table
+        video = next(iter(tiny_pipeline.dataset))
+        for weighting in ("views", "uniform", "position", "specificity"):
+            prediction = predict_from_tags(video, table, weighting)
+            assert prediction.sum() == pytest.approx(1.0)
+
+    def test_unknown_weighting_rejected(self, tiny_pipeline):
+        video = next(iter(tiny_pipeline.dataset))
+        with pytest.raises(AnalysisError):
+            predict_from_tags(video, tiny_pipeline.tag_table, "magic")
+
+
+class TestEvaluateConjecture:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_pipeline):
+        return evaluate_conjecture(
+            tiny_pipeline.dataset,
+            tiny_pipeline.reconstructor,
+            universe=tiny_pipeline.universe,
+        )
+
+    def test_three_predictors_scored(self, result):
+        names = [score.name for score in result.scores]
+        assert names == ["tags", "prior", "uniform"]
+
+    def test_paper_conjecture_holds_on_synthetic_world(self, result):
+        # tags < prior < uniform — the ordering the paper predicts.
+        assert result.conjecture_holds()
+
+    def test_win_rate_in_unit_interval(self, result):
+        assert 0.0 <= result.tag_win_rate_vs_prior <= 1.0
+
+    def test_scores_consistent(self, result):
+        for score in result.scores:
+            assert score.videos > 0
+            assert score.mean_jsd >= 0.0
+            assert score.median_jsd >= 0.0
+
+    def test_score_lookup(self, result):
+        assert result.score("tags").name == "tags"
+        with pytest.raises(AnalysisError):
+            result.score("nonexistent")
+
+    def test_reconstructed_reference_mode(self, tiny_pipeline):
+        # Without a universe the reference is the reconstructed shares;
+        # the ordering still holds.
+        result = evaluate_conjecture(
+            tiny_pipeline.dataset, tiny_pipeline.reconstructor
+        )
+        assert result.score("tags").mean_jsd < result.score("uniform").mean_jsd

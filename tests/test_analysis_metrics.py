@@ -1,0 +1,154 @@
+"""Unit and property tests for distribution metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    as_distribution,
+    gini,
+    herfindahl,
+    jensen_shannon,
+    normalized_entropy,
+    top_k_share,
+    total_variation,
+)
+from repro.errors import AnalysisError
+
+weight_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=2,
+    max_size=62,
+).filter(lambda values: sum(values) > 0)
+
+
+class TestAsDistribution:
+    def test_normalizes(self):
+        assert as_distribution([1, 3]).tolist() == [0.25, 0.75]
+
+    def test_rejects_negative(self):
+        with pytest.raises(AnalysisError):
+            as_distribution([1, -1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(AnalysisError):
+            as_distribution([0, 0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(AnalysisError):
+            as_distribution([1, float("nan")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            as_distribution([])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(AnalysisError):
+            as_distribution(np.ones((2, 2)))
+
+
+class TestEntropy:
+    def test_uniform_is_one(self):
+        assert normalized_entropy([1, 1, 1, 1]) == pytest.approx(1.0)
+
+    def test_point_mass_is_zero(self):
+        assert normalized_entropy([0, 1, 0]) == pytest.approx(0.0)
+
+    def test_single_bin_is_zero(self):
+        assert normalized_entropy([5.0]) == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=weight_vectors)
+    def test_bounds(self, weights):
+        value = normalized_entropy(weights)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestGini:
+    def test_equal_shares_zero(self):
+        assert gini([2, 2, 2, 2]) == pytest.approx(0.0)
+
+    def test_point_mass_near_one(self):
+        value = gini([0, 0, 0, 10])
+        assert value == pytest.approx(0.75)  # (n-1)/n for point mass
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=weight_vectors)
+    def test_bounds(self, weights):
+        value = gini(weights)
+        assert -1e-12 <= value < 1.0
+
+    def test_more_concentrated_is_larger(self):
+        assert gini([1, 1, 1, 7]) > gini([2, 2, 3, 3])
+
+
+class TestHerfindahl:
+    def test_point_mass_is_one(self):
+        assert herfindahl([0, 5, 0]) == pytest.approx(1.0)
+
+    def test_uniform_is_reciprocal_n(self):
+        assert herfindahl([1, 1, 1, 1]) == pytest.approx(0.25)
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=weight_vectors)
+    def test_bounds(self, weights):
+        value = herfindahl(weights)
+        n = len(weights)
+        assert 1.0 / n - 1e-12 <= value <= 1.0 + 1e-12
+
+
+class TestTopKShare:
+    def test_top1(self):
+        assert top_k_share([1, 3, 6], 1) == pytest.approx(0.6)
+
+    def test_top_k_saturates_at_n(self):
+        assert top_k_share([1, 2], 10) == pytest.approx(1.0)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(AnalysisError):
+            top_k_share([1, 2], 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(weights=weight_vectors, k=st.integers(min_value=1, max_value=10))
+    def test_monotone_in_k(self, weights, k):
+        assert top_k_share(weights, k) <= top_k_share(weights, k + 1) + 1e-12
+
+
+class TestDivergences:
+    def test_tv_identical_zero(self):
+        assert total_variation([1, 2, 3], [2, 4, 6]) == pytest.approx(0.0)
+
+    def test_tv_disjoint_one(self):
+        assert total_variation([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_jsd_identical_zero(self):
+        assert jensen_shannon([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_jsd_disjoint_is_ln2(self):
+        assert jensen_shannon([1, 0], [0, 1]) == pytest.approx(math.log(2))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            jensen_shannon([1, 2], [1, 2, 3])
+        with pytest.raises(AnalysisError):
+            total_variation([1, 2], [1, 2, 3])
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=weight_vectors)
+    def test_jsd_symmetric_and_bounded(self, weights):
+        rng = np.random.default_rng(0)
+        other = rng.dirichlet(np.ones(len(weights)))
+        forward = jensen_shannon(weights, other)
+        backward = jensen_shannon(other, weights)
+        assert forward == pytest.approx(backward, abs=1e-9)
+        assert 0.0 <= forward <= math.log(2) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(weights=weight_vectors)
+    def test_tv_bounds(self, weights):
+        uniform = np.ones(len(weights))
+        value = total_variation(weights, uniform)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,90 @@
+"""Tests for the popularity↔locality relationship and estimator bias."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.popularity import popularity_vs_locality
+from repro.datamodel.dataset import Dataset
+from repro.errors import AnalysisError
+from repro.reconstruct.validation import per_country_bias
+from repro.reconstruct.views import ViewReconstructor
+
+
+class TestPopularityVsLocality:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_pipeline):
+        return popularity_vs_locality(
+            tiny_pipeline.dataset, tiny_pipeline.reconstructor
+        )
+
+    def test_correlations_in_range(self, result):
+        assert -1.0 <= result.spearman_views_top1 <= 1.0
+        assert -1.0 <= result.spearman_views_jsd <= 1.0
+
+    def test_counts_all_eligible_videos(self, result, tiny_pipeline):
+        assert result.videos == len(tiny_pipeline.dataset)
+
+    def test_head_is_more_global(self, result):
+        # The audience_effect coupling makes the view head globally
+        # watched, as in the real data [paper ref. 2].
+        assert result.head_is_more_global()
+        assert result.spearman_views_jsd < 0.05  # not positively local
+
+    def test_decile_means_are_shares(self, result):
+        assert 0.0 < result.head_mean_top1 <= 1.0
+        assert 0.0 < result.tail_mean_top1 <= 1.0
+
+    def test_too_small_corpus_rejected(self, tiny_pipeline):
+        small = Dataset(
+            list(tiny_pipeline.dataset)[:5], tiny_pipeline.dataset.registry
+        )
+        with pytest.raises(AnalysisError):
+            popularity_vs_locality(small, tiny_pipeline.reconstructor)
+
+
+class TestPerCountryBias:
+    @pytest.fixture(scope="class")
+    def bias(self, tiny_pipeline):
+        return per_country_bias(
+            tiny_pipeline.universe,
+            tiny_pipeline.dataset,
+            tiny_pipeline.reconstructor,
+        )
+
+    def test_covers_all_countries(self, bias, registry):
+        assert set(bias) == set(registry.codes())
+
+    def test_biases_sum_to_zero(self, bias):
+        # estimated and true shares both sum to 1 per video, so signed
+        # errors cancel across the axis.
+        assert sum(bias.values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_large_markets_under_credited(self, bias, tiny_pipeline):
+        # The documented quantization drift: the biggest traffic market
+        # loses share to the saturated small-traffic countries.
+        traffic = tiny_pipeline.universe.traffic
+        biggest = max(traffic.as_dict(), key=traffic.as_dict().get)
+        assert bias[biggest] < 0
+
+    def test_smoothing_shrinks_total_bias(self, tiny_pipeline):
+        plain = per_country_bias(
+            tiny_pipeline.universe,
+            tiny_pipeline.dataset,
+            ViewReconstructor(tiny_pipeline.universe.traffic),
+        )
+        smoothed = per_country_bias(
+            tiny_pipeline.universe,
+            tiny_pipeline.dataset,
+            ViewReconstructor(tiny_pipeline.universe.traffic, smoothing=0.05),
+        )
+        assert sum(abs(v) for v in smoothed.values()) < sum(
+            abs(v) for v in plain.values()
+        )
+
+    def test_empty_dataset_gives_zero_bias(self, tiny_pipeline):
+        bias = per_country_bias(
+            tiny_pipeline.universe,
+            Dataset(),
+            tiny_pipeline.reconstructor,
+        )
+        assert all(value == 0.0 for value in bias.values())

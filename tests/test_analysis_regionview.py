@@ -1,0 +1,83 @@
+"""Tests for regional view aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regionview import (
+    CONTINENT_GROUPS,
+    continent_shares,
+    dataset_continent_shares,
+    dataset_region_shares,
+    region_shares,
+)
+from repro.errors import AnalysisError
+from repro.world.regions import REGIONS
+
+
+class TestRegionShares:
+    def test_shares_sum_to_one(self, registry):
+        views = np.ones(len(registry))
+        shares = region_shares(views, registry)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert set(shares) == set(REGIONS)
+
+    def test_single_country_maps_to_its_region(self, registry):
+        views = np.zeros(len(registry))
+        views[registry.index_of("BR")] = 100.0
+        shares = region_shares(views, registry)
+        assert shares["latin-america"] == pytest.approx(1.0)
+
+    def test_wrong_length_rejected(self, registry):
+        with pytest.raises(AnalysisError):
+            region_shares(np.ones(3), registry)
+
+    def test_zero_mass_rejected(self, registry):
+        with pytest.raises(AnalysisError):
+            region_shares(np.zeros(len(registry)), registry)
+
+
+class TestContinentShares:
+    def test_groups_cover_all_regions(self):
+        grouped = [region for regions in CONTINENT_GROUPS.values() for region in regions]
+        assert sorted(grouped) == sorted(REGIONS)
+
+    def test_shares_sum_to_one(self, registry):
+        views = np.ones(len(registry))
+        shares = continent_shares(views, registry)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_europe_aggregates_subregions(self, registry):
+        views = np.zeros(len(registry))
+        views[registry.index_of("FR")] = 1.0  # western-europe
+        views[registry.index_of("SE")] = 1.0  # northern-europe
+        views[registry.index_of("PL")] = 2.0  # eastern-europe
+        shares = continent_shares(views, registry)
+        assert shares["Europe"] == pytest.approx(1.0)
+
+
+class TestDatasetAggregation:
+    def test_dataset_region_shares(self, tiny_pipeline):
+        shares = dataset_region_shares(
+            tiny_pipeline.dataset, tiny_pipeline.reconstructor
+        )
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(value >= 0 for value in shares.values())
+
+    def test_major_markets_dominate(self, tiny_pipeline):
+        # Sandvine-flavoured sanity: NA + Europe + Asia-Pacific carry most
+        # of the traffic in a 2011-like world.
+        shares = dataset_continent_shares(
+            tiny_pipeline.dataset, tiny_pipeline.reconstructor
+        )
+        big_three = (
+            shares["North America"]
+            + shares["Europe"]
+            + shares["Asia-Pacific"]
+        )
+        assert big_three > 0.5
+
+    def test_empty_dataset_rejected(self, tiny_pipeline):
+        from repro.datamodel.dataset import Dataset
+
+        with pytest.raises(AnalysisError):
+            dataset_region_shares(Dataset(), tiny_pipeline.reconstructor)

@@ -1,0 +1,93 @@
+"""Tests for sample-bias quantification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sampling import (
+    compare_sample_to_universe,
+    tag_coverage_curve,
+    views_ccdf,
+)
+from repro.api.service import YoutubeService
+from repro.crawler.snowball import SnowballCrawler
+from repro.datamodel.dataset import Dataset
+from repro.errors import AnalysisError
+
+
+class TestTagCoverageCurve:
+    def test_monotone_nondecreasing(self, tiny_dataset):
+        xs, ys = tag_coverage_curve(tiny_dataset, step=20)
+        assert np.all(np.diff(ys) >= 0)
+        assert np.all(np.diff(xs) > 0)
+
+    def test_last_point_covers_everything(self, tiny_dataset):
+        xs, ys = tag_coverage_curve(tiny_dataset, step=20)
+        assert xs[-1] == len(tiny_dataset)
+        all_tags = set()
+        for video in tiny_dataset:
+            all_tags.update(video.tags)
+        assert ys[-1] == len(all_tags)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(AnalysisError):
+            tag_coverage_curve(Dataset())
+
+    def test_bad_step_rejected(self, tiny_dataset):
+        with pytest.raises(AnalysisError):
+            tag_coverage_curve(tiny_dataset, step=0)
+
+
+class TestViewsCCDF:
+    def test_probabilities_decrease(self):
+        values, probabilities = views_ccdf([1, 5, 10, 100, 1000])
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(probabilities) <= 0)
+        assert probabilities[0] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            views_ccdf([])
+
+
+class TestSampleBias:
+    def test_full_sample_is_unbiased(self, tiny_universe):
+        full = tiny_universe.to_dataset()
+        report = compare_sample_to_universe(tiny_universe, full)
+        assert report.mean_views_ratio == pytest.approx(1.0)
+        assert report.tag_coverage == pytest.approx(1.0)
+        assert report.geographic_tv == pytest.approx(0.0, abs=1e-12)
+
+    def test_snowball_is_popularity_biased(self, tiny_universe):
+        partial = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=80
+        ).run().dataset
+        report = compare_sample_to_universe(tiny_universe, partial)
+        assert report.mean_views_ratio > 1.0
+        assert 0.0 < report.tag_coverage < 1.0
+        assert report.geographic_tv > 0.0
+
+    def test_kind_coverage_reported(self, tiny_universe):
+        partial = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=150
+        ).run().dataset
+        report = compare_sample_to_universe(tiny_universe, partial)
+        assert "global" in report.kind_coverage
+        for fraction in report.kind_coverage.values():
+            assert 0.0 <= fraction <= 1.0
+        # Global tags are common, so their coverage beats niche kinds'.
+        assert report.kind_coverage["global"] >= max(
+            fraction
+            for kind, fraction in report.kind_coverage.items()
+            if kind != "global"
+        ) - 1e-9
+
+    def test_rows_render(self, tiny_universe):
+        report = compare_sample_to_universe(
+            tiny_universe, tiny_universe.to_dataset()
+        )
+        labels = [label for label, _ in report.as_rows()]
+        assert "mean-views bias ratio" in labels
+
+    def test_empty_sample_rejected(self, tiny_universe):
+        with pytest.raises(AnalysisError):
+            compare_sample_to_universe(tiny_universe, Dataset())

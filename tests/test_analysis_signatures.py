@@ -1,0 +1,104 @@
+"""Tests for per-country tag signatures."""
+
+import pytest
+
+from repro.analysis.signatures import CountrySignatures
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.video import Video
+from repro.errors import AnalysisError
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.reconstruct.views import ViewReconstructor
+
+IDS = [f"AAAAAAAAA{i:02d}" for i in range(10)]
+
+
+@pytest.fixture()
+def toy_signatures(traffic):
+    # Three BR-only videos with tag 'samba', three US-only with 'nfl',
+    # three worldwide-ish with 'pop'.
+    videos = []
+    for i in range(3):
+        videos.append(
+            Video(
+                video_id=IDS[i], title="t", uploader="u",
+                upload_date="2010-01-01", views=100,
+                tags=("samba",), popularity=PopularityVector({"BR": 61}),
+            )
+        )
+        videos.append(
+            Video(
+                video_id=IDS[3 + i], title="t", uploader="u",
+                upload_date="2010-01-01", views=100,
+                tags=("nfl",), popularity=PopularityVector({"US": 61}),
+            )
+        )
+        videos.append(
+            Video(
+                video_id=IDS[6 + i], title="t", uploader="u",
+                upload_date="2010-01-01", views=100,
+                tags=("pop",),
+                popularity=PopularityVector({"US": 61, "BR": 61, "JP": 61}),
+            )
+        )
+    table = TagViewsTable(Dataset(videos), ViewReconstructor(traffic))
+    return CountrySignatures(table, min_videos=3)
+
+
+class TestToySignatures:
+    def test_anchored_tag_tops_its_country(self, toy_signatures):
+        brazil = toy_signatures.signature("BR", count=3)
+        assert brazil[0].tag == "samba"
+        assert brazil[0].lift > 1.0
+        usa = toy_signatures.signature("US", count=3)
+        assert usa[0].tag == "nfl"
+
+    def test_foreign_tag_has_zero_share(self, toy_signatures):
+        brazil = {entry.tag: entry for entry in toy_signatures.signature("BR", 10)}
+        assert brazil["nfl"].country_share == pytest.approx(0.0)
+
+    def test_lift_matches_shares(self, toy_signatures):
+        entry = next(
+            e for e in toy_signatures.signature("BR", 10) if e.tag == "samba"
+        )
+        assert entry.lift == pytest.approx(
+            entry.country_share / toy_signatures.baseline_share("BR")
+        )
+
+    def test_min_videos_filters(self, traffic):
+        videos = [
+            Video(
+                video_id=IDS[0], title="t", uploader="u",
+                upload_date="2010-01-01", views=100,
+                tags=("lonely",), popularity=PopularityVector({"BR": 61}),
+            )
+        ]
+        table = TagViewsTable(Dataset(videos), ViewReconstructor(traffic))
+        signatures = CountrySignatures(table, min_videos=2)
+        assert signatures.signature("BR", 5) == []
+
+    def test_invalid_min_videos(self, toy_signatures):
+        with pytest.raises(AnalysisError):
+            CountrySignatures(toy_signatures.table, min_videos=0)
+
+
+class TestOnPipelineData:
+    @pytest.fixture(scope="class")
+    def signatures(self, tiny_pipeline):
+        return CountrySignatures(tiny_pipeline.tag_table, min_videos=3)
+
+    def test_signatures_sorted_by_lift(self, signatures):
+        entries = signatures.signature("BR", 10)
+        lifts = [entry.lift for entry in entries]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_top_lift_exceeds_one(self, signatures):
+        entries = signatures.signature("JP", 5)
+        if entries:
+            assert entries[0].lift > 1.0
+
+    def test_baseline_shares_form_distribution(self, signatures, registry):
+        total = sum(
+            signatures.baseline_share(code) for code in registry.codes()
+        )
+        assert total == pytest.approx(1.0)

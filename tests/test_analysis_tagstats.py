@@ -1,0 +1,101 @@
+"""Unit tests for tag geography statistics and classification."""
+
+import pytest
+
+from repro.analysis.tagstats import (
+    GLOBAL_JSD_THRESHOLD,
+    LOCAL_JSD_THRESHOLD,
+    TagGeographyReport,
+    classify_tags,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def geo_report(tiny_pipeline):
+    return TagGeographyReport(
+        tiny_pipeline.tag_table,
+        tiny_pipeline.universe.traffic,
+        min_videos=3,
+    )
+
+
+class TestReport:
+    def test_min_videos_threshold_respected(self, geo_report, tiny_pipeline):
+        for stat in geo_report.all():
+            assert tiny_pipeline.tag_table.video_count(stat.tag) >= 3
+
+    def test_metrics_within_bounds(self, geo_report):
+        for stat in geo_report.all():
+            assert 0.0 <= stat.entropy <= 1.0
+            assert 0.0 <= stat.gini < 1.0
+            assert 0.0 < stat.hhi <= 1.0
+            assert 0.0 < stat.top1_share <= 1.0
+            assert stat.jsd_to_prior >= 0.0
+
+    def test_get_and_contains(self, geo_report):
+        stat = geo_report.all()[0]
+        assert stat.tag in geo_report
+        assert geo_report.get(stat.tag) is stat
+        with pytest.raises(AnalysisError):
+            geo_report.get("definitely-absent-tag")
+
+    def test_top_country_consistent_with_top1(self, geo_report, tiny_pipeline):
+        table = tiny_pipeline.tag_table
+        for stat in geo_report.all()[:20]:
+            assert stat.top_country == table.top_country(stat.tag)
+
+    def test_pop_is_global(self, geo_report):
+        # The paper's Fig. 2 exemplar.
+        if "pop" in geo_report:
+            assert geo_report.get("pop").classification == "global"
+
+    def test_some_local_tags_exist(self, geo_report):
+        assert geo_report.by_classification()["local"]
+
+    def test_classification_thresholds(self, geo_report):
+        for stat in geo_report.all():
+            if stat.classification == "global":
+                assert stat.jsd_to_prior <= GLOBAL_JSD_THRESHOLD
+            elif stat.classification == "local":
+                assert stat.jsd_to_prior >= LOCAL_JSD_THRESHOLD
+
+    def test_most_global_sorted(self, geo_report):
+        ranked = geo_report.most_global(10)
+        values = [stat.jsd_to_prior for stat in ranked]
+        assert values == sorted(values)
+
+    def test_most_local_sorted(self, geo_report):
+        ranked = geo_report.most_local(10)
+        values = [stat.jsd_to_prior for stat in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_most_viewed_sorted(self, geo_report):
+        ranked = geo_report.most_viewed(10)
+        values = [stat.total_views for stat in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_local_tags_more_concentrated_than_global(self, geo_report):
+        groups = geo_report.by_classification()
+        if groups["global"] and groups["local"]:
+            import numpy as np
+
+            global_top1 = np.mean([s.top1_share for s in groups["global"]])
+            local_top1 = np.mean([s.top1_share for s in groups["local"]])
+            assert local_top1 > global_top1
+
+    def test_invalid_min_videos_rejected(self, tiny_pipeline):
+        with pytest.raises(AnalysisError):
+            TagGeographyReport(tiny_pipeline.tag_table, min_videos=0)
+
+
+class TestClassifyTags:
+    def test_mapping_matches_report(self, tiny_pipeline, geo_report):
+        mapping = classify_tags(
+            tiny_pipeline.tag_table,
+            tiny_pipeline.universe.traffic,
+            min_videos=3,
+        )
+        assert len(mapping) == len(geo_report)
+        for stat in geo_report.all()[:20]:
+            assert mapping[stat.tag] == stat.classification

@@ -1,0 +1,63 @@
+"""Unit tests for Zipf fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.zipf import ZipfFit, fit_zipf, rank_frequency
+from repro.errors import AnalysisError
+
+
+class TestRankFrequency:
+    def test_sorted_descending(self):
+        ranks, freqs = rank_frequency({"a": 3, "b": 10, "c": 1})
+        assert freqs.tolist() == [10, 3, 1]
+        assert ranks.tolist() == [1, 2, 3]
+
+    def test_accepts_bare_sequence(self):
+        ranks, freqs = rank_frequency([5, 1, 3])
+        assert freqs.tolist() == [5, 3, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_frequency({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_frequency([1, -2])
+
+
+class TestFitZipf:
+    def test_recovers_known_exponent(self):
+        counts = [int(1e6 * r ** (-1.2)) for r in range(1, 500)]
+        fit = fit_zipf(counts)
+        assert fit.exponent == pytest.approx(1.2, abs=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_max_ranks_caps_fit(self):
+        counts = [int(1e6 * r ** (-1.0)) for r in range(1, 2000)]
+        fit = fit_zipf(counts, max_ranks=100)
+        assert fit.ranks_used == 100
+
+    def test_zero_counts_excluded(self):
+        counts = [100, 50, 25, 0, 0]
+        fit = fit_zipf(counts)
+        assert fit.ranks_used == 3
+
+    def test_too_few_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_zipf([10, 5])
+
+    def test_predicted_frequency(self):
+        fit = ZipfFit(exponent=1.0, intercept=np.log(100.0), r_squared=1.0, ranks_used=10)
+        assert fit.predicted_frequency(1) == pytest.approx(100.0)
+        assert fit.predicted_frequency(10) == pytest.approx(10.0)
+
+    def test_predicted_frequency_invalid_rank(self):
+        fit = ZipfFit(exponent=1.0, intercept=0.0, r_squared=1.0, ranks_used=3)
+        with pytest.raises(AnalysisError):
+            fit.predicted_frequency(0)
+
+    def test_crawled_corpus_tag_usage_is_zipfian(self, tiny_dataset):
+        fit = fit_zipf(tiny_dataset.tag_frequencies(), max_ranks=200)
+        assert 0.5 < fit.exponent < 2.0
+        assert fit.r_squared > 0.8

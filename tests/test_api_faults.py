@@ -1,0 +1,73 @@
+"""Unit tests for deterministic fault injection."""
+
+import pytest
+
+from repro.api.faults import FaultInjector
+from repro.errors import ConfigError, TransientAPIError
+
+
+def run_requests(injector, count):
+    failures = []
+    for i in range(count):
+        try:
+            injector.before_request(f"req{i}")
+        except TransientAPIError:
+            failures.append(i)
+    return failures
+
+
+class TestFaultInjector:
+    def test_zero_rate_never_fails(self):
+        injector = FaultInjector(rate=0.0)
+        assert run_requests(injector, 500) == []
+        assert injector.faults_injected == 0
+
+    def test_rate_roughly_respected(self):
+        injector = FaultInjector(rate=0.2, seed=1)
+        failures = run_requests(injector, 2000)
+        assert 0.12 < len(failures) / 2000 < 0.28
+
+    def test_deterministic_in_seed(self):
+        a = run_requests(FaultInjector(rate=0.3, seed=9), 300)
+        b = run_requests(FaultInjector(rate=0.3, seed=9), 300)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = run_requests(FaultInjector(rate=0.3, seed=1), 300)
+        b = run_requests(FaultInjector(rate=0.3, seed=2), 300)
+        assert a != b
+
+    def test_failures_independent_of_description(self):
+        a = FaultInjector(rate=0.3, seed=4)
+        b = FaultInjector(rate=0.3, seed=4)
+        failures_a = run_requests(a, 100)
+        failures_b = []
+        for i in range(100):
+            try:
+                b.before_request("completely-different-description")
+            except TransientAPIError:
+                failures_b.append(i)
+        assert failures_a == failures_b
+
+    def test_bursts_are_consecutive(self):
+        injector = FaultInjector(rate=0.15, seed=3, burst_length=5)
+        failures = run_requests(injector, 1000)
+        # Every failing request's window fails entirely: failures come in
+        # aligned runs of 5.
+        windows = {i // 5 for i in failures}
+        expected = sorted(w * 5 + offset for w in windows for offset in range(5))
+        assert failures == expected
+
+    def test_counters(self):
+        injector = FaultInjector(rate=0.5, seed=2)
+        run_requests(injector, 100)
+        assert injector.requests_seen == 100
+        assert injector.faults_injected > 0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(rate=1.0)
+        with pytest.raises(ConfigError):
+            FaultInjector(rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultInjector(burst_length=0)

@@ -1,0 +1,83 @@
+"""Unit and property tests for pagination tokens."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.pagination import (
+    Page,
+    decode_page_token,
+    encode_page_token,
+    paginate,
+)
+from repro.errors import BadRequestError
+
+
+class TestTokens:
+    def test_roundtrip(self):
+        token = encode_page_token("query", 40)
+        assert decode_page_token("query", token) == 40
+
+    def test_token_bound_to_query(self):
+        token = encode_page_token("query-a", 40)
+        with pytest.raises(BadRequestError):
+            decode_page_token("query-b", token)
+
+    def test_malformed_token_rejected(self):
+        for bad in ("", "CT", "CT-zzzz", "CT-00000000-notanum", "XX-1-2"):
+            with pytest.raises(BadRequestError):
+                decode_page_token("query", bad)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(BadRequestError):
+            encode_page_token("query", -1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(offset=st.integers(min_value=0, max_value=10**9), key=st.text(max_size=30))
+    def test_roundtrip_property(self, offset, key):
+        assert decode_page_token(key, encode_page_token(key, offset)) == offset
+
+
+class TestPaginate:
+    ITEMS = [f"item{i}" for i in range(25)]
+
+    def test_first_page(self):
+        page = paginate(self.ITEMS, "q", None, 10)
+        assert list(page.items) == self.ITEMS[:10]
+        assert page.total_results == 25
+        assert page.next_page_token is not None
+
+    def test_walk_all_pages(self):
+        collected = []
+        token = None
+        pages = 0
+        while True:
+            page = paginate(self.ITEMS, "q", token, 10)
+            collected.extend(page.items)
+            pages += 1
+            token = page.next_page_token
+            if token is None:
+                break
+        assert collected == self.ITEMS
+        assert pages == 3
+
+    def test_exact_multiple_has_no_dangling_page(self):
+        page1 = paginate(self.ITEMS[:20], "q", None, 10)
+        page2 = paginate(self.ITEMS[:20], "q", page1.next_page_token, 10)
+        assert page2.next_page_token is None
+
+    def test_empty_items(self):
+        page = paginate([], "q", None, 10)
+        assert page.items == ()
+        assert page.next_page_token is None
+        assert page.total_results == 0
+
+    def test_offset_beyond_end(self):
+        token = encode_page_token("q", 1000)
+        page = paginate(self.ITEMS, "q", token, 10)
+        assert page.items == ()
+        assert page.next_page_token is None
+
+    def test_invalid_max_results_rejected(self):
+        with pytest.raises(BadRequestError):
+            paginate(self.ITEMS, "q", None, 0)

@@ -1,0 +1,73 @@
+"""Unit tests for quota accounting."""
+
+import pytest
+
+from repro.api.quota import DEFAULT_COSTS, UNLIMITED, QuotaBudget
+from repro.errors import ConfigError, QuotaExceededError
+
+
+class TestQuotaBudget:
+    def test_unlimited_never_exhausts(self):
+        budget = QuotaBudget()
+        for _ in range(1000):
+            budget.charge("get_video")
+        assert budget.used == 1000
+
+    def test_charge_uses_kind_costs(self):
+        budget = QuotaBudget(limit=100)
+        budget.charge("related_videos")
+        assert budget.used == DEFAULT_COSTS["related_videos"]
+
+    def test_unknown_kind_costs_one(self):
+        budget = QuotaBudget(limit=10)
+        budget.charge("mystery")
+        assert budget.used == 1
+
+    def test_exhaustion_raises(self):
+        budget = QuotaBudget(limit=2)
+        budget.charge("get_video")
+        budget.charge("get_video")
+        with pytest.raises(QuotaExceededError):
+            budget.charge("get_video")
+
+    def test_overshooting_charge_rejected_without_partial_use(self):
+        budget = QuotaBudget(limit=2)
+        with pytest.raises(QuotaExceededError):
+            budget.charge("related_videos")  # costs 3 > 2
+        assert budget.used == 0
+
+    def test_remaining(self):
+        budget = QuotaBudget(limit=10)
+        budget.charge("get_video")
+        assert budget.remaining == 9
+
+    def test_can_afford(self):
+        budget = QuotaBudget(limit=3)
+        assert budget.can_afford("related_videos")
+        budget.charge("get_video")
+        assert not budget.can_afford("related_videos")
+
+    def test_usage_by_kind(self):
+        budget = QuotaBudget(limit=100)
+        budget.charge("get_video")
+        budget.charge("get_video")
+        budget.charge("most_popular")
+        usage = budget.usage_by_kind()
+        assert usage["get_video"] == 2
+        assert usage["most_popular"] == DEFAULT_COSTS["most_popular"]
+
+    def test_reset_restores_budget(self):
+        budget = QuotaBudget(limit=1)
+        budget.charge("get_video")
+        budget.reset()
+        assert budget.used == 0
+        budget.charge("get_video")  # does not raise
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            QuotaBudget(limit=-1)
+
+    def test_custom_costs(self):
+        budget = QuotaBudget(limit=10, costs={"x": 5})
+        budget.charge("x")
+        assert budget.used == 5

@@ -1,0 +1,115 @@
+"""Unit tests for the simulated YouTube service."""
+
+import pytest
+
+from repro.api.faults import FaultInjector
+from repro.api.quota import QuotaBudget
+from repro.api.service import MAX_RESULTS_CAP, YoutubeService
+from repro.chartmap.mapchart import parse_map_chart_url, popularity_from_chart
+from repro.errors import (
+    BadRequestError,
+    QuotaExceededError,
+    TransientAPIError,
+    VideoNotFoundError,
+)
+
+
+class TestGetVideo:
+    def test_returns_resource_matching_universe(self, fresh_service, tiny_universe):
+        video_id = tiny_universe.video_ids()[0]
+        resource = fresh_service.get_video(video_id)
+        synth = tiny_universe.get(video_id)
+        assert resource.video_id == video_id
+        assert resource.view_count == synth.views
+        assert resource.tags == synth.tags
+
+    def test_unknown_video_404(self, fresh_service):
+        with pytest.raises(VideoNotFoundError):
+            fresh_service.get_video("AAAAAAAAAAA")
+
+    def test_map_url_decodes_to_universe_popularity(
+        self, fresh_service, tiny_universe
+    ):
+        for video_id in tiny_universe.video_ids():
+            synth = tiny_universe.get(video_id)
+            if synth.popularity is not None and not synth.popularity.is_empty():
+                resource = fresh_service.get_video(video_id)
+                decoded = popularity_from_chart(
+                    parse_map_chart_url(resource.stats_map_url)
+                )
+                assert decoded == synth.popularity
+                break
+        else:
+            pytest.fail("no video with a popularity map in tiny universe")
+
+    def test_missing_map_gives_none_url(self, fresh_service, tiny_universe):
+        for video_id in tiny_universe.video_ids():
+            if tiny_universe.get(video_id).popularity is None:
+                resource = fresh_service.get_video(video_id)
+                assert resource.stats_map_url is None
+                break
+        else:
+            pytest.fail("no map-less video in tiny universe")
+
+
+class TestRelatedVideos:
+    def test_pagination_covers_sidebar(self, fresh_service, tiny_universe):
+        video_id = tiny_universe.video_ids()[0]
+        expected = tiny_universe.get(video_id).related_ids
+        collected = []
+        token = None
+        while True:
+            page = fresh_service.related_videos(
+                video_id, page_token=token, max_results=7
+            )
+            collected.extend(page.items)
+            token = page.next_page_token
+            if token is None:
+                break
+        assert tuple(collected) == expected
+
+    def test_unknown_video_404(self, fresh_service):
+        with pytest.raises(VideoNotFoundError):
+            fresh_service.related_videos("AAAAAAAAAAA")
+
+    def test_oversized_page_rejected(self, fresh_service, tiny_universe):
+        with pytest.raises(BadRequestError):
+            fresh_service.related_videos(
+                tiny_universe.video_ids()[0], max_results=MAX_RESULTS_CAP + 1
+            )
+
+
+class TestMostPopular:
+    def test_matches_universe_ranking(self, fresh_service, tiny_universe):
+        page = fresh_service.most_popular("BR", max_results=10)
+        assert list(page.items) == tiny_universe.most_popular("BR", 10)
+
+    def test_oversized_page_rejected(self, fresh_service):
+        with pytest.raises(BadRequestError):
+            fresh_service.most_popular("BR", max_results=999)
+
+
+class TestQuotaAndFaults:
+    def test_quota_charged_per_request(self, tiny_universe):
+        service = YoutubeService(tiny_universe, quota=QuotaBudget(limit=4))
+        service.get_video(tiny_universe.video_ids()[0])  # 1 unit
+        service.most_popular("US")  # 3 units
+        with pytest.raises(QuotaExceededError):
+            service.get_video(tiny_universe.video_ids()[1])
+
+    def test_failed_request_still_charges_quota(self, tiny_universe):
+        service = YoutubeService(
+            tiny_universe,
+            quota=QuotaBudget(limit=100),
+            faults=FaultInjector(rate=0.999_999, seed=1),
+        )
+        with pytest.raises(TransientAPIError):
+            service.get_video(tiny_universe.video_ids()[0])
+        assert service.quota.used == 1
+        assert service.requests_served == 0
+
+    def test_request_counter_counts_successes(self, tiny_universe):
+        service = YoutubeService(tiny_universe)
+        service.get_video(tiny_universe.video_ids()[0])
+        service.most_popular("US")
+        assert service.requests_served == 2

@@ -1,0 +1,136 @@
+"""Tests for the TCP transport: server, client, and crawls over the wire."""
+
+import threading
+
+import pytest
+
+from repro.api.faults import FaultInjector
+from repro.api.quota import QuotaBudget
+from repro.api.service import YoutubeService
+from repro.api.transport import (
+    RemoteYoutubeClient,
+    TransportError,
+    YoutubeAPIServer,
+)
+from repro.crawler.parallel import ParallelSnowballCrawler
+from repro.crawler.snowball import SnowballCrawler
+from repro.errors import (
+    BadRequestError,
+    QuotaExceededError,
+    TransientAPIError,
+    VideoNotFoundError,
+)
+
+
+@pytest.fixture()
+def server(tiny_universe):
+    with YoutubeAPIServer(YoutubeService(tiny_universe)) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with RemoteYoutubeClient(server.host, server.port) as remote:
+        yield remote
+
+
+class TestProtocol:
+    def test_describe_handshake(self, client, tiny_universe):
+        info = client.describe()
+        assert info["videos"] == len(tiny_universe)
+        assert info["countries"] == tiny_universe.registry.codes()
+
+    def test_get_video_matches_local(self, client, tiny_universe):
+        video_id = tiny_universe.video_ids()[0]
+        local = YoutubeService(tiny_universe).get_video(video_id)
+        remote = client.get_video(video_id)
+        assert remote == local
+
+    def test_pagination_over_the_wire(self, client, tiny_universe):
+        video_id = tiny_universe.video_ids()[0]
+        expected = tiny_universe.get(video_id).related_ids
+        collected = []
+        token = None
+        while True:
+            page = client.related_videos(video_id, page_token=token, max_results=7)
+            collected.extend(page.items)
+            token = page.next_page_token
+            if token is None:
+                break
+        assert tuple(collected) == expected
+
+    def test_most_popular_over_the_wire(self, client, tiny_universe):
+        page = client.most_popular("BR", max_results=10)
+        assert list(page.items) == tiny_universe.most_popular("BR", 10)
+
+
+class TestErrorFidelity:
+    def test_not_found_reraised_with_id(self, client):
+        with pytest.raises(VideoNotFoundError) as excinfo:
+            client.get_video("AAAAAAAAAAA")
+        assert excinfo.value.video_id == "AAAAAAAAAAA"
+
+    def test_bad_request_reraised(self, client, tiny_universe):
+        with pytest.raises(BadRequestError):
+            client.related_videos(
+                tiny_universe.video_ids()[0], max_results=999
+            )
+
+    def test_quota_error_crosses_the_wire(self, tiny_universe):
+        service = YoutubeService(tiny_universe, quota=QuotaBudget(limit=1))
+        with YoutubeAPIServer(service) as running:
+            with RemoteYoutubeClient(running.host, running.port) as remote:
+                remote.get_video(tiny_universe.video_ids()[0])
+                with pytest.raises(QuotaExceededError):
+                    remote.get_video(tiny_universe.video_ids()[1])
+
+    def test_transient_error_crosses_the_wire(self, tiny_universe):
+        service = YoutubeService(
+            tiny_universe, faults=FaultInjector(rate=0.999_999, seed=1)
+        )
+        with YoutubeAPIServer(service) as running:
+            with RemoteYoutubeClient(running.host, running.port) as remote:
+                with pytest.raises(TransientAPIError):
+                    remote.get_video(tiny_universe.video_ids()[0])
+
+    def test_connect_failure_is_transport_error(self):
+        with pytest.raises(TransportError):
+            RemoteYoutubeClient("127.0.0.1", 1, timeout=0.5)
+
+
+class TestCrawlOverTheWire:
+    def test_sequential_crawl_remote_equals_local(self, server, tiny_universe):
+        local = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=60
+        ).run()
+        with RemoteYoutubeClient(server.host, server.port) as remote:
+            over_wire = SnowballCrawler(remote, max_videos=60).run()
+        assert over_wire.dataset.video_ids() == local.dataset.video_ids()
+        for video in over_wire.dataset:
+            assert video == local.dataset.get(video.video_id)
+
+    def test_parallel_crawl_over_shared_client(self, server, tiny_universe):
+        with RemoteYoutubeClient(server.host, server.port) as remote:
+            result = ParallelSnowballCrawler(
+                remote, workers=4, max_videos=80
+            ).run()
+        assert len(result.dataset) == 80
+
+    def test_multiple_concurrent_clients(self, server, tiny_universe):
+        results = {}
+
+        def crawl(name):
+            with RemoteYoutubeClient(server.host, server.port) as remote:
+                results[name] = SnowballCrawler(remote, max_videos=30).run()
+
+        threads = [
+            threading.Thread(target=crawl, args=(i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 3
+        reference = results[0].dataset.video_ids()
+        for name in (1, 2):
+            assert results[name].dataset.video_ids() == reference

@@ -1,0 +1,90 @@
+"""Unit and property tests for the colour-extraction simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chartmap.colors import (
+    GRADIENT_HIGH,
+    GRADIENT_LOW,
+    color_to_intensity,
+    extract_popularity_from_colors,
+    intensity_to_color,
+    render_map_colors,
+)
+from repro.datamodel.popularity import MAX_INTENSITY, PopularityVector
+from repro.errors import ChartDecodingError
+
+
+class TestGradient:
+    def test_endpoints(self):
+        assert intensity_to_color(0) == GRADIENT_LOW
+        assert intensity_to_color(MAX_INTENSITY) == GRADIENT_HIGH
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ChartDecodingError):
+            intensity_to_color(-1)
+        with pytest.raises(ChartDecodingError):
+            intensity_to_color(MAX_INTENSITY + 1)
+
+    def test_monotone_darkening(self):
+        # Each channel moves monotonically from low to high endpoint.
+        previous = intensity_to_color(0)
+        for intensity in range(1, MAX_INTENSITY + 1):
+            current = intensity_to_color(intensity)
+            for channel in range(3):
+                direction = GRADIENT_HIGH[channel] - GRADIENT_LOW[channel]
+                if direction < 0:
+                    assert current[channel] <= previous[channel]
+                else:
+                    assert current[channel] >= previous[channel]
+            previous = current
+
+    @settings(max_examples=62, deadline=None)
+    @given(intensity=st.integers(min_value=0, max_value=MAX_INTENSITY))
+    def test_clean_roundtrip_is_exact(self, intensity):
+        assert color_to_intensity(intensity_to_color(intensity)) == intensity
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        intensity=st.integers(min_value=0, max_value=MAX_INTENSITY),
+        noise=st.tuples(
+            st.integers(-2, 2), st.integers(-2, 2), st.integers(-2, 2)
+        ),
+    )
+    def test_small_noise_costs_at_most_one_level(self, intensity, noise):
+        color = intensity_to_color(intensity)
+        noisy = tuple(
+            min(max(channel + delta, 0), 255)
+            for channel, delta in zip(color, noise)
+        )
+        assert abs(color_to_intensity(noisy) - intensity) <= 1
+
+    def test_degenerate_gradient_rejected(self):
+        with pytest.raises(ChartDecodingError):
+            color_to_intensity((10, 10, 10), low=(5, 5, 5), high=(5, 5, 5))
+
+    def test_far_off_gradient_color_clamps(self):
+        assert color_to_intensity((255, 0, 255)) in range(MAX_INTENSITY + 1)
+
+
+class TestMapExtraction:
+    def test_render_then_extract_identity(self):
+        vector = PopularityVector({"BR": 61, "US": 30, "JP": 3})
+        colors = render_map_colors(vector)
+        recovered = extract_popularity_from_colors(colors)
+        assert recovered == vector
+
+    def test_unknown_countries_skipped(self):
+        colors = {"BR": intensity_to_color(61), "ZZ": intensity_to_color(10)}
+        recovered = extract_popularity_from_colors(colors)
+        assert len(recovered) == 1
+
+    def test_noise_applied_per_country(self):
+        vector = PopularityVector({"BR": 30})
+        colors = render_map_colors(vector)
+        recovered = extract_popularity_from_colors(
+            colors, noise={"BR": (40, 40, 40)}
+        )
+        # Large noise shifts the decoded level.
+        assert recovered["BR"] != 0

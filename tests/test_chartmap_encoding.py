@@ -1,0 +1,96 @@
+"""Unit and property tests for the Chart API data encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chartmap.encoding import (
+    EXTENDED_MAX,
+    SIMPLE_ALPHABET,
+    SIMPLE_MAX,
+    decode_extended,
+    decode_simple,
+    encode_extended,
+    encode_simple,
+)
+from repro.errors import ChartDecodingError, ChartEncodingError
+
+
+class TestSimpleEncoding:
+    def test_alphabet_size_explains_the_papers_61(self):
+        # The paper's 0..61 range IS the simple-encoding alphabet.
+        assert SIMPLE_MAX == 61
+        assert len(SIMPLE_ALPHABET) == 62
+
+    def test_known_values(self):
+        assert encode_simple([0, 25, 26, 61]) == "AZa9"
+
+    def test_missing_encoded_as_underscore(self):
+        assert encode_simple([None, 0]) == "_A"
+
+    def test_decode_known_values(self):
+        assert decode_simple("AZa9") == [0, 25, 26, 61]
+
+    def test_decode_missing(self):
+        assert decode_simple("_A") == [None, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ChartEncodingError):
+            encode_simple([62])
+        with pytest.raises(ChartEncodingError):
+            encode_simple([-1])
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ChartEncodingError):
+            encode_simple([1.5])
+        with pytest.raises(ChartEncodingError):
+            encode_simple([True])
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(ChartDecodingError):
+            decode_simple("A!")
+
+    def test_empty_roundtrip(self):
+        assert decode_simple(encode_simple([])) == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=61))
+        )
+    )
+    def test_roundtrip(self, values):
+        assert decode_simple(encode_simple(values)) == values
+
+
+class TestExtendedEncoding:
+    def test_range(self):
+        assert EXTENDED_MAX == 4095
+
+    def test_known_values(self):
+        assert encode_extended([0, 4095]) == "AA.."
+
+    def test_missing_pair(self):
+        assert encode_extended([None]) == "__"
+        assert decode_extended("__") == [None]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ChartEncodingError):
+            encode_extended([4096])
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ChartDecodingError):
+            decode_extended("ABC")
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(ChartDecodingError):
+            decode_extended("A!")
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=4095))
+        )
+    )
+    def test_roundtrip(self, values):
+        assert decode_extended(encode_extended(values)) == values

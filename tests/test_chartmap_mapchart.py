@@ -1,0 +1,103 @@
+"""Unit and property tests for map-chart URL building and parsing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chartmap.mapchart import (
+    MapChart,
+    build_map_chart_url,
+    chart_from_popularity,
+    parse_map_chart_url,
+    popularity_from_chart,
+)
+from repro.datamodel.popularity import MAX_INTENSITY, PopularityVector
+from repro.errors import ChartURLError
+from repro.world.countries import default_registry
+
+
+def intensity_dicts():
+    codes = default_registry().codes()
+    return st.dictionaries(
+        st.sampled_from(codes),
+        st.integers(min_value=1, max_value=MAX_INTENSITY),
+        max_size=len(codes),
+    )
+
+
+class TestBuildAndParse:
+    def test_url_contains_map_chart_markers(self):
+        url = build_map_chart_url(PopularityVector({"BR": 61}))
+        assert "cht=t" in url
+        assert "chtm=world" in url
+        assert "chld=BR" in url
+        assert "chd=s%3A9" in url or "chd=s:9" in url
+
+    def test_parse_recovers_countries_and_intensities(self):
+        url = build_map_chart_url(PopularityVector({"BR": 61, "PT": 7}))
+        chart = parse_map_chart_url(url)
+        vector = popularity_from_chart(chart)
+        assert vector["BR"] == 61
+        assert vector["PT"] == 7
+
+    def test_non_map_chart_rejected(self):
+        with pytest.raises(ChartURLError):
+            parse_map_chart_url("http://chart.apis.google.com/chart?cht=p3")
+
+    def test_odd_chld_rejected(self):
+        with pytest.raises(ChartURLError):
+            parse_map_chart_url(
+                "http://x/chart?cht=t&chld=BRP&chd=s:99"
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ChartURLError):
+            parse_map_chart_url(
+                "http://x/chart?cht=t&chld=BRPT&chd=s:9"
+            )
+
+    def test_non_simple_encoding_rejected(self):
+        with pytest.raises(ChartURLError):
+            parse_map_chart_url(
+                "http://x/chart?cht=t&chld=BR&chd=e:AA"
+            )
+
+    def test_malformed_size_rejected(self):
+        with pytest.raises(ChartURLError):
+            parse_map_chart_url(
+                "http://x/chart?cht=t&chld=BR&chd=s:9&chs=wide"
+            )
+
+    def test_unknown_countries_dropped_on_extraction(self):
+        chart = MapChart(countries=("BR", "ZZ"), intensities=(61, 30))
+        vector = popularity_from_chart(chart)
+        assert vector["BR"] == 61
+        assert len(vector) == 1
+
+    def test_missing_data_points_dropped(self):
+        chart = MapChart(countries=("BR", "PT"), intensities=(61, None))
+        vector = popularity_from_chart(chart)
+        assert len(vector) == 1
+
+    def test_chart_length_mismatch_rejected(self):
+        with pytest.raises(ChartURLError):
+            MapChart(countries=("BR",), intensities=(61, 2))
+
+    @settings(max_examples=50, deadline=None)
+    @given(intensities=intensity_dicts())
+    def test_url_roundtrip(self, intensities):
+        original = PopularityVector(intensities)
+        url = build_map_chart_url(original)
+        recovered = popularity_from_chart(parse_map_chart_url(url))
+        assert recovered == original
+
+
+class TestChartFromPopularity:
+    def test_empty_vector_gives_empty_chart(self):
+        chart = chart_from_popularity(PopularityVector.empty())
+        assert chart.countries == ()
+        assert chart.intensities == ()
+
+    def test_zero_intensity_countries_excluded(self):
+        chart = chart_from_popularity(PopularityVector({"BR": 61, "US": 0}))
+        assert chart.countries == ("BR",)

@@ -1,0 +1,70 @@
+"""CLI tests (in-process via main(argv))."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def crawl_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "crawl.jsonl"
+    code = main(["crawl", "--preset", "tiny", "--out", str(path), "--max-videos", "150"])
+    assert code == 0
+    return path
+
+
+class TestCrawlCommand:
+    def test_writes_jsonl(self, crawl_file, capsys):
+        assert crawl_file.exists()
+        assert sum(1 for _ in crawl_file.open()) == 150
+
+    def test_seed_override(self, tmp_path, capsys):
+        out = tmp_path / "seeded.jsonl"
+        code = main(
+            [
+                "crawl", "--preset", "tiny", "--out", str(out),
+                "--max-videos", "20", "--seed", "123",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+
+class TestAnalysisCommands:
+    def test_stats(self, crawl_file, capsys):
+        assert main(["stats", "--in", str(crawl_file)]) == 0
+        output = capsys.readouterr().out
+        assert "filter funnel" in output
+        assert "unique tags" in output
+
+    def test_topvideo(self, crawl_file, capsys):
+        assert main(["topvideo", "--in", str(crawl_file)]) == 0
+        output = capsys.readouterr().out
+        assert "Popularity map" in output
+        assert "legend" in output
+
+    def test_toptags(self, crawl_file, capsys):
+        assert main(["toptags", "--in", str(crawl_file), "--count", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "rank" in output
+        assert len(output.strip().splitlines()) == 6  # header + 5 rows
+
+    def test_tag_found(self, crawl_file, capsys):
+        assert main(["tag", "--in", str(crawl_file), "music"]) == 0
+        output = capsys.readouterr().out
+        assert "'music'" in output
+
+    def test_tag_missing_returns_error_code(self, crawl_file, capsys):
+        assert main(["tag", "--in", str(crawl_file), "no-such-tag-xyz"]) == 1
+
+    def test_missing_input_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["stats", "--in", str(tmp_path / "none.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDemoCommand:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--preset", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "filter funnel" in output
+        assert "Popularity map" in output

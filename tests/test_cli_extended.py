@@ -1,0 +1,134 @@
+"""CLI tests for the analysis / world-persistence subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def world_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-world") / "world.jsonl.gz"
+    assert main(["genworld", "--preset", "tiny", "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def crawl_file(world_file, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-crawl") / "crawl.jsonl"
+    code = main(
+        ["crawl", "--world", str(world_file), "--out", str(path), "--max-videos", "200"]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenworldAndWorldCrawl:
+    def test_world_file_written(self, world_file):
+        assert world_file.exists()
+        assert world_file.stat().st_size > 1000
+
+    def test_crawl_from_world(self, crawl_file):
+        assert sum(1 for _ in crawl_file.open()) == 200
+
+    def test_genworld_seed_changes_world(self, tmp_path, capsys):
+        a = tmp_path / "a.gz"
+        b = tmp_path / "b.gz"
+        assert main(["genworld", "--preset", "tiny", "--out", str(a), "--seed", "1"]) == 0
+        assert main(["genworld", "--preset", "tiny", "--out", str(b), "--seed", "2"]) == 0
+        assert a.read_bytes() != b.read_bytes()
+
+
+class TestValidate:
+    def test_validate_against_world(self, world_file, crawl_file, capsys):
+        code = main(
+            ["validate", "--world", str(world_file), "--in", str(crawl_file)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean JSD" in output
+        assert "videos scored" in output
+
+    def test_validate_with_smoothing(self, world_file, crawl_file, capsys):
+        code = main(
+            [
+                "validate", "--world", str(world_file), "--in", str(crawl_file),
+                "--smoothing", "0.1",
+            ]
+        )
+        assert code == 0
+        assert "λ=0.1" in capsys.readouterr().out
+
+    def test_missing_world_is_clean_error(self, crawl_file, tmp_path, capsys):
+        code = main(
+            ["validate", "--world", str(tmp_path / "no.gz"), "--in", str(crawl_file)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestClassify:
+    def test_classify_prints_table(self, crawl_file, capsys):
+        assert main(["classify", "--in", str(crawl_file)]) == 0
+        output = capsys.readouterr().out
+        assert "most local" in output
+        assert "global=" in output
+
+    def test_classify_csv_export(self, crawl_file, tmp_path, capsys):
+        csv_path = tmp_path / "tags.csv"
+        assert main(
+            ["classify", "--in", str(crawl_file), "--csv", str(csv_path)]
+        ) == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("tag,classification,top_country")
+        assert len(lines) > 5
+
+
+class TestCountryAndAudit:
+    def test_country_signature(self, crawl_file, capsys):
+        assert main(["country", "--in", str(crawl_file), "BR"]) == 0
+        output = capsys.readouterr().out
+        assert "over-watched in BR" in output
+        assert "lift" in output
+
+    def test_country_lowercase_code_accepted(self, crawl_file, capsys):
+        assert main(["country", "--in", str(crawl_file), "jp"]) == 0
+        assert "over-watched in JP" in capsys.readouterr().out
+
+    def test_audit_clean_crawl(self, crawl_file, capsys):
+        assert main(["audit", "--in", str(crawl_file)]) == 0
+        assert "integrity audit" in capsys.readouterr().out
+
+    def test_audit_with_reference_check_flags_partial_crawl(
+        self, crawl_file, capsys
+    ):
+        # A 200-video partial crawl necessarily has dangling related ids.
+        code = main(
+            ["audit", "--in", str(crawl_file), "--check-references"]
+        )
+        assert code == 1
+        assert "dangling-related-ids" in capsys.readouterr().out
+
+
+class TestPlot:
+    def test_plot_renders_distributions(self, crawl_file, capsys):
+        assert main(["plot", "--in", str(crawl_file)]) == 0
+        output = capsys.readouterr().out
+        assert "View counts" in output
+        assert "View-count CCDF" in output
+        assert "Tag usage CCDF" in output
+        assert "•" in output
+
+
+class TestRegionsAndCooccur:
+    def test_regions(self, crawl_file, capsys):
+        assert main(["regions", "--in", str(crawl_file)]) == 0
+        output = capsys.readouterr().out
+        assert "Europe" in output
+        assert "Asia-Pacific" in output
+
+    def test_cooccur_known_tag(self, crawl_file, capsys):
+        assert main(["cooccur", "--in", str(crawl_file), "music"]) == 0
+        assert "associated with 'music'" in capsys.readouterr().out
+
+    def test_cooccur_unknown_tag(self, crawl_file, capsys):
+        assert main(["cooccur", "--in", str(crawl_file), "zzz-absent"]) == 1

@@ -1,0 +1,104 @@
+"""Checkpoint/resume tests: a resumed crawl equals an uninterrupted one."""
+
+import pytest
+
+from repro.api.service import YoutubeService
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.snowball import SnowballCrawler
+from repro.errors import CheckpointError
+
+
+def crawl_with_interruption(universe, stop_at, total):
+    """Crawl to ``stop_at``, checkpoint, resume, finish to ``total``."""
+    service = YoutubeService(universe)
+    first = SnowballCrawler(service, max_videos=stop_at)
+    first.run()
+    checkpoint = first.checkpoint()
+    resumed = SnowballCrawler.resume(
+        YoutubeService(universe), checkpoint, max_videos=total
+    )
+    return resumed.run()
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("stop_at", [1, 10, 37, 80])
+    def test_resume_equals_uninterrupted(self, tiny_universe, stop_at):
+        uninterrupted = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=120
+        ).run()
+        resumed = crawl_with_interruption(tiny_universe, stop_at, 120)
+        assert (
+            resumed.dataset.video_ids() == uninterrupted.dataset.video_ids()
+        )
+
+    def test_stats_accumulate_across_resume(self, tiny_universe):
+        result = crawl_with_interruption(tiny_universe, 20, 60)
+        assert result.stats.fetched == 60
+
+
+class TestCheckpointFile:
+    def test_save_load_roundtrip(self, tiny_universe, tmp_path):
+        service = YoutubeService(tiny_universe)
+        crawler = SnowballCrawler(service, max_videos=25)
+        crawler.run()
+        checkpoint = crawler.checkpoint()
+        path = tmp_path / "crawl.ckpt.json"
+        checkpoint.save(path)
+        loaded = CrawlCheckpoint.load(path)
+        assert loaded.seeded == checkpoint.seeded
+        assert loaded.pending == checkpoint.pending
+        assert loaded.admitted == checkpoint.admitted
+        assert loaded.videos == checkpoint.videos
+        assert loaded.stats.to_dict() == checkpoint.stats.to_dict()
+
+    def test_resume_from_file(self, tiny_universe, tmp_path):
+        service = YoutubeService(tiny_universe)
+        crawler = SnowballCrawler(service, max_videos=25)
+        crawler.run()
+        path = tmp_path / "crawl.ckpt.json"
+        crawler.checkpoint().save(path)
+        resumed = SnowballCrawler.resume(
+            YoutubeService(tiny_universe),
+            CrawlCheckpoint.load(path),
+            max_videos=50,
+        )
+        result = resumed.run()
+        assert len(result.dataset) == 50
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            CrawlCheckpoint.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            CrawlCheckpoint.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CrawlCheckpoint.load(tmp_path / "absent.json")
+
+    def test_inconsistent_frontier_rejected(self):
+        checkpoint = CrawlCheckpoint(
+            pending=[("AAAAAAAAAAA", 0)],
+            admitted=[],
+            videos=[],
+            stats=__import__(
+                "repro.crawler.stats", fromlist=["CrawlStats"]
+            ).CrawlStats(),
+            seeded=True,
+        )
+        with pytest.raises(CheckpointError):
+            checkpoint.restore_frontier()
+
+    def test_atomic_write_leaves_no_tmp(self, tiny_universe, tmp_path):
+        service = YoutubeService(tiny_universe)
+        crawler = SnowballCrawler(service, max_videos=5)
+        crawler.run()
+        path = tmp_path / "crawl.ckpt.json"
+        crawler.checkpoint().save(path)
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,96 @@
+"""Unit and property tests for the BFS frontier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.frontier import BFSFrontier
+
+IDS = [f"AAAAAAAAA{i:02d}" for i in range(30)]
+
+
+class TestFrontier:
+    def test_push_pop_fifo(self):
+        frontier = BFSFrontier()
+        frontier.push(IDS[0], 0)
+        frontier.push(IDS[1], 0)
+        assert frontier.pop() == (IDS[0], 0)
+        assert frontier.pop() == (IDS[1], 0)
+
+    def test_duplicate_push_rejected(self):
+        frontier = BFSFrontier()
+        assert frontier.push(IDS[0], 0)
+        assert not frontier.push(IDS[0], 1)
+        assert len(frontier) == 1
+
+    def test_popped_id_not_readmitted(self):
+        frontier = BFSFrontier()
+        frontier.push(IDS[0], 0)
+        frontier.pop()
+        assert not frontier.push(IDS[0], 5)
+        assert len(frontier) == 0
+
+    def test_push_all_counts_new(self):
+        frontier = BFSFrontier()
+        frontier.push(IDS[0], 0)
+        assert frontier.push_all([IDS[0], IDS[1], IDS[2]], 1) == 2
+
+    def test_contains_tracks_lifetime(self):
+        frontier = BFSFrontier()
+        frontier.push(IDS[0], 0)
+        assert IDS[0] in frontier
+        frontier.pop()
+        assert IDS[0] in frontier  # still admitted, just not queued
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BFSFrontier().pop()
+
+    def test_bool_and_len(self):
+        frontier = BFSFrontier()
+        assert not frontier
+        frontier.push(IDS[0], 0)
+        assert frontier
+        assert len(frontier) == 1
+
+    def test_admitted_count(self):
+        frontier = BFSFrontier()
+        frontier.push_all(IDS[:5], 0)
+        frontier.pop()
+        assert frontier.admitted_count == 5
+
+
+class TestRestore:
+    def test_restore_roundtrip(self):
+        frontier = BFSFrontier()
+        frontier.push_all(IDS[:6], 0)
+        frontier.pop()
+        frontier.pop()
+        restored = BFSFrontier.restore(frontier.pending(), frontier.admitted())
+        assert restored.pending() == frontier.pending()
+        assert restored.admitted() == frontier.admitted()
+
+    def test_restored_frontier_rejects_old_ids(self):
+        frontier = BFSFrontier()
+        frontier.push(IDS[0], 0)
+        frontier.pop()
+        restored = BFSFrontier.restore([], frontier.admitted())
+        assert not restored.push(IDS[0], 0)
+
+    def test_pending_not_in_admitted_rejected(self):
+        with pytest.raises(ValueError):
+            BFSFrontier.restore([(IDS[0], 0)], [])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ids=st.lists(st.sampled_from(IDS), max_size=30),
+        pops=st.integers(min_value=0, max_value=30),
+    )
+    def test_invariant_queued_subset_of_admitted(self, ids, pops):
+        frontier = BFSFrontier()
+        frontier.push_all(ids, 0)
+        for _ in range(min(pops, len(frontier))):
+            frontier.pop()
+        queued = {video_id for video_id, _ in frontier.pending()}
+        assert queued <= frontier.admitted()
+        assert frontier.admitted_count == len(set(ids))

@@ -1,0 +1,111 @@
+"""Tests for the multi-worker crawler."""
+
+import time
+
+import pytest
+
+from repro.api.faults import FaultInjector
+from repro.api.quota import QuotaBudget
+from repro.api.service import YoutubeService
+from repro.crawler.parallel import ParallelSnowballCrawler
+from repro.crawler.snowball import SnowballCrawler
+from repro.errors import ConfigError
+
+
+class TestCorrectness:
+    def test_exhaustive_crawl_matches_sequential_set(self, tiny_universe):
+        sequential = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=10_000
+        ).run()
+        parallel = ParallelSnowballCrawler(
+            YoutubeService(tiny_universe), workers=6, max_videos=10_000
+        ).run()
+        assert set(parallel.dataset.video_ids()) == set(
+            sequential.dataset.video_ids()
+        )
+
+    def test_records_identical_to_sequential(self, tiny_universe):
+        sequential = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=10_000
+        ).run()
+        parallel = ParallelSnowballCrawler(
+            YoutubeService(tiny_universe), workers=4, max_videos=10_000
+        ).run()
+        for video in parallel.dataset:
+            reference = sequential.dataset.get(video.video_id)
+            assert video.views == reference.views
+            assert video.tags == reference.tags
+            assert video.popularity == reference.popularity
+
+    def test_no_duplicates(self, tiny_universe):
+        result = ParallelSnowballCrawler(
+            YoutubeService(tiny_universe), workers=8, max_videos=300
+        ).run()
+        ids = result.dataset.video_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_budget_respected(self, tiny_universe):
+        result = ParallelSnowballCrawler(
+            YoutubeService(tiny_universe), workers=8, max_videos=50
+        ).run()
+        assert len(result.dataset) == 50
+        assert result.stats.stopped_by_budget
+
+    def test_single_worker_works(self, tiny_universe):
+        result = ParallelSnowballCrawler(
+            YoutubeService(tiny_universe), workers=1, max_videos=40
+        ).run()
+        assert len(result.dataset) == 40
+
+    def test_fetch_count_matches_dataset(self, tiny_universe):
+        result = ParallelSnowballCrawler(
+            YoutubeService(tiny_universe), workers=4, max_videos=120
+        ).run()
+        assert result.stats.fetched == len(result.dataset)
+
+
+class TestFaultsAndQuota:
+    def test_survives_transient_faults(self, tiny_universe):
+        service = YoutubeService(
+            tiny_universe, faults=FaultInjector(rate=0.1, seed=3)
+        )
+        result = ParallelSnowballCrawler(
+            service, workers=4, max_videos=150, max_retries=5
+        ).run()
+        assert len(result.dataset) == 150
+        assert result.stats.transient_errors > 0
+
+    def test_quota_exhaustion_stops_all_workers(self, tiny_universe):
+        service = YoutubeService(tiny_universe, quota=QuotaBudget(limit=150))
+        result = ParallelSnowballCrawler(
+            service, workers=6, max_videos=10_000
+        ).run()
+        assert result.stats.stopped_by_quota
+        assert len(result.dataset) < 10_000
+
+
+class TestConcurrencySpeedup:
+    def test_parallel_faster_under_latency(self, tiny_universe):
+        # With per-request latency the workers overlap their waiting; 8
+        # workers must beat 1 worker clearly (generous 2x margin to stay
+        # robust on loaded CI machines).
+        def timed(workers):
+            service = YoutubeService(tiny_universe, latency_seconds=0.002)
+            start = time.perf_counter()
+            ParallelSnowballCrawler(
+                service, workers=workers, max_videos=80
+            ).run()
+            return time.perf_counter() - start
+
+        slow = timed(1)
+        fast = timed(8)
+        assert fast < slow / 2
+
+    def test_invalid_configs_rejected(self, tiny_universe):
+        service = YoutubeService(tiny_universe)
+        with pytest.raises(ConfigError):
+            ParallelSnowballCrawler(service, workers=0)
+        with pytest.raises(ConfigError):
+            ParallelSnowballCrawler(service, max_videos=0)
+        with pytest.raises(ConfigError):
+            ParallelSnowballCrawler(service, seeds_per_country=0)

@@ -1,0 +1,140 @@
+"""Unit tests for the snowball crawler."""
+
+import pytest
+
+from repro.api.faults import FaultInjector
+from repro.api.quota import QuotaBudget
+from repro.api.service import YoutubeService
+from repro.crawler.snowball import SnowballCrawler
+from repro.errors import ConfigError
+
+
+class TestBasicCrawl:
+    def test_respects_video_budget(self, tiny_universe):
+        crawler = SnowballCrawler(YoutubeService(tiny_universe), max_videos=50)
+        result = crawler.run()
+        assert len(result.dataset) == 50
+        assert result.stats.stopped_by_budget
+
+    def test_seeds_come_from_most_popular_feeds(self, tiny_universe):
+        crawler = SnowballCrawler(
+            YoutubeService(tiny_universe),
+            seed_countries=["BR"],
+            seeds_per_country=5,
+            max_videos=5,
+        )
+        result = crawler.run()
+        assert set(result.dataset.video_ids()) == set(
+            tiny_universe.most_popular("BR", 5)
+        )
+
+    def test_no_duplicates_crawled(self, tiny_universe):
+        result = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=200
+        ).run()
+        ids = result.dataset.video_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_bfs_depth_tracking(self, tiny_universe):
+        result = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=150
+        ).run()
+        depths = result.stats.fetched_by_depth
+        assert 0 in depths
+        assert result.stats.max_depth_reached >= 1
+        # Depth counts sum to fetched.
+        assert sum(depths.values()) == result.stats.fetched
+
+    def test_max_depth_zero_stops_at_seeds(self, tiny_universe):
+        crawler = SnowballCrawler(
+            YoutubeService(tiny_universe),
+            seeds_per_country=10,
+            max_videos=1000,
+            max_depth=0,
+        )
+        result = crawler.run()
+        assert result.stats.max_depth_reached == 0
+        # Only seeded videos; no expansion.
+        assert len(result.dataset) <= 25 * 10
+
+    def test_popularity_decoded_from_chart_urls(self, tiny_universe):
+        result = SnowballCrawler(
+            YoutubeService(tiny_universe), max_videos=60
+        ).run()
+        decoded = 0
+        for video in result.dataset:
+            synth = tiny_universe.get(video.video_id)
+            if synth.popularity is not None and not synth.popularity.is_empty():
+                assert video.popularity == synth.popularity
+                decoded += 1
+            else:
+                assert video.popularity is None
+        assert decoded > 0
+        assert result.stats.map_decode_failures == 0
+
+    def test_deterministic_given_same_universe(self, tiny_universe):
+        a = SnowballCrawler(YoutubeService(tiny_universe), max_videos=80).run()
+        b = SnowballCrawler(YoutubeService(tiny_universe), max_videos=80).run()
+        assert a.dataset.video_ids() == b.dataset.video_ids()
+
+
+class TestFaultTolerance:
+    def test_crawl_completes_under_faults(self, tiny_universe):
+        service = YoutubeService(
+            tiny_universe, faults=FaultInjector(rate=0.15, seed=5)
+        )
+        result = SnowballCrawler(service, max_videos=100, max_retries=5).run()
+        assert len(result.dataset) == 100
+        assert result.stats.transient_errors > 0
+        assert result.stats.backoff_seconds > 0
+
+    def test_retries_exhausted_skips_item(self, tiny_universe):
+        # With rate ~1 every request fails; the crawl gives up on seeds
+        # and finishes empty instead of hanging.
+        service = YoutubeService(
+            tiny_universe, faults=FaultInjector(rate=0.999_999, seed=5)
+        )
+        result = SnowballCrawler(service, max_videos=10, max_retries=2).run()
+        assert len(result.dataset) == 0
+        assert result.stats.retries_exhausted > 0
+
+    def test_backoff_grows_exponentially(self, tiny_universe):
+        service = YoutubeService(
+            tiny_universe, faults=FaultInjector(rate=0.999_999, seed=5)
+        )
+        crawler = SnowballCrawler(
+            service, max_videos=10, max_retries=3, backoff_base=1.0,
+            seed_countries=["US"],
+        )
+        crawler.run()
+        # One seed request: 3 retries → sleeps 1 + 2 + 4 = 7 per item;
+        # seeding tries once (one request item).
+        assert crawler.stats.backoff_seconds == pytest.approx(7.0)
+
+
+class TestQuota:
+    def test_quota_exhaustion_stops_cleanly(self, tiny_universe):
+        service = YoutubeService(tiny_universe, quota=QuotaBudget(limit=120))
+        result = SnowballCrawler(service, max_videos=10_000).run()
+        assert result.stats.stopped_by_quota
+        assert 0 < len(result.dataset) < 10_000
+
+    def test_quota_during_seeding_stops_cleanly(self, tiny_universe):
+        service = YoutubeService(tiny_universe, quota=QuotaBudget(limit=5))
+        result = SnowballCrawler(service, max_videos=100).run()
+        assert result.stats.stopped_by_quota
+
+
+class TestConfigValidation:
+    def test_invalid_configs_rejected(self, tiny_universe):
+        service = YoutubeService(tiny_universe)
+        with pytest.raises(ConfigError):
+            SnowballCrawler(service, max_videos=0)
+        with pytest.raises(ConfigError):
+            SnowballCrawler(service, seeds_per_country=0)
+        with pytest.raises(ConfigError):
+            SnowballCrawler(service, max_depth=-1)
+        with pytest.raises(ConfigError):
+            SnowballCrawler(service, max_retries=-1)
+        with pytest.raises(ConfigError):
+            SnowballCrawler(service, backoff_base=-0.5)

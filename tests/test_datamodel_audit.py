@@ -1,0 +1,101 @@
+"""Tests for dataset auditing."""
+
+import pytest
+
+from repro.datamodel.audit import audit_dataset
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.video import Video
+
+IDS = [f"AAAAAAAAA{i:02d}" for i in range(10)]
+
+
+def video(video_id, **overrides):
+    defaults = dict(
+        video_id=video_id,
+        title="ok",
+        uploader="u",
+        upload_date="2010-06-01",
+        views=100,
+        tags=("music",),
+        popularity=PopularityVector({"US": 61}),
+        related_ids=(),
+    )
+    defaults.update(overrides)
+    return Video(**defaults)
+
+
+class TestCleanDataset:
+    def test_clean_corpus_has_no_findings(self):
+        report = audit_dataset(Dataset([video(IDS[0]), video(IDS[1])]))
+        assert report.clean
+        assert report.videos == 2
+
+    def test_crawled_corpus_mostly_clean(self, tiny_pipeline):
+        # Dangling related ids are expected in a partial crawl; nothing
+        # else should fire on the simulated world.
+        report = audit_dataset(tiny_pipeline.dataset, check_references=False)
+        assert report.clean
+
+
+class TestAnomalies:
+    def test_unsaturated_map_detected(self):
+        report = audit_dataset(
+            Dataset([video(IDS[0], popularity=PopularityVector({"US": 30}))])
+        )
+        finding = report.finding("unsaturated-map")
+        assert finding.count == 1
+        assert IDS[0] in finding.examples
+
+    def test_date_out_of_window(self):
+        report = audit_dataset(Dataset([video(IDS[0], upload_date="2015-01-01")]))
+        assert report.finding("date-out-of-window").count == 1
+
+    def test_date_before_youtube(self):
+        report = audit_dataset(Dataset([video(IDS[0], upload_date="2004-01-01")]))
+        assert report.finding("date-out-of-window").count == 1
+
+    def test_empty_title(self):
+        report = audit_dataset(Dataset([video(IDS[0], title="   ")]))
+        assert report.finding("empty-title").count == 1
+
+    def test_zero_views_wide_map(self):
+        wide = PopularityVector(
+            {code: 61 for code in ("US", "BR", "JP", "DE", "FR", "GB")}
+        )
+        report = audit_dataset(
+            Dataset([video(IDS[0], views=0, popularity=wide)])
+        )
+        assert report.finding("zero-views-wide-map").count == 1
+
+    def test_dangling_related_ids(self):
+        report = audit_dataset(
+            Dataset([video(IDS[0], related_ids=(IDS[9],))])
+        )
+        assert report.finding("dangling-related-ids").count == 1
+
+    def test_references_check_optional(self):
+        report = audit_dataset(
+            Dataset([video(IDS[0], related_ids=(IDS[9],))]),
+            check_references=False,
+        )
+        assert report.clean
+
+    def test_examples_capped_at_five(self):
+        videos = [
+            video(IDS[i], upload_date="2015-01-01") for i in range(8)
+        ]
+        report = audit_dataset(Dataset(videos))
+        finding = report.finding("date-out-of-window")
+        assert finding.count == 8
+        assert len(finding.examples) == 5
+
+    def test_unknown_code_raises(self):
+        report = audit_dataset(Dataset([video(IDS[0])]))
+        with pytest.raises(KeyError):
+            report.finding("nope")
+
+    def test_rows_render(self):
+        report = audit_dataset(Dataset([video(IDS[0], title="")]))
+        labels = [label for label, _ in report.as_rows()]
+        assert "empty-title" in labels

@@ -1,0 +1,160 @@
+"""Unit tests for the Dataset container and the §2 filter funnel."""
+
+import pytest
+
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.video import Video
+from repro.errors import DatasetError
+
+IDS = [f"AAAAAAAAA{i:02d}" for i in range(20)]
+
+
+def video(video_id, views=100, tags=("music",), pop={"US": 61}):
+    return Video(
+        video_id=video_id,
+        title="t",
+        uploader="u",
+        upload_date="2010-01-01",
+        views=views,
+        tags=tags,
+        popularity=PopularityVector(pop) if pop is not None else None,
+    )
+
+
+class TestContainer:
+    def test_add_and_get(self):
+        ds = Dataset([video(IDS[0])])
+        assert len(ds) == 1
+        assert ds.get(IDS[0]).video_id == IDS[0]
+
+    def test_duplicate_id_rejected(self):
+        ds = Dataset([video(IDS[0])])
+        with pytest.raises(DatasetError):
+            ds.add(video(IDS[0]))
+
+    def test_get_missing_raises(self):
+        with pytest.raises(DatasetError):
+            Dataset().get(IDS[0])
+
+    def test_contains(self):
+        ds = Dataset([video(IDS[0])])
+        assert IDS[0] in ds
+        assert IDS[1] not in ds
+
+    def test_insertion_order_preserved(self):
+        ds = Dataset([video(IDS[2]), video(IDS[0]), video(IDS[1])])
+        assert ds.video_ids() == [IDS[2], IDS[0], IDS[1]]
+
+
+class TestPaperFilter:
+    def test_funnel_counts(self):
+        ds = Dataset(
+            [
+                video(IDS[0]),                      # kept
+                video(IDS[1], tags=()),             # no tags
+                video(IDS[2], pop=None),            # missing map
+                video(IDS[3], pop={}),              # empty map
+                video(IDS[4]),                      # kept
+            ]
+        )
+        filtered, report = ds.apply_paper_filter()
+        assert report.input_videos == 5
+        assert report.removed_no_tags == 1
+        assert report.removed_bad_popularity == 2
+        assert report.retained == 2
+        assert len(filtered) == 2
+
+    def test_no_tags_counted_before_popularity(self):
+        # A video failing both filters counts in the no-tags bucket,
+        # mirroring the paper's narration order.
+        ds = Dataset([video(IDS[0], tags=(), pop=None)])
+        _, report = ds.apply_paper_filter()
+        assert report.removed_no_tags == 1
+        assert report.removed_bad_popularity == 0
+
+    def test_retention_rate(self):
+        ds = Dataset([video(IDS[0]), video(IDS[1], tags=())])
+        _, report = ds.apply_paper_filter()
+        assert report.retention_rate == pytest.approx(0.5)
+
+    def test_empty_dataset_funnel(self):
+        _, report = Dataset().apply_paper_filter()
+        assert report.input_videos == 0
+        assert report.retention_rate == 0.0
+
+    def test_funnel_conserves_videos(self, tiny_pipeline):
+        report = tiny_pipeline.filter_report
+        assert (
+            report.removed_no_tags
+            + report.removed_bad_popularity
+            + report.retained
+            == report.input_videos
+        )
+
+
+class TestStats:
+    def test_stats_on_small_corpus(self):
+        ds = Dataset(
+            [
+                video(IDS[0], views=10, tags=("a", "b")),
+                video(IDS[1], views=30, tags=("b", "c")),
+            ]
+        )
+        stats = ds.stats()
+        assert stats.videos == 2
+        assert stats.unique_tags == 3
+        assert stats.total_views == 40
+        assert stats.tags_per_video_mean == pytest.approx(2.0)
+        assert stats.views_max == 30
+
+    def test_stats_empty_dataset(self):
+        stats = Dataset().stats()
+        assert stats.videos == 0
+        assert stats.tags_per_video_mean == 0.0
+
+
+class TestTagIndex:
+    def test_tag_index_maps_videos(self):
+        ds = Dataset(
+            [video(IDS[0], tags=("a", "b")), video(IDS[1], tags=("b",))]
+        )
+        index = ds.tag_index()
+        assert index["a"] == [IDS[0]]
+        assert index["b"] == [IDS[0], IDS[1]]
+
+    def test_index_invalidated_by_add(self):
+        ds = Dataset([video(IDS[0], tags=("a",))])
+        assert len(ds.tag_index()["a"]) == 1
+        ds.add(video(IDS[1], tags=("a",)))
+        assert len(ds.tag_index()["a"]) == 2
+
+    def test_videos_with_unknown_tag_empty(self):
+        assert Dataset().videos_with_tag("nope") == []
+
+    def test_tag_frequencies(self):
+        ds = Dataset(
+            [video(IDS[0], tags=("a", "b")), video(IDS[1], tags=("a",))]
+        )
+        freq = ds.tag_frequencies()
+        assert freq["a"] == 2
+        assert freq["b"] == 1
+
+    def test_tag_view_totals(self):
+        ds = Dataset(
+            [
+                video(IDS[0], views=10, tags=("a",)),
+                video(IDS[1], views=5, tags=("a", "b")),
+            ]
+        )
+        totals = ds.tag_view_totals()
+        assert totals["a"] == 15
+        assert totals["b"] == 5
+
+    def test_most_viewed_video(self):
+        ds = Dataset([video(IDS[0], views=5), video(IDS[1], views=50)])
+        assert ds.most_viewed_video().video_id == IDS[1]
+
+    def test_most_viewed_on_empty_raises(self):
+        with pytest.raises(DatasetError):
+            Dataset().most_viewed_video()

@@ -1,0 +1,96 @@
+"""Unit tests for JSONL persistence."""
+
+import json
+
+import pytest
+
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.io import (
+    read_videos_jsonl,
+    video_from_record,
+    video_to_record,
+    write_videos_jsonl,
+)
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.video import Video
+from repro.errors import DatasetIOError
+
+VID = "dQw4w9WgXcQ"
+
+
+def sample_video():
+    return Video(
+        video_id=VID,
+        title="Tïtle with unicode — ✓",
+        uploader="user42",
+        upload_date="2010-03-14",
+        views=123456,
+        tags=("pop", "baile funk"),
+        popularity=PopularityVector({"BR": 61, "PT": 7}),
+        related_ids=("kffacxfA7G4",),
+    )
+
+
+class TestRecordRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        video = sample_video()
+        rebuilt = video_from_record(video_to_record(video))
+        assert rebuilt == video
+
+    def test_missing_popularity_roundtrip(self):
+        video = Video(
+            video_id=VID,
+            title="t",
+            uploader="u",
+            upload_date="2010-01-01",
+            views=1,
+        )
+        record = video_to_record(video)
+        assert "pop" not in record
+        assert video_from_record(record).popularity is None
+
+    def test_record_is_json_serializable(self):
+        json.dumps(video_to_record(sample_video()))
+
+    def test_unsupported_schema_rejected(self):
+        record = video_to_record(sample_video())
+        record["schema"] = 99
+        with pytest.raises(DatasetIOError):
+            video_from_record(record)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(DatasetIOError):
+            video_from_record({"id": VID})  # missing views
+
+
+class TestFileRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "videos.jsonl"
+        videos = [sample_video()]
+        assert write_videos_jsonl(videos, path) == 1
+        loaded = list(read_videos_jsonl(path))
+        assert loaded == videos
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "videos.jsonl"
+        write_videos_jsonl([sample_video()], path)
+        path.write_text(path.read_text() + "\n\n", encoding="utf-8")
+        assert len(list(read_videos_jsonl(path))) == 1
+
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "videos.jsonl"
+        path.write_text("{not json}\n", encoding="utf-8")
+        with pytest.raises(DatasetIOError, match=":1:"):
+            list(read_videos_jsonl(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetIOError):
+            list(read_videos_jsonl(tmp_path / "absent.jsonl"))
+
+    def test_dataset_roundtrip_via_jsonl(self, tmp_path, tiny_dataset):
+        path = tmp_path / "ds.jsonl"
+        write_videos_jsonl(tiny_dataset, path)
+        rebuilt = Dataset(read_videos_jsonl(path))
+        assert len(rebuilt) == len(tiny_dataset)
+        for video in tiny_dataset:
+            assert rebuilt.get(video.video_id) == video

@@ -1,0 +1,124 @@
+"""Unit and property tests for popularity vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel.popularity import MAX_INTENSITY, PopularityVector
+from repro.errors import InvalidPopularityVectorError
+from repro.world.countries import default_registry
+
+
+def intensity_dicts():
+    codes = default_registry().codes()
+    return st.dictionaries(
+        st.sampled_from(codes),
+        st.integers(min_value=0, max_value=MAX_INTENSITY),
+        max_size=len(codes),
+    )
+
+
+class TestConstruction:
+    def test_basic_vector(self):
+        vector = PopularityVector({"BR": 61, "PT": 10})
+        assert vector["BR"] == 61
+        assert vector["PT"] == 10
+
+    def test_absent_country_reads_zero(self):
+        vector = PopularityVector({"BR": 61})
+        assert vector["US"] == 0
+
+    def test_zero_entries_dropped(self):
+        vector = PopularityVector({"BR": 61, "US": 0})
+        assert len(vector) == 1
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(InvalidPopularityVectorError):
+            PopularityVector({"XX": 10})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidPopularityVectorError):
+            PopularityVector({"BR": MAX_INTENSITY + 1})
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidPopularityVectorError):
+            PopularityVector({"BR": -1})
+
+    def test_float_rejected(self):
+        with pytest.raises(InvalidPopularityVectorError):
+            PopularityVector({"BR": 30.5})
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidPopularityVectorError):
+            PopularityVector({"BR": True})
+
+    def test_numpy_integer_accepted(self):
+        vector = PopularityVector({"BR": np.int64(40)})
+        assert vector["BR"] == 40
+
+    def test_reading_unknown_country_raises(self):
+        vector = PopularityVector({"BR": 61})
+        with pytest.raises(InvalidPopularityVectorError):
+            vector["XX"]
+
+
+class TestProperties:
+    def test_empty_vector(self):
+        vector = PopularityVector.empty()
+        assert vector.is_empty()
+        assert vector.max_intensity() == 0
+        assert not vector.is_saturated()
+
+    def test_saturation_detection(self):
+        assert PopularityVector({"BR": 61}).is_saturated()
+        assert not PopularityVector({"BR": 60}).is_saturated()
+
+    def test_countries_in_registry_order(self, registry):
+        vector = PopularityVector({"BR": 10, "US": 20, "JP": 5})
+        countries = vector.countries()
+        positions = [registry.index_of(code) for code in countries]
+        assert positions == sorted(positions)
+
+    def test_iteration_yields_nonzero_pairs(self):
+        vector = PopularityVector({"BR": 10, "US": 20})
+        pairs = dict(vector)
+        assert pairs == {"BR": 10, "US": 20}
+
+    def test_equality_and_hash(self):
+        a = PopularityVector({"BR": 10, "US": 0})
+        b = PopularityVector({"BR": 10})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert PopularityVector({"BR": 10}) != PopularityVector({"BR": 11})
+
+
+class TestArrayRoundtrip:
+    def test_as_array_shape(self, registry):
+        vector = PopularityVector({"BR": 61})
+        dense = vector.as_array()
+        assert dense.shape == (len(registry),)
+        assert dense[registry.index_of("BR")] == 61
+        assert dense.sum() == 61
+
+    def test_from_array_wrong_length_rejected(self):
+        with pytest.raises(InvalidPopularityVectorError):
+            PopularityVector.from_array(np.array([1, 2, 3]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(intensities=intensity_dicts())
+    def test_dict_array_roundtrip(self, intensities):
+        vector = PopularityVector(intensities)
+        rebuilt = PopularityVector.from_array(vector.as_array())
+        assert rebuilt == vector
+
+    @settings(max_examples=50, deadline=None)
+    @given(intensities=intensity_dicts())
+    def test_as_dict_drops_zeros(self, intensities):
+        vector = PopularityVector(intensities)
+        as_dict = vector.as_dict()
+        assert all(value > 0 for value in as_dict.values())
+        expected = {k: v for k, v in intensities.items() if v > 0}
+        assert as_dict == expected

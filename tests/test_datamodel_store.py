@@ -1,0 +1,123 @@
+"""Tests for the SQLite-backed video store."""
+
+import pytest
+
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.popularity import PopularityVector
+from repro.datamodel.store import VideoStore
+from repro.datamodel.video import Video
+from repro.errors import DatasetError
+
+IDS = [f"AAAAAAAAA{i:02d}" for i in range(20)]
+
+
+def video(video_id, views=100, tags=("music",), pop={"US": 61}):
+    return Video(
+        video_id=video_id,
+        title="Tïtle ✓",
+        uploader="u",
+        upload_date="2010-01-01",
+        views=views,
+        tags=tags,
+        popularity=PopularityVector(pop) if pop is not None else None,
+        related_ids=(IDS[-1],),
+    )
+
+
+class TestBasicOperations:
+    def test_add_get_roundtrip(self):
+        with VideoStore() as store:
+            original = video(IDS[0])
+            store.add(original)
+            assert store.get(IDS[0]) == original
+            assert IDS[0] in store
+            assert len(store) == 1
+
+    def test_missing_video_raises(self):
+        with VideoStore() as store:
+            with pytest.raises(DatasetError):
+                store.get(IDS[0])
+
+    def test_duplicate_id_rejected_atomically(self):
+        with VideoStore() as store:
+            store.add(video(IDS[0]))
+            with pytest.raises(DatasetError):
+                store.add_many([video(IDS[1]), video(IDS[0])])
+            # The failed batch must not have been partially applied.
+            assert IDS[1] not in store
+            assert len(store) == 1
+
+    def test_iteration_in_insertion_order(self):
+        with VideoStore() as store:
+            store.add_many([video(IDS[2]), video(IDS[0]), video(IDS[1])])
+            assert [v.video_id for v in store] == [IDS[2], IDS[0], IDS[1]]
+
+    def test_none_popularity_roundtrip(self):
+        with VideoStore() as store:
+            store.add(video(IDS[0], pop=None))
+            assert store.get(IDS[0]).popularity is None
+
+
+class TestQueries:
+    @pytest.fixture()
+    def populated(self):
+        store = VideoStore()
+        store.add_many(
+            [
+                video(IDS[0], views=10, tags=("a", "b")),
+                video(IDS[1], views=30, tags=("b",)),
+                video(IDS[2], views=20, tags=("b", "c")),
+            ]
+        )
+        return store
+
+    def test_videos_with_tag(self, populated):
+        ids = [v.video_id for v in populated.videos_with_tag("b")]
+        assert ids == [IDS[0], IDS[1], IDS[2]]
+        assert [v.video_id for v in populated.videos_with_tag("a")] == [IDS[0]]
+        assert populated.videos_with_tag("zzz") == []
+
+    def test_tag_frequencies(self, populated):
+        frequencies = dict(populated.tag_frequencies())
+        assert frequencies == {"a": 1, "b": 3, "c": 1}
+
+    def test_tag_frequencies_min_count(self, populated):
+        assert populated.tag_frequencies(min_count=2) == [("b", 3)]
+
+    def test_most_viewed(self, populated):
+        ranked = populated.most_viewed(2)
+        assert [v.video_id for v in ranked] == [IDS[1], IDS[2]]
+
+    def test_aggregates(self, populated):
+        assert populated.unique_tag_count() == 3
+        assert populated.total_views() == 60
+
+
+class TestConversionsAndPersistence:
+    def test_dataset_roundtrip(self, tiny_dataset):
+        store = VideoStore.from_dataset(tiny_dataset)
+        assert len(store) == len(tiny_dataset)
+        rebuilt = store.to_dataset()
+        for original in tiny_dataset:
+            assert rebuilt.get(original.video_id) == original
+
+    def test_store_survives_reopen(self, tmp_path):
+        path = tmp_path / "crawl.db"
+        with VideoStore(path) as store:
+            store.add(video(IDS[0]))
+        with VideoStore(path) as reopened:
+            assert len(reopened) == 1
+            assert reopened.get(IDS[0]).video_id == IDS[0]
+
+    def test_tag_index_consistent_with_dataset(self, tiny_dataset):
+        store = VideoStore.from_dataset(tiny_dataset)
+        expected = tiny_dataset.tag_frequencies()
+        for tag, count in store.tag_frequencies():
+            assert expected[tag] == count
+
+    def test_most_viewed_matches_dataset(self, tiny_dataset):
+        store = VideoStore.from_dataset(tiny_dataset)
+        assert (
+            store.most_viewed(1)[0].video_id
+            == tiny_dataset.most_viewed_video().video_id
+        )

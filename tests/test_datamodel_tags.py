@@ -1,0 +1,69 @@
+"""Unit and property tests for tag normalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel.tags import MAX_TAG_LENGTH, normalize_tag, normalize_tags
+
+
+class TestNormalizeTag:
+    def test_lowercases(self):
+        assert normalize_tag("Justin BIEBER") == "justin bieber"
+
+    def test_strips_and_collapses_whitespace(self):
+        assert normalize_tag("  baile \t  funk  ") == "baile funk"
+
+    def test_empty_string_stays_empty(self):
+        assert normalize_tag("") == ""
+
+    def test_whitespace_only_becomes_empty(self):
+        assert normalize_tag(" \t\n ") == ""
+
+    def test_truncates_to_max_length(self):
+        long_tag = "x" * (MAX_TAG_LENGTH + 20)
+        assert normalize_tag(long_tag) == "x" * MAX_TAG_LENGTH
+
+    def test_truncation_strips_trailing_space(self):
+        # A space landing exactly on the cut must not survive.
+        raw = "a" * (MAX_TAG_LENGTH - 1) + " b"
+        assert not normalize_tag(raw).endswith(" ")
+
+    def test_casefold_handles_unicode(self):
+        assert normalize_tag("STRASSE") == normalize_tag("strasse")
+        assert normalize_tag("FAVELA") == "favela"
+
+    def test_accents_preserved(self):
+        # No de-accenting: 'futebol' and 'fútbol' are different tags.
+        assert normalize_tag("Fútbol") == "fútbol"
+
+
+class TestNormalizeTags:
+    def test_deduplicates_keeping_first(self):
+        assert normalize_tags(["Pop", "POP", "rock", "pop"]) == ("pop", "rock")
+
+    def test_drops_empties(self):
+        assert normalize_tags(["", "  ", "music"]) == ("music",)
+
+    def test_preserves_order(self):
+        assert normalize_tags(["c", "a", "b"]) == ("c", "a", "b")
+
+    def test_empty_input(self):
+        assert normalize_tags([]) == ()
+
+    @settings(max_examples=100, deadline=None)
+    @given(tags=st.lists(st.text(max_size=50)))
+    def test_output_is_canonical_and_unique(self, tags):
+        result = normalize_tags(tags)
+        assert len(result) == len(set(result))
+        for tag in result:
+            assert tag == normalize_tag(tag)  # idempotent canonical form
+            assert tag
+            assert len(tag) <= MAX_TAG_LENGTH
+
+    @settings(max_examples=50, deadline=None)
+    @given(tags=st.lists(st.text(max_size=50)))
+    def test_idempotent(self, tags):
+        once = normalize_tags(tags)
+        twice = normalize_tags(once)
+        assert once == twice

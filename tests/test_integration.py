@@ -1,0 +1,108 @@
+"""Cross-module integration tests: the full paper pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.conjecture import evaluate_conjecture
+from repro.analysis.metrics import jensen_shannon, top_k_share
+from repro.analysis.tagstats import TagGeographyReport
+from repro.api.faults import FaultInjector
+from repro.api.service import YoutubeService
+from repro.crawler.snowball import SnowballCrawler
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.io import read_videos_jsonl, write_videos_jsonl
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.reconstruct.validation import validate_against_universe
+from repro.reconstruct.views import ViewReconstructor
+
+
+class TestPaperStoryEndToEnd:
+    """Each test asserts one of the paper's qualitative claims on the
+    deterministic tiny pipeline."""
+
+    def test_fig1_saturation_includes_small_country(self, tiny_pipeline):
+        # Fig. 1 discussion: the per-video normalization K(v) makes small
+        # countries hit the 61 cap alongside giants. Over the corpus,
+        # saturated maps must not be exclusive to the top-3 markets.
+        traffic = tiny_pipeline.universe.traffic
+        big_three = set(
+            sorted(traffic.as_dict(), key=traffic.as_dict().get, reverse=True)[:3]
+        )
+        saturated_small = 0
+        for video in tiny_pipeline.dataset:
+            saturated = {
+                code
+                for code, value in video.popularity
+                if value == 61
+            }
+            if saturated - big_three:
+                saturated_small += 1
+        assert saturated_small > len(tiny_pipeline.dataset) * 0.3
+
+    def test_fig2_top_tag_follows_prior(self, tiny_pipeline):
+        # The most-viewed tags are global; their distribution hugs the
+        # traffic prior (paper Fig. 2).
+        table = tiny_pipeline.tag_table
+        prior = tiny_pipeline.universe.traffic.as_vector()
+        top_tag = table.top_tags_by_views(1)[0][0]
+        assert jensen_shannon(table.shares_for(top_tag), prior) < 0.1
+
+    def test_fig3_local_tags_concentrate(self, tiny_pipeline):
+        # Some sufficiently-viewed tag concentrates most of its views in
+        # one country (paper Fig. 3: favela → Brazil).
+        report = TagGeographyReport(
+            tiny_pipeline.tag_table,
+            tiny_pipeline.universe.traffic,
+            min_videos=3,
+        )
+        most_local = report.most_local(5)
+        assert most_local
+        assert max(stat.top1_share for stat in most_local) > 0.3
+
+    def test_conjecture_pipeline(self, tiny_pipeline):
+        result = evaluate_conjecture(
+            tiny_pipeline.dataset,
+            tiny_pipeline.reconstructor,
+            universe=tiny_pipeline.universe,
+        )
+        assert result.conjecture_holds()
+
+
+class TestFaultyCrawlStillAnalyzable:
+    def test_full_pipeline_under_faults(self, tiny_universe, tmp_path):
+        service = YoutubeService(
+            tiny_universe, faults=FaultInjector(rate=0.1, seed=42)
+        )
+        crawl = SnowballCrawler(service, max_videos=200, max_retries=4).run()
+        assert crawl.stats.transient_errors > 0
+
+        # Persist → reload → filter → reconstruct → aggregate.
+        path = tmp_path / "crawl.jsonl"
+        write_videos_jsonl(crawl.dataset, path)
+        reloaded = Dataset(read_videos_jsonl(path))
+        filtered, report = reloaded.apply_paper_filter()
+        assert report.retained == len(filtered) > 0
+
+        reconstructor = ViewReconstructor(tiny_universe.traffic)
+        table = TagViewsTable(filtered, reconstructor)
+        assert len(table) > 0
+
+        validation = validate_against_universe(
+            tiny_universe, filtered, reconstructor
+        )
+        assert validation.count == len(filtered)
+        assert validation.mean_tv() < 0.25
+
+
+class TestCrawlSamplingBias:
+    def test_snowball_overrepresents_popular_videos(self, tiny_pipeline):
+        # Snowball sampling is popularity-biased: the crawled set's mean
+        # views exceed the universe's mean views when the crawl is partial.
+        universe = tiny_pipeline.universe
+        service = YoutubeService(universe)
+        partial = SnowballCrawler(service, max_videos=80).run().dataset
+        crawled_mean = np.mean([video.views for video in partial])
+        universe_mean = np.mean(
+            [video.views for video in universe.videos()]
+        )
+        assert crawled_mean > universe_mean

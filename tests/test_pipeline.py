@@ -1,0 +1,67 @@
+"""Tests for the end-to-end pipeline facade."""
+
+import pytest
+
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.synth.presets import preset_config
+from repro.synth.universe import UniverseConfig
+
+
+class TestPipeline:
+    def test_components_wired(self, tiny_pipeline):
+        assert len(tiny_pipeline.universe) == 400
+        assert len(tiny_pipeline.dataset) == tiny_pipeline.filter_report.retained
+        assert len(tiny_pipeline.tag_table) > 0
+        assert tiny_pipeline.reconstructor.traffic is tiny_pipeline.universe.traffic
+
+    def test_exhaustive_crawl_reaches_most_of_universe(self, tiny_pipeline):
+        # Snowball from 25 country feeds should cover the bulk of a
+        # well-connected universe.
+        coverage = len(tiny_pipeline.crawl.dataset) / len(tiny_pipeline.universe)
+        assert coverage > 0.8
+
+    def test_filter_shape_matches_paper(self, tiny_pipeline):
+        report = tiny_pipeline.filter_report
+        # Paper §2: no-tags removals are rare (~0.6%), popularity removals
+        # dominate (~34%), retention ≈ 65%.
+        assert report.removed_no_tags < 0.05 * report.input_videos
+        assert 0.2 < report.removed_bad_popularity / report.input_videos < 0.5
+        assert 0.5 < report.retention_rate < 0.8
+
+    def test_crawl_budget_respected(self):
+        result = run_pipeline(
+            PipelineConfig(
+                universe=UniverseConfig(n_videos=200, n_tags=100, seed=5),
+                crawl_budget=50,
+            )
+        )
+        assert len(result.crawl.dataset) == 50
+
+    def test_fault_rate_propagates(self):
+        result = run_pipeline(
+            PipelineConfig(
+                universe=UniverseConfig(n_videos=150, n_tags=100, seed=6),
+                crawl_budget=100,
+                fault_rate=0.1,
+            )
+        )
+        assert result.crawl.stats.transient_errors > 0
+        assert len(result.crawl.dataset) == 100
+
+    def test_quota_limit_propagates(self):
+        result = run_pipeline(
+            PipelineConfig(
+                universe=UniverseConfig(n_videos=150, n_tags=100, seed=6),
+                quota_limit=200,
+            )
+        )
+        assert result.crawl.stats.stopped_by_quota
+
+    def test_deterministic(self):
+        config = PipelineConfig(
+            universe=UniverseConfig(n_videos=120, n_tags=100, seed=9),
+            crawl_budget=80,
+        )
+        a = run_pipeline(config)
+        b = run_pipeline(config)
+        assert a.dataset.video_ids() == b.dataset.video_ids()

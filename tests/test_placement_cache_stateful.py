@@ -1,0 +1,117 @@
+"""Property-based stateful tests for the edge caches.
+
+A hypothesis state machine drives random interleavings of request /
+admit / pin against each cache flavour and checks the invariants no
+sequence may break: capacity is never exceeded, hit/miss counters add
+up, a hit is only ever reported for a key that was actually inserted and
+not yet evicted (tracked by a model set).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.placement.cache import LFUCache, LRUCache, StaticCache
+
+KEYS = [f"AAAAAAAAA{i:02d}" for i in range(12)]
+key_strategy = st.sampled_from(KEYS)
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Drives one cache; subclasses pick the flavour and capacity."""
+
+    cache_factory = None  # set by subclass
+
+    def __init__(self):
+        super().__init__()
+        self.cache = type(self).cache_factory()
+        self.model_contents = set()
+        self.model_hits = 0
+        self.model_misses = 0
+
+    # -- actions ------------------------------------------------------------
+
+    @rule(key=key_strategy)
+    def request(self, key):
+        hit = self.cache.request(key)
+        if hit:
+            self.model_hits += 1
+        else:
+            self.model_misses += 1
+        # A hit may only be reported for modelled contents.
+        assert hit == (key in self.model_contents)
+
+    @rule(key=key_strategy)
+    def admit(self, key):
+        before = set(self.model_contents)
+        self.cache.admit(key)
+        self._sync_model(before, key, via_pin=False)
+
+    @rule(key=key_strategy)
+    def pin(self, key):
+        before = set(self.model_contents)
+        self.cache.pin(key)
+        self._sync_model(before, key, via_pin=True)
+
+    def _sync_model(self, before, key, via_pin):
+        # Recompute the model from the cache's observable state: the
+        # eviction victim is implementation-defined per flavour, so the
+        # model tracks membership through __contains__ (public API) and
+        # only asserts *global* invariants elsewhere.
+        self.model_contents = {k for k in KEYS if k in self.cache}
+        if isinstance(self.cache, StaticCache) and not via_pin:
+            assert self.model_contents == before  # admit is a no-op
+        if self.cache.capacity > 0 and via_pin:
+            if len(before) < self.cache.capacity or key in before:
+                assert key in self.model_contents or isinstance(
+                    self.cache, StaticCache
+                ) and len(before) >= self.cache.capacity
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def never_over_capacity(self):
+        assert len(self.cache) <= self.cache.capacity
+
+    @invariant()
+    def counters_add_up(self):
+        stats = self.cache.stats
+        assert stats.hits + stats.misses == stats.requests
+        assert stats.hits == self.model_hits
+        assert stats.misses == self.model_misses
+
+    @invariant()
+    def membership_matches_model(self):
+        assert {k for k in KEYS if k in self.cache} == self.model_contents
+
+
+class LRUMachine(CacheMachine):
+    cache_factory = staticmethod(lambda: LRUCache(4))
+
+
+class LFUMachine(CacheMachine):
+    cache_factory = staticmethod(lambda: LFUCache(4))
+
+
+class StaticMachine(CacheMachine):
+    cache_factory = staticmethod(lambda: StaticCache(4))
+
+
+class ZeroCapacityMachine(CacheMachine):
+    cache_factory = staticmethod(lambda: LRUCache(0))
+
+
+TestLRUStateful = LRUMachine.TestCase
+TestLFUStateful = LFUMachine.TestCase
+TestStaticStateful = StaticMachine.TestCase
+TestZeroCapacityStateful = ZeroCapacityMachine.TestCase
+
+for testcase in (
+    TestLRUStateful,
+    TestLFUStateful,
+    TestStaticStateful,
+    TestZeroCapacityStateful,
+):
+    testcase.settings = settings(
+        max_examples=30, stateful_step_count=40, deadline=None
+    )

@@ -1,0 +1,147 @@
+"""Tests for view-history placement."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.history import HistoryPlacement
+from repro.placement.workload import Request, RequestTrace, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def training(tiny_pipeline):
+    return WorkloadGenerator(
+        tiny_pipeline.universe, tiny_pipeline.dataset.video_ids(), seed=55
+    ).generate(5000)
+
+
+class TestHistoryPlacement:
+    def test_observed_video_placed_where_watched(self, tiny_pipeline):
+        video = next(iter(tiny_pipeline.dataset))
+        trace = RequestTrace(
+            tuple(Request(video.video_id, "BR") for _ in range(10))
+        )
+        policy = HistoryPlacement(
+            trace, tiny_pipeline.universe.traffic, replicas=1
+        )
+        placement = policy.place(video)
+        assert list(placement) == ["BR"]
+
+    def test_unseen_video_falls_back_to_prior(self, tiny_pipeline, training):
+        traffic = tiny_pipeline.universe.traffic
+        policy = HistoryPlacement(training, traffic, replicas=3)
+        from repro.datamodel.video import Video
+
+        stranger = Video(
+            video_id="AAAAAAAAAAA",
+            title="t", uploader="u", upload_date="2010-01-01",
+            views=10, tags=("x",),
+        )
+        assert not policy.has_history("AAAAAAAAAAA")
+        expected = sorted(
+            traffic.registry.codes(), key=traffic.share, reverse=True
+        )[:3]
+        assert set(policy.place(stranger)) == set(expected)
+
+    def test_observed_counts_drive_ranking(self, tiny_pipeline):
+        video = next(iter(tiny_pipeline.dataset))
+        requests = tuple(
+            [Request(video.video_id, "BR")] * 7
+            + [Request(video.video_id, "JP")] * 3
+        )
+        policy = HistoryPlacement(
+            RequestTrace(requests),
+            tiny_pipeline.universe.traffic,
+            replicas=2,
+        )
+        placement = policy.place(video)
+        assert list(placement)[0] == "BR"
+        assert placement["BR"] > placement["JP"]
+
+    def test_smoothing_blends_prior(self, tiny_pipeline):
+        video = next(iter(tiny_pipeline.dataset))
+        trace = RequestTrace((Request(video.video_id, "SG"),))
+        raw = HistoryPlacement(
+            trace, tiny_pipeline.universe.traffic, replicas=5, smoothing=0.0
+        )
+        smoothed = HistoryPlacement(
+            trace, tiny_pipeline.universe.traffic, replicas=5, smoothing=10.0
+        )
+        # With one SG observation, raw placement is SG-only signal; heavy
+        # smoothing pulls big prior markets into the top-5.
+        assert list(raw.place(video))[0] == "SG"
+        assert "US" in smoothed.place(video)
+
+    def test_observed_videos_counter(self, tiny_pipeline, training):
+        policy = HistoryPlacement(
+            training, tiny_pipeline.universe.traffic, replicas=3
+        )
+        distinct = len({r.video_id for r in training})
+        assert policy.observed_videos() == distinct
+
+    def test_negative_smoothing_rejected(self, tiny_pipeline, training):
+        with pytest.raises(PlacementError):
+            HistoryPlacement(
+                training,
+                tiny_pipeline.universe.traffic,
+                replicas=3,
+                smoothing=-1.0,
+            )
+
+    def test_blend_equals_tags_on_cold_video(self, tiny_pipeline, training):
+        from repro.placement.history import BlendedPlacement
+        from repro.placement.policies import TagPredictivePlacement
+        from repro.placement.predictor import TagGeoPredictor
+
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        history = HistoryPlacement(
+            RequestTrace(()), tiny_pipeline.universe.traffic, replicas=5
+        )
+        blend = BlendedPlacement(history, predictor, replicas=5)
+        tags = TagPredictivePlacement(predictor, replicas=5)
+        video = next(iter(tiny_pipeline.dataset))
+        assert set(blend.place(video)) == set(tags.place(video))
+
+    def test_blend_follows_history_when_data_dominates(
+        self, tiny_pipeline
+    ):
+        from repro.placement.history import BlendedPlacement
+        from repro.placement.predictor import TagGeoPredictor
+
+        video = next(iter(tiny_pipeline.dataset))
+        # 10,000 observations in IS swamp a pseudo-count of 20.
+        trace = RequestTrace(
+            tuple(Request(video.video_id, "IS") for _ in range(10_000))
+        )
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        history = HistoryPlacement(
+            trace, tiny_pipeline.universe.traffic, replicas=1
+        )
+        blend = BlendedPlacement(history, predictor, replicas=1)
+        assert list(blend.place(video)) == ["IS"]
+
+    def test_blend_invalid_pseudo_count(self, tiny_pipeline, training):
+        from repro.placement.history import BlendedPlacement
+        from repro.placement.predictor import TagGeoPredictor
+
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        history = HistoryPlacement(
+            training, tiny_pipeline.universe.traffic, replicas=3
+        )
+        with pytest.raises(PlacementError):
+            BlendedPlacement(history, predictor, replicas=3, pseudo_count=0.0)
+
+    def test_history_approaches_truth_with_data(self, tiny_pipeline):
+        # With a large trace, history's top country for a popular video
+        # matches ground truth's top country.
+        universe = tiny_pipeline.universe
+        video = tiny_pipeline.dataset.most_viewed_video()
+        trace = WorkloadGenerator(universe, [video.video_id], seed=9).generate(
+            3000
+        )
+        policy = HistoryPlacement(trace, universe.traffic, replicas=1)
+        import numpy as np
+
+        truth_top = universe.registry.codes()[
+            int(np.argmax(universe.get(video.video_id).true_shares))
+        ]
+        assert list(policy.place(video)) == [truth_top]

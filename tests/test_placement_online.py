@@ -1,0 +1,139 @@
+"""Tests for the event-driven online simulation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.placement.cache import LRUCache
+from repro.placement.online import (
+    OnlineCacheSimulator,
+    OnlineTrace,
+    OnlineWorkloadGenerator,
+    UploadEvent,
+    ViewEvent,
+)
+from repro.placement.policies import (
+    NoPlacement,
+    OraclePlacement,
+    TagPredictivePlacement,
+)
+from repro.placement.predictor import TagGeoPredictor
+
+
+@pytest.fixture(scope="module")
+def online_trace(tiny_pipeline):
+    generator = OnlineWorkloadGenerator(
+        tiny_pipeline.universe,
+        tiny_pipeline.dataset.video_ids(),
+        seed=17,
+    )
+    return generator.generate(6000)
+
+
+class TestWorkloadGenerator:
+    def test_one_upload_per_video(self, tiny_pipeline, online_trace):
+        assert online_trace.upload_count() == len(tiny_pipeline.dataset)
+        assert online_trace.view_count() == 6000
+
+    def test_events_time_ordered(self, online_trace):
+        times = [event.time for event in online_trace]
+        assert times == sorted(times)
+
+    def test_views_never_precede_upload(self, online_trace):
+        uploaded = set()
+        for event in online_trace:
+            if isinstance(event, UploadEvent):
+                uploaded.add(event.video_id)
+            else:
+                assert event.video_id in uploaded
+
+    def test_deterministic(self, tiny_pipeline):
+        a = OnlineWorkloadGenerator(
+            tiny_pipeline.universe, tiny_pipeline.dataset.video_ids(), seed=3
+        ).generate(500)
+        b = OnlineWorkloadGenerator(
+            tiny_pipeline.universe, tiny_pipeline.dataset.video_ids(), seed=3
+        ).generate(500)
+        assert a.events == b.events
+
+    def test_views_within_horizon(self, online_trace):
+        for event in online_trace:
+            assert 0.0 <= event.time < 100.0
+
+    def test_invalid_configs_rejected(self, tiny_pipeline):
+        universe = tiny_pipeline.universe
+        with pytest.raises(ConfigError):
+            OnlineWorkloadGenerator(universe, upload_window=0.0)
+        with pytest.raises(ConfigError):
+            OnlineWorkloadGenerator(universe, upload_window=50, horizon=40)
+        with pytest.raises(ConfigError):
+            OnlineWorkloadGenerator(universe, age_decay=0.0)
+        with pytest.raises(ConfigError):
+            OnlineWorkloadGenerator(universe).generate(-1)
+
+
+class TestOnlineSimulator:
+    def test_accounting(self, tiny_pipeline, online_trace):
+        sim = OnlineCacheSimulator(
+            tiny_pipeline.universe.registry, lambda: LRUCache(20)
+        )
+        report = sim.run(tiny_pipeline.dataset, online_trace, NoPlacement())
+        assert report.views == online_trace.view_count()
+        assert 0 <= report.hits <= report.views
+        assert 0 <= report.cold_hits <= report.cold_views <= report.views
+        assert report.pins == 0
+
+    def test_cold_window_counts(self, tiny_pipeline, online_trace):
+        sim = OnlineCacheSimulator(
+            tiny_pipeline.universe.registry, lambda: LRUCache(20), cold_window=1
+        )
+        report = sim.run(tiny_pipeline.dataset, online_trace, NoPlacement())
+        distinct_videos_viewed = len(
+            {e.video_id for e in online_trace if isinstance(e, ViewEvent)}
+        )
+        assert report.cold_views == distinct_videos_viewed
+
+    def test_reactive_always_misses_first_view(self, tiny_pipeline, online_trace):
+        # With cold_window=1 and no proactive placement, every video's very
+        # first view is a miss by construction.
+        sim = OnlineCacheSimulator(
+            tiny_pipeline.universe.registry, lambda: LRUCache(20), cold_window=1
+        )
+        report = sim.run(tiny_pipeline.dataset, online_trace, NoPlacement())
+        assert report.cold_hit_rate == 0.0
+
+    def test_proactive_rescues_cold_requests(self, tiny_pipeline, online_trace):
+        universe = tiny_pipeline.universe
+        sim = OnlineCacheSimulator(
+            universe.registry, lambda: LRUCache(30), cold_window=3
+        )
+        reactive = sim.run(tiny_pipeline.dataset, online_trace, NoPlacement())
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        tags = sim.run(
+            tiny_pipeline.dataset,
+            online_trace,
+            TagPredictivePlacement(predictor, replicas=8),
+        )
+        oracle = sim.run(
+            tiny_pipeline.dataset,
+            online_trace,
+            OraclePlacement(universe, replicas=8),
+        )
+        assert tags.cold_hit_rate > reactive.cold_hit_rate
+        assert oracle.cold_hit_rate >= tags.cold_hit_rate * 0.8
+
+    def test_report_rows(self, tiny_pipeline, online_trace):
+        sim = OnlineCacheSimulator(
+            tiny_pipeline.universe.registry, lambda: LRUCache(10)
+        )
+        report = sim.run(tiny_pipeline.dataset, online_trace, NoPlacement())
+        rows = dict(report.as_rows())
+        assert rows["policy"] == "none"
+        assert rows["views"] == report.views
+
+    def test_invalid_cold_window_rejected(self, tiny_pipeline):
+        with pytest.raises(ConfigError):
+            OnlineCacheSimulator(
+                tiny_pipeline.universe.registry,
+                lambda: LRUCache(10),
+                cold_window=-1,
+            )

@@ -1,0 +1,110 @@
+"""Unit tests for placement policies and the tag predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.policies import (
+    NoPlacement,
+    OraclePlacement,
+    PriorPlacement,
+    TagPredictivePlacement,
+)
+from repro.placement.predictor import TagGeoPredictor
+
+
+@pytest.fixture(scope="module")
+def predictor(tiny_pipeline):
+    return TagGeoPredictor(tiny_pipeline.tag_table)
+
+
+class TestTagGeoPredictor:
+    def test_prediction_is_distribution(self, predictor, tiny_dataset):
+        video = next(iter(tiny_dataset))
+        shares = predictor.predict_shares(video)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_cold_start_falls_back_to_prior(self, predictor, tiny_pipeline):
+        from repro.datamodel.video import Video
+
+        stranger = Video(
+            video_id="AAAAAAAAAAA",
+            title="t",
+            uploader="u",
+            upload_date="2010-01-01",
+            views=10,
+            tags=("never-seen-tag-qq",),
+        )
+        assert predictor.is_cold_start(stranger)
+        shares = predictor.predict_shares(stranger)
+        assert np.allclose(
+            shares, tiny_pipeline.universe.traffic.as_vector()
+        )
+
+    def test_top_countries_ordering(self, predictor, tiny_dataset):
+        video = next(iter(tiny_dataset))
+        top = predictor.top_countries(video, 5)
+        shares = predictor.predict_shares(video)
+        codes = predictor.registry.codes()
+        values = [shares[codes.index(code)] for code in top]
+        assert values == sorted(values, reverse=True)
+        assert len(top) == 5
+
+
+class TestPolicies:
+    def test_no_placement_places_nothing(self, tiny_dataset):
+        policy = NoPlacement()
+        assert policy.place(next(iter(tiny_dataset))) == {}
+
+    def test_prior_targets_biggest_markets(self, tiny_pipeline, tiny_dataset):
+        traffic = tiny_pipeline.universe.traffic
+        policy = PriorPlacement(traffic, replicas=3)
+        placement = policy.place(next(iter(tiny_dataset)))
+        expected = sorted(
+            traffic.registry.codes(), key=traffic.share, reverse=True
+        )[:3]
+        assert set(placement) == set(expected)
+
+    def test_prior_scores_scale_with_views(self, tiny_pipeline, tiny_dataset):
+        traffic = tiny_pipeline.universe.traffic
+        policy = PriorPlacement(traffic, replicas=1)
+        videos = sorted(tiny_dataset, key=lambda video: video.views)
+        low = policy.place(videos[0])
+        high = policy.place(videos[-1])
+        assert max(high.values()) > max(low.values())
+
+    def test_tag_policy_replica_count(self, predictor, tiny_dataset):
+        policy = TagPredictivePlacement(predictor, replicas=4)
+        placement = policy.place(next(iter(tiny_dataset)))
+        assert len(placement) == 4
+        assert all(score >= 0 for score in placement.values())
+
+    def test_oracle_targets_true_top_countries(
+        self, tiny_pipeline, tiny_dataset
+    ):
+        universe = tiny_pipeline.universe
+        policy = OraclePlacement(universe, replicas=3)
+        video = next(iter(tiny_dataset))
+        placement = policy.place(video)
+        truth = universe.get(video.video_id).true_shares
+        codes = universe.registry.codes()
+        expected = {codes[int(i)] for i in np.argsort(-truth)[:3]}
+        assert set(placement) == expected
+
+    def test_oracle_unknown_video_places_nothing(self, tiny_pipeline):
+        from repro.datamodel.video import Video
+
+        policy = OraclePlacement(tiny_pipeline.universe, replicas=3)
+        stranger = Video(
+            video_id="AAAAAAAAAAA",
+            title="t",
+            uploader="u",
+            upload_date="2010-01-01",
+            views=10,
+            tags=("x",),
+        )
+        assert policy.place(stranger) == {}
+
+    def test_negative_replicas_rejected(self, tiny_pipeline):
+        with pytest.raises(PlacementError):
+            PriorPlacement(tiny_pipeline.universe.traffic, replicas=-1)

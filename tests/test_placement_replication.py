@@ -1,0 +1,87 @@
+"""Tests for adaptive replica allocation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.predictor import TagGeoPredictor
+from repro.placement.replication import AdaptiveTagPlacement
+
+
+@pytest.fixture(scope="module")
+def predictor(tiny_pipeline):
+    return TagGeoPredictor(tiny_pipeline.tag_table)
+
+
+class TestAdaptivePlacement:
+    def test_replica_counts_vary_with_geography(
+        self, predictor, tiny_pipeline
+    ):
+        policy = AdaptiveTagPlacement(predictor, coverage=0.6)
+        counts = [
+            policy.replica_count(video) for video in tiny_pipeline.dataset
+        ]
+        assert min(counts) >= 1
+        assert max(counts) > min(counts), "adaptive must differentiate videos"
+
+    def test_local_videos_get_fewer_replicas(self, predictor, tiny_pipeline):
+        # Correlate replica count with the predicted distribution's
+        # concentration: concentrated predictions need fewer countries.
+        from repro.analysis.metrics import top_k_share
+
+        policy = AdaptiveTagPlacement(predictor, coverage=0.6)
+        concentrated_counts = []
+        spread_counts = []
+        for video in tiny_pipeline.dataset:
+            shares = predictor.predict_shares(video)
+            count = policy.replica_count(video)
+            if top_k_share(shares, 1) > 0.5:
+                concentrated_counts.append(count)
+            elif top_k_share(shares, 1) < 0.15:
+                spread_counts.append(count)
+        if concentrated_counts and spread_counts:
+            assert np.mean(concentrated_counts) < np.mean(spread_counts)
+
+    def test_coverage_reached_or_capped(self, predictor, tiny_pipeline):
+        policy = AdaptiveTagPlacement(predictor, coverage=0.7, max_replicas=20)
+        codes = predictor.registry.codes()
+        for video in list(tiny_pipeline.dataset)[:40]:
+            placement = policy.place(video)
+            shares = predictor.predict_shares(video)
+            covered = sum(shares[codes.index(code)] for code in placement)
+            assert covered >= 0.7 or len(placement) == 20
+
+    def test_higher_coverage_more_replicas(self, predictor, tiny_pipeline):
+        lean = AdaptiveTagPlacement(predictor, coverage=0.4)
+        rich = AdaptiveTagPlacement(predictor, coverage=0.9, max_replicas=40)
+        lean_total = sum(
+            lean.replica_count(video) for video in tiny_pipeline.dataset
+        )
+        rich_total = sum(
+            rich.replica_count(video) for video in tiny_pipeline.dataset
+        )
+        assert rich_total > lean_total
+
+    def test_max_replicas_cap(self, predictor, tiny_pipeline):
+        policy = AdaptiveTagPlacement(predictor, coverage=1.0, max_replicas=3)
+        for video in list(tiny_pipeline.dataset)[:20]:
+            assert len(policy.place(video)) <= 3
+
+    def test_scores_are_expected_views(self, predictor, tiny_pipeline):
+        policy = AdaptiveTagPlacement(predictor, coverage=0.5)
+        video = next(iter(tiny_pipeline.dataset))
+        placement = policy.place(video)
+        shares = predictor.predict_shares(video)
+        codes = predictor.registry.codes()
+        for country, score in placement.items():
+            assert score == pytest.approx(
+                shares[codes.index(country)] * video.views
+            )
+
+    def test_invalid_params_rejected(self, predictor):
+        with pytest.raises(PlacementError):
+            AdaptiveTagPlacement(predictor, coverage=0.0)
+        with pytest.raises(PlacementError):
+            AdaptiveTagPlacement(predictor, coverage=1.5)
+        with pytest.raises(PlacementError):
+            AdaptiveTagPlacement(predictor, max_replicas=0)

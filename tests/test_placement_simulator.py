@@ -1,0 +1,139 @@
+"""Tests for the end-to-end cache simulation."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.cache import LRUCache, StaticCache
+from repro.placement.policies import (
+    NoPlacement,
+    OraclePlacement,
+    PriorPlacement,
+    TagPredictivePlacement,
+)
+from repro.placement.predictor import TagGeoPredictor
+from repro.placement.simulator import CacheSimulator, default_simulator
+from repro.placement.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def sim_setup(tiny_pipeline):
+    universe = tiny_pipeline.universe
+    dataset = tiny_pipeline.dataset
+    trace = WorkloadGenerator(
+        universe, dataset.video_ids(), seed=99
+    ).generate(8000)
+    predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+    return universe, dataset, trace, predictor
+
+
+class TestSimulatorMechanics:
+    def test_accounting_consistent(self, sim_setup):
+        universe, dataset, trace, _ = sim_setup
+        sim = default_simulator(universe.registry, capacity=20)
+        report = sim.run(dataset, trace, NoPlacement())
+        assert report.requests == len(trace)
+        total_lookups = sum(
+            stats.requests for stats in report.per_country.values()
+        )
+        assert total_lookups == len(trace)
+        total_hits = sum(stats.hits for stats in report.per_country.values())
+        assert report.overall_hit_rate == pytest.approx(
+            total_hits / len(trace)
+        )
+
+    def test_pins_bounded_by_capacity(self, sim_setup):
+        universe, dataset, trace, predictor = sim_setup
+        capacity = 15
+        sim = CacheSimulator(
+            universe.registry,
+            lambda: StaticCache(capacity),
+            reactive_admission=False,
+        )
+        report = sim.run(
+            dataset, trace, TagPredictivePlacement(predictor, replicas=5)
+        )
+        assert report.pins <= capacity * len(universe.registry)
+
+    def test_zero_capacity_zero_hits(self, sim_setup):
+        universe, dataset, trace, _ = sim_setup
+        sim = default_simulator(universe.registry, capacity=0)
+        report = sim.run(dataset, trace, NoPlacement())
+        assert report.overall_hit_rate == 0.0
+
+    def test_unknown_country_in_policy_rejected(self, sim_setup):
+        universe, dataset, trace, _ = sim_setup
+
+        class RoguePolicy(NoPlacement):
+            def place(self, video):
+                return {"XX": 1.0}
+
+        sim = default_simulator(universe.registry, capacity=5)
+        with pytest.raises(PlacementError):
+            sim.run(dataset, trace, RoguePolicy())
+
+    def test_report_rows(self, sim_setup):
+        universe, dataset, trace, _ = sim_setup
+        sim = default_simulator(universe.registry, capacity=5)
+        report = sim.run(dataset, trace, NoPlacement())
+        rows = dict(report.as_rows())
+        assert rows["policy"] == "none"
+        assert rows["requests"] == len(trace)
+
+    def test_hit_rate_for_unknown_country_zero(self, sim_setup):
+        universe, dataset, trace, _ = sim_setup
+        sim = default_simulator(universe.registry, capacity=5)
+        report = sim.run(dataset, trace, NoPlacement())
+        assert report.hit_rate_for("XX") == 0.0
+
+
+class TestExperimentShape:
+    """The V3 benchmark's qualitative claims, asserted as tests."""
+
+    @pytest.fixture(scope="class")
+    def static_reports(self, sim_setup):
+        universe, dataset, trace, predictor = sim_setup
+        sim = CacheSimulator(
+            universe.registry,
+            lambda: StaticCache(20),
+            reactive_admission=False,
+        )
+        policies = [
+            PriorPlacement(universe.traffic, replicas=8),
+            TagPredictivePlacement(predictor, replicas=8),
+            OraclePlacement(universe, replicas=8),
+        ]
+        return {
+            report.policy: report
+            for report in sim.compare(dataset, trace, policies)
+        }
+
+    def test_tags_beat_prior(self, static_reports):
+        assert (
+            static_reports["tags"].overall_hit_rate
+            > static_reports["prior"].overall_hit_rate
+        )
+
+    def test_oracle_bounds_tags(self, static_reports):
+        assert (
+            static_reports["oracle"].overall_hit_rate
+            >= static_reports["tags"].overall_hit_rate
+        )
+
+    def test_lru_reactive_beats_nothing(self, sim_setup):
+        universe, dataset, trace, _ = sim_setup
+        lru = default_simulator(universe.registry, capacity=20).run(
+            dataset, trace, NoPlacement()
+        )
+        assert lru.overall_hit_rate > 0.1
+
+    def test_warm_start_helps_lru(self, sim_setup):
+        # Hybrid: LRU caches pre-warmed by tag placement never do worse
+        # than cold LRU (same trace, same capacity).
+        universe, dataset, trace, predictor = sim_setup
+        cold = default_simulator(universe.registry, capacity=20).run(
+            dataset, trace, NoPlacement()
+        )
+        warm = default_simulator(universe.registry, capacity=20).run(
+            dataset, trace, TagPredictivePlacement(predictor, replicas=8)
+        )
+        assert warm.overall_hit_rate >= cold.overall_hit_rate - 0.01

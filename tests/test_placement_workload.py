@@ -1,0 +1,74 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.placement.workload import Request, WorkloadGenerator
+
+
+class TestWorkloadGenerator:
+    def test_trace_length(self, tiny_universe):
+        trace = WorkloadGenerator(tiny_universe, seed=1).generate(500)
+        assert len(trace) == 500
+
+    def test_requests_reference_known_videos_and_countries(self, tiny_universe):
+        trace = WorkloadGenerator(tiny_universe, seed=1).generate(200)
+        for request in trace:
+            assert request.video_id in tiny_universe
+            assert request.country in tiny_universe.registry
+
+    def test_deterministic_in_seed(self, tiny_universe):
+        a = WorkloadGenerator(tiny_universe, seed=7).generate(100)
+        b = WorkloadGenerator(tiny_universe, seed=7).generate(100)
+        assert a.requests == b.requests
+
+    def test_different_seeds_differ(self, tiny_universe):
+        a = WorkloadGenerator(tiny_universe, seed=1).generate(100)
+        b = WorkloadGenerator(tiny_universe, seed=2).generate(100)
+        assert a.requests != b.requests
+
+    def test_restriction_to_subset(self, tiny_universe):
+        subset = tiny_universe.video_ids()[:10]
+        trace = WorkloadGenerator(tiny_universe, subset, seed=1).generate(200)
+        assert {request.video_id for request in trace} <= set(subset)
+
+    def test_popular_videos_requested_more(self, tiny_universe):
+        trace = WorkloadGenerator(tiny_universe, seed=3).generate(3000)
+        counts = {}
+        for request in trace:
+            counts[request.video_id] = counts.get(request.video_id, 0) + 1
+        most_requested = max(counts, key=counts.get)
+        views = [tiny_universe.get(vid).views for vid in tiny_universe.video_ids()]
+        # The most requested video must be well above median popularity.
+        assert tiny_universe.get(most_requested).views > np.median(views)
+
+    def test_country_mix_follows_true_shares(self, tiny_universe):
+        # Requests for a single video should follow its true shares: the
+        # top country of a heavily sampled video matches ground truth.
+        video_id = max(
+            tiny_universe.video_ids(), key=lambda v: tiny_universe.get(v).views
+        )
+        trace = WorkloadGenerator(tiny_universe, [video_id], seed=4).generate(3000)
+        counts = trace.requests_by_country()
+        top_requested = max(counts, key=counts.get)
+        truth = tiny_universe.get(video_id).true_shares
+        top_true = tiny_universe.registry.codes()[int(np.argmax(truth))]
+        assert top_requested == top_true
+
+    def test_zero_requests(self, tiny_universe):
+        assert len(WorkloadGenerator(tiny_universe, seed=1).generate(0)) == 0
+
+    def test_negative_requests_rejected(self, tiny_universe):
+        with pytest.raises(ConfigError):
+            WorkloadGenerator(tiny_universe, seed=1).generate(-1)
+
+    def test_empty_video_set_rejected(self, tiny_universe):
+        with pytest.raises(ConfigError):
+            WorkloadGenerator(tiny_universe, video_ids=["AAAAAAAAAAA"], seed=1)
+
+    def test_trace_helpers(self, tiny_universe):
+        trace = WorkloadGenerator(tiny_universe, seed=5).generate(300)
+        by_country = trace.requests_by_country()
+        assert sum(by_country.values()) == 300
+        assert sorted(by_country) == trace.countries()

@@ -1,0 +1,125 @@
+"""Cross-module property tests: invariants that tie subsystems together.
+
+Each property exercises a chain of components under hypothesis-generated
+inputs — the places where unit tests of individual modules can't see a
+contract violation between them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import total_variation
+from repro.chartmap.mapchart import build_map_chart_url, parse_map_chart_url, popularity_from_chart
+from repro.datamodel.popularity import MAX_INTENSITY, PopularityVector
+from repro.reconstruct.views import (
+    reconstruct_views,
+    reconstruct_views_smoothed,
+)
+from repro.synth.videomodel import quantize_popularity
+from repro.world.countries import default_registry
+from repro.world.traffic import default_traffic_model
+
+REGISTRY = default_registry()
+TRAFFIC = default_traffic_model(REGISTRY)
+
+
+def share_vectors():
+    """Random strictly positive share vectors on the registry axis."""
+    return st.lists(
+        st.floats(min_value=1e-6, max_value=1.0),
+        min_size=len(REGISTRY),
+        max_size=len(REGISTRY),
+    ).map(lambda values: np.array(values) / np.sum(values))
+
+
+class TestQuantizeReconstructChain:
+    """Forward Eq. (1) then inverse Eq. (1)-(2) ≈ identity up to rounding."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(shares=share_vectors())
+    def test_roundtrip_error_bounded(self, shares):
+        popularity = quantize_popularity(shares, TRAFFIC, REGISTRY)
+        estimated = reconstruct_views(popularity, 10**9, TRAFFIC)
+        recovered = estimated / estimated.sum()
+        # Quantization to 62 levels bounds the recoverable accuracy; the
+        # worst adversarial inputs (near-uniform shares, whose intensities
+        # are dominated by the tiniest-prior country) lose just over 0.3
+        # TV, so the invariant bound is 0.4.
+        assert total_variation(recovered, shares) < 0.40
+
+    @settings(max_examples=40, deadline=None)
+    @given(shares=share_vectors())
+    def test_quantization_always_saturates(self, shares):
+        popularity = quantize_popularity(shares, TRAFFIC, REGISTRY)
+        assert popularity.max_intensity() == MAX_INTENSITY
+
+    @settings(max_examples=40, deadline=None)
+    @given(shares=share_vectors())
+    def test_chart_url_transport_is_lossless(self, shares):
+        # The full 2011 publication path: quantize → chart URL → parse.
+        popularity = quantize_popularity(shares, TRAFFIC, REGISTRY)
+        recovered = popularity_from_chart(
+            parse_map_chart_url(build_map_chart_url(popularity)), REGISTRY
+        )
+        assert recovered == popularity
+
+
+class TestSmoothingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(shares=share_vectors(), views=st.integers(1, 10**9))
+    def test_zero_smoothing_equals_plain(self, shares, views):
+        popularity = quantize_popularity(shares, TRAFFIC, REGISTRY)
+        plain = reconstruct_views(popularity, views, TRAFFIC)
+        smoothed = reconstruct_views_smoothed(popularity, views, TRAFFIC, 0.0)
+        assert np.allclose(plain, smoothed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shares=share_vectors(),
+        views=st.integers(1, 10**9),
+        lam=st.floats(min_value=0.01, max_value=5.0),
+    )
+    def test_smoothing_conserves_mass_and_positivity(self, shares, views, lam):
+        popularity = quantize_popularity(shares, TRAFFIC, REGISTRY)
+        smoothed = reconstruct_views_smoothed(popularity, views, TRAFFIC, lam)
+        assert smoothed.sum() == pytest.approx(views, rel=1e-9)
+        assert np.all(smoothed > 0)  # the floor is restored everywhere
+
+
+class TestTokenBucketProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.5, max_value=100.0),
+        burst=st.integers(min_value=1, max_value=20),
+        n=st.integers(min_value=1, max_value=200),
+    )
+    def test_long_run_rate_never_exceeded(self, rate, burst, n):
+        from repro.crawler.politeness import TokenBucket
+
+        bucket = TokenBucket(rate, burst)
+        clock = 0.0
+        for _ in range(n):
+            clock += bucket.acquire(clock)
+        # n requests completed by `clock`; burst may front-load, but the
+        # sustained rate bound must hold: n <= burst + rate * clock.
+        assert n <= burst + rate * clock + 1e-6
+
+
+class TestPopularityChartProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        intensities=st.dictionaries(
+            st.sampled_from(REGISTRY.codes()),
+            st.integers(min_value=1, max_value=MAX_INTENSITY),
+            min_size=1,
+        )
+    )
+    def test_reconstruction_support_equals_map_support(self, intensities):
+        popularity = PopularityVector(intensities, REGISTRY)
+        estimated = reconstruct_views(popularity, 10**6, TRAFFIC)
+        support = {
+            REGISTRY.codes()[i] for i in np.nonzero(estimated)[0]
+        }
+        assert support == set(popularity.countries())

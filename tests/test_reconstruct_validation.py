@@ -1,0 +1,80 @@
+"""Tests for estimator validation against synthetic ground truth."""
+
+import pytest
+
+from repro.reconstruct.validation import (
+    ReconstructionReport,
+    VideoReconstructionError,
+    validate_against_universe,
+)
+from repro.reconstruct.views import ViewReconstructor
+
+
+class TestValidation:
+    def test_every_eligible_video_scored(self, tiny_pipeline):
+        report = validate_against_universe(
+            tiny_pipeline.universe, tiny_pipeline.dataset
+        )
+        assert report.count == len(tiny_pipeline.dataset)
+
+    def test_max_videos_caps_scoring(self, tiny_pipeline):
+        report = validate_against_universe(
+            tiny_pipeline.universe, tiny_pipeline.dataset, max_videos=10
+        )
+        assert report.count == 10
+
+    def test_estimator_beats_naive_baseline(self, tiny_pipeline):
+        # The library-level headline: the paper's intensity interpretation
+        # is much more accurate than reading pop(v) as view shares.
+        universe = tiny_pipeline.universe
+        dataset = tiny_pipeline.dataset
+        smart = validate_against_universe(
+            universe, dataset, ViewReconstructor(universe.traffic)
+        )
+        naive = validate_against_universe(
+            universe, dataset, ViewReconstructor(universe.traffic, naive=True)
+        )
+        assert smart.mean_jsd() < 0.5 * naive.mean_jsd()
+        assert smart.mean_tv() < 0.5 * naive.mean_tv()
+
+    def test_estimator_absolute_quality(self, tiny_pipeline):
+        report = validate_against_universe(
+            tiny_pipeline.universe, tiny_pipeline.dataset
+        )
+        # Quantization alone cannot push mean TV beyond ~0.2 on this data.
+        assert report.mean_tv() < 0.2
+
+    def test_perturbed_prior_degrades_accuracy(self, tiny_pipeline):
+        universe = tiny_pipeline.universe
+        dataset = tiny_pipeline.dataset
+        clean = validate_against_universe(
+            universe, dataset, ViewReconstructor(universe.traffic)
+        )
+        noisy = validate_against_universe(
+            universe,
+            dataset,
+            ViewReconstructor(universe.traffic.perturbed(0.5, seed=1)),
+        )
+        assert noisy.mean_jsd() > clean.mean_jsd()
+
+    def test_report_statistics_consistent(self, tiny_pipeline):
+        report = validate_against_universe(
+            tiny_pipeline.universe, tiny_pipeline.dataset
+        )
+        assert 0 <= report.median_jsd() <= report.quantile_tv(1.0) + 1.0
+        assert report.quantile_tv(0.5) <= report.quantile_tv(0.9)
+        assert 0 <= report.view_weighted_mean_tv() <= 1
+
+    def test_empty_report_defaults(self):
+        report = ReconstructionReport(per_video=())
+        assert report.count == 0
+        assert report.mean_jsd() == 0.0
+        assert report.view_weighted_mean_tv() == 0.0
+        assert report.quantile_tv(0.9) == 0.0
+
+    def test_as_rows_shape(self, tiny_pipeline):
+        report = validate_against_universe(
+            tiny_pipeline.universe, tiny_pipeline.dataset, max_videos=5
+        )
+        rows = dict(report.as_rows())
+        assert rows["videos scored"] == 5

@@ -1,0 +1,166 @@
+"""Unit and property tests for the Eq. (1)–(2) view estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel.popularity import MAX_INTENSITY, PopularityVector
+from repro.datamodel.video import Video
+from repro.errors import ReconstructionError
+from repro.reconstruct.views import (
+    ViewReconstructor,
+    reconstruct_views,
+    reconstruct_views_naive,
+)
+from repro.world.countries import default_registry
+from repro.world.traffic import default_traffic_model
+
+VID = "dQw4w9WgXcQ"
+
+
+def intensity_dicts():
+    codes = default_registry().codes()
+    return st.dictionaries(
+        st.sampled_from(codes),
+        st.integers(min_value=1, max_value=MAX_INTENSITY),
+        min_size=1,
+        max_size=len(codes),
+    )
+
+
+class TestReconstructViews:
+    def test_mass_conservation(self, traffic):
+        vector = PopularityVector({"US": 61, "SG": 61, "BR": 10})
+        estimated = reconstruct_views(vector, 1_000_000, traffic)
+        assert estimated.sum() == pytest.approx(1_000_000)
+
+    def test_equal_intensity_splits_by_traffic(self, traffic, registry):
+        # The paper's Fig. 1 argument: USA and Singapore share intensity
+        # 61, but the USA must receive far more of the views.
+        vector = PopularityVector({"US": 61, "SG": 61})
+        estimated = reconstruct_views(vector, 1000, traffic)
+        us = estimated[registry.index_of("US")]
+        sg = estimated[registry.index_of("SG")]
+        assert us > 20 * sg
+        assert us / sg == pytest.approx(
+            traffic.share("US") / traffic.share("SG")
+        )
+
+    def test_zero_intensity_countries_get_zero_views(self, traffic, registry):
+        vector = PopularityVector({"BR": 61})
+        estimated = reconstruct_views(vector, 1000, traffic)
+        assert estimated[registry.index_of("BR")] == pytest.approx(1000)
+        assert estimated[registry.index_of("US")] == 0.0
+
+    def test_empty_vector_rejected(self, traffic):
+        with pytest.raises(ReconstructionError):
+            reconstruct_views(PopularityVector.empty(), 1000, traffic)
+
+    def test_negative_views_rejected(self, traffic):
+        with pytest.raises(ReconstructionError):
+            reconstruct_views(PopularityVector({"BR": 61}), -1, traffic)
+
+    def test_zero_views_gives_zero_vector(self, traffic):
+        estimated = reconstruct_views(PopularityVector({"BR": 61}), 0, traffic)
+        assert estimated.sum() == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        intensities=intensity_dicts(),
+        views=st.integers(min_value=0, max_value=10**12),
+    )
+    def test_mass_conservation_property(self, intensities, views):
+        traffic = default_traffic_model()
+        vector = PopularityVector(intensities)
+        estimated = reconstruct_views(vector, views, traffic)
+        assert np.all(estimated >= 0)
+        assert estimated.sum() == pytest.approx(views, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(intensities=intensity_dicts())
+    def test_support_matches_popularity(self, intensities):
+        traffic = default_traffic_model()
+        registry = default_registry()
+        vector = PopularityVector(intensities)
+        estimated = reconstruct_views(vector, 10**6, traffic)
+        for i, code in enumerate(registry.codes()):
+            if vector[code] == 0:
+                assert estimated[i] == 0.0
+            else:
+                assert estimated[i] > 0.0
+
+
+class TestNaiveBaseline:
+    def test_equal_intensity_splits_equally(self, registry):
+        vector = PopularityVector({"US": 61, "SG": 61})
+        estimated = reconstruct_views_naive(vector, 1000)
+        assert estimated[registry.index_of("US")] == pytest.approx(
+            estimated[registry.index_of("SG")]
+        )
+
+    def test_mass_conservation(self):
+        vector = PopularityVector({"US": 61, "BR": 30})
+        assert reconstruct_views_naive(vector, 999).sum() == pytest.approx(999)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReconstructionError):
+            reconstruct_views_naive(PopularityVector.empty(), 10)
+
+
+class TestViewReconstructor:
+    def make_video(self, pop, views=1000):
+        return Video(
+            video_id=VID,
+            title="t",
+            uploader="u",
+            upload_date="2010-01-01",
+            views=views,
+            tags=("music",),
+            popularity=pop,
+        )
+
+    def test_for_video(self, traffic):
+        reconstructor = ViewReconstructor(traffic)
+        video = self.make_video(PopularityVector({"BR": 61}))
+        assert reconstructor.for_video(video).sum() == pytest.approx(1000)
+
+    def test_missing_popularity_rejected(self, traffic):
+        reconstructor = ViewReconstructor(traffic)
+        with pytest.raises(ReconstructionError):
+            reconstructor.for_video(self.make_video(None))
+
+    def test_shares_sum_to_one(self, traffic):
+        reconstructor = ViewReconstructor(traffic)
+        video = self.make_video(PopularityVector({"BR": 61, "US": 20}))
+        assert reconstructor.shares_for_video(video).sum() == pytest.approx(1.0)
+
+    def test_shares_defined_for_zero_view_video(self, traffic):
+        reconstructor = ViewReconstructor(traffic)
+        video = self.make_video(PopularityVector({"BR": 61}), views=0)
+        shares = reconstructor.shares_for_video(video)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_naive_mode(self, traffic, registry):
+        reconstructor = ViewReconstructor(traffic, naive=True)
+        video = self.make_video(PopularityVector({"US": 61, "SG": 61}))
+        estimated = reconstructor.for_video(video)
+        assert estimated[registry.index_of("US")] == pytest.approx(
+            estimated[registry.index_of("SG")]
+        )
+
+    def test_for_dataset_skips_invalid(self, tiny_pipeline):
+        reconstructor = tiny_pipeline.reconstructor
+        raw = tiny_pipeline.crawl.dataset
+        estimates = reconstructor.for_dataset(raw)
+        eligible = sum(1 for v in raw if v.has_valid_popularity())
+        assert len(estimates) == eligible
+
+    def test_matrix_for_dataset(self, tiny_pipeline):
+        reconstructor = tiny_pipeline.reconstructor
+        ids, matrix = reconstructor.matrix_for_dataset(tiny_pipeline.dataset)
+        assert matrix.shape == (len(ids), len(reconstructor.registry))
+        views = np.array(
+            [tiny_pipeline.dataset.get(video_id).views for video_id in ids]
+        )
+        assert np.allclose(matrix.sum(axis=1), views)

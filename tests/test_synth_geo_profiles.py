@@ -1,0 +1,138 @@
+"""Unit tests for geographic affinity profile generation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import jensen_shannon
+from repro.errors import ConfigError
+from repro.synth.geo_profiles import (
+    GLOBAL_FLOOR,
+    GeoProfile,
+    GeoProfileFactory,
+    ProfileKind,
+)
+from repro.synth.rng import spawn_rng
+
+
+@pytest.fixture()
+def factory(registry, traffic):
+    return GeoProfileFactory(registry, traffic, rng=spawn_rng(1, "test-profiles"))
+
+
+def assert_valid_profile(profile, registry):
+    assert profile.shares.shape == (len(registry),)
+    assert np.all(profile.shares > 0)
+    assert profile.shares.sum() == pytest.approx(1.0)
+
+
+class TestGeoProfileValidation:
+    def test_negative_shares_rejected(self, registry):
+        shares = np.full(len(registry), 1.0 / len(registry))
+        shares[0] = -shares[0]
+        with pytest.raises(ConfigError):
+            GeoProfile(ProfileKind.GLOBAL, None, shares)
+
+    def test_unnormalized_rejected(self, registry):
+        shares = np.full(len(registry), 1.0)
+        with pytest.raises(ConfigError):
+            GeoProfile(ProfileKind.GLOBAL, None, shares)
+
+    def test_zero_entry_rejected(self, registry):
+        shares = np.full(len(registry), 1.0 / (len(registry) - 1))
+        shares[0] = 0.0
+        shares = shares / shares.sum()
+        shares[0] = 0.0
+        with pytest.raises(ConfigError):
+            GeoProfile(ProfileKind.GLOBAL, None, shares)
+
+
+class TestGlobalProfiles:
+    def test_valid_distribution(self, factory, registry):
+        assert_valid_profile(factory.sample_global(), registry)
+
+    def test_hugs_traffic_prior(self, factory, traffic):
+        profile = factory.sample_global()
+        assert jensen_shannon(profile.shares, traffic.as_vector()) < 0.05
+
+    def test_kind_and_anchor(self, factory):
+        profile = factory.sample_global()
+        assert profile.kind is ProfileKind.GLOBAL
+        assert profile.anchor is None
+
+
+class TestCountryProfiles:
+    def test_anchor_dominates(self, factory, registry):
+        profile = factory.sample_country("BR")
+        assert_valid_profile(profile, registry)
+        assert profile.anchor == "BR"
+        assert profile.top_country(registry) == "BR"
+        assert profile.shares[registry.index_of("BR")] >= 0.5
+
+    def test_language_spillover(self, factory, registry):
+        # A Brazil profile spills into Portugal (shared language) more than
+        # into a random same-size non-lusophone country.
+        profile = factory.sample_country("BR")
+        pt_share = profile.shares[registry.index_of("PT")]
+        hu_share = profile.shares[registry.index_of("HU")]
+        assert pt_share > hu_share
+
+    def test_random_anchor_drawn_by_online_population(self, factory):
+        anchors = {factory.sample_country().anchor for _ in range(50)}
+        assert len(anchors) > 3  # diverse anchors
+
+    def test_far_from_prior(self, factory, traffic):
+        profile = factory.sample_country("BR")
+        assert jensen_shannon(profile.shares, traffic.as_vector()) > 0.2
+
+
+class TestLanguageAndRegionProfiles:
+    def test_language_profile_concentrates_on_cluster(self, factory, registry):
+        profile = factory.sample_language("portuguese")
+        assert_valid_profile(profile, registry)
+        cluster_share = sum(
+            profile.shares[registry.index_of(code)] for code in ("BR", "PT")
+        )
+        assert cluster_share > 0.8
+
+    def test_unknown_language_rejected(self, factory):
+        with pytest.raises(ConfigError):
+            factory.sample_language("klingon")
+
+    def test_region_profile_concentrates_on_region(self, factory, registry):
+        profile = factory.sample_region("northern-europe")
+        assert_valid_profile(profile, registry)
+        region_share = sum(
+            profile.shares[registry.index_of(code)]
+            for code in ("SE", "NO", "DK", "FI", "IS")
+        )
+        assert region_share > 0.8
+
+    def test_unknown_region_rejected(self, factory):
+        with pytest.raises(ConfigError):
+            factory.sample_region("atlantis")
+
+
+class TestDispatchAndFloor:
+    def test_sample_dispatches_every_kind(self, factory, registry):
+        for kind in ProfileKind:
+            profile = factory.sample(kind)
+            assert profile.kind is kind
+            assert_valid_profile(profile, registry)
+
+    def test_floor_guarantees_minimum_everywhere(self, factory, registry, traffic):
+        profile = factory.sample_country("BR")
+        floor = GLOBAL_FLOOR * traffic.as_vector()
+        # Every country keeps at least ~its floor share (tolerance for
+        # renormalization).
+        assert np.all(profile.shares >= floor * 0.5)
+
+    def test_determinism_under_seeded_rng(self, registry, traffic):
+        a = GeoProfileFactory(registry, traffic, rng=spawn_rng(9, "p")).sample_global()
+        b = GeoProfileFactory(registry, traffic, rng=spawn_rng(9, "p")).sample_global()
+        assert np.array_equal(a.shares, b.shares)
+
+    def test_invalid_constructor_params_rejected(self, registry, traffic):
+        with pytest.raises(ConfigError):
+            GeoProfileFactory(registry, traffic, global_dirichlet=0.0)
+        with pytest.raises(ConfigError):
+            GeoProfileFactory(registry, traffic, country_spill=1.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the related-videos graph builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.graph import RelatedGraphBuilder
+from repro.synth.rng import spawn_rng
+from repro.synth.tagmodel import TagVocabulary
+from repro.synth.videomodel import VideoGenerator
+
+
+def make_videos(seed, count, **generator_kwargs):
+    vocabulary = TagVocabulary(n_tags=200, rng=spawn_rng(seed, "g-vocab"))
+    return VideoGenerator(
+        vocabulary, rng=spawn_rng(seed, "g-gen"), **generator_kwargs
+    ).generate(count)
+
+
+@pytest.fixture(scope="module")
+def wired_videos():
+    videos = make_videos(11, 250)
+    RelatedGraphBuilder(rng=spawn_rng(11, "g-graph"), related_count=12).build(videos)
+    return videos
+
+
+class TestGraphStructure:
+    def test_every_video_has_edges(self, wired_videos):
+        for video in wired_videos:
+            assert len(video.related_ids) == 12
+
+    def test_no_self_loops(self, wired_videos):
+        for video in wired_videos:
+            assert video.video_id not in video.related_ids
+
+    def test_no_duplicate_edges(self, wired_videos):
+        for video in wired_videos:
+            assert len(video.related_ids) == len(set(video.related_ids))
+
+    def test_edges_point_to_existing_videos(self, wired_videos):
+        ids = {video.video_id for video in wired_videos}
+        for video in wired_videos:
+            assert set(video.related_ids) <= ids
+
+    def test_popular_videos_attract_more_in_edges(self, wired_videos):
+        in_degree = {video.video_id: 0 for video in wired_videos}
+        for video in wired_videos:
+            for rid in video.related_ids:
+                in_degree[rid] += 1
+        ranked_by_views = sorted(
+            wired_videos, key=lambda video: video.views, reverse=True
+        )
+        top = ranked_by_views[: len(ranked_by_views) // 10]
+        bottom = ranked_by_views[-len(ranked_by_views) // 10 :]
+        top_mean = np.mean([in_degree[video.video_id] for video in top])
+        bottom_mean = np.mean([in_degree[video.video_id] for video in bottom])
+        assert top_mean > 2 * bottom_mean
+
+    def test_local_edges_share_primary_tag(self, wired_videos):
+        by_id = {video.video_id: video for video in wired_videos}
+        same_primary = 0
+        total = 0
+        for video in wired_videos:
+            if not video.tags:
+                continue
+            for rid in video.related_ids:
+                neighbour = by_id[rid]
+                total += 1
+                if neighbour.tags and neighbour.tags[0] == video.tags[0]:
+                    same_primary += 1
+        # p_local=0.7 makes a substantial fraction of edges community-local
+        # (less than 0.7 because small communities fall back to global).
+        assert same_primary / total > 0.25
+
+
+class TestEdgeCases:
+    def test_empty_population(self):
+        RelatedGraphBuilder(rng=spawn_rng(1, "e")).build([])
+
+    def test_single_video_gets_no_edges(self):
+        videos = make_videos(12, 1)
+        RelatedGraphBuilder(rng=spawn_rng(12, "g")).build(videos)
+        assert videos[0].related_ids == ()
+
+    def test_budget_clamped_to_population(self):
+        videos = make_videos(13, 5)
+        RelatedGraphBuilder(
+            rng=spawn_rng(13, "g"), related_count=20
+        ).build(videos)
+        for video in videos:
+            assert len(video.related_ids) == 4
+
+    def test_deterministic_given_seed(self):
+        first = make_videos(14, 60)
+        RelatedGraphBuilder(rng=spawn_rng(14, "g")).build(first)
+        second = make_videos(14, 60)
+        RelatedGraphBuilder(rng=spawn_rng(14, "g")).build(second)
+        assert [v.related_ids for v in first] == [v.related_ids for v in second]
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            RelatedGraphBuilder(related_count=0)
+        with pytest.raises(ConfigError):
+            RelatedGraphBuilder(p_local=1.5)
+        with pytest.raises(ConfigError):
+            RelatedGraphBuilder(preferential_exponent=-1.0)

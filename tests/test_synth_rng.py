@@ -1,0 +1,29 @@
+"""Unit tests for deterministic seed derivation."""
+
+from repro.synth.rng import derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2011, "tags") == derive_seed(2011, "tags")
+
+    def test_labels_independent(self):
+        assert derive_seed(2011, "tags") != derive_seed(2011, "videos")
+
+    def test_seeds_independent(self):
+        assert derive_seed(1, "tags") != derive_seed(2, "tags")
+
+    def test_fits_64_bits(self):
+        assert 0 <= derive_seed(123456789, "x") < 2**64
+
+
+class TestSpawnRng:
+    def test_same_label_same_stream(self):
+        a = spawn_rng(7, "component").random(10)
+        b = spawn_rng(7, "component").random(10)
+        assert (a == b).all()
+
+    def test_different_labels_different_streams(self):
+        a = spawn_rng(7, "a").random(10)
+        b = spawn_rng(7, "b").random(10)
+        assert not (a == b).all()

@@ -1,0 +1,40 @@
+"""Tests for universe summary statistics."""
+
+import pytest
+
+from repro.synth.stats import summarize_universe
+
+
+class TestSummarizeUniverse:
+    @pytest.fixture(scope="class")
+    def stats(self, tiny_universe):
+        return summarize_universe(tiny_universe)
+
+    def test_counts_match_universe(self, stats, tiny_universe):
+        assert stats.videos == len(tiny_universe)
+        assert stats.tags == len(tiny_universe.vocabulary)
+        assert stats.total_views == sum(
+            video.views for video in tiny_universe.videos()
+        )
+
+    def test_view_quantiles_ordered(self, stats):
+        assert 0 < stats.median_views < stats.p99_views
+
+    def test_fractions_match_config(self, stats, tiny_universe):
+        config = tiny_universe.config
+        assert stats.untagged_fraction < 3 * config.p_no_tags + 0.02
+        assert abs(stats.missing_map_fraction - config.p_missing_map) < 0.1
+
+    def test_tag_kind_counts_sum_to_vocabulary(self, stats):
+        assert sum(stats.tag_kind_counts.values()) == stats.tags
+
+    def test_mean_out_degree_close_to_config(self, stats, tiny_universe):
+        assert (
+            abs(stats.mean_out_degree - tiny_universe.config.related_count)
+            < 2.0
+        )
+
+    def test_rows_render(self, stats):
+        labels = [label for label, _ in stats.as_rows()]
+        assert "videos" in labels
+        assert "global tags" in labels

@@ -1,0 +1,118 @@
+"""Unit tests for the tag vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.geo_profiles import ProfileKind
+from repro.synth.rng import spawn_rng
+from repro.synth.tagmodel import CURATED_TAGS, TagVocabulary
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return TagVocabulary(n_tags=500, rng=spawn_rng(3, "vocab-test"))
+
+
+class TestConstruction:
+    def test_size(self, vocabulary):
+        assert len(vocabulary) == 500
+
+    def test_names_unique(self, vocabulary):
+        names = vocabulary.names()
+        assert len(names) == len(set(names))
+
+    def test_too_small_vocabulary_rejected(self):
+        with pytest.raises(ConfigError):
+            TagVocabulary(n_tags=5)
+
+    def test_bad_zipf_exponent_rejected(self):
+        with pytest.raises(ConfigError):
+            TagVocabulary(n_tags=100, zipf_exponent=0.0)
+
+    def test_all_curated_tags_present(self, vocabulary):
+        for name, _, _ in CURATED_TAGS:
+            assert name in vocabulary
+
+    def test_deterministic_given_rng_seed(self):
+        a = TagVocabulary(n_tags=100, rng=spawn_rng(5, "v"))
+        b = TagVocabulary(n_tags=100, rng=spawn_rng(5, "v"))
+        assert a.names() == b.names()
+
+
+class TestCuratedPlacement:
+    def test_global_head(self, vocabulary):
+        # The most frequent tags are the curated global ones; 'pop' is in
+        # the top ranks as the paper reports.
+        assert vocabulary.by_rank(1).name == "music"
+        assert vocabulary.by_rank(2).name == "pop"
+        assert vocabulary.get("pop").kind is ProfileKind.GLOBAL
+
+    def test_favela_is_brazil_anchored(self, vocabulary):
+        favela = vocabulary.get("favela")
+        assert favela.kind is ProfileKind.COUNTRY
+        assert favela.profile.anchor == "BR"
+
+    def test_local_exemplars_are_niche_not_head(self, vocabulary):
+        # Geographically anchored exemplars must sit outside the top 20
+        # ranks (the paper's point: local content is niche).
+        for name in ("favela", "bollywood", "sumo", "tango"):
+            assert vocabulary.get(name).rank > 20
+
+    def test_local_exemplars_still_measurable(self, vocabulary):
+        for name in ("favela", "bollywood"):
+            assert vocabulary.get(name).rank <= 250
+
+
+class TestZipfWeights:
+    def test_weights_decay_with_rank(self, vocabulary):
+        weights = [vocabulary.by_rank(r).weight for r in (1, 10, 100, 500)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_weight_formula(self, vocabulary):
+        tag = vocabulary.by_rank(10)
+        assert tag.weight == pytest.approx(10 ** (-1.1))
+
+
+class TestSampling:
+    def test_sample_tags_distinct(self, vocabulary):
+        rng = spawn_rng(1, "sampling")
+        tags = vocabulary.sample_tags(rng, 10)
+        names = [tag.name for tag in tags]
+        assert len(names) == len(set(names)) == 10
+
+    def test_sample_zero_is_empty(self, vocabulary):
+        assert vocabulary.sample_tags(spawn_rng(1, "s"), 0) == []
+
+    def test_head_oversampled(self, vocabulary):
+        rng = spawn_rng(2, "head")
+        first_draws = [vocabulary.sample_tags(rng, 1)[0].rank for _ in range(300)]
+        assert np.median(first_draws) < 50
+
+    def test_coherent_sampling_stays_in_group(self, vocabulary):
+        rng = spawn_rng(3, "coherent")
+        in_group = 0
+        total = 0
+        for _ in range(100):
+            tags = vocabulary.sample_coherent_tags(rng, 6, coherence=1.0)
+            primary_group = vocabulary.group_key(tags[0].name)
+            for tag in tags[1:]:
+                total += 1
+                if vocabulary.group_key(tag.name) == primary_group:
+                    in_group += 1
+        # coherence=1.0 keeps draws in-group whenever the group is big
+        # enough; demand a strong majority.
+        assert in_group / total > 0.8
+
+    def test_zero_coherence_behaves_like_independent(self, vocabulary):
+        rng = spawn_rng(4, "incoherent")
+        tags = vocabulary.sample_coherent_tags(rng, 8, coherence=0.0)
+        assert len(tags) == 8
+
+    def test_invalid_coherence_rejected(self, vocabulary):
+        with pytest.raises(ConfigError):
+            vocabulary.sample_coherent_tags(spawn_rng(1, "x"), 3, coherence=1.5)
+
+    def test_unknown_tag_lookup_rejected(self, vocabulary):
+        with pytest.raises(ConfigError):
+            vocabulary.get("definitely-not-a-tag")

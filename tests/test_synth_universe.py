@@ -1,0 +1,111 @@
+"""Unit tests for the Universe facade and presets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, UnknownCountryError
+from repro.synth.presets import PRESETS, preset_config
+from repro.synth.universe import UniverseConfig, build_universe
+
+
+class TestUniverseBasics:
+    def test_size_matches_config(self, tiny_universe):
+        assert len(tiny_universe) == tiny_universe.config.n_videos
+
+    def test_lookup_roundtrip(self, tiny_universe):
+        video_id = tiny_universe.video_ids()[0]
+        assert tiny_universe.get(video_id).video_id == video_id
+        assert video_id in tiny_universe
+
+    def test_unknown_video_rejected(self, tiny_universe):
+        with pytest.raises(ConfigError):
+            tiny_universe.get("AAAAAAAAAAA")
+
+    def test_deterministic_given_seed(self):
+        config = UniverseConfig(n_videos=50, n_tags=60, seed=77)
+        a = build_universe(config)
+        b = build_universe(config)
+        assert a.video_ids() == b.video_ids()
+        for video_id in a.video_ids()[:10]:
+            assert np.array_equal(
+                a.get(video_id).true_shares, b.get(video_id).true_shares
+            )
+
+    def test_different_seeds_differ(self):
+        a = build_universe(UniverseConfig(n_videos=50, n_tags=60, seed=1))
+        b = build_universe(UniverseConfig(n_videos=50, n_tags=60, seed=2))
+        assert a.video_ids() != b.video_ids()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            UniverseConfig(n_videos=0)
+        with pytest.raises(ConfigError):
+            UniverseConfig(n_tags=5)
+
+
+class TestGroundTruth:
+    def test_true_views_sum_to_video_views(self, tiny_universe):
+        video_id = tiny_universe.video_ids()[0]
+        video = tiny_universe.get(video_id)
+        assert tiny_universe.true_views(video_id).sum() == pytest.approx(
+            video.views
+        )
+
+    def test_true_tag_views_aggregates(self, tiny_universe):
+        # views(t) ground truth equals the manual sum over videos(t).
+        tag = "music"
+        manual = np.zeros(len(tiny_universe.registry))
+        count = 0
+        for video in tiny_universe.videos():
+            if tag in video.tags:
+                manual += video.true_views_by_country()
+                count += 1
+        assert count > 0
+        assert np.allclose(tiny_universe.true_tag_views(tag), manual)
+
+
+class TestMostPopularFeeds:
+    def test_ranking_is_by_local_views(self, tiny_universe):
+        top = tiny_universe.most_popular("BR", 10)
+        index = tiny_universe.registry.index_of("BR")
+        local_views = [
+            tiny_universe.get(video_id).views
+            * tiny_universe.get(video_id).true_shares[index]
+            for video_id in top
+        ]
+        assert local_views == sorted(local_views, reverse=True)
+
+    def test_rankings_differ_across_countries(self, tiny_universe):
+        assert tiny_universe.most_popular("BR", 10) != tiny_universe.most_popular(
+            "JP", 10
+        )
+
+    def test_unknown_country_rejected(self, tiny_universe):
+        with pytest.raises(UnknownCountryError):
+            tiny_universe.most_popular("XX")
+
+    def test_count_respected(self, tiny_universe):
+        assert len(tiny_universe.most_popular("US", 3)) == 3
+
+
+class TestToDataset:
+    def test_dataset_is_observable_view(self, tiny_universe):
+        dataset = tiny_universe.to_dataset()
+        assert len(dataset) == len(tiny_universe)
+        video = next(iter(dataset))
+        synth = tiny_universe.get(video.video_id)
+        assert video.views == synth.views
+        assert video.tags == synth.tags
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"tiny", "small", "medium", "large"}
+
+    def test_sizes_increase(self):
+        sizes = [PRESETS[name].n_videos for name in ("tiny", "small", "medium", "large")]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            preset_config("gigantic")

@@ -1,0 +1,135 @@
+"""Unit tests for video generation and the forward Eq. (1) quantization."""
+
+import numpy as np
+import pytest
+
+from repro.datamodel.popularity import MAX_INTENSITY
+from repro.datamodel.video import is_valid_video_id
+from repro.errors import ConfigError
+from repro.synth.rng import spawn_rng
+from repro.synth.tagmodel import TagVocabulary
+from repro.synth.videomodel import SynthVideo, VideoGenerator, quantize_popularity
+from repro.world.traffic import default_traffic_model
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return TagVocabulary(n_tags=300, rng=spawn_rng(7, "vm-vocab"))
+
+
+@pytest.fixture(scope="module")
+def generator(vocabulary):
+    return VideoGenerator(vocabulary, rng=spawn_rng(7, "vm-gen"))
+
+
+@pytest.fixture(scope="module")
+def videos(generator):
+    return generator.generate(300)
+
+
+class TestQuantizePopularity:
+    def test_always_saturates_at_61(self, traffic, registry):
+        shares = np.random.default_rng(0).dirichlet(np.ones(len(registry)))
+        vector = quantize_popularity(shares, traffic, registry)
+        assert vector.max_intensity() == MAX_INTENSITY
+
+    def test_uniform_shares_peak_in_smallest_market(self, traffic, registry):
+        # With equal views everywhere, intensity = 1/prior peaks where the
+        # prior is smallest — the USA-vs-Singapore effect inverted.
+        shares = np.full(len(registry), 1.0 / len(registry))
+        vector = quantize_popularity(shares, traffic, registry)
+        smallest_market = min(registry.codes(), key=traffic.share)
+        assert vector[smallest_market] == MAX_INTENSITY
+
+    def test_prior_shaped_shares_give_flat_61(self, traffic, registry):
+        # A video whose views exactly track the prior has intensity 61
+        # everywhere (ratio is constant).
+        vector = quantize_popularity(traffic.as_vector(), traffic, registry)
+        assert all(value == MAX_INTENSITY for _, value in vector)
+
+    def test_tiny_shares_round_to_zero_and_vanish(self, traffic, registry):
+        shares = np.full(len(registry), 1e-9)
+        shares[registry.index_of("BR")] = 1.0
+        shares = shares / shares.sum()
+        vector = quantize_popularity(shares, traffic, registry)
+        assert vector["BR"] == MAX_INTENSITY
+        assert len(vector) < len(registry)
+
+
+class TestGeneratedPopulation:
+    def test_ids_valid_and_unique(self, videos):
+        ids = [video.video_id for video in videos]
+        assert len(ids) == len(set(ids))
+        assert all(is_valid_video_id(video_id) for video_id in ids)
+
+    def test_true_shares_are_distributions(self, videos, registry):
+        for video in videos[:50]:
+            assert video.true_shares.shape == (len(registry),)
+            assert video.true_shares.sum() == pytest.approx(1.0)
+            assert np.all(video.true_shares > 0)
+
+    def test_views_positive_and_heavy_tailed(self, videos):
+        views = np.array([video.views for video in videos])
+        assert np.all(views >= 1)
+        assert views.max() > 20 * np.median(views)
+
+    def test_some_videos_untagged(self, generator, vocabulary):
+        heavy_untagged = VideoGenerator(
+            vocabulary, rng=spawn_rng(8, "untag"), p_no_tags=0.5
+        ).generate(200)
+        untagged = [video for video in heavy_untagged if not video.tags]
+        assert 40 < len(untagged) < 160
+
+    def test_missing_map_rate_close_to_config(self, videos):
+        missing = sum(1 for video in videos if video.popularity is None)
+        assert 0.2 < missing / len(videos) < 0.5  # config: 0.344
+
+    def test_popularity_saturated_when_present(self, videos):
+        for video in videos:
+            if video.popularity is not None:
+                assert video.popularity.is_saturated()
+
+    def test_upload_dates_in_window(self, videos):
+        for video in videos[:50]:
+            year = int(video.upload_date[:4])
+            assert 2006 <= year <= 2010
+
+    def test_to_video_strips_ground_truth(self, videos):
+        observable = videos[0].to_video()
+        assert observable.video_id == videos[0].video_id
+        assert not hasattr(observable, "true_shares")
+
+    def test_true_views_by_country_sums_to_views(self, videos):
+        video = videos[0]
+        assert video.true_views_by_country().sum() == pytest.approx(video.views)
+
+
+class TestTagCoupling:
+    def test_high_coupling_follows_primary_tag(self, vocabulary, registry):
+        generator = VideoGenerator(
+            vocabulary,
+            rng=spawn_rng(9, "coupled"),
+            tag_coupling=5000.0,
+        )
+        videos = [v for v in generator.generate(100) if v.tags]
+        from repro.analysis.metrics import total_variation
+
+        distances = []
+        for video in videos:
+            primary_profile = vocabulary.get(video.tags[0]).profile.shares
+            distances.append(total_variation(video.true_shares, primary_profile))
+        # Tight coupling: mixture still includes secondary tags, but the
+        # distribution stays near the primary profile on average.
+        assert np.mean(distances) < 0.45
+
+    def test_invalid_configs_rejected(self, vocabulary):
+        with pytest.raises(ConfigError):
+            VideoGenerator(vocabulary, mean_tags=0.5)
+        with pytest.raises(ConfigError):
+            VideoGenerator(vocabulary, p_no_tags=1.0)
+        with pytest.raises(ConfigError):
+            VideoGenerator(vocabulary, p_missing_map=-0.1)
+        with pytest.raises(ConfigError):
+            VideoGenerator(vocabulary, tag_coupling=0.0)
+        with pytest.raises(ConfigError):
+            VideoGenerator(vocabulary, tag_coherence=2.0)

@@ -1,0 +1,95 @@
+"""Unit tests for ASCII rendering."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.viz.asciimap import (
+    SHADES,
+    WORLD_GRID,
+    render_bar_chart,
+    render_region_strips,
+    render_world_grid,
+    shade_for,
+)
+
+
+class TestShadeFor:
+    def test_zero_is_blank(self):
+        assert shade_for(0, 100) == " "
+
+    def test_peak_is_darkest(self):
+        assert shade_for(100, 100) == SHADES[-1]
+
+    def test_nonzero_never_blank(self):
+        assert shade_for(1, 10_000) != " "
+
+    def test_monotone(self):
+        indices = [SHADES.index(shade_for(v, 100)) for v in (1, 25, 50, 75, 100)]
+        assert indices == sorted(indices)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            shade_for(-1, 10)
+
+
+class TestWorldGrid:
+    def test_grid_covers_every_registry_country(self, registry):
+        grid_codes = {
+            code for row in WORLD_GRID for code in row if code is not None
+        }
+        assert grid_codes == set(registry.codes())
+
+    def test_grid_has_no_duplicates(self):
+        codes = [code for row in WORLD_GRID for code in row if code is not None]
+        assert len(codes) == len(set(codes))
+
+    def test_render_contains_highlighted_country(self):
+        output = render_world_grid({"BR": 100.0})
+        assert "BR█" in output
+
+    def test_render_legend_optional(self):
+        assert "legend" in render_world_grid({"BR": 1.0})
+        assert "legend" not in render_world_grid({"BR": 1.0}, legend=False)
+
+    def test_empty_values_render(self):
+        output = render_world_grid({})
+        assert "BR" in output
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_world_grid({"BR": -1.0})
+
+
+class TestRegionStrips:
+    def test_all_regions_listed(self, registry):
+        output = render_region_strips({"BR": 1.0}, registry)
+        assert "Latin America" in output
+        assert "East Asia" in output
+
+    def test_highlight_appears(self, registry):
+        output = render_region_strips({"BR": 1.0}, registry)
+        assert "BR█" in output
+
+
+class TestBarChart:
+    def test_top_n_respected(self):
+        output = render_bar_chart({"A" + str(i): i + 1.0 for i in range(20)}, top=5)
+        assert len(output.splitlines()) == 5
+
+    def test_largest_bar_full_width(self):
+        output = render_bar_chart({"AA": 10.0, "BB": 5.0}, width=10)
+        first = output.splitlines()[0]
+        assert "█" * 10 in first
+
+    def test_value_format(self):
+        output = render_bar_chart({"AA": 1234.0}, value_format="{:,.0f}")
+        assert "1,234" in output
+
+    def test_empty_values(self):
+        assert render_bar_chart({}) == "(no data)"
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_bar_chart({"AA": 1.0}, top=0)
+        with pytest.raises(AnalysisError):
+            render_bar_chart({"AA": 1.0}, width=0)

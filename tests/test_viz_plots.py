@@ -1,0 +1,68 @@
+"""Tests for ASCII distribution plots."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.viz.plots import render_histogram, render_loglog_ccdf
+
+
+class TestHistogram:
+    def test_renders_all_bins(self):
+        output = render_histogram(range(1, 101), bins=10)
+        assert len(output.splitlines()) == 10
+
+    def test_counts_sum_to_n(self):
+        output = render_histogram(range(1, 101), bins=10)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in output.splitlines()]
+        assert sum(counts) == 100
+
+    def test_log_bins_positive_only(self):
+        with pytest.raises(AnalysisError):
+            render_histogram([0, 1, 2], log_x=True)
+
+    def test_log_bins_work(self):
+        output = render_histogram([1, 10, 100, 1000, 10000], bins=4, log_x=True)
+        assert len(output.splitlines()) == 4
+
+    def test_title_included(self):
+        output = render_histogram([1, 2, 3], title="Views")
+        assert output.splitlines()[0] == "Views"
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_histogram([])
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_histogram([1, 2], bins=0)
+        with pytest.raises(AnalysisError):
+            render_histogram([1, 2], width=0)
+
+    def test_heavy_tail_visible_in_log_bins(self, tiny_dataset):
+        views = [video.views for video in tiny_dataset]
+        output = render_histogram(views, bins=10, log_x=True)
+        assert len(output.splitlines()) == 10
+
+
+class TestLogLogCCDF:
+    def test_renders_grid(self):
+        output = render_loglog_ccdf([2**i for i in range(1, 200)], rows=8, cols=30)
+        lines = output.splitlines()
+        assert any("•" in line for line in lines)
+        assert "log scale" in lines[-1]
+
+    def test_nonpositive_filtered(self):
+        output = render_loglog_ccdf([0, -5, 1, 10, 100])
+        assert "•" in output
+
+    def test_all_nonpositive_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_loglog_ccdf([0, -1])
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_loglog_ccdf([1, 2, 3], rows=1)
+
+    def test_title(self):
+        output = render_loglog_ccdf([1, 5, 20], title="CCDF")
+        assert output.splitlines()[0] == "CCDF"

@@ -1,0 +1,67 @@
+"""Unit tests for composed text reports."""
+
+import pytest
+
+from repro.viz.report import (
+    format_table,
+    funnel_report,
+    stats_report,
+    tag_map_report,
+    video_map_report,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_thousands(self):
+        output = format_table([("views", 1234567), ("tag", "pop")])
+        assert "1,234,567" in output
+        assert "pop" in output
+
+    def test_title_underlined(self):
+        output = format_table([("a", 1)], title="Header")
+        lines = output.splitlines()
+        assert lines[0] == "Header"
+        assert lines[1] == "-" * len("Header")
+
+    def test_empty_rows(self):
+        assert format_table([], title="T") == "T"
+
+
+class TestComposedReports:
+    def test_video_map_report(self, tiny_pipeline):
+        video = tiny_pipeline.dataset.most_viewed_video()
+        shares = tiny_pipeline.reconstructor.shares_for_video(video)
+        output = video_map_report(video, shares, tiny_pipeline.reconstructor.registry)
+        assert video.title in output
+        assert "top countries" in output
+        assert "legend" in output
+
+    def test_video_map_mentions_saturated_countries(self, tiny_pipeline):
+        video = tiny_pipeline.dataset.most_viewed_video()
+        shares = tiny_pipeline.reconstructor.shares_for_video(video)
+        output = video_map_report(video, shares, tiny_pipeline.reconstructor.registry)
+        assert "peak intensity" in output
+
+    def test_tag_map_report(self, tiny_pipeline):
+        table = tiny_pipeline.tag_table
+        tag = table.top_tags_by_views(1)[0][0]
+        output = tag_map_report(
+            tag,
+            table.shares_for(tag),
+            tiny_pipeline.universe.traffic,
+            video_count=table.video_count(tag),
+            total_views=table.total_views(tag),
+        )
+        assert f"tag {tag!r}" in output
+        assert "JSD to traffic prior" in output
+        assert "top country" in output
+
+    def test_funnel_report(self, tiny_pipeline):
+        output = funnel_report(tiny_pipeline.filter_report)
+        assert "retention rate" in output
+        assert "removed: no tags" in output
+
+    def test_stats_report(self, tiny_pipeline):
+        output = stats_report(tiny_pipeline.dataset.stats())
+        assert "unique tags" in output
+        assert "total views" in output

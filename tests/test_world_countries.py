@@ -1,0 +1,115 @@
+"""Unit tests for the country registry."""
+
+import pytest
+
+from repro.errors import UnknownCountryError
+from repro.world.countries import (
+    Country,
+    CountryRegistry,
+    SEED_COUNTRIES,
+    default_registry,
+)
+
+
+class TestCountry:
+    def test_valid_country_constructs(self):
+        country = Country("BR", "Brazil", 196_935, "latin-america", ("portuguese",), 0.45)
+        assert country.code == "BR"
+        assert country.population == 196_935
+
+    def test_online_population_is_product(self):
+        country = Country("SG", "Singapore", 5_188, "southeast-asia", ("english",), 0.71)
+        assert country.online_population == pytest.approx(5_188 * 0.71)
+
+    def test_lowercase_code_rejected(self):
+        with pytest.raises(ValueError):
+            Country("br", "Brazil", 1, "latin-america", ("portuguese",), 0.5)
+
+    def test_three_letter_code_rejected(self):
+        with pytest.raises(ValueError):
+            Country("BRA", "Brazil", 1, "latin-america", ("portuguese",), 0.5)
+
+    def test_nonpositive_population_rejected(self):
+        with pytest.raises(ValueError):
+            Country("BR", "Brazil", 0, "latin-america", ("portuguese",), 0.5)
+
+    def test_penetration_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            Country("BR", "Brazil", 1, "latin-america", ("portuguese",), 1.5)
+
+
+class TestDefaultRegistry:
+    def test_is_cached_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_has_sixty_plus_countries(self, registry):
+        assert len(registry) >= 60
+
+    def test_contains_paper_exemplar_countries(self, registry):
+        # Countries named in the paper: USA and Singapore (Fig. 1
+        # discussion), Brazil (Fig. 3).
+        for code in ("US", "SG", "BR"):
+            assert code in registry
+
+    def test_usa_much_larger_than_singapore(self, registry):
+        # The premise of the paper's K(v) argument.
+        assert registry.get("US").population > 50 * registry.get("SG").population
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(UnknownCountryError):
+            registry.get("XX")
+
+    def test_codes_are_unique(self, registry):
+        codes = registry.codes()
+        assert len(codes) == len(set(codes))
+
+    def test_iteration_matches_codes_order(self, registry):
+        assert [c.code for c in registry] == registry.codes()
+
+    def test_index_of_roundtrip(self, registry):
+        for i, code in enumerate(registry.codes()):
+            assert registry.index_of(code) == i
+
+    def test_index_of_unknown_raises(self, registry):
+        with pytest.raises(UnknownCountryError):
+            registry.index_of("ZZ")
+
+    def test_all_regions_known(self, registry):
+        from repro.world.regions import REGIONS
+
+        for country in registry:
+            assert country.region in REGIONS
+
+    def test_languages_nonempty(self, registry):
+        for country in registry:
+            assert country.languages
+
+    def test_total_population_positive(self, registry):
+        assert registry.total_population() > 3_000_000  # > 3 billion (thousands)
+
+    def test_online_population_below_total(self, registry):
+        assert registry.total_online_population() < registry.total_population()
+
+
+class TestSubset:
+    def test_subset_preserves_given_order(self, registry):
+        sub = registry.subset(["BR", "US", "JP"])
+        assert sub.codes() == ["BR", "US", "JP"]
+
+    def test_subset_unknown_code_raises(self, registry):
+        with pytest.raises(UnknownCountryError):
+            registry.subset(["BR", "XX"])
+
+    def test_duplicate_codes_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.subset(["BR", "BR"])
+
+
+class TestSeedCountries:
+    def test_paper_seed_count_is_25(self):
+        assert len(SEED_COUNTRIES) == 25
+
+    def test_seeds_are_unique_and_known(self, registry):
+        assert len(set(SEED_COUNTRIES)) == 25
+        for code in SEED_COUNTRIES:
+            assert code in registry

@@ -1,0 +1,49 @@
+"""Unit tests for region groupings and language clusters."""
+
+from repro.world.regions import (
+    LANGUAGE_CLUSTERS,
+    REGIONS,
+    countries_in_region,
+    countries_speaking,
+)
+
+
+class TestRegions:
+    def test_every_region_nonempty(self, registry):
+        for region in REGIONS:
+            assert countries_in_region(region, registry)
+
+    def test_regions_partition_registry(self, registry):
+        all_codes = []
+        for region in REGIONS:
+            all_codes.extend(countries_in_region(region, registry))
+        assert sorted(all_codes) == sorted(registry.codes())
+
+    def test_brazil_in_latin_america(self, registry):
+        assert "BR" in countries_in_region("latin-america", registry)
+
+    def test_unknown_region_empty(self, registry):
+        assert countries_in_region("atlantis", registry) == []
+
+
+class TestLanguageClusters:
+    def test_every_cluster_spans_multiple_countries(self, registry):
+        for language in LANGUAGE_CLUSTERS:
+            assert len(countries_speaking(language, registry)) >= 2, language
+
+    def test_portuguese_cluster_contains_brazil_and_portugal(self, registry):
+        cluster = countries_speaking("portuguese", registry)
+        assert "BR" in cluster and "PT" in cluster
+
+    def test_spanish_cluster_spans_two_continents(self, registry):
+        cluster = set(countries_speaking("spanish", registry))
+        assert "ES" in cluster
+        assert cluster.intersection({"MX", "AR", "CL", "CO", "PE"})
+
+    def test_unknown_language_empty(self, registry):
+        assert countries_speaking("klingon", registry) == []
+
+    def test_results_in_registry_order(self, registry):
+        cluster = countries_speaking("english", registry)
+        positions = [registry.index_of(code) for code in cluster]
+        assert positions == sorted(positions)

@@ -1,0 +1,129 @@
+"""Unit and property tests for the traffic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrafficModelError, UnknownCountryError
+from repro.world.countries import default_registry
+from repro.world.traffic import TrafficModel, default_traffic_model
+
+
+class TestDefaultTrafficModel:
+    def test_shares_sum_to_one(self, traffic):
+        assert traffic.as_vector().sum() == pytest.approx(1.0)
+
+    def test_all_shares_strictly_positive(self, traffic):
+        assert np.all(traffic.as_vector() > 0)
+
+    def test_us_is_largest_market(self, traffic):
+        shares = traffic.as_dict()
+        assert max(shares, key=shares.get) == "US"
+
+    def test_china_share_is_negligible(self, traffic):
+        # YouTube was blocked in China in 2011.
+        assert traffic.share("CN") < 0.01
+
+    def test_us_dwarfs_singapore(self, traffic):
+        # The denominator of the paper's Fig. 1 saturation argument.
+        assert traffic.share("US") > 20 * traffic.share("SG")
+
+    def test_share_unknown_country_raises(self, traffic):
+        with pytest.raises(UnknownCountryError):
+            traffic.share("XX")
+
+    def test_as_dict_matches_vector(self, traffic, registry):
+        vector = traffic.as_vector()
+        shares = traffic.as_dict()
+        for i, code in enumerate(registry.codes()):
+            assert shares[code] == pytest.approx(vector[i])
+
+    def test_as_vector_returns_copy(self, traffic):
+        vector = traffic.as_vector()
+        vector[0] = 99.0
+        assert traffic.as_vector()[0] != 99.0
+
+
+class TestConstructionValidation:
+    def test_missing_country_rejected(self, registry):
+        shares = {code: 1.0 for code in registry.codes()[:-1]}
+        with pytest.raises(TrafficModelError):
+            TrafficModel(shares, registry)
+
+    def test_unknown_extra_country_rejected(self, registry):
+        shares = {code: 1.0 for code in registry.codes()}
+        shares["XX"] = 1.0
+        with pytest.raises(TrafficModelError):
+            TrafficModel(shares, registry)
+
+    def test_zero_share_rejected(self, registry):
+        shares = {code: 1.0 for code in registry.codes()}
+        shares[registry.codes()[0]] = 0.0
+        with pytest.raises(TrafficModelError):
+            TrafficModel(shares, registry)
+
+    def test_negative_share_rejected(self, registry):
+        shares = {code: 1.0 for code in registry.codes()}
+        shares[registry.codes()[0]] = -0.1
+        with pytest.raises(TrafficModelError):
+            TrafficModel(shares, registry)
+
+    def test_nan_share_rejected(self, registry):
+        shares = {code: 1.0 for code in registry.codes()}
+        shares[registry.codes()[0]] = float("nan")
+        with pytest.raises(TrafficModelError):
+            TrafficModel(shares, registry)
+
+    def test_unnormalized_input_is_normalized(self, registry):
+        shares = {code: 2.0 for code in registry.codes()}
+        model = TrafficModel(shares, registry)
+        assert model.as_vector().sum() == pytest.approx(1.0)
+
+
+class TestPerturbed:
+    def test_zero_error_is_identity(self, traffic):
+        perturbed = traffic.perturbed(0.0)
+        assert np.allclose(perturbed.as_vector(), traffic.as_vector())
+
+    def test_perturbed_still_a_distribution(self, traffic):
+        perturbed = traffic.perturbed(0.2, seed=3)
+        vector = perturbed.as_vector()
+        assert vector.sum() == pytest.approx(1.0)
+        assert np.all(vector > 0)
+
+    def test_perturbation_deterministic_in_seed(self, traffic):
+        a = traffic.perturbed(0.1, seed=5).as_vector()
+        b = traffic.perturbed(0.1, seed=5).as_vector()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, traffic):
+        a = traffic.perturbed(0.1, seed=5).as_vector()
+        b = traffic.perturbed(0.1, seed=6).as_vector()
+        assert not np.array_equal(a, b)
+
+    def test_negative_error_rejected(self, traffic):
+        with pytest.raises(TrafficModelError):
+            traffic.perturbed(-0.1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(error=st.floats(min_value=0.01, max_value=1.0))
+    def test_perturbed_always_valid_distribution(self, error):
+        traffic = default_traffic_model()
+        perturbed = traffic.perturbed(error, seed=11)
+        vector = perturbed.as_vector()
+        assert vector.sum() == pytest.approx(1.0)
+        assert np.all(vector > 0)
+
+
+class TestRestricted:
+    def test_restricted_renormalizes(self, traffic):
+        sub = traffic.restricted(["US", "BR", "JP"])
+        assert sub.as_vector().sum() == pytest.approx(1.0)
+        assert len(sub) == 3
+
+    def test_restricted_preserves_ratios(self, traffic):
+        sub = traffic.restricted(["US", "BR"])
+        original_ratio = traffic.share("US") / traffic.share("BR")
+        new_ratio = sub.share("US") / sub.share("BR")
+        assert new_ratio == pytest.approx(original_ratio)
