@@ -14,7 +14,11 @@ Subsystem map (see ``DESIGN.md`` for the full inventory):
 - :mod:`repro.chartmap` — the Google Image Chart codec (the 0–61 maps);
 - :mod:`repro.synth` — the generated YouTube-like universe (with ground
   truth);
-- :mod:`repro.api` — the simulated YouTube Data API;
+- :mod:`repro.api` — the simulated YouTube Data API (plus the TCP
+  transport, the fault-injecting :class:`~repro.api.chaos.ChaosProxy`,
+  and the reconnecting
+  :class:`~repro.api.resilient.ResilientYoutubeClient`);
+- :mod:`repro.resilience` — the shared retry policy and circuit breaker;
 - :mod:`repro.crawler` — breadth-first snowball sampling;
 - :mod:`repro.reconstruct` — the paper's Eq. (1)–(3);
 - :mod:`repro.analysis` — concentration metrics, tag geography, the

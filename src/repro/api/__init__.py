@@ -15,6 +15,14 @@ stand-in with the same *interface contract and failure modes*:
 - :class:`~repro.api.faults.FaultInjector` — deterministic transient
   failures (HTTP 500/503 analogues) so crawler retry logic is genuinely
   exercised.
+- :class:`~repro.api.transport.YoutubeAPIServer` /
+  :class:`~repro.api.transport.RemoteYoutubeClient` — the same interface
+  behind a real TCP boundary.
+- :class:`~repro.api.chaos.ChaosProxy` — deterministic network-level
+  fault injection (resets, hangups, stalls, garbled frames, latency)
+  between client and server.
+- :class:`~repro.api.resilient.ResilientYoutubeClient` — reconnecting,
+  deadline-aware, circuit-breaker-guarded drop-in for the raw client.
 """
 
 from repro.api.quota import QuotaBudget, UNLIMITED
@@ -26,9 +34,14 @@ from repro.api.transport import (
     TransportError,
     YoutubeAPIServer,
 )
+from repro.api.chaos import FAULT_KINDS, ChaosProxy
+from repro.api.resilient import ResilientYoutubeClient, default_retry_policy
 
 __all__ = [
+    "ChaosProxy",
+    "FAULT_KINDS",
     "RemoteYoutubeClient",
+    "ResilientYoutubeClient",
     "TransportError",
     "YoutubeAPIServer",
     "QuotaBudget",
@@ -39,4 +52,5 @@ __all__ = [
     "decode_page_token",
     "VideoResource",
     "YoutubeService",
+    "default_retry_policy",
 ]

@@ -1,0 +1,227 @@
+"""A deterministic fault-injecting TCP proxy for chaos testing.
+
+:class:`~repro.api.faults.FaultInjector` exercises *application-level*
+failures (HTTP 500/503 analogues); real 2011 crawls also died of
+*network-level* trouble — reset connections, half-written responses,
+stalls, corrupted frames. :class:`ChaosProxy` injects exactly those, at
+a real TCP boundary, between :class:`~repro.api.transport.RemoteYoutubeClient`
+(or its resilient wrapper) and :class:`~repro.api.transport.YoutubeAPIServer`::
+
+    with YoutubeAPIServer(service) as server:
+        with ChaosProxy(server.host, server.port, fault_rate=0.1, seed=7) as proxy:
+            client = ResilientYoutubeClient(proxy.host, proxy.port)
+            ...
+
+Fault decisions follow the :class:`FaultInjector` recipe: a BLAKE2-keyed
+hash of ``(seed, request_window)`` — so a fixed seed reproduces the same
+fault pattern run after run, and ``burst_length`` makes trouble arrive
+in realistic consecutive streaks. Per-fault counters make the injected
+chaos observable in tests and benchmarks.
+
+The proxy understands the newline-delimited JSON protocol just enough to
+work at request granularity: one client line in, one upstream line out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import socketserver
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, TransportError
+
+#: The faults the proxy knows how to inject, in decision order.
+FAULT_KINDS: Tuple[str, ...] = ("reset", "hangup", "latency", "stall", "garble")
+
+
+class _ChaosHandler(socketserver.StreamRequestHandler):
+    """One client connection: relay frames, injecting faults per request."""
+
+    def handle(self) -> None:
+        proxy: ChaosProxy = self.server.chaos  # type: ignore[attr-defined]
+        try:
+            upstream = socket.create_connection(
+                (proxy.upstream_host, proxy.upstream_port),
+                timeout=proxy.upstream_timeout,
+            )
+        except OSError:
+            return  # upstream down: the client sees an immediate close
+        reader = upstream.makefile("rb")
+        try:
+            for line in self.rfile:
+                if not line.strip():
+                    continue
+                fault = proxy._decide()
+                if fault == "reset":
+                    # Drop the connection before the request reaches the
+                    # server — the one fault where replay is trivially safe.
+                    return
+                upstream.sendall(line)
+                reply = reader.readline()
+                if not reply:
+                    return  # upstream hung up mid-conversation
+                if fault == "stall":
+                    # Hold the reply until the client gives up, then die.
+                    time.sleep(proxy.stall_seconds)
+                    return
+                if fault == "hangup":
+                    self.wfile.write(reply[: max(1, len(reply) // 2)])
+                    self.wfile.flush()
+                    return
+                if fault == "garble":
+                    self.wfile.write(b"#garbled:" + reply[:16].strip() + b"#\n")
+                    self.wfile.flush()
+                    continue
+                if fault == "latency":
+                    time.sleep(proxy.latency_seconds)
+                self.wfile.write(reply)
+                self.wfile.flush()
+        except OSError:
+            pass  # either side vanished; the connection is done regardless
+        finally:
+            try:
+                reader.close()
+            finally:
+                upstream.close()
+
+
+class _ProxyServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ChaosProxy:
+    """Fault-injecting TCP proxy in front of a :class:`YoutubeAPIServer`.
+
+    Args:
+        upstream_host / upstream_port: Where the real server listens.
+        host / port: Where the proxy listens (port 0 = ephemeral).
+        fault_rate: Probability that a request (or burst window) is hit
+            by a fault, in ``[0, 1)``.
+        seed: Determinism key (BLAKE2-keyed decisions, as in
+            :class:`~repro.api.faults.FaultInjector`).
+        burst_length: Consecutive requests sharing one fault decision;
+            1 means i.i.d. faults.
+        kinds: Which fault kinds to inject (subset of
+            :data:`FAULT_KINDS`).
+        latency_seconds: Added delay for ``latency`` faults.
+        stall_seconds: How long a ``stall`` holds the reply before
+            killing the connection.
+        upstream_timeout: Connect/read timeout toward the real server.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault_rate: float = 0.0,
+        seed: int = 0,
+        burst_length: int = 1,
+        kinds: Sequence[str] = FAULT_KINDS,
+        latency_seconds: float = 0.01,
+        stall_seconds: float = 0.2,
+        upstream_timeout: float = 10.0,
+    ):
+        if not 0.0 <= fault_rate < 1.0:
+            raise ConfigError(f"fault_rate must be in [0, 1), got {fault_rate}")
+        if burst_length < 1:
+            raise ConfigError("burst_length must be >= 1")
+        unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+        if unknown:
+            raise ConfigError(f"unknown fault kinds: {unknown}")
+        if not kinds:
+            raise ConfigError("kinds must not be empty")
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.fault_rate = fault_rate
+        self.seed = seed
+        self.burst_length = burst_length
+        self.kinds = tuple(kinds)
+        self.latency_seconds = latency_seconds
+        self.stall_seconds = stall_seconds
+        self.upstream_timeout = upstream_timeout
+
+        self._server = _ProxyServer((host, port), _ChaosHandler)
+        self._server.chaos = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._fault_counts: Dict[str, int] = {kind: 0 for kind in self.kinds}
+
+    # -- fault decisions -----------------------------------------------------
+
+    def _unit_uniform(self, key: str) -> float:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def _decide(self) -> Optional[str]:
+        """Pick the fault (if any) for the next request, and count it."""
+        with self._lock:
+            counter = self._counter
+            self._counter += 1
+            window = counter // self.burst_length
+            if self.fault_rate <= 0.0:
+                return None
+            if self._unit_uniform(f"{self.seed}:{window}") >= self.fault_rate:
+                return None
+            pick = hashlib.blake2b(
+                f"{self.seed}:{window}:kind".encode("utf-8"), digest_size=8
+            ).digest()
+            kind = self.kinds[int.from_bytes(pick, "big") % len(self.kinds)]
+            self._fault_counts[kind] += 1
+            return kind
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def requests_seen(self) -> int:
+        with self._lock:
+            return self._counter
+
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        """Per-kind injected-fault counters (a copy)."""
+        with self._lock:
+            return dict(self._fault_counts)
+
+    @property
+    def faults_injected(self) -> int:
+        with self._lock:
+            return sum(self._fault_counts.values())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    def start(self) -> "ChaosProxy":
+        if self._thread is not None:
+            raise TransportError("proxy already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="chaos-proxy", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,235 @@
+"""A self-healing wrapper around :class:`RemoteYoutubeClient`.
+
+The raw TCP client treats every network hiccup as fatal: one dropped
+connection raises :class:`~repro.errors.TransportError` and the socket
+is dead. A months-long crawl needs the opposite — reconnect, replay,
+and back off. :class:`ResilientYoutubeClient` provides that while
+keeping the exact service interface (``describe`` / ``get_video`` /
+``related_videos`` / ``most_popular`` / ``registry``), so both crawlers
+run over it unchanged:
+
+- **automatic reconnect** with capped exponential backoff and
+  deterministic jitter (via a :class:`~repro.resilience.RetryPolicy`);
+- **safe replay**: every protocol method is an idempotent read, so a
+  request that died mid-flight is simply re-issued on the fresh
+  connection (response-id validation in the raw client guarantees a
+  stale reply can never be paired with the replay);
+- **per-request deadlines**: a logical request — including all its
+  reconnects and retries — fails with
+  :class:`~repro.errors.DeadlineExceededError` once its time budget is
+  gone;
+- **a shared circuit breaker**: N crawler workers funneling through one
+  (or several) resilient clients stop hammering a dead server together
+  and recover together through half-open probes.
+
+Application-level errors (``VideoNotFoundError``, ``QuotaExceededError``,
+``TransientAPIError``...) pass through untouched: the server is alive,
+so they neither trip the breaker nor trigger a reconnect.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.api.pagination import Page
+from repro.api.service import VideoResource
+from repro.api.transport import RemoteYoutubeClient
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    TransportError,
+)
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.world.countries import CountryRegistry, default_registry
+
+#: Only connection-level trouble is the resilient client's business.
+_CONNECTION_ERRORS = (TransportError, CircuitOpenError)
+
+
+def default_retry_policy() -> RetryPolicy:
+    """The client's default reconnect policy: quick, capped, jittered."""
+    return RetryPolicy(
+        max_attempts=5,
+        backoff_base=0.05,
+        backoff_cap=1.0,
+        jitter=0.2,
+        retryable=_CONNECTION_ERRORS,
+    )
+
+
+class ResilientYoutubeClient:
+    """Reconnecting, breaker-guarded drop-in for the service interface.
+
+    Thread-safe: calls are serialized (like the raw client's socket) and
+    connection swaps happen under the same lock, so workers can share
+    one instance. Open several — sharing one ``breaker`` — for true
+    request parallelism with coordinated load shedding.
+
+    Args:
+        host / port: The server (or a :class:`~repro.api.chaos.ChaosProxy`).
+        registry: Country registry (default: the library's).
+        timeout: Socket timeout for connect and reads.
+        retry: Connection-level retry policy. Its ``sleep`` is real by
+            default — reconnect backoff happens in wall-clock time.
+        breaker: Optional shared :class:`~repro.resilience.CircuitBreaker`.
+        request_deadline: Seconds a logical request may spend across all
+            its attempts; ``None`` disables deadlines.
+        clock: Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        registry: Optional[CountryRegistry] = None,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        request_deadline: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.host = host
+        self.port = port
+        self.registry = registry if registry is not None else default_registry()
+        self.timeout = timeout
+        self.retry = retry if retry is not None else default_retry_policy()
+        self.breaker = breaker
+        self.request_deadline = request_deadline
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._client: Optional[RemoteYoutubeClient] = None
+        self._ever_connected = False
+        self._reconnects = 0
+        self._replays = 0
+        self._deadline_expiries = 0
+
+    # -- connection management ----------------------------------------------
+
+    def _ensure_client(self) -> RemoteYoutubeClient:
+        """Connect lazily; count every connection after the first."""
+        if self._client is None:
+            self._client = RemoteYoutubeClient(
+                self.host, self.port, registry=self.registry, timeout=self.timeout
+            )
+            if self._ever_connected:
+                self._reconnects += 1
+            self._ever_connected = True
+        return self._client
+
+    def _drop_client(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except OSError:
+                pass
+            self._client = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_client()
+
+    def __enter__(self) -> "ResilientYoutubeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the resilient call path --------------------------------------------
+
+    def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        started = self._clock()
+        attempts = 0
+
+        def attempt() -> Any:
+            nonlocal attempts
+            if (
+                self.request_deadline is not None
+                and self._clock() - started > self.request_deadline
+            ):
+                with self._lock:
+                    self._deadline_expiries += 1
+                raise DeadlineExceededError(
+                    f"{method} exceeded its {self.request_deadline}s deadline"
+                )
+            if self.breaker is not None:
+                self.breaker.allow()
+            attempts += 1
+            try:
+                with self._lock:
+                    client = self._ensure_client()
+                    result = getattr(client, method)(*args, **kwargs)
+            except TransportError:
+                with self._lock:
+                    self._drop_client()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            if attempts > 1:
+                with self._lock:
+                    self._replays += 1
+            return result
+
+        return self.retry.run(attempt)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def reconnects(self) -> int:
+        with self._lock:
+            return self._reconnects
+
+    @property
+    def replays(self) -> int:
+        """Idempotent requests re-issued after a connection died."""
+        with self._lock:
+            return self._replays
+
+    @property
+    def deadline_expiries(self) -> int:
+        with self._lock:
+            return self._deadline_expiries
+
+    def resilience_snapshot(self) -> Dict[str, int]:
+        """Counters for :class:`~repro.crawler.stats.CrawlStats` merging."""
+        with self._lock:
+            return {
+                "reconnects": self._reconnects,
+                "replays": self._replays,
+                "deadline_expiries": self._deadline_expiries,
+                "breaker_opens": self.breaker.opens if self.breaker else 0,
+            }
+
+    # -- the service interface ----------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        return self._call("describe")
+
+    def get_video(self, video_id: str) -> VideoResource:
+        return self._call("get_video", video_id)
+
+    def related_videos(
+        self,
+        video_id: str,
+        page_token: Optional[str] = None,
+        max_results: int = 25,
+    ) -> Page:
+        return self._call(
+            "related_videos", video_id, page_token=page_token, max_results=max_results
+        )
+
+    def most_popular(
+        self,
+        country_code: str,
+        page_token: Optional[str] = None,
+        max_results: int = 10,
+    ) -> Page:
+        return self._call(
+            "most_popular",
+            country_code,
+            page_token=page_token,
+            max_results=max_results,
+        )

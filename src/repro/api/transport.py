@@ -38,6 +38,7 @@ from repro.errors import (
     QuotaExceededError,
     ReproError,
     TransientAPIError,
+    TransportError,
     VideoNotFoundError,
 )
 from repro.world.countries import CountryRegistry, default_registry
@@ -51,9 +52,11 @@ _ERROR_TYPES = {
     "APIError": APIError,
 }
 
-
-class TransportError(APIError):
-    """The connection failed or the peer spoke garbage."""
+__all__ = [
+    "RemoteYoutubeClient",
+    "TransportError",  # re-exported; canonical home is repro.errors
+    "YoutubeAPIServer",
+]
 
 
 def _encode_video(resource: VideoResource) -> Dict[str, Any]:
@@ -155,11 +158,12 @@ class _RequestHandler(socketserver.StreamRequestHandler):
 
 
 def _error_response(request_id, exc: ReproError) -> Dict[str, Any]:
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {"type": type(exc).__name__, "message": str(exc)},
-    }
+    payload: Dict[str, Any] = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, VideoNotFoundError):
+        # Carry the structured id so the client never has to parse the
+        # human-readable message back apart.
+        payload["video_id"] = exc.video_id
+    return {"id": request_id, "ok": False, "error": payload}
 
 
 class _Server(socketserver.ThreadingTCPServer):
@@ -261,15 +265,22 @@ class RemoteYoutubeClient:
             response = json.loads(line)
         except json.JSONDecodeError as exc:
             raise TransportError(f"bad response frame: {exc}") from exc
+        if not isinstance(response, dict):
+            raise TransportError(f"bad response frame: expected object, got {response!r}")
+        response_id = response.get("id")
+        if response_id != request_id:
+            # A timed-out or desynced socket would otherwise pair this
+            # reply with the wrong request silently.
+            raise TransportError(
+                f"response id mismatch: sent {request_id}, got {response_id!r}"
+            )
         if response.get("ok"):
             return response["result"]
         error = response.get("error", {})
         error_type = _ERROR_TYPES.get(error.get("type"), APIError)
         if error_type is VideoNotFoundError:
             # Reconstruct with its structured argument.
-            message = error.get("message", "")
-            video_id = message.split("'")[1] if "'" in message else message
-            raise VideoNotFoundError(video_id)
+            raise VideoNotFoundError(error.get("video_id", error.get("message", "")))
         raise error_type(error.get("message", "remote error"))
 
     def close(self) -> None:

@@ -15,6 +15,11 @@ implements that crawl against the simulated API:
 - :class:`~repro.crawler.checkpoint.CrawlCheckpoint` — suspend/resume
   support, so a long crawl interrupted mid-flight continues identically;
 - :class:`~repro.crawler.stats.CrawlStats` — the run's accounting.
+
+Both crawlers share one :class:`~repro.resilience.RetryPolicy` (also
+re-exported here) for their retry/backoff behaviour, and surface a
+resilient client's reconnect / circuit-breaker / deadline counters in
+:class:`CrawlStats` at the end of a run.
 """
 
 from repro.crawler.frontier import BFSFrontier
@@ -23,12 +28,15 @@ from repro.crawler.checkpoint import CrawlCheckpoint
 from repro.crawler.snowball import CrawlResult, SnowballCrawler
 from repro.crawler.parallel import ParallelSnowballCrawler
 from repro.crawler.politeness import TokenBucket
+from repro.resilience import CircuitBreaker, RetryPolicy
 
 __all__ = [
     "BFSFrontier",
+    "CircuitBreaker",
     "CrawlStats",
     "CrawlCheckpoint",
     "CrawlResult",
+    "RetryPolicy",
     "SnowballCrawler",
     "ParallelSnowballCrawler",
     "TokenBucket",

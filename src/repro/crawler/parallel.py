@@ -25,6 +25,7 @@ identical either way.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -42,7 +43,12 @@ from repro.errors import (
     TransientAPIError,
     VideoNotFoundError,
 )
+from repro.resilience import RetryPolicy
 from repro.world.countries import SEED_COUNTRIES
+
+#: How long an idle worker sleeps before re-polling a momentarily empty
+#: frontier (peers may still be expanding neighbours).
+_IDLE_POLL_SECONDS = 0.001
 
 
 class _SharedFrontier:
@@ -96,7 +102,10 @@ class ParallelSnowballCrawler:
         workers: Number of fetcher threads.
         seed_countries / seeds_per_country / max_videos / max_depth /
             max_retries / backoff_base / related_page_size /
-            max_related_per_video: As in the sequential crawler.
+            max_related_per_video / retry_policy: As in the sequential
+            crawler. The default policy accounts backoff in simulated
+            time (thread-safely) instead of sleeping, and retries
+            transport-level failures as well as transient API errors.
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class ParallelSnowballCrawler:
         backoff_base: float = 0.5,
         related_page_size: int = 25,
         max_related_per_video: int = 50,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if workers < 1:
             raise ConfigError("workers must be >= 1")
@@ -134,6 +144,16 @@ class ParallelSnowballCrawler:
         self._videos: Dict[str, Video] = {}
         self._stats = CrawlStats()
         self._quota_hit = threading.Event()
+        if retry_policy is not None:
+            self._retry = retry_policy
+        else:
+            self._retry = RetryPolicy(
+                max_attempts=max_retries + 1,
+                backoff_base=backoff_base,
+                backoff_cap=float("inf"),
+                jitter=0.0,
+                sleep=self._backoff_sleep,
+            )
 
     # -- public API ------------------------------------------------------------
 
@@ -152,6 +172,9 @@ class ParallelSnowballCrawler:
             self._stats.stopped_by_quota = True
         if len(self._videos) >= self.max_videos:
             self._stats.stopped_by_budget = True
+        snapshot = getattr(self.service, "resilience_snapshot", None)
+        if callable(snapshot):
+            self._stats.merge_resilience(snapshot())
         registry = self.service.registry
         return CrawlResult(
             Dataset(self._videos.values(), registry), self._stats
@@ -191,7 +214,7 @@ class ParallelSnowballCrawler:
                 if self._frontier.drained():
                     return
                 # Queue momentarily empty while peers expand; yield and retry.
-                threading.Event().wait(0.001)
+                time.sleep(_IDLE_POLL_SECONDS)
                 continue
             video_id, depth = claimed
             try:
@@ -272,18 +295,21 @@ class ParallelSnowballCrawler:
         return tuple(collected[: self.max_related_per_video])
 
     def _with_retries(self, request):
-        delay = self.backoff_base
-        for attempt in range(self.max_retries + 1):
-            try:
-                return request()
-            except TransientAPIError:
-                with self._results_lock:
-                    self._stats.transient_errors += 1
-                if attempt == self.max_retries:
-                    with self._results_lock:
-                        self._stats.retries_exhausted += 1
-                    return None
-                with self._results_lock:
-                    self._stats.backoff_seconds += delay
-                delay *= 2
-        return None
+        try:
+            return self._retry.run(request, on_failure=self._note_failure)
+        except self._retry.retryable:
+            with self._results_lock:
+                self._stats.retries_exhausted += 1
+            return None
+
+    def _note_failure(self, exc, attempt, delay) -> None:
+        with self._results_lock:
+            if isinstance(exc, TransientAPIError):
+                self._stats.transient_errors += 1
+            else:
+                self._stats.transport_errors += 1
+
+    def _backoff_sleep(self, seconds: float) -> None:
+        """Default retry sleep: account the wait, don't block the worker."""
+        with self._results_lock:
+            self._stats.backoff_seconds += seconds

@@ -32,6 +32,7 @@ from repro.errors import (
     TransientAPIError,
     VideoNotFoundError,
 )
+from repro.resilience import RetryPolicy
 from repro.world.countries import SEED_COUNTRIES
 
 
@@ -58,6 +59,13 @@ class SnowballCrawler:
         backoff_base: First retry's simulated sleep, in seconds; doubles
             per retry (exponential backoff). Time is accounted in
             :class:`CrawlStats`, not actually slept.
+        retry_policy: Optional :class:`~repro.resilience.RetryPolicy`
+            overriding ``max_retries``/``backoff_base``. The default
+            policy routes its sleeps through the crawler's simulated
+            clock (no real waiting) with zero jitter, and additionally
+            treats :class:`~repro.errors.TransportError` and
+            :class:`~repro.errors.CircuitOpenError` as retryable so
+            crawls over the TCP transport survive connection trouble.
         related_page_size: Page size for related-video feeds.
         max_related_per_video: Cap on neighbours expanded per video.
         requests_per_second: Optional politeness limit. Waiting happens in
@@ -79,6 +87,7 @@ class SnowballCrawler:
         max_related_per_video: int = 50,
         requests_per_second: Optional[float] = None,
         politeness_burst: int = 5,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if seeds_per_country < 1:
             raise ConfigError("seeds_per_country must be >= 1")
@@ -112,6 +121,16 @@ class SnowballCrawler:
         self._videos: List[Video] = []
         self._stats = CrawlStats()
         self._seeded = False
+        if retry_policy is not None:
+            self._retry = retry_policy
+        else:
+            self._retry = RetryPolicy(
+                max_attempts=max_retries + 1,
+                backoff_base=backoff_base,
+                backoff_cap=float("inf"),
+                jitter=0.0,
+                sleep=self._backoff_sleep,
+            )
 
     # -- public API -------------------------------------------------------------
 
@@ -128,8 +147,15 @@ class SnowballCrawler:
                 break
         if len(self._videos) >= self.max_videos:
             self._stats.stopped_by_budget = True
+        self._merge_resilience()
         registry = self.service.registry
         return CrawlResult(Dataset(self._videos, registry), self._stats)
+
+    def _merge_resilience(self) -> None:
+        """Surface a resilient client's counters in the crawl stats."""
+        snapshot = getattr(self.service, "resilience_snapshot", None)
+        if callable(snapshot):
+            self._stats.merge_resilience(snapshot())
 
     def checkpoint(self) -> CrawlCheckpoint:
         """Capture the crawl's current state (frontier, videos, stats)."""
@@ -253,26 +279,33 @@ class SnowballCrawler:
         return tuple(collected[: self.max_related_per_video])
 
     def _with_retries(self, request):
-        """Run ``request`` with exponential-backoff retry on transient errors.
+        """Run ``request`` under the retry policy.
 
         Returns the request's result, or ``None`` when retries are
         exhausted (the caller skips the work item). Quota errors always
         propagate — there is no point retrying those.
         """
-        delay = self.backoff_base
-        for attempt in range(self.max_retries + 1):
+
+        def attempt():
             self._throttle()
-            try:
-                return request()
-            except TransientAPIError:
-                self._stats.transient_errors += 1
-                if attempt == self.max_retries:
-                    self._stats.retries_exhausted += 1
-                    return None
-                self._stats.backoff_seconds += delay
-                self._clock += delay
-                delay *= 2
-        return None  # unreachable; keeps type-checkers satisfied
+            return request()
+
+        try:
+            return self._retry.run(attempt, on_failure=self._note_failure)
+        except self._retry.retryable:
+            self._stats.retries_exhausted += 1
+            return None
+
+    def _note_failure(self, exc, attempt, delay) -> None:
+        if isinstance(exc, TransientAPIError):
+            self._stats.transient_errors += 1
+        else:
+            self._stats.transport_errors += 1
+
+    def _backoff_sleep(self, seconds: float) -> None:
+        """Default retry sleep: pay the wait on the simulated clock."""
+        self._stats.backoff_seconds += seconds
+        self._clock += seconds
 
     def _throttle(self) -> None:
         """Pay the politeness limiter in simulated time (if configured)."""

@@ -40,10 +40,32 @@ class CrawlStats:
     fetched_by_depth: Dict[int, int] = field(default_factory=dict)
     #: Videos whose popularity chart URL failed to parse.
     map_decode_failures: int = 0
+    #: Connection-level failures observed (resets, garbled frames,
+    #: open-circuit rejections) — the network-boundary counterpart of
+    #: :attr:`transient_errors`.
+    transport_errors: int = 0
+    #: Times the resilient client re-established its connection.
+    reconnects: int = 0
+    #: Closed/half-open → open circuit-breaker transitions.
+    breaker_opens: int = 0
+    #: Logical requests abandoned because their deadline expired.
+    deadline_expiries: int = 0
 
     def record_fetch(self, depth: int) -> None:
         self.fetched += 1
         self.fetched_by_depth[depth] = self.fetched_by_depth.get(depth, 0) + 1
+
+    def merge_resilience(self, snapshot: Dict) -> None:
+        """Adopt a resilient client's lifetime counters.
+
+        Called at the end of a crawl with
+        :meth:`~repro.api.resilient.ResilientYoutubeClient.resilience_snapshot`;
+        the counters are client-lifetime values, so they overwrite
+        rather than accumulate.
+        """
+        self.reconnects = int(snapshot.get("reconnects", 0))
+        self.breaker_opens = int(snapshot.get("breaker_opens", 0))
+        self.deadline_expiries = int(snapshot.get("deadline_expiries", 0))
 
     @property
     def max_depth_reached(self) -> int:
@@ -56,6 +78,10 @@ class CrawlStats:
             ("videos fetched", self.fetched),
             ("not found (404)", self.not_found),
             ("transient errors seen", self.transient_errors),
+            ("transport errors seen", self.transport_errors),
+            ("reconnects", self.reconnects),
+            ("circuit-breaker opens", self.breaker_opens),
+            ("deadline expiries", self.deadline_expiries),
             ("fetches abandoned (retries exhausted)", self.retries_exhausted),
             ("simulated backoff seconds", round(self.backoff_seconds, 3)),
             ("simulated politeness wait seconds", round(self.politeness_wait_seconds, 3)),
@@ -83,6 +109,10 @@ class CrawlStats:
             "stopped_by_budget": self.stopped_by_budget,
             "fetched_by_depth": {str(k): v for k, v in self.fetched_by_depth.items()},
             "map_decode_failures": self.map_decode_failures,
+            "transport_errors": self.transport_errors,
+            "reconnects": self.reconnects,
+            "breaker_opens": self.breaker_opens,
+            "deadline_expiries": self.deadline_expiries,
         }
 
     @classmethod
@@ -101,6 +131,10 @@ class CrawlStats:
             stopped_by_quota=bool(data.get("stopped_by_quota", False)),
             stopped_by_budget=bool(data.get("stopped_by_budget", False)),
             map_decode_failures=int(data.get("map_decode_failures", 0)),
+            transport_errors=int(data.get("transport_errors", 0)),
+            reconnects=int(data.get("reconnects", 0)),
+            breaker_opens=int(data.get("breaker_opens", 0)),
+            deadline_expiries=int(data.get("deadline_expiries", 0)),
         )
         stats.fetched_by_depth = {
             int(k): int(v) for k, v in data.get("fetched_by_depth", {}).items()

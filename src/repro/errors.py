@@ -113,6 +113,23 @@ class BadRequestError(APIError):
 
 
 # --------------------------------------------------------------------------
+# Network boundary / resilience
+# --------------------------------------------------------------------------
+
+
+class TransportError(APIError):
+    """The connection failed or the peer spoke garbage."""
+
+
+class DeadlineExceededError(APIError):
+    """A request (including its retries) overran its deadline."""
+
+
+class CircuitOpenError(APIError):
+    """The circuit breaker is open; the request was not attempted."""
+
+
+# --------------------------------------------------------------------------
 # Crawler
 # --------------------------------------------------------------------------
 

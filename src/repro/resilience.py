@@ -1,0 +1,258 @@
+"""Unified retry and circuit-breaker policy for the network boundary.
+
+The paper's dataset came from a months-long snowball crawl of a remote,
+flaky API; such crawls survive only through disciplined retry,
+reconnection, and load shedding. This module centralises those
+behaviours so every caller — both crawlers, the resilient TCP client,
+examples — shares one implementation instead of hand-rolled loops:
+
+- :class:`RetryPolicy` — capped exponential backoff with deterministic
+  (BLAKE2-keyed) jitter, a configurable retryable-exception set, and an
+  injectable ``sleep`` so tests and simulated-time crawlers never block
+  on real wall-clock waits.
+- :class:`CircuitBreaker` — the classic three-state breaker
+  (closed / open / half-open). Shared by N crawler workers, it stops
+  everyone from hammering a dead server and lets them recover together
+  through a bounded number of half-open probes.
+
+Determinism matters here exactly as it does for
+:class:`~repro.api.faults.FaultInjector`: jitter is derived from a
+keyed hash of ``(seed, draw_counter)``, so a fixed seed reproduces the
+same backoff schedule run after run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Callable, Optional, Tuple, Type
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    TransientAPIError,
+    TransportError,
+)
+
+#: Exception classes a network caller should retry by default: transient
+#: server-side failures, broken connections, and a breaker that may
+#: close again. Quota and not-found errors are deliberately absent —
+#: retrying those wastes budget.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    TransientAPIError,
+    TransportError,
+    CircuitOpenError,
+)
+
+
+def _unit_uniform(key: str) -> float:
+    """A [0, 1) uniform derived from a BLAKE2 hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+class RetryPolicy:
+    """Retry with capped exponential backoff and deterministic jitter.
+
+    Args:
+        max_attempts: Total tries, including the first (>= 1).
+        backoff_base: Delay before the first retry, in seconds.
+        backoff_cap: Upper bound on any single delay.
+        jitter: Fraction of each delay randomised away (0 disables
+            jitter; 0.2 means delays land in ``[0.8*d, d]``). Jitter is
+            deterministic: draw ``k`` of a policy with seed ``s`` is a
+            keyed hash of ``(s, k)``.
+        seed: Determinism key for the jitter stream.
+        retryable: Exception classes worth retrying; everything else
+            propagates immediately.
+        sleep: How to wait between attempts. The default blocks on real
+            time; simulated-time callers inject an accounting function.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if backoff_base < 0:
+            raise ConfigError("backoff_base must be >= 0")
+        if backoff_cap < 0:
+            raise ConfigError("backoff_cap must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {jitter}")
+        if not retryable:
+            raise ConfigError("retryable must name at least one exception class")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.seed = seed
+        self.retryable = tuple(retryable)
+        self.sleep = sleep
+        self._lock = threading.Lock()
+        self._draws = 0
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retryable)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered."""
+        raw = min(self.backoff_cap, self.backoff_base * (2.0**attempt))
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        with self._lock:
+            self._draws += 1
+            draw = self._draws
+        return raw * (1.0 - self.jitter * _unit_uniform(f"{self.seed}:{draw}"))
+
+    def run(
+        self,
+        fn: Callable[[], object],
+        on_failure: Optional[Callable[[BaseException, int, Optional[float]], None]] = None,
+    ):
+        """Call ``fn`` until it succeeds or attempts run out.
+
+        ``on_failure(exc, attempt, delay)`` is invoked for every
+        retryable failure; ``delay`` is ``None`` when attempts are
+        exhausted and the exception is about to propagate.
+        Non-retryable exceptions propagate immediately and do not reach
+        ``on_failure``.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except self.retryable as exc:
+                final = attempt + 1 >= self.max_attempts
+                wait = None if final else self.delay(attempt)
+                if on_failure is not None:
+                    on_failure(exc, attempt, wait)
+                if final:
+                    raise
+                self.sleep(wait)
+                attempt += 1
+
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Three-state circuit breaker shared across crawler workers.
+
+    Closed: requests flow; consecutive failures are counted. At
+    ``failure_threshold`` the breaker opens. Open: every
+    :meth:`allow` raises :class:`~repro.errors.CircuitOpenError`
+    until ``reset_timeout`` seconds pass, then the breaker goes
+    half-open. Half-open: up to ``half_open_max_calls`` probe requests
+    are admitted; one success closes the breaker, one failure reopens
+    it.
+
+    Thread-safe; all transitions happen under one lock. The clock is
+    injectable so breaker timing is testable without real waits.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ConfigError("reset_timeout must be >= 0")
+        if half_open_max_calls < 1:
+            raise ConfigError("half_open_max_calls must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_max_calls = half_open_max_calls
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self._opens = 0
+        self._rejections = 0
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def opens(self) -> int:
+        """Closed/half-open → open transitions since construction."""
+        with self._lock:
+            return self._opens
+
+    @property
+    def rejections(self) -> int:
+        """Requests refused while the breaker was open."""
+        with self._lock:
+            return self._rejections
+
+    # -- the protocol --------------------------------------------------------
+
+    def allow(self) -> None:
+        """Admit one request, or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            if self._state == OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed < self.reset_timeout:
+                    self._rejections += 1
+                    raise CircuitOpenError(
+                        f"circuit open ({self._consecutive_failures} consecutive "
+                        f"failures); retry in {self.reset_timeout - elapsed:.3f}s"
+                    )
+                self._state = HALF_OPEN
+                self._half_open_inflight = 0
+            if self._state == HALF_OPEN:
+                if self._half_open_inflight >= self.half_open_max_calls:
+                    self._rejections += 1
+                    raise CircuitOpenError("circuit half-open; probe in flight")
+                self._half_open_inflight += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._half_open_inflight = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._half_open_inflight = 0
+                self._opens += 1
+
+    def call(self, fn: Callable[[], object]):
+        """Convenience wrapper: admit, run, record the outcome."""
+        self.allow()
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -1,0 +1,149 @@
+"""Tests for the fault-injecting TCP proxy."""
+
+import pytest
+
+from repro.api.chaos import FAULT_KINDS, ChaosProxy
+from repro.api.service import YoutubeService
+from repro.api.transport import RemoteYoutubeClient, YoutubeAPIServer
+from repro.errors import ConfigError, TransportError, VideoNotFoundError
+
+
+@pytest.fixture()
+def server(tiny_universe):
+    with YoutubeAPIServer(YoutubeService(tiny_universe)) as running:
+        yield running
+
+
+def _proxy(server, **kwargs):
+    return ChaosProxy(server.host, server.port, **kwargs)
+
+
+class TestPassthrough:
+    def test_clean_proxy_is_transparent(self, server, tiny_universe):
+        with _proxy(server) as proxy:
+            with RemoteYoutubeClient(proxy.host, proxy.port) as client:
+                info = client.describe()
+                assert info["videos"] == len(tiny_universe)
+                video_id = tiny_universe.video_ids()[0]
+                video = client.get_video(video_id)
+                assert video.video_id == video_id
+            assert proxy.requests_seen >= 2
+            assert proxy.faults_injected == 0
+
+    def test_api_errors_still_cross_the_proxy(self, server):
+        with _proxy(server) as proxy:
+            with RemoteYoutubeClient(proxy.host, proxy.port) as client:
+                with pytest.raises(VideoNotFoundError) as excinfo:
+                    client.get_video("AAAAAAAAAAA")
+                assert excinfo.value.video_id == "AAAAAAAAAAA"
+
+    def test_upstream_down_closes_the_client(self, server, tiny_universe):
+        with _proxy(server) as proxy:
+            server.stop()
+            with RemoteYoutubeClient(proxy.host, proxy.port) as client:
+                with pytest.raises(TransportError):
+                    client.describe()
+
+
+class TestFaultInjection:
+    def test_garbled_frame_raises_transport_error(self, server, tiny_universe):
+        with _proxy(
+            server, fault_rate=0.999_999, seed=3, kinds=("garble",)
+        ) as proxy:
+            with RemoteYoutubeClient(proxy.host, proxy.port) as client:
+                with pytest.raises(TransportError):
+                    client.describe()
+            assert proxy.fault_counts["garble"] >= 1
+
+    def test_reset_raises_transport_error(self, server):
+        with _proxy(server, fault_rate=0.999_999, seed=3, kinds=("reset",)) as proxy:
+            with RemoteYoutubeClient(proxy.host, proxy.port) as client:
+                with pytest.raises(TransportError):
+                    client.describe()
+            assert proxy.fault_counts["reset"] >= 1
+
+    def test_hangup_raises_transport_error(self, server):
+        with _proxy(server, fault_rate=0.999_999, seed=3, kinds=("hangup",)) as proxy:
+            with RemoteYoutubeClient(proxy.host, proxy.port) as client:
+                with pytest.raises(TransportError):
+                    client.describe()
+            assert proxy.fault_counts["hangup"] >= 1
+
+    def test_stall_eventually_drops_the_connection(self, server):
+        with _proxy(
+            server,
+            fault_rate=0.999_999,
+            seed=3,
+            kinds=("stall",),
+            stall_seconds=0.05,
+        ) as proxy:
+            with RemoteYoutubeClient(proxy.host, proxy.port) as client:
+                with pytest.raises(TransportError):
+                    client.describe()
+            assert proxy.fault_counts["stall"] >= 1
+
+    def test_latency_fault_still_answers_correctly(self, server, tiny_universe):
+        with _proxy(
+            server,
+            fault_rate=0.999_999,
+            seed=3,
+            kinds=("latency",),
+            latency_seconds=0.01,
+        ) as proxy:
+            with RemoteYoutubeClient(proxy.host, proxy.port) as client:
+                info = client.describe()
+                assert info["videos"] == len(tiny_universe)
+            assert proxy.fault_counts["latency"] >= 1
+
+
+class TestDeterminism:
+    def _decision_trace(self, seed, n=200, **kwargs):
+        proxy = ChaosProxy("127.0.0.1", 1, fault_rate=0.3, seed=seed, **kwargs)
+        try:
+            return [proxy._decide() for _ in range(n)]
+        finally:
+            proxy._server.server_close()
+
+    def test_same_seed_same_fault_pattern(self):
+        assert self._decision_trace(seed=11) == self._decision_trace(seed=11)
+
+    def test_different_seed_different_pattern(self):
+        assert self._decision_trace(seed=11) != self._decision_trace(seed=12)
+
+    def test_burst_faults_arrive_consecutively(self):
+        trace = self._decision_trace(seed=5, burst_length=4)
+        # Every decision within one 4-wide window must be identical.
+        for start in range(0, len(trace), 4):
+            window = trace[start : start + 4]
+            assert len(set(window)) == 1
+
+    def test_counters_add_up(self):
+        proxy = ChaosProxy("127.0.0.1", 1, fault_rate=0.3, seed=2)
+        try:
+            decisions = [proxy._decide() for _ in range(300)]
+            injected = sum(1 for d in decisions if d is not None)
+            assert proxy.requests_seen == 300
+            assert proxy.faults_injected == injected
+            assert sum(proxy.fault_counts.values()) == injected
+            assert 0 < injected < 300
+        finally:
+            proxy._server.server_close()
+
+
+class TestConfig:
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            ChaosProxy("127.0.0.1", 1, fault_rate=1.0)
+        with pytest.raises(ConfigError):
+            ChaosProxy("127.0.0.1", 1, fault_rate=-0.1)
+
+    def test_burst_and_kinds_validation(self):
+        with pytest.raises(ConfigError):
+            ChaosProxy("127.0.0.1", 1, burst_length=0)
+        with pytest.raises(ConfigError):
+            ChaosProxy("127.0.0.1", 1, kinds=("reset", "nope"))
+        with pytest.raises(ConfigError):
+            ChaosProxy("127.0.0.1", 1, kinds=())
+
+    def test_all_kinds_are_known(self):
+        assert set(FAULT_KINDS) == {"reset", "hangup", "latency", "stall", "garble"}

@@ -1,5 +1,7 @@
 """Tests for the TCP transport: server, client, and crawls over the wire."""
 
+import json
+import socket
 import threading
 
 import pytest
@@ -96,6 +98,134 @@ class TestErrorFidelity:
     def test_connect_failure_is_transport_error(self):
         with pytest.raises(TransportError):
             RemoteYoutubeClient("127.0.0.1", 1, timeout=0.5)
+
+    def test_not_found_video_id_is_transported_structurally(self, server):
+        # Ids containing quotes must survive the wire: the payload
+        # carries the structured id, not a parse of the message text.
+        awkward = "it's 'quoted'"
+        with RemoteYoutubeClient(server.host, server.port) as remote:
+            with pytest.raises(VideoNotFoundError) as excinfo:
+                remote.get_video(awkward)
+        assert excinfo.value.video_id == awkward
+
+
+def _scripted_server(script):
+    """A one-connection TCP server running ``script(conn)`` then closing.
+
+    Returns ``(port, thread)``; the thread is a daemon and joins fast.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def serve():
+        conn, _ = listener.accept()
+        try:
+            script(conn)
+        finally:
+            conn.close()
+            listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return port, thread
+
+
+def _read_request(conn):
+    return conn.makefile("rb").readline()
+
+
+def _raw_client(port):
+    return RemoteYoutubeClient("127.0.0.1", port, timeout=2.0)
+
+
+def _resilient_client(port):
+    from repro.api.resilient import ResilientYoutubeClient
+    from repro.resilience import RetryPolicy
+
+    # Two attempts: the scripted server serves one connection, so the
+    # retry hits a refused connect and the original class must survive.
+    return ResilientYoutubeClient(
+        "127.0.0.1",
+        port,
+        timeout=2.0,
+        retry=RetryPolicy(
+            max_attempts=2, backoff_base=0.0, retryable=(TransportError,)
+        ),
+    )
+
+
+@pytest.fixture(params=["raw", "resilient"])
+def make_client(request):
+    return _raw_client if request.param == "raw" else _resilient_client
+
+
+class TestTransportFailurePaths:
+    """Exact exception classes for every way the wire can betray us."""
+
+    def test_server_closes_mid_request(self, make_client):
+        port, _ = _scripted_server(lambda conn: _read_request(conn))
+        with make_client(port) as client:
+            with pytest.raises(TransportError) as excinfo:
+                client.describe()
+        assert type(excinfo.value) is TransportError
+
+    def test_empty_reply_frame(self, make_client):
+        def script(conn):
+            _read_request(conn)
+            conn.sendall(b"\n")
+
+        port, _ = _scripted_server(script)
+        with make_client(port) as client:
+            with pytest.raises(TransportError) as excinfo:
+                client.describe()
+        assert type(excinfo.value) is TransportError
+
+    def test_garbled_json_frame(self, make_client):
+        def script(conn):
+            _read_request(conn)
+            conn.sendall(b"{this is not json\n")
+
+        port, _ = _scripted_server(script)
+        with make_client(port) as client:
+            with pytest.raises(TransportError) as excinfo:
+                client.describe()
+        assert type(excinfo.value) is TransportError
+
+    def test_non_object_reply_frame(self, make_client):
+        def script(conn):
+            _read_request(conn)
+            conn.sendall(b"[1, 2, 3]\n")
+
+        port, _ = _scripted_server(script)
+        with make_client(port) as client:
+            with pytest.raises(TransportError) as excinfo:
+                client.describe()
+        assert type(excinfo.value) is TransportError
+
+    def test_response_id_mismatch(self, make_client):
+        def script(conn):
+            _read_request(conn)
+            stale = {"id": 999, "ok": True, "result": {}}
+            conn.sendall(json.dumps(stale).encode("utf-8") + b"\n")
+
+        port, _ = _scripted_server(script)
+        with make_client(port) as client:
+            with pytest.raises(TransportError, match="id mismatch|connect") as excinfo:
+                client.describe()
+        assert type(excinfo.value) is TransportError
+
+    def test_matching_id_is_accepted(self):
+        def script(conn):
+            request = json.loads(_read_request(conn))
+            reply = {"id": request["id"], "ok": True, "result": {"videos": 1}}
+            conn.sendall(json.dumps(reply).encode("utf-8") + b"\n")
+
+        port, _ = _scripted_server(script)
+        with RemoteYoutubeClient("127.0.0.1", port, timeout=2.0) as client:
+            assert client.describe() == {"videos": 1}
 
 
 class TestCrawlOverTheWire:

@@ -1,0 +1,211 @@
+"""Tests for the unified retry policy and circuit breaker."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    QuotaExceededError,
+    TransientAPIError,
+    TransportError,
+)
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_succeeds_first_try_without_sleeping(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, sleep=sleeps.append)
+        assert policy.run(lambda: 42) == 42
+        assert sleeps == []
+
+    def test_retries_until_success(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base=1.0, sleep=sleeps.append
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientAPIError("boom")
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [1.0, 2.0]  # exponential, no jitter by default
+
+    def test_exhaustion_reraises_last_error(self):
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0, sleep=lambda s: None)
+        with pytest.raises(TransportError):
+            policy.run(self._always_transport_error)
+
+    @staticmethod
+    def _always_transport_error():
+        raise TransportError("gone")
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+        policy = RetryPolicy(max_attempts=5, sleep=lambda s: None)
+
+        def quota():
+            calls["n"] += 1
+            raise QuotaExceededError("spent")
+
+        with pytest.raises(QuotaExceededError):
+            policy.run(quota)
+        assert calls["n"] == 1
+
+    def test_on_failure_sees_every_failure_and_final_none_delay(self):
+        seen = []
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base=1.0, sleep=lambda s: None
+        )
+        with pytest.raises(TransientAPIError):
+            policy.run(
+                self._always_transient,
+                on_failure=lambda exc, attempt, delay: seen.append(
+                    (attempt, delay)
+                ),
+            )
+        assert seen == [(0, 1.0), (1, 2.0), (2, None)]
+
+    @staticmethod
+    def _always_transient():
+        raise TransientAPIError("flap")
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=3.0, sleep=lambda s: None)
+        assert policy.delay(0) == 1.0
+        assert policy.delay(1) == 2.0
+        assert policy.delay(2) == 3.0
+        assert policy.delay(10) == 3.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        a = RetryPolicy(backoff_base=1.0, jitter=0.5, seed=9, sleep=lambda s: None)
+        b = RetryPolicy(backoff_base=1.0, jitter=0.5, seed=9, sleep=lambda s: None)
+        delays_a = [a.delay(2) for _ in range(10)]
+        delays_b = [b.delay(2) for _ in range(10)]
+        assert delays_a == delays_b  # same seed, same draw stream
+        assert all(2.0 <= d <= 4.0 for d in delays_a)
+        assert len(set(delays_a)) > 1  # draws actually vary
+        other = RetryPolicy(backoff_base=1.0, jitter=0.5, seed=10, sleep=lambda s: None)
+        assert [other.delay(2) for _ in range(10)] != delays_a
+
+    def test_circuit_open_error_is_retryable_by_default(self):
+        policy = RetryPolicy(sleep=lambda s: None)
+        assert policy.is_retryable(CircuitOpenError("open"))
+        assert policy.is_retryable(TransportError("lost"))
+        assert policy.is_retryable(TransientAPIError("503"))
+        assert not policy.is_retryable(QuotaExceededError("spent"))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(retryable=())
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == CLOSED
+        breaker.allow()  # must not raise
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        breaker.allow()  # the probe is admitted
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_limits_concurrent_probes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, half_open_max_calls=1, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # only one probe at a time
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+
+    def test_call_wrapper_records_outcomes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=9.0, clock=clock)
+        assert breaker.call(lambda: "fine") == "fine"
+        with pytest.raises(TransportError):
+            breaker.call(self._dead)
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+    @staticmethod
+    def _dead():
+        raise TransportError("down")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(reset_timeout=-1.0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(half_open_max_calls=0)
