@@ -1,0 +1,145 @@
+"""R2 — crash-recovery invariant (durability, not experiment shape).
+
+The paper's crawl ran for months; any real run of that length dies and
+restarts many times. This benchmark proves the journaled crawler's
+crash-recovery contract:
+
+- a journaled crawl is killed (``SimulatedCrash``) at ≥20 random
+  filesystem-operation counts spanning the whole run — including inside
+  a WAL append, mid-compaction, and during the final snapshot;
+- after every kill, ``resume_from_journal`` + ``run`` reconstructs the
+  *byte-identical* video dataset the uninterrupted baseline produced
+  (same ids, same per-video records);
+- the crashes were real (the injector actually fired) and recovery was
+  real (journal replays happened on resume).
+
+Timing (pytest-benchmark) covers one full crash+resume cycle, so journal
+replay overhead is tracked over time.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.api.service import YoutubeService
+from repro.crawler.snowball import SnowballCrawler
+from repro.datamodel.io import video_to_record
+from repro.durability.fsfaults import FaultyFilesystem, SimulatedCrash
+from repro.durability.journal import CheckpointJournal
+from repro.synth.universe import UniverseConfig, build_universe
+
+SEED = 2011
+CUT_POINTS = 20
+CHECKPOINT_EVERY = 7
+COMPACT_EVERY = 5
+
+
+def _universe():
+    return build_universe(UniverseConfig(n_videos=150, n_tags=100, seed=SEED))
+
+
+def _journaled_crawl(universe, directory, fs=None, journal=None):
+    if journal is None:
+        journal = CheckpointJournal(directory, fs=fs, compact_every=COMPACT_EVERY)
+    crawler = SnowballCrawler(
+        YoutubeService(universe),
+        max_videos=10_000,
+        journal=journal,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    return crawler.run()
+
+
+def _records(result):
+    """Canonical per-video records, keyed by id (order-independent)."""
+    return {v.video_id: video_to_record(v) for v in result.dataset}
+
+
+def _crash_then_resume(universe, cut_point, tmp_root):
+    """Kill a journaled crawl at filesystem op ``cut_point``; resume it.
+
+    Returns (records, crashed, stats) for the resumed run.
+    """
+    directory = Path(tempfile.mkdtemp(dir=tmp_root))
+    fs = FaultyFilesystem(seed=SEED, fault_rate=0.0, crash_at_op=cut_point)
+    crashed = False
+    try:
+        _journaled_crawl(universe, directory, fs=fs)
+    except SimulatedCrash:
+        crashed = True
+    # "Reboot": a fresh journal over the real filesystem sees whatever
+    # bytes survived the crash — torn tails included.
+    journal = CheckpointJournal(directory, compact_every=COMPACT_EVERY)
+    crawler = SnowballCrawler.resume_from_journal(
+        YoutubeService(universe),
+        journal,
+        max_videos=10_000,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    result = crawler.run()
+    return _records(result), crashed, result.stats
+
+
+def test_r2_crash_recovery_reconstructs_identical_dataset(
+    benchmark, report_writer, tmp_path
+):
+    universe = _universe()
+
+    baseline_result = _journaled_crawl(universe, tmp_path / "baseline")
+    baseline = _records(baseline_result)
+    assert baseline, "baseline crawl collected nothing"
+
+    # Learn the run's total durability-op count, then spread the kills
+    # across it (always include the first and last possible ops).
+    probe_fs = FaultyFilesystem(seed=SEED, fault_rate=0.0)
+    _journaled_crawl(universe, tmp_path / "probe", fs=probe_fs)
+    total_ops = probe_fs.ops_performed
+    assert total_ops > CUT_POINTS, "journal too quiet to cut 20 times"
+
+    rng = random.Random(SEED)
+    cut_points = sorted(
+        {1, total_ops - 1}
+        | {rng.randrange(1, total_ops) for _ in range(CUT_POINTS * 3)}
+    )[: max(CUT_POINTS, 2)]
+    assert len(cut_points) >= CUT_POINTS
+
+    crashes = 0
+    replays = 0
+    for cut_point in cut_points:
+        records, crashed, stats = _crash_then_resume(
+            universe, cut_point, tmp_path
+        )
+        assert records == baseline, (
+            f"resume after crash at op {cut_point} diverged: "
+            f"{len(records)} videos vs baseline {len(baseline)}"
+        )
+        crashes += int(crashed)
+        replays += stats.journal_replays
+
+    # The chaos was real, and recovery actually exercised the journal.
+    assert crashes == len(cut_points)
+    assert replays > 0
+
+    # Timed section: one representative mid-run crash+resume cycle.
+    mid_cut = cut_points[len(cut_points) // 2]
+    records, _, _ = benchmark.pedantic(
+        lambda: _crash_then_resume(universe, mid_cut, tmp_path),
+        rounds=1,
+        iterations=1,
+    )
+    assert records == baseline
+
+    report_writer(
+        "r2_crash_recovery",
+        "R2 — journaled crawl killed at random filesystem ops, then resumed\n"
+        f"universe: 150 videos (seed {SEED}); baseline crawl: "
+        f"{len(baseline)} videos, "
+        f"{baseline_result.stats.checkpoints_written} checkpoints\n"
+        f"durability ops per clean run: {total_ops}\n"
+        f"cut points tested: {len(cut_points)} "
+        f"(ops {cut_points[0]}–{cut_points[-1]})\n"
+        f"crashes injected: {crashes}; journal replays on resume: {replays}\n"
+        "every resumed run reconstructed the byte-identical dataset",
+    )

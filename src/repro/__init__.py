@@ -19,6 +19,9 @@ Subsystem map (see ``DESIGN.md`` for the full inventory):
   and the reconnecting
   :class:`~repro.api.resilient.ResilientYoutubeClient`);
 - :mod:`repro.resilience` — the shared retry policy and circuit breaker;
+- :mod:`repro.durability` — crash-safe persistence: the write-ahead
+  checkpoint journal, checksummed atomic artifacts, and the filesystem
+  fault injector;
 - :mod:`repro.crawler` — breadth-first snowball sampling;
 - :mod:`repro.reconstruct` — the paper's Eq. (1)–(3);
 - :mod:`repro.analysis` — concentration metrics, tag geography, the

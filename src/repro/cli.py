@@ -17,6 +17,10 @@ Subcommands::
     repro genworld --preset small --out world.gz [--seed N]
     repro validate --world world.gz --in crawl.jsonl [--smoothing L]
     repro demo     [--preset tiny]             (end-to-end walkthrough)
+    repro resume   --workdir DIR [--preset small] [--seed N]
+                   [--max-videos N] [--fault-rate P] [--checkpoint-every N]
+    repro verify   [paths ...] [--workdir DIR] [--store store.db]
+                   [--no-quarantine]
 
 Datasets written by ``crawl`` are plain JSONL (one video per line) and
 are re-read by the analysis subcommands with the library's default
@@ -138,6 +142,43 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="end-to-end walkthrough on a preset")
     demo.add_argument("--preset", default="tiny", choices=sorted(PRESETS))
+
+    resume = sub.add_parser(
+        "resume",
+        help="run (or continue) a crash-safe pipeline in a workdir",
+    )
+    resume.add_argument(
+        "--workdir", required=True, help="stage artifacts + crawl journal dir"
+    )
+    resume.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    resume.add_argument("--seed", type=int, default=None, help="universe seed")
+    resume.add_argument("--max-videos", type=int, default=None)
+    resume.add_argument("--fault-rate", type=float, default=0.0)
+    resume.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        help="crawl videos per durable journal batch",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="check artifact integrity; quarantine and report anything corrupt",
+    )
+    verify.add_argument(
+        "paths", nargs="*", help="artifact files (with .sha256 sidecars)"
+    )
+    verify.add_argument(
+        "--workdir", default=None, help="verify a pipeline workdir's artifacts"
+    )
+    verify.add_argument(
+        "--store", default=None, help="also integrity-check a SQLite video store"
+    )
+    verify.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help="report corruption but leave files in place",
+    )
 
     return parser
 
@@ -451,6 +492,98 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.viz.report import format_table
+
+    universe_config = preset_config(args.preset)
+    if args.seed is not None:
+        universe_config = type(universe_config)(
+            **{**universe_config.__dict__, "seed": args.seed}
+        )
+    config = PipelineConfig(
+        universe=universe_config,
+        crawl_budget=args.max_videos,
+        fault_rate=args.fault_rate,
+        checkpoint_every=args.checkpoint_every,
+    )
+    result = run_pipeline(config, workdir=args.workdir)
+    if result.stages_skipped:
+        print(
+            "skipped (already durable): " + ", ".join(result.stages_skipped)
+        )
+    for path in result.quarantined:
+        print(f"quarantined corrupt artifact: {path}")
+    print(
+        f"pipeline complete in {args.workdir}: "
+        f"{result.filter_report.retained:,} videos retained "
+        f"of {result.crawl.stats.fetched:,} crawled"
+    )
+    print()
+    print(format_table(result.crawl.stats.as_rows(), title="Crawl statistics"))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.durability import artifacts
+    from repro.errors import ArtifactError, ArtifactIntegrityError
+
+    targets: List[Path] = [Path(p) for p in args.paths]
+    if args.workdir is not None:
+        from repro.pipeline import MANIFEST_NAME, PIPELINE_STAGES, STAGE_ARTIFACTS
+
+        workdir = Path(args.workdir)
+        targets.append(workdir / MANIFEST_NAME)
+        for stage in PIPELINE_STAGES:
+            for name in STAGE_ARTIFACTS[stage]:
+                targets.append(workdir / name)
+    if not targets and args.store is None:
+        print("nothing to verify (give paths, --workdir, or --store)", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in targets:
+        if not path.exists():
+            if args.workdir is not None:
+                # A stage that never ran is not corruption.
+                continue
+            print(f"MISSING  {path}", file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            artifacts.verify_artifact(path)
+            print(f"ok       {path}")
+        except ArtifactIntegrityError as exc:
+            failures += 1
+            if args.no_quarantine:
+                print(f"CORRUPT  {path}: {exc}", file=sys.stderr)
+            else:
+                moved = artifacts.quarantine(path)
+                print(f"CORRUPT  {path}: {exc}", file=sys.stderr)
+                print(f"         quarantined to {moved}", file=sys.stderr)
+        except ArtifactError as exc:
+            failures += 1
+            print(f"ERROR    {path}: {exc}", file=sys.stderr)
+
+    if args.store is not None:
+        from repro.datamodel.store import VideoStore
+        from repro.errors import DatasetIOError
+
+        try:
+            with VideoStore(args.store) as store:
+                store.integrity_check()
+            print(f"ok       {args.store} (sqlite integrity_check)")
+        except DatasetIOError as exc:
+            failures += 1
+            print(f"CORRUPT  {args.store}: {exc}", file=sys.stderr)
+
+    if failures:
+        print(f"{failures} artifact(s) failed verification", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "crawl": _cmd_crawl,
     "stats": _cmd_stats,
@@ -466,6 +599,8 @@ _COMMANDS = {
     "genworld": _cmd_genworld,
     "validate": _cmd_validate,
     "demo": _cmd_demo,
+    "resume": _cmd_resume,
+    "verify": _cmd_verify,
 }
 
 

@@ -16,6 +16,12 @@ implements that crawl against the simulated API:
   support, so a long crawl interrupted mid-flight continues identically;
 - :class:`~repro.crawler.stats.CrawlStats` — the run's accounting.
 
+Both crawlers can additionally journal their progress through a
+:class:`~repro.durability.journal.CheckpointJournal` (pass ``journal``
+and ``checkpoint_every``), making crawl state durable across process
+crashes; ``resume_from_journal`` rebuilds a crawler from whatever state
+survived. See :mod:`repro.durability`.
+
 Both crawlers share one :class:`~repro.resilience.RetryPolicy` (also
 re-exported here) for their retry/backoff behaviour, and surface a
 resilient client's reconnect / circuit-breaker / deadline counters in

@@ -21,7 +21,9 @@ from repro.crawler.frontier import BFSFrontier
 from repro.crawler.stats import CrawlStats
 from repro.datamodel.io import video_from_record, video_to_record
 from repro.datamodel.video import Video
-from repro.errors import CheckpointError
+from repro.durability import artifacts
+from repro.durability.fsfaults import Filesystem
+from repro.errors import ArtifactError, ArtifactIntegrityError, CheckpointError
 from repro.world.countries import CountryRegistry
 
 #: Format version stamped into checkpoint files.
@@ -74,23 +76,47 @@ class CrawlCheckpoint:
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed checkpoint: {exc}") from exc
 
-    def save(self, path: PathLike) -> None:
-        """Write the checkpoint to ``path`` atomically (write + rename)."""
+    def save(self, path: PathLike, fs: Optional[Filesystem] = None) -> None:
+        """Durably write the checkpoint to ``path``.
+
+        Write + fsync a temp file, rename it over ``path``, fsync the
+        parent directory, then write a ``.sha256`` integrity sidecar.
+        Any failure unlinks the temp file and leaves the previous
+        checkpoint (if one existed) untouched.
+        """
         path = Path(path)
-        tmp_path = path.with_suffix(path.suffix + ".tmp")
         try:
-            with tmp_path.open("w", encoding="utf-8") as handle:
-                json.dump(self.to_dict(), handle, ensure_ascii=False)
-            tmp_path.replace(path)
-        except OSError as exc:
+            artifacts.atomic_write_text(
+                path,
+                json.dumps(self.to_dict(), ensure_ascii=False),
+                fs=fs,
+                checksum=True,
+            )
+        except ArtifactError as exc:
             raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
 
     @classmethod
     def load(
-        cls, path: PathLike, registry: Optional[CountryRegistry] = None
+        cls,
+        path: PathLike,
+        registry: Optional[CountryRegistry] = None,
+        fs: Optional[Filesystem] = None,
     ) -> "CrawlCheckpoint":
-        """Read a checkpoint previously written by :meth:`save`."""
+        """Read a checkpoint previously written by :meth:`save`.
+
+        When a ``.sha256`` sidecar exists it is verified first, so a
+        bit-flipped or truncated checkpoint fails loudly instead of
+        resuming from silently damaged state. Checkpoints without a
+        sidecar (written by older code) still load.
+        """
         path = Path(path)
+        try:
+            if artifacts.has_checksum(path, fs=fs):
+                artifacts.verify_artifact(path, fs=fs)
+        except ArtifactIntegrityError as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+        except ArtifactError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
         try:
             with path.open("r", encoding="utf-8") as handle:
                 data = json.load(handle)

@@ -30,7 +30,15 @@ class BFSFrontier:
 
     def push_all(self, video_ids: Iterable[str], depth: int) -> int:
         """Enqueue many ids; returns how many were newly admitted."""
-        return sum(1 for video_id in video_ids if self.push(video_id, depth))
+        return len(self.admit_all(video_ids, depth))
+
+    def admit_all(self, video_ids: Iterable[str], depth: int) -> List[str]:
+        """Enqueue many ids; returns the newly admitted ones, in order.
+
+        The journaling crawler uses the returned list as the batch's
+        frontier-admit delta.
+        """
+        return [vid for vid in video_ids if self.push(vid, depth)]
 
     def pop(self) -> Tuple[str, int]:
         """Dequeue the oldest entry; raises :class:`IndexError` when empty."""

@@ -31,15 +31,19 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.api.service import VideoResource, YoutubeService
 from repro.chartmap.mapchart import parse_map_chart_url, popularity_from_chart
+from repro.crawler.checkpoint import CrawlCheckpoint
 from repro.crawler.stats import CrawlStats
 from repro.crawler.snowball import CrawlResult
 from repro.datamodel.dataset import Dataset
 from repro.datamodel.popularity import PopularityVector
 from repro.datamodel.video import Video
+from repro.durability.journal import CheckpointJournal
 from repro.errors import (
     ChartError,
+    CheckpointError,
     ConfigError,
     QuotaExceededError,
+    ReproError,
     TransientAPIError,
     VideoNotFoundError,
 )
@@ -58,7 +62,7 @@ class _SharedFrontier:
         self._lock = threading.Lock()
         self._queue: Deque[Tuple[str, int]] = deque()
         self._admitted: Set[str] = set()
-        self._in_flight = 0
+        self._in_flight: List[Tuple[str, int]] = []
         self._stopped = False
 
     def push_all(self, video_ids: Sequence[str], depth: int) -> int:
@@ -76,22 +80,64 @@ class _SharedFrontier:
         with self._lock:
             if self._stopped or not self._queue:
                 return None
-            self._in_flight += 1
-            return self._queue.popleft()
+            entry = self._queue.popleft()
+            self._in_flight.append(entry)
+            return entry
 
-    def release(self) -> None:
+    def release(self, entry: Tuple[str, int]) -> None:
         """The claiming worker finished its item (and any expansion)."""
         with self._lock:
-            self._in_flight -= 1
+            self._in_flight.remove(entry)
+
+    def requeue(self, entry: Tuple[str, int]) -> None:
+        """Put a claimed-but-unprocessed item back at the queue front.
+
+        Used when a worker must abandon its item (budget already full,
+        quota exhausted mid-visit) so a checkpoint still sees it as
+        pending instead of silently dropping it.
+        """
+        with self._lock:
+            self._queue.appendleft(entry)
 
     def drained(self) -> bool:
         """True when nothing is queued and nobody is mid-item."""
         with self._lock:
-            return self._stopped or (not self._queue and self._in_flight == 0)
+            return self._stopped or (not self._queue and not self._in_flight)
 
     def stop(self) -> None:
         with self._lock:
             self._stopped = True
+
+    def snapshot(self) -> Tuple[List[Tuple[str, int]], Set[str]]:
+        """Checkpointable view: (pending incl. in-flight items, admitted).
+
+        In-flight items go back to the *front* of pending — they were
+        claimed but their work is not durable yet, so a resumed crawl
+        must revisit them. Deduplicated by id (an item can transiently
+        be both in flight and requeued).
+        """
+        with self._lock:
+            seen: Set[str] = set()
+            pending: List[Tuple[str, int]] = []
+            for entry in list(self._in_flight) + list(self._queue):
+                if entry[0] not in seen:
+                    seen.add(entry[0])
+                    pending.append(entry)
+            return pending, set(self._admitted)
+
+    @classmethod
+    def restore(
+        cls, pending: Sequence[Tuple[str, int]], admitted: Sequence[str]
+    ) -> "_SharedFrontier":
+        frontier = cls()
+        frontier._admitted = set(admitted)
+        for video_id, depth in pending:
+            if video_id not in frontier._admitted:
+                raise CheckpointError(
+                    f"pending id {video_id!r} missing from admitted set"
+                )
+            frontier._queue.append((video_id, int(depth)))
+        return frontier
 
 
 class ParallelSnowballCrawler:
@@ -106,6 +152,17 @@ class ParallelSnowballCrawler:
             crawler. The default policy accounts backoff in simulated
             time (thread-safely) instead of sleeping, and retries
             transport-level failures as well as transient API errors.
+        journal: Optional
+            :class:`~repro.durability.journal.CheckpointJournal`.
+            Because work completes out of FIFO order across workers,
+            the parallel crawler journals *full snapshots* (claimed but
+            unfinished items are re-queued as pending) rather than
+            ordered deltas: one every ``checkpoint_every`` recorded
+            videos, plus one at the end of the run. A journal write
+            failure degrades durability but never kills the crawl; the
+            error is kept in :attr:`journal_errors`.
+        checkpoint_every: Snapshot cadence in recorded videos
+            (requires ``journal``).
     """
 
     def __init__(
@@ -121,6 +178,8 @@ class ParallelSnowballCrawler:
         related_page_size: int = 25,
         max_related_per_video: int = 50,
         retry_policy: Optional[RetryPolicy] = None,
+        journal: Optional[CheckpointJournal] = None,
+        checkpoint_every: Optional[int] = None,
     ):
         if workers < 1:
             raise ConfigError("workers must be >= 1")
@@ -128,6 +187,10 @@ class ParallelSnowballCrawler:
             raise ConfigError("max_videos must be >= 1")
         if seeds_per_country < 1:
             raise ConfigError("seeds_per_country must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
+        if checkpoint_every is not None and journal is None:
+            raise ConfigError("checkpoint_every requires a journal")
         self.service = service
         self.workers = workers
         self.seed_countries = list(seed_countries)
@@ -144,6 +207,13 @@ class ParallelSnowballCrawler:
         self._videos: Dict[str, Video] = {}
         self._stats = CrawlStats()
         self._quota_hit = threading.Event()
+        self._seeded = False
+
+        self._journal = journal
+        self.checkpoint_every = checkpoint_every
+        self._journal_lock = threading.Lock()
+        #: Journal write failures swallowed to keep the crawl alive.
+        self.journal_errors: List[Exception] = []
         if retry_policy is not None:
             self._retry = retry_policy
         else:
@@ -159,7 +229,9 @@ class ParallelSnowballCrawler:
 
     def run(self) -> CrawlResult:
         """Seed, spawn workers, join, and assemble the result."""
-        self._seed()
+        if not self._seeded:
+            self._seed()
+            self._seeded = True
         threads = [
             threading.Thread(target=self._worker, name=f"crawler-{i}", daemon=True)
             for i in range(self.workers)
@@ -175,6 +247,8 @@ class ParallelSnowballCrawler:
         snapshot = getattr(self.service, "resilience_snapshot", None)
         if callable(snapshot):
             self._stats.merge_resilience(snapshot())
+        if self._journal is not None:
+            self._journal_flush(final=True)
         registry = self.service.registry
         return CrawlResult(
             Dataset(self._videos.values(), registry), self._stats
@@ -184,6 +258,65 @@ class ParallelSnowballCrawler:
     def collected(self) -> int:
         with self._results_lock:
             return len(self._videos)
+
+    def checkpoint(self) -> CrawlCheckpoint:
+        """Capture the crawl's current state (safe mid-run).
+
+        Claimed-but-unfinished items are re-queued at the front of
+        ``pending``, so a resumed crawl revisits them.
+        """
+        pending, admitted = self._frontier.snapshot()
+        with self._results_lock:
+            return CrawlCheckpoint(
+                pending=pending,
+                admitted=sorted(admitted),
+                videos=list(self._videos.values()),
+                stats=CrawlStats.from_dict(self._stats.to_dict()),
+                seeded=self._seeded,
+            )
+
+    @classmethod
+    def resume(
+        cls,
+        service: YoutubeService,
+        checkpoint: CrawlCheckpoint,
+        **kwargs,
+    ) -> "ParallelSnowballCrawler":
+        """Build a crawler that continues from ``checkpoint``."""
+        crawler = cls(service, **kwargs)
+        crawler._frontier = _SharedFrontier.restore(
+            checkpoint.pending, checkpoint.admitted
+        )
+        crawler._videos = {video.video_id: video for video in checkpoint.videos}
+        crawler._stats = checkpoint.stats
+        crawler._seeded = checkpoint.seeded
+        return crawler
+
+    @classmethod
+    def resume_from_journal(
+        cls,
+        service: YoutubeService,
+        journal: CheckpointJournal,
+        recover: bool = True,
+        **kwargs,
+    ) -> "ParallelSnowballCrawler":
+        """Continue from ``journal``'s durable state (fresh crawl if empty).
+
+        With ``recover=True`` corrupt journal files are quarantined and
+        the crawl falls back to the last good snapshot (or a fresh
+        start) instead of raising.
+        """
+        kwargs.setdefault("checkpoint_every", 25)
+        kwargs["journal"] = journal
+        checkpoint = journal.load(registry=service.registry, recover=recover)
+        if checkpoint is None:
+            journal.reset()
+            crawler = cls(service, **kwargs)
+        else:
+            crawler = cls.resume(service, checkpoint, **kwargs)
+            crawler._stats.journal_replays += 1
+        crawler._stats.artifacts_quarantined += len(journal.quarantined)
+        return crawler
 
     # -- crawl mechanics ----------------------------------------------------------
 
@@ -221,9 +354,12 @@ class ParallelSnowballCrawler:
                 self._visit(video_id, depth)
             except QuotaExceededError:
                 self._quota_hit.set()
+                # The interrupted item was not recorded; keep it pending
+                # so a checkpoint/resume revisits it.
+                self._frontier.requeue(claimed)
                 self._frontier.stop()
             finally:
-                self._frontier.release()
+                self._frontier.release(claimed)
 
     def _visit(self, video_id: str, depth: int) -> None:
         resource = self._with_retries(lambda: self._get_video(video_id))
@@ -246,11 +382,47 @@ class ParallelSnowballCrawler:
         )
         with self._results_lock:
             if len(self._videos) >= self.max_videos:
+                # Budget filled while this fetch was in flight: keep the
+                # item pending so a checkpoint/resume can revisit it.
+                self._frontier.requeue((video_id, depth))
                 return
             self._videos[video.video_id] = video
             self._stats.record_fetch(depth)
+            fetched = self._stats.fetched
         if expand:
             self._frontier.push_all(related, depth + 1)
+        if (
+            self.checkpoint_every is not None
+            and fetched % self.checkpoint_every == 0
+        ):
+            self._journal_flush()
+
+    def _journal_flush(self, final: bool = False) -> None:
+        """Write a full-state snapshot to the journal.
+
+        Mid-run flushes are best-effort: if a peer already holds the
+        journal lock the cadence flush is skipped (the peer's snapshot
+        covers it), and write failures are recorded in
+        :attr:`journal_errors` rather than killing the crawl. The final
+        flush blocks for the lock.
+        """
+        if self._journal is None:
+            return
+        if final:
+            self._journal_lock.acquire()
+        elif not self._journal_lock.acquire(blocking=False):
+            return
+        try:
+            with self._results_lock:
+                self._stats.checkpoints_written += 1
+            try:
+                self._journal.write_snapshot(self.checkpoint())
+            except (ReproError, OSError) as exc:
+                with self._results_lock:
+                    self._stats.checkpoints_written -= 1
+                self.journal_errors.append(exc)
+        finally:
+            self._journal_lock.release()
 
     def _get_video(self, video_id: str) -> Optional[VideoResource]:
         try:

@@ -25,6 +25,7 @@ from repro.crawler.stats import CrawlStats
 from repro.datamodel.dataset import Dataset
 from repro.datamodel.popularity import PopularityVector
 from repro.datamodel.video import Video
+from repro.durability.journal import CheckpointJournal
 from repro.errors import (
     ChartError,
     ConfigError,
@@ -72,6 +73,16 @@ class SnowballCrawler:
             simulated time and is accounted in
             :attr:`CrawlStats.politeness_wait_seconds`, not slept.
         politeness_burst: Token-bucket depth for the politeness limiter.
+        journal: Optional
+            :class:`~repro.durability.journal.CheckpointJournal` the
+            crawl writes through. Combined with ``checkpoint_every``,
+            every batch of completed visits becomes a durable, fsync'd
+            delta record, so a killed crawl resumes from the last batch
+            boundary (see :meth:`resume_from_journal`) instead of the
+            last manual :meth:`checkpoint` save.
+        checkpoint_every: Flush a journal batch after this many
+            completed visits (requires ``journal``). The seed step is
+            always flushed as its own batch.
     """
 
     def __init__(
@@ -88,6 +99,8 @@ class SnowballCrawler:
         requests_per_second: Optional[float] = None,
         politeness_burst: int = 5,
         retry_policy: Optional[RetryPolicy] = None,
+        journal: Optional[CheckpointJournal] = None,
+        checkpoint_every: Optional[int] = None,
     ):
         if seeds_per_country < 1:
             raise ConfigError("seeds_per_country must be >= 1")
@@ -99,6 +112,10 @@ class SnowballCrawler:
             raise ConfigError("max_retries must be >= 0")
         if backoff_base < 0:
             raise ConfigError("backoff_base must be >= 0")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
+        if checkpoint_every is not None and journal is None:
+            raise ConfigError("checkpoint_every requires a journal")
         self.service = service
         self.seed_countries = list(seed_countries)
         self.seeds_per_country = seeds_per_country
@@ -121,6 +138,13 @@ class SnowballCrawler:
         self._videos: List[Video] = []
         self._stats = CrawlStats()
         self._seeded = False
+
+        self._journal = journal
+        self.checkpoint_every = checkpoint_every
+        # Batch deltas accumulated since the last journal flush.
+        self._delta_popped = 0
+        self._delta_admitted: List[Tuple[str, int]] = []
+        self._delta_videos: List[Video] = []
         if retry_policy is not None:
             self._retry = retry_policy
         else:
@@ -145,9 +169,16 @@ class SnowballCrawler:
             except QuotaExceededError:
                 self._stats.stopped_by_quota = True
                 break
+            self._delta_popped += 1
+            if (
+                self.checkpoint_every is not None
+                and self._delta_popped >= self.checkpoint_every
+            ):
+                self._flush_journal()
         if len(self._videos) >= self.max_videos:
             self._stats.stopped_by_budget = True
         self._merge_resilience()
+        self._flush_journal()
         registry = self.service.registry
         return CrawlResult(Dataset(self._videos, registry), self._stats)
 
@@ -179,6 +210,52 @@ class SnowballCrawler:
         crawler._seeded = checkpoint.seeded
         return crawler
 
+    @classmethod
+    def resume_from_journal(
+        cls,
+        service: YoutubeService,
+        journal: CheckpointJournal,
+        recover: bool = True,
+        **kwargs,
+    ) -> "SnowballCrawler":
+        """Resume from a journal's last durable state (or start fresh).
+
+        Replays the journal (snapshot + WAL deltas); when it holds no
+        durable state — a brand-new directory, or everything quarantined
+        during recovery — the returned crawler starts from scratch,
+        writing through the same journal. ``checkpoint_every`` defaults
+        to 25 unless overridden in ``kwargs``.
+        """
+        kwargs.setdefault("checkpoint_every", 25)
+        checkpoint = journal.load(registry=service.registry, recover=recover)
+        if checkpoint is None:
+            journal.reset()
+            crawler = cls(service, journal=journal, **kwargs)
+        else:
+            crawler = cls.resume(service, checkpoint, journal=journal, **kwargs)
+            crawler._stats.journal_replays += 1
+        crawler._stats.artifacts_quarantined += len(journal.quarantined)
+        return crawler
+
+    def _flush_journal(self) -> None:
+        """Durably append the accumulated batch delta (if any)."""
+        if self._journal is None:
+            return
+        if not (self._delta_popped or self._delta_admitted or self._delta_videos):
+            return
+        self._stats.checkpoints_written += 1
+        self._journal.append_batch(
+            popped=self._delta_popped,
+            admitted=self._delta_admitted,
+            videos=self._delta_videos,
+            stats=self._stats,
+            seeded=self._seeded,
+        )
+        self._delta_popped = 0
+        self._delta_admitted = []
+        self._delta_videos = []
+        self._journal.maybe_compact(self.checkpoint)
+
     @property
     def stats(self) -> CrawlStats:
         return self._stats
@@ -205,10 +282,17 @@ class SnowballCrawler:
             if page is None:
                 continue
             self._stats.seed_pages += 1
-            self._frontier.push_all(
-                page.items[: self.seeds_per_country], depth=0
-            )
+            self._admit(page.items[: self.seeds_per_country], depth=0)
         self._seeded = True
+        # Seeds become durable immediately: a crash during the first
+        # batch then resumes from the seeded frontier, not from zero.
+        self._flush_journal()
+
+    def _admit(self, video_ids: Sequence[str], depth: int) -> None:
+        """Push ids onto the frontier, recording the journal delta."""
+        admitted = self._frontier.admit_all(video_ids, depth)
+        if self._journal is not None and admitted:
+            self._delta_admitted.extend((vid, depth) for vid in admitted)
 
     def _visit(self, video_id: str, depth: int) -> None:
         """Fetch, record, and expand one video."""
@@ -231,9 +315,11 @@ class SnowballCrawler:
             related_ids=related,
         )
         self._videos.append(video)
+        if self._journal is not None:
+            self._delta_videos.append(video)
         self._stats.record_fetch(depth)
         if expand:
-            self._frontier.push_all(related, depth + 1)
+            self._admit(related, depth + 1)
 
     def _get_video(self, video_id: str) -> Optional[VideoResource]:
         try:

@@ -50,6 +50,12 @@ class CrawlStats:
     breaker_opens: int = 0
     #: Logical requests abandoned because their deadline expired.
     deadline_expiries: int = 0
+    #: Durable checkpoint writes (journal batch records or snapshots).
+    checkpoints_written: int = 0
+    #: Times this crawl's state was rebuilt by replaying a journal.
+    journal_replays: int = 0
+    #: Corrupt artifacts moved aside during journal recovery.
+    artifacts_quarantined: int = 0
 
     def record_fetch(self, depth: int) -> None:
         self.fetched += 1
@@ -89,6 +95,9 @@ class CrawlStats:
             ("seed pages fetched", self.seed_pages),
             ("map decode failures", self.map_decode_failures),
             ("max BFS depth reached", self.max_depth_reached),
+            ("checkpoints written", self.checkpoints_written),
+            ("journal replays", self.journal_replays),
+            ("artifacts quarantined", self.artifacts_quarantined),
             ("stopped by quota", self.stopped_by_quota),
             ("stopped by budget", self.stopped_by_budget),
         ]
@@ -113,6 +122,9 @@ class CrawlStats:
             "reconnects": self.reconnects,
             "breaker_opens": self.breaker_opens,
             "deadline_expiries": self.deadline_expiries,
+            "checkpoints_written": self.checkpoints_written,
+            "journal_replays": self.journal_replays,
+            "artifacts_quarantined": self.artifacts_quarantined,
         }
 
     @classmethod
@@ -135,6 +147,9 @@ class CrawlStats:
             reconnects=int(data.get("reconnects", 0)),
             breaker_opens=int(data.get("breaker_opens", 0)),
             deadline_expiries=int(data.get("deadline_expiries", 0)),
+            checkpoints_written=int(data.get("checkpoints_written", 0)),
+            journal_replays=int(data.get("journal_replays", 0)),
+            artifacts_quarantined=int(data.get("artifacts_quarantined", 0)),
         )
         stats.fetched_by_depth = {
             int(k): int(v) for k, v in data.get("fetched_by_depth", {}).items()

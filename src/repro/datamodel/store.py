@@ -71,6 +71,15 @@ class VideoStore:
         self.path = str(path)
         try:
             self._conn = sqlite3.connect(self.path)
+            if self.path != ":memory:":
+                # WAL survives crashes better than the rollback journal
+                # (readers never block the writer, and a torn commit is
+                # rolled forward/back on the next open); NORMAL sync is
+                # durable-at-checkpoint which is the right trade for a
+                # resumable crawl.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=5000")
             self._conn.executescript(_SCHEMA)
             self._conn.commit()
         except sqlite3.Error as exc:
@@ -80,6 +89,32 @@ class VideoStore:
 
     def close(self) -> None:
         self._conn.close()
+
+    def journal_mode(self) -> str:
+        """The store's active SQLite journal mode (``wal`` on disk)."""
+        (mode,) = self._conn.execute("PRAGMA journal_mode").fetchone()
+        return str(mode).lower()
+
+    def integrity_check(self) -> None:
+        """Run SQLite's full integrity check; raise on any damage.
+
+        Raises:
+            DatasetIOError: The database file is corrupt (listing the
+                first problems SQLite reports), or too damaged to check.
+        """
+        try:
+            rows = self._conn.execute(
+                "PRAGMA integrity_check(10)"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise DatasetIOError(
+                f"video store {self.path} failed integrity check: {exc}"
+            ) from exc
+        problems = [str(row[0]) for row in rows if str(row[0]).lower() != "ok"]
+        if problems:
+            raise DatasetIOError(
+                f"video store {self.path} is corrupt: {'; '.join(problems)}"
+            )
 
     def __enter__(self) -> "VideoStore":
         return self
@@ -94,10 +129,21 @@ class VideoStore:
         self.add_many([video])
 
     def add_many(self, videos: Iterable[Video]) -> int:
-        """Insert a batch in one transaction; returns the number inserted."""
+        """Insert a batch in one transaction; returns the number inserted.
+
+        Duplicate ids (within the batch or against the store) raise
+        :class:`DatasetError` naming the colliding id, and the whole
+        batch is rolled back.
+        """
         rows = []
         tag_rows = []
+        batch_ids = set()
         for video in videos:
+            if video.video_id in batch_ids:
+                raise DatasetError(
+                    f"duplicate video id in batch: {video.video_id!r}"
+                )
+            batch_ids.add(video.video_id)
             rows.append(
                 (
                     video.video_id,
@@ -129,6 +175,13 @@ class VideoStore:
                     tag_rows,
                 )
         except sqlite3.IntegrityError as exc:
+            # The transaction rolled back, so any batch id already in the
+            # store is the collision.
+            for row in rows:
+                if row[0] in self:
+                    raise DatasetError(
+                        f"duplicate video id: {row[0]!r} already in store"
+                    ) from exc
             raise DatasetError(f"duplicate video id: {exc}") from exc
         except sqlite3.Error as exc:
             raise DatasetIOError(f"store write failed: {exc}") from exc

@@ -1,0 +1,62 @@
+"""Crash-safe persistence for long-running crawls.
+
+The paper's corpus took weeks of crawling to collect; state that long-
+lived must survive ``kill -9``, full disks, and bit rot. This package is
+the durability layer every persistent artifact goes through:
+
+- :mod:`~repro.durability.artifacts` — atomic writes (tmp + fsync +
+  rename + directory fsync), SHA-256 checksum sidecars,
+  verify / quarantine-and-fallback recovery;
+- :mod:`~repro.durability.journal` — the write-ahead
+  :class:`CheckpointJournal`: per-batch crawl deltas as length-prefixed,
+  CRC-checksummed, fsync'd records, periodically compacted into a full
+  snapshot, replayable after a crash at any byte;
+- :mod:`~repro.durability.fsfaults` — the deterministic filesystem
+  fault injector (torn writes, ``ENOSPC``, ``EIO``, short reads, and
+  crash-at-op-*k* cut points) that proves the above under fire, the
+  disk-side sibling of :class:`~repro.api.chaos.ChaosProxy`.
+"""
+
+from repro.durability.fsfaults import (
+    FS_FAULT_KINDS,
+    FaultyFilesystem,
+    Filesystem,
+    REAL_FILESYSTEM,
+    RealFilesystem,
+    SimulatedCrash,
+)
+from repro.durability.artifacts import (
+    CHECKSUM_SUFFIX,
+    QUARANTINE_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_text,
+    checksum_path,
+    has_checksum,
+    persist_file,
+    quarantine,
+    verify_artifact,
+    verify_or_quarantine,
+    write_checksum,
+)
+from repro.durability.journal import CheckpointJournal
+
+__all__ = [
+    "CHECKSUM_SUFFIX",
+    "CheckpointJournal",
+    "FS_FAULT_KINDS",
+    "FaultyFilesystem",
+    "Filesystem",
+    "QUARANTINE_SUFFIX",
+    "REAL_FILESYSTEM",
+    "RealFilesystem",
+    "SimulatedCrash",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "checksum_path",
+    "has_checksum",
+    "persist_file",
+    "quarantine",
+    "verify_artifact",
+    "verify_or_quarantine",
+    "write_checksum",
+]

@@ -1,0 +1,222 @@
+"""Integrity-framed artifacts: atomic writes and checksum sidecars.
+
+Every durable file the system produces — crawl checkpoints, journal
+snapshots, saved universes, pipeline stage outputs — goes to disk the
+same way:
+
+1. **atomically**: write to ``<name>.tmp``, flush, ``fsync``, rename
+   over the final name, then ``fsync`` the parent directory, so a crash
+   leaves either the old file or the new one, never a hybrid — and a
+   failed write unlinks its temp file instead of leaking it;
+2. **checksummed**: a ``<name>.sha256`` sidecar records the SHA-256
+   digest and byte size, so :func:`verify_artifact` can detect
+   bit flips and truncation before anything trusts the content.
+
+Recovery is quarantine-and-fallback: :func:`verify_or_quarantine` moves
+a corrupt artifact (and its sidecar) aside as ``<name>.quarantined`` so
+the evidence survives for a post-mortem while the caller falls back to
+regenerating or resuming from an earlier durable state.
+
+All I/O routes through a :class:`~repro.durability.fsfaults.Filesystem`
+so the fault injector can exercise every failure path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.durability.fsfaults import Filesystem, REAL_FILESYSTEM
+from repro.errors import ArtifactError, ArtifactIntegrityError
+
+PathLike = Union[str, Path]
+
+#: Sidecar file suffix appended to the artifact's full name.
+CHECKSUM_SUFFIX = ".sha256"
+
+#: Suffix a corrupt artifact is renamed to by :func:`quarantine`.
+QUARANTINE_SUFFIX = ".quarantined"
+
+_SIDECAR_FORMAT = "repro-checksum"
+
+
+def _fs(fs: Optional[Filesystem]) -> Filesystem:
+    return fs if fs is not None else REAL_FILESYSTEM
+
+
+def checksum_path(path: PathLike) -> Path:
+    """The sidecar path for ``path``."""
+    path = Path(path)
+    return path.with_name(path.name + CHECKSUM_SUFFIX)
+
+
+def atomic_write_bytes(
+    path: PathLike,
+    data: bytes,
+    fs: Optional[Filesystem] = None,
+    checksum: bool = False,
+) -> None:
+    """Durably write ``data`` to ``path`` (tmp + fsync + rename + dir fsync).
+
+    On any :class:`OSError` the temp file is unlinked and
+    :class:`~repro.errors.ArtifactError` raised; the previous content of
+    ``path`` (if any) is untouched. With ``checksum=True`` a sidecar is
+    written (atomically, after the artifact) as well.
+    """
+    path = Path(path)
+    fs = _fs(fs)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        handle = fs.open(tmp, "wb")
+        try:
+            handle.write(data)
+            fs.fsync(handle)
+        finally:
+            handle.close()
+        fs.replace(tmp, path)
+        fs.fsync_dir(path.parent)
+    except OSError as exc:
+        try:
+            fs.unlink(tmp)
+        except OSError:
+            pass
+        raise ArtifactError(f"cannot write artifact {path}: {exc}") from exc
+    if checksum:
+        write_checksum(path, data=data, fs=fs)
+
+
+def atomic_write_text(
+    path: PathLike,
+    text: str,
+    fs: Optional[Filesystem] = None,
+    checksum: bool = False,
+) -> None:
+    """Text variant of :func:`atomic_write_bytes` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"), fs=fs, checksum=checksum)
+
+
+def persist_file(
+    path: PathLike, fs: Optional[Filesystem] = None, checksum: bool = True
+) -> None:
+    """Make an already-written file durable: fsync it, its directory,
+    and (by default) write its checksum sidecar.
+
+    For writers that stream to their final path themselves (e.g.
+    :func:`~repro.synth.io.save_universe`); pair with writing to a temp
+    name + :meth:`Filesystem.replace` for full atomicity.
+    """
+    path = Path(path)
+    fs = _fs(fs)
+    try:
+        handle = fs.open(path, "rb")
+        try:
+            fs.fsync(handle)
+        finally:
+            handle.close()
+        fs.fsync_dir(path.parent)
+    except OSError as exc:
+        raise ArtifactError(f"cannot persist artifact {path}: {exc}") from exc
+    if checksum:
+        write_checksum(path, fs=fs)
+
+
+def write_checksum(
+    path: PathLike, data: Optional[bytes] = None, fs: Optional[Filesystem] = None
+) -> Path:
+    """Write the ``.sha256`` sidecar for ``path``; returns the sidecar path."""
+    path = Path(path)
+    fs = _fs(fs)
+    if data is None:
+        try:
+            data = fs.read_bytes(path)
+        except OSError as exc:
+            raise ArtifactError(f"cannot checksum {path}: {exc}") from exc
+    sidecar = {
+        "format": _SIDECAR_FORMAT,
+        "algorithm": "sha256",
+        "digest": hashlib.sha256(data).hexdigest(),
+        "size": len(data),
+    }
+    target = checksum_path(path)
+    atomic_write_bytes(target, json.dumps(sidecar).encode("utf-8"), fs=fs)
+    return target
+
+
+def has_checksum(path: PathLike, fs: Optional[Filesystem] = None) -> bool:
+    """True when ``path`` has a checksum sidecar."""
+    return _fs(fs).exists(checksum_path(path))
+
+
+def verify_artifact(path: PathLike, fs: Optional[Filesystem] = None) -> None:
+    """Check ``path`` against its sidecar; raise on any discrepancy.
+
+    Raises:
+        ArtifactError: the artifact itself is missing or unreadable.
+        ArtifactIntegrityError: the sidecar is missing/malformed, the
+            size differs (truncation), or the digest differs (bit rot).
+    """
+    path = Path(path)
+    fs = _fs(fs)
+    if not fs.exists(path):
+        raise ArtifactError(f"artifact missing: {path}")
+    sidecar_path = checksum_path(path)
+    if not fs.exists(sidecar_path):
+        raise ArtifactIntegrityError(f"no checksum sidecar for {path}")
+    try:
+        sidecar = json.loads(fs.read_bytes(sidecar_path).decode("utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        raise ArtifactIntegrityError(
+            f"unreadable checksum sidecar for {path}: {exc}"
+        ) from exc
+    if sidecar.get("format") != _SIDECAR_FORMAT or "digest" not in sidecar:
+        raise ArtifactIntegrityError(f"malformed checksum sidecar for {path}")
+    try:
+        data = fs.read_bytes(path)
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
+    if len(data) != int(sidecar.get("size", -1)):
+        raise ArtifactIntegrityError(
+            f"artifact truncated: {path} is {len(data)} bytes, "
+            f"expected {sidecar.get('size')}"
+        )
+    digest = hashlib.sha256(data).hexdigest()
+    if digest != sidecar["digest"]:
+        raise ArtifactIntegrityError(f"artifact corrupt (digest mismatch): {path}")
+
+
+def quarantine(path: PathLike, fs: Optional[Filesystem] = None) -> Path:
+    """Move a suspect artifact (and sidecar) aside; returns the new path."""
+    path = Path(path)
+    fs = _fs(fs)
+    target = path.with_name(path.name + QUARANTINE_SUFFIX)
+    try:
+        fs.replace(path, target)
+        sidecar = checksum_path(path)
+        if fs.exists(sidecar):
+            fs.replace(sidecar, sidecar.with_name(sidecar.name + QUARANTINE_SUFFIX))
+    except OSError as exc:
+        raise ArtifactError(f"cannot quarantine {path}: {exc}") from exc
+    return target
+
+
+def verify_or_quarantine(
+    path: PathLike, fs: Optional[Filesystem] = None
+) -> Optional[Path]:
+    """Verify ``path``; on integrity failure quarantine it.
+
+    Returns ``None`` when the artifact is clean, otherwise the
+    quarantined path. A *missing* artifact is treated as failed
+    verification without anything to quarantine (returns the original
+    path, which no longer exists).
+    """
+    path = Path(path)
+    fs = _fs(fs)
+    try:
+        verify_artifact(path, fs=fs)
+        return None
+    except ArtifactIntegrityError:
+        return quarantine(path, fs=fs)
+    except ArtifactError:
+        return path

@@ -1,0 +1,312 @@
+"""Deterministic filesystem fault injection — the disk-side sibling of
+:class:`~repro.api.chaos.ChaosProxy`.
+
+The 2011 crawl did not only die of network trouble; disks filled up,
+writes tore at power loss, and ``kill -9`` landed mid-checkpoint. The
+durability layer (:mod:`repro.durability.artifacts`,
+:mod:`repro.durability.journal`) therefore performs all of its I/O
+through a tiny :class:`Filesystem` facade so that tests and benchmarks
+can swap in a :class:`FaultyFilesystem` that injects exactly those
+failure modes, deterministically:
+
+- ``enospc`` — a write fails with ``ENOSPC`` (disk full);
+- ``torn`` — a write persists only a prefix, then fails with ``EIO``;
+- ``eio`` — an fsync or rename fails with ``EIO``;
+- ``short_read`` — a read returns only a prefix of the file;
+- **crash cut points** — ``crash_at_op=k`` makes the *k*-th mutating
+  operation tear (for writes) and raise :class:`SimulatedCrash`; every
+  later operation also raises, modelling a process that is simply gone.
+
+Fault decisions reuse the BLAKE2-keyed recipe of
+:class:`~repro.api.faults.FaultInjector`: a fixed seed reproduces the
+same fault schedule run after run. Per-kind counters make the injected
+trouble observable.
+
+:class:`SimulatedCrash` deliberately derives from :class:`BaseException`
+so that ``except Exception`` / ``except OSError`` recovery code cannot
+absorb it — just as no handler runs under ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+
+PathLike = Union[str, Path]
+
+#: The fault kinds the injector knows, in decision order.
+FS_FAULT_KINDS: Tuple[str, ...] = ("enospc", "torn", "eio", "short_read")
+
+#: Which kinds can hit which operation class.
+_WRITE_KINDS = ("enospc", "torn")
+_SYNC_KINDS = ("eio",)
+_READ_KINDS = ("short_read",)
+
+
+class SimulatedCrash(BaseException):
+    """The process died at a crash cut point (``kill -9`` analogue).
+
+    A :class:`BaseException` on purpose: durability code that catches
+    ``OSError`` or ``Exception`` to clean up must *not* be able to run
+    at a simulated crash, exactly as it cannot at a real one.
+    """
+
+
+class Filesystem:
+    """The I/O surface the durability layer uses (real implementation).
+
+    Every operation that matters for crash safety goes through one of
+    these methods, so a fault-injecting subclass can intercept all of
+    them. Paths are accepted as ``str`` or :class:`~pathlib.Path`.
+    """
+
+    def open(self, path: PathLike, mode: str = "rb"):
+        """Open ``path``; the returned handle's writes are injectable."""
+        return open(path, mode)
+
+    def fsync(self, handle) -> None:
+        """Flush and fsync an open handle's contents to stable storage."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def fsync_dir(self, path: PathLike) -> None:
+        """Fsync a directory so a rename within it is durable."""
+        fd = os.open(str(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass  # some platforms cannot fsync directories; best effort
+        finally:
+            os.close(fd)
+
+    def replace(self, src: PathLike, dst: PathLike) -> None:
+        """Atomically rename ``src`` over ``dst``."""
+        os.replace(str(src), str(dst))
+
+    def unlink(self, path: PathLike, missing_ok: bool = True) -> None:
+        try:
+            os.unlink(str(path))
+        except FileNotFoundError:
+            if not missing_ok:
+                raise
+
+    def truncate(self, path: PathLike, size: int) -> None:
+        """Cut ``path`` down to ``size`` bytes (drop a torn tail)."""
+        with open(path, "rb+") as handle:
+            handle.truncate(size)
+
+    def read_bytes(self, path: PathLike) -> bytes:
+        with self.open(path, "rb") as handle:
+            return handle.read()
+
+    def exists(self, path: PathLike) -> bool:
+        return os.path.exists(str(path))
+
+    def size(self, path: PathLike) -> int:
+        return os.path.getsize(str(path))
+
+
+#: The default, fault-free filesystem shared by the durability layer.
+REAL_FILESYSTEM = Filesystem()
+
+# Backwards-friendly alias: the class name tests and examples read best.
+RealFilesystem = Filesystem
+
+
+class _FaultyHandle:
+    """A write handle whose ``write`` calls route through the injector."""
+
+    def __init__(self, fs: "FaultyFilesystem", handle):
+        self._fs = fs
+        self._handle = handle
+
+    def write(self, data) -> int:
+        data = self._fs._on_write(self._handle, data)
+        return self._handle.write(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def read(self, *args):
+        return self._handle.read(*args)
+
+    def truncate(self, *args):
+        return self._handle.truncate(*args)
+
+    def __enter__(self) -> "_FaultyHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class FaultyFilesystem(Filesystem):
+    """A :class:`Filesystem` that injects disk trouble deterministically.
+
+    Args:
+        seed: Determinism key; the same seed replays the same schedule.
+        fault_rate: Probability that a given operation is hit by a fault
+            of an applicable kind, in ``[0, 1)``.
+        kinds: Which fault kinds may fire (subset of
+            :data:`FS_FAULT_KINDS`).
+        crash_at_op: 1-based index of the mutating operation (write,
+            fsync, rename, dir-fsync, truncate) at which the process
+            "dies": a write persists a torn prefix first, then
+            :class:`SimulatedCrash` is raised — and from every
+            subsequent operation too.
+        torn_fraction: How much of a torn write survives (``0.5`` =
+            first half).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fault_rate: float = 0.0,
+        kinds: Sequence[str] = FS_FAULT_KINDS,
+        crash_at_op: Optional[int] = None,
+        torn_fraction: float = 0.5,
+    ):
+        if not 0.0 <= fault_rate < 1.0:
+            raise ConfigError(f"fault_rate must be in [0, 1), got {fault_rate}")
+        unknown = [kind for kind in kinds if kind not in FS_FAULT_KINDS]
+        if unknown:
+            raise ConfigError(f"unknown fs fault kinds: {unknown}")
+        if crash_at_op is not None and crash_at_op < 1:
+            raise ConfigError("crash_at_op must be >= 1")
+        if not 0.0 <= torn_fraction <= 1.0:
+            raise ConfigError("torn_fraction must be in [0, 1]")
+        self.seed = seed
+        self.fault_rate = fault_rate
+        self.kinds = tuple(kinds)
+        self.crash_at_op = crash_at_op
+        self.torn_fraction = torn_fraction
+        self._ops = 0
+        self._reads = 0
+        self._crashed = False
+        self._fault_counts: Dict[str, int] = {kind: 0 for kind in FS_FAULT_KINDS}
+        self._crashes = 0
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def ops_performed(self) -> int:
+        """Mutating operations seen so far (the crash cut-point clock)."""
+        return self._ops
+
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        return dict(self._fault_counts)
+
+    @property
+    def crashed(self) -> bool:
+        """True once a crash cut point has fired."""
+        return self._crashed
+
+    # -- fault decisions -----------------------------------------------------
+
+    def _unit_uniform(self, key: str) -> float:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def _decide(self, op_index: int, applicable: Sequence[str]) -> Optional[str]:
+        enabled = [kind for kind in applicable if kind in self.kinds]
+        if not enabled or self.fault_rate <= 0.0:
+            return None
+        if self._unit_uniform(f"{self.seed}:{op_index}") >= self.fault_rate:
+            return None
+        pick = hashlib.blake2b(
+            f"{self.seed}:{op_index}:kind".encode("utf-8"), digest_size=8
+        ).digest()
+        kind = enabled[int.from_bytes(pick, "big") % len(enabled)]
+        self._fault_counts[kind] += 1
+        return kind
+
+    def _next_op(self) -> Tuple[int, bool]:
+        """Advance the op clock; returns (index, is_crash_point)."""
+        if self._crashed:
+            raise SimulatedCrash(f"filesystem dead since op {self.crash_at_op}")
+        self._ops += 1
+        crash = self.crash_at_op is not None and self._ops == self.crash_at_op
+        return self._ops, crash
+
+    def _crash(self) -> None:
+        self._crashed = True
+        self._crashes += 1
+        raise SimulatedCrash(f"simulated crash at fs op {self._ops}")
+
+    # -- intercepted operations ----------------------------------------------
+
+    def open(self, path: PathLike, mode: str = "rb"):
+        handle = super().open(path, mode)
+        if any(flag in mode for flag in ("w", "a", "+")):
+            return _FaultyHandle(self, handle)
+        return handle
+
+    def _on_write(self, handle, data) -> bytes:
+        op, crash = self._next_op()
+        if crash:
+            torn = data[: int(len(data) * self.torn_fraction)]
+            handle.write(torn)
+            handle.flush()
+            self._crash()
+        kind = self._decide(op, _WRITE_KINDS)
+        if kind == "enospc":
+            raise OSError(errno.ENOSPC, "no space left on device (injected)")
+        if kind == "torn":
+            torn = data[: int(len(data) * self.torn_fraction)]
+            handle.write(torn)
+            handle.flush()
+            raise OSError(errno.EIO, "torn write (injected)")
+        return data
+
+    def fsync(self, handle) -> None:
+        op, crash = self._next_op()
+        if crash:
+            self._crash()
+        if self._decide(op, _SYNC_KINDS) == "eio":
+            raise OSError(errno.EIO, "fsync failed (injected)")
+        inner = handle._handle if isinstance(handle, _FaultyHandle) else handle
+        super().fsync(inner)
+
+    def fsync_dir(self, path: PathLike) -> None:
+        op, crash = self._next_op()
+        if crash:
+            self._crash()
+        if self._decide(op, _SYNC_KINDS) == "eio":
+            raise OSError(errno.EIO, "directory fsync failed (injected)")
+        super().fsync_dir(path)
+
+    def replace(self, src: PathLike, dst: PathLike) -> None:
+        op, crash = self._next_op()
+        if crash:
+            self._crash()
+        if self._decide(op, _SYNC_KINDS) == "eio":
+            raise OSError(errno.EIO, "rename failed (injected)")
+        super().replace(src, dst)
+
+    def truncate(self, path: PathLike, size: int) -> None:
+        op, crash = self._next_op()
+        if crash:
+            self._crash()
+        super().truncate(path, size)
+
+    def read_bytes(self, path: PathLike) -> bytes:
+        if self._crashed:
+            raise SimulatedCrash(f"filesystem dead since op {self.crash_at_op}")
+        data = super().read_bytes(path)
+        # Reads do not advance the mutating-op clock, but may be short.
+        self._reads += 1
+        if self._decide(self._reads + 1_000_000, _READ_KINDS) == "short_read":
+            return data[: len(data) // 2]
+        return data

@@ -1,0 +1,483 @@
+"""Write-ahead checkpoint journal: crash-safe incremental crawl state.
+
+:class:`~repro.crawler.checkpoint.CrawlCheckpoint` persists a crawl as
+one JSON document — fine for an explicit ``save()``, but a ``kill -9``
+between saves loses everything since the last one. The journal closes
+that window: the crawler appends a small **batch delta** every
+``checkpoint_every`` videos, each record fsync'd before the crawl
+continues, so the durable state is never more than one batch behind the
+live crawl.
+
+On-disk layout (one directory per crawl)::
+
+    journal.wal        append-only delta log
+    snapshot.ckpt.json periodic full checkpoint (compaction target)
+    snapshot.ckpt.json.sha256   integrity sidecar
+
+WAL format: an 8-byte magic (``REPROJNL``), an 8-byte big-endian
+**epoch**, then records of ``u32 length | u32 crc32(payload) | payload``
+(UTF-8 JSON). Each record carries the batch's frontier admits, the
+number of frontier entries consumed, the videos recorded, and the
+cumulative :class:`~repro.crawler.stats.CrawlStats`.
+
+Replay exploits the FIFO frontier invariant: pops always consume the
+oldest entries and pushes always append, so "apply this batch's admits,
+then drop ``popped`` entries from the front" reconstructs the frontier
+regardless of how pops and pushes interleaved inside the batch.
+
+Crash safety:
+
+- a **torn tail** (crash mid-append) fails its length/CRC frame and is
+  dropped — the journal loads the state as of the last complete record,
+  and the next append truncates the torn bytes first;
+- **compaction** writes the snapshot (atomically, checksummed) with
+  ``epoch + 1`` *before* clearing the WAL, so a crash between the two
+  leaves a stale-epoch WAL that replay ignores instead of double-applies;
+- **corruption** (CRC or checksum mismatch — bit rot, not truncation)
+  raises :class:`~repro.errors.CheckpointError`, or with
+  ``recover=True`` quarantines the damaged file and falls back to the
+  last durable snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.durability import artifacts
+from repro.durability.fsfaults import Filesystem, REAL_FILESYSTEM
+from repro.errors import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    CheckpointError,
+    DatasetIOError,
+)
+
+PathLike = Union[str, Path]
+
+WAL_MAGIC = b"REPROJNL"
+SNAPSHOT_FORMAT = "repro-journal-snapshot"
+SNAPSHOT_VERSION = 1
+
+_RECORD_HEADER = struct.Struct(">II")
+_WAL_PREAMBLE = len(WAL_MAGIC) + 8  # magic + epoch
+
+
+class CheckpointJournal:
+    """Append-only, CRC-framed, fsync'd journal of crawl batch deltas.
+
+    Args:
+        directory: Journal directory (created if missing).
+        fs: Filesystem facade; swap in a
+            :class:`~repro.durability.fsfaults.FaultyFilesystem` to
+            inject disk trouble.
+        compact_every: After this many WAL records,
+            :meth:`maybe_compact` folds the log into a full snapshot.
+            ``None`` disables automatic compaction.
+
+    Typical use::
+
+        journal = CheckpointJournal(workdir / "journal")
+        crawler = SnowballCrawler.resume_from_journal(
+            service, journal, checkpoint_every=25, max_videos=1_000
+        )
+        crawler.run()
+    """
+
+    SNAPSHOT_NAME = "snapshot.ckpt.json"
+    WAL_NAME = "journal.wal"
+
+    def __init__(
+        self,
+        directory: PathLike,
+        fs: Optional[Filesystem] = None,
+        compact_every: Optional[int] = 64,
+    ):
+        if compact_every is not None and compact_every < 1:
+            raise CheckpointError("compact_every must be >= 1 or None")
+        self.directory = Path(directory)
+        self.fs = fs if fs is not None else REAL_FILESYSTEM
+        self.compact_every = compact_every
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create journal directory {directory}: {exc}"
+            ) from exc
+        self.snapshot_path = self.directory / self.SNAPSHOT_NAME
+        self.wal_path = self.directory / self.WAL_NAME
+
+        self._wal_handle = None
+        self._scanned = False
+        self._epoch = 0
+        self._durable_size = 0  # valid WAL bytes (0 = recreate from scratch)
+        self._records_in_wal = 0
+
+        #: Records appended by this journal object.
+        self.records_appended = 0
+        #: Records replayed by the most recent :meth:`load`.
+        self.records_replayed = 0
+        #: Snapshots written (compactions + explicit writes).
+        self.snapshots_written = 0
+        #: Files moved aside by recovery, in quarantine order.
+        self.quarantined: List[Path] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def reset(self) -> None:
+        """Delete all journal state (start a brand-new crawl here)."""
+        self.close()
+        try:
+            self.fs.unlink(self.wal_path)
+            self.fs.unlink(self.snapshot_path)
+            self.fs.unlink(artifacts.checksum_path(self.snapshot_path))
+            self.fs.fsync_dir(self.directory)
+        except OSError as exc:
+            raise CheckpointError(f"cannot reset journal: {exc}") from exc
+        self._scanned = True
+        self._epoch = 0
+        self._durable_size = 0
+        self._records_in_wal = 0
+
+    # -- appends -------------------------------------------------------------
+
+    def append_batch(
+        self,
+        popped: int,
+        admitted: List[Tuple[str, int]],
+        videos: List[Any],
+        stats: Any,
+        seeded: bool,
+    ) -> None:
+        """Durably append one batch delta (fsync'd before returning).
+
+        Args:
+            popped: Frontier entries consumed (completed) this batch.
+            admitted: Newly admitted ``(video_id, depth)`` pairs, in
+                push order.
+            videos: :class:`~repro.datamodel.video.Video` records
+                collected this batch.
+            stats: Cumulative :class:`~repro.crawler.stats.CrawlStats`.
+            seeded: Whether seeding has happened.
+        """
+        from repro.datamodel.io import video_to_record
+
+        payload = json.dumps(
+            {
+                "type": "batch",
+                "popped": int(popped),
+                "admitted": [[vid, int(depth)] for vid, depth in admitted],
+                "videos": [video_to_record(video) for video in videos],
+                "stats": stats.to_dict(),
+                "seeded": bool(seeded),
+            },
+            ensure_ascii=False,
+        ).encode("utf-8")
+        frame = _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        try:
+            handle = self._ensure_wal_open()
+            handle.write(frame)
+            self.fs.fsync(handle)
+        except OSError as exc:
+            raise CheckpointError(f"cannot append to journal: {exc}") from exc
+        self._durable_size += len(frame)
+        self._records_in_wal += 1
+        self.records_appended += 1
+
+    def _ensure_wal_open(self):
+        if self._wal_handle is not None:
+            return self._wal_handle
+        self._scan_if_needed()
+        if self.fs.exists(self.wal_path) and self._durable_size >= _WAL_PREAMBLE:
+            # Drop any torn tail before appending after it.
+            if self.fs.size(self.wal_path) > self._durable_size:
+                self.fs.truncate(self.wal_path, self._durable_size)
+            self._wal_handle = self.fs.open(self.wal_path, "ab")
+        else:
+            self.fs.unlink(self.wal_path)
+            handle = self.fs.open(self.wal_path, "ab")
+            handle.write(WAL_MAGIC + self._epoch.to_bytes(8, "big"))
+            self.fs.fsync(handle)
+            self._wal_handle = handle
+            self._durable_size = _WAL_PREAMBLE
+            self._records_in_wal = 0
+        return self._wal_handle
+
+    # -- snapshots / compaction ----------------------------------------------
+
+    def write_snapshot(self, checkpoint) -> None:
+        """Fold state into a full snapshot and clear the WAL.
+
+        The snapshot (with the next epoch) becomes durable *before* the
+        WAL is removed; a crash in between leaves a stale-epoch WAL that
+        :meth:`load` ignores.
+        """
+        self._scan_if_needed()
+        next_epoch = self._epoch + 1
+        document = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "epoch": next_epoch,
+            "checkpoint": checkpoint.to_dict(),
+        }
+        try:
+            artifacts.atomic_write_text(
+                self.snapshot_path,
+                json.dumps(document, ensure_ascii=False),
+                fs=self.fs,
+                checksum=True,
+            )
+        except ArtifactError as exc:
+            raise CheckpointError(f"cannot write journal snapshot: {exc}") from exc
+        self.close()
+        try:
+            self.fs.unlink(self.wal_path)
+            self.fs.fsync_dir(self.directory)
+        except OSError as exc:
+            raise CheckpointError(f"cannot clear journal WAL: {exc}") from exc
+        self._epoch = next_epoch
+        self._durable_size = 0
+        self._records_in_wal = 0
+        self.snapshots_written += 1
+
+    def maybe_compact(self, checkpoint_factory) -> bool:
+        """Compact when the WAL has grown past ``compact_every`` records.
+
+        ``checkpoint_factory`` is called (only when compacting) to
+        produce the full :class:`CrawlCheckpoint` to fold into.
+        """
+        if self.compact_every is None or self._records_in_wal < self.compact_every:
+            return False
+        self.write_snapshot(checkpoint_factory())
+        return True
+
+    # -- loading / replay ----------------------------------------------------
+
+    def load(self, registry=None, recover: bool = False):
+        """Reconstruct the last durable crawl state.
+
+        Returns the replayed
+        :class:`~repro.crawler.checkpoint.CrawlCheckpoint`, or ``None``
+        when the journal holds no durable state (fresh directory, or
+        everything quarantined during recovery).
+
+        Args:
+            registry: Country registry for decoding video records.
+            recover: When True, corrupt files are quarantined (recorded
+                in :attr:`quarantined`) and loading falls back to the
+                last intact state instead of raising.
+
+        Raises:
+            CheckpointError: corruption detected and ``recover`` is
+                False. Truncation (a torn tail) is *not* corruption —
+                the durable prefix is always loadable.
+        """
+        snapshot, epoch = self._load_snapshot(registry, recover)
+        records, durable_size, records_ok = self._read_wal(epoch, recover)
+        self._epoch = epoch
+        self._durable_size = durable_size
+        self._records_in_wal = len(records) if records_ok else 0
+        self._scanned = True
+        self.records_replayed = len(records)
+        if snapshot is None and not records:
+            return None
+        return self._replay(snapshot, records, registry)
+
+    def _scan_if_needed(self) -> None:
+        """Learn epoch/durable-size from disk without a full replay."""
+        if self._scanned:
+            return
+        epoch = 0
+        if self.fs.exists(self.snapshot_path):
+            try:
+                document = json.loads(
+                    self.fs.read_bytes(self.snapshot_path).decode("utf-8")
+                )
+                epoch = int(document.get("epoch", 0))
+            except (OSError, ValueError, UnicodeDecodeError):
+                pass  # load() handles corruption; appending stays at epoch 0
+        _, durable_size, _ = self._read_wal(epoch, recover=False, strict=False)
+        self._epoch = epoch
+        self._durable_size = durable_size
+        self._scanned = True
+
+    def _load_snapshot(self, registry, recover: bool):
+        """Returns (checkpoint_or_None, epoch)."""
+        from repro.crawler.checkpoint import CrawlCheckpoint
+
+        if not self.fs.exists(self.snapshot_path):
+            return None, 0
+        try:
+            if artifacts.has_checksum(self.snapshot_path, fs=self.fs):
+                artifacts.verify_artifact(self.snapshot_path, fs=self.fs)
+            document = json.loads(
+                self.fs.read_bytes(self.snapshot_path).decode("utf-8")
+            )
+            if document.get("format") != SNAPSHOT_FORMAT:
+                raise CheckpointError(
+                    f"{self.snapshot_path} is not a journal snapshot"
+                )
+            if document.get("version") != SNAPSHOT_VERSION:
+                raise CheckpointError(
+                    "unsupported journal snapshot version: "
+                    f"{document.get('version')}"
+                )
+            checkpoint = CrawlCheckpoint.from_dict(
+                document["checkpoint"], registry
+            )
+            return checkpoint, int(document.get("epoch", 0))
+        except (
+            ArtifactIntegrityError,
+            ArtifactError,
+            CheckpointError,
+            OSError,
+            ValueError,
+            UnicodeDecodeError,
+            KeyError,
+        ) as exc:
+            if not recover:
+                raise CheckpointError(
+                    f"corrupt journal snapshot {self.snapshot_path}: {exc}"
+                ) from exc
+            # The WAL's deltas are meaningless without their base state:
+            # quarantine both and start over from nothing.
+            self._quarantine(self.snapshot_path)
+            if self.fs.exists(self.wal_path):
+                self._quarantine(self.wal_path)
+            return None, 0
+
+    def _read_wal(
+        self, epoch: int, recover: bool, strict: bool = True
+    ) -> Tuple[List[Dict], int, bool]:
+        """Parse WAL records; returns (records, durable_size, usable).
+
+        Torn tails are silently dropped. Mid-file corruption raises
+        (``strict`` and not ``recover``), or quarantines the WAL and
+        returns no records.
+        """
+        if not self.fs.exists(self.wal_path):
+            return [], 0, True
+        try:
+            raw = self.fs.read_bytes(self.wal_path)
+        except OSError as exc:
+            raise CheckpointError(f"cannot read journal WAL: {exc}") from exc
+        if len(raw) < _WAL_PREAMBLE:
+            return [], 0, False  # torn at creation: nothing durable
+        if raw[: len(WAL_MAGIC)] != WAL_MAGIC:
+            return self._wal_corrupt("bad magic", recover, strict)
+        wal_epoch = int.from_bytes(raw[len(WAL_MAGIC) : _WAL_PREAMBLE], "big")
+        if wal_epoch < epoch:
+            # Stale WAL from before the last compaction crash-cleared it.
+            return [], 0, False
+        if wal_epoch > epoch:
+            return self._wal_corrupt(
+                f"epoch {wal_epoch} newer than snapshot epoch {epoch}",
+                recover,
+                strict,
+            )
+        records: List[Dict] = []
+        offset = _WAL_PREAMBLE
+        while offset < len(raw):
+            if len(raw) - offset < _RECORD_HEADER.size:
+                break  # torn header
+            length, crc = _RECORD_HEADER.unpack_from(raw, offset)
+            start = offset + _RECORD_HEADER.size
+            if length > len(raw) - start:
+                break  # torn payload
+            payload = raw[start : start + length]
+            if zlib.crc32(payload) != crc:
+                return self._wal_corrupt(
+                    f"CRC mismatch in record {len(records)}", recover, strict
+                )
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                return self._wal_corrupt(
+                    f"unparseable record {len(records)}: {exc}", recover, strict
+                )
+            records.append(record)
+            offset = start + length
+        return records, offset, True
+
+    def _wal_corrupt(
+        self, reason: str, recover: bool, strict: bool
+    ) -> Tuple[List[Dict], int, bool]:
+        if recover:
+            self._quarantine(self.wal_path)
+            return [], 0, False
+        if strict:
+            raise CheckpointError(f"corrupt journal WAL {self.wal_path}: {reason}")
+        return [], 0, False
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            self.quarantined.append(artifacts.quarantine(path, fs=self.fs))
+        except ArtifactError:
+            pass  # recovery is best effort; the load proceeds without it
+
+    def _replay(self, snapshot, records: List[Dict], registry):
+        from repro.crawler.checkpoint import CrawlCheckpoint
+        from repro.crawler.stats import CrawlStats
+        from repro.datamodel.io import video_from_record
+
+        if snapshot is not None:
+            pending = deque(snapshot.pending)
+            admitted = set(snapshot.admitted)
+            videos = list(snapshot.videos)
+            stats = snapshot.stats
+            seeded = snapshot.seeded
+        else:
+            pending = deque()
+            admitted = set()
+            videos = []
+            stats = CrawlStats()
+            seeded = False
+        try:
+            for record in records:
+                if record.get("type") != "batch":
+                    raise CheckpointError(
+                        f"unknown journal record type: {record.get('type')!r}"
+                    )
+                for video_id, depth in record["admitted"]:
+                    video_id = str(video_id)
+                    if video_id not in admitted:
+                        admitted.add(video_id)
+                        pending.append((video_id, int(depth)))
+                popped = int(record["popped"])
+                if popped > len(pending):
+                    raise CheckpointError(
+                        "journal record pops more frontier entries than exist"
+                    )
+                for _ in range(popped):
+                    pending.popleft()
+                videos.extend(
+                    video_from_record(rec, registry) for rec in record["videos"]
+                )
+                stats = CrawlStats.from_dict(record["stats"])
+                seeded = bool(record["seeded"])
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError, DatasetIOError) as exc:
+            raise CheckpointError(f"malformed journal record: {exc}") from exc
+        return CrawlCheckpoint(
+            pending=list(pending),
+            admitted=sorted(admitted),
+            videos=videos,
+            stats=stats,
+            seeded=seeded,
+        )

@@ -130,6 +130,19 @@ class CircuitOpenError(APIError):
 
 
 # --------------------------------------------------------------------------
+# Durability / artifacts
+# --------------------------------------------------------------------------
+
+
+class ArtifactError(ReproError):
+    """An on-disk artifact could not be written, read, or managed."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """An artifact failed its checksum/size verification (corrupt or torn)."""
+
+
+# --------------------------------------------------------------------------
 # Crawler
 # --------------------------------------------------------------------------
 
@@ -139,7 +152,7 @@ class CrawlError(ReproError):
 
 
 class CheckpointError(CrawlError):
-    """A crawl checkpoint could not be written or restored."""
+    """A crawl checkpoint or journal could not be written or restored."""
 
 
 # --------------------------------------------------------------------------

@@ -3,23 +3,64 @@
 One call reproduces the paper's whole data path on a synthetic universe.
 Benchmarks and examples build on this instead of re-wiring the
 subsystems by hand.
+
+Two execution modes:
+
+- **in-memory** (``workdir=None``): everything lives in the process, as
+  before;
+- **resumable** (``workdir=<dir>``): every stage writes an
+  integrity-checksummed artifact and records completion in a stage
+  manifest, and the crawl stage journals its progress through a
+  :class:`~repro.durability.journal.CheckpointJournal`. Re-running with
+  the same workdir skips completed stages (loading their artifacts),
+  resumes a half-finished crawl from the journal, and quarantines +
+  recomputes any artifact that fails verification. Because each stage is
+  deterministic given the config, a recomputed stage reproduces exactly
+  what the lost artifact held.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.api.faults import FaultInjector
 from repro.api.quota import QuotaBudget, UNLIMITED
 from repro.api.service import YoutubeService
 from repro.crawler.snowball import CrawlResult, SnowballCrawler
+from repro.crawler.stats import CrawlStats
 from repro.datamodel.dataset import Dataset, FilterReport
+from repro.datamodel.io import read_videos_jsonl, write_videos_jsonl
+from repro.durability import artifacts
+from repro.durability.fsfaults import Filesystem
+from repro.durability.journal import CheckpointJournal
+from repro.errors import ConfigError, DatasetIOError
 from repro.reconstruct.tagviews import TagViewsTable
 from repro.reconstruct.views import ViewReconstructor
+from repro.synth.io import load_universe, save_universe
 from repro.synth.presets import preset_config
 from repro.synth.universe import Universe, UniverseConfig, build_universe
 from repro.world.countries import SEED_COUNTRIES
+
+PathLike = Union[str, Path]
+
+#: Stage names in execution order.
+PIPELINE_STAGES = ("universe", "crawl", "filter", "reconstruct")
+
+#: The artifacts each stage owns inside a workdir.
+STAGE_ARTIFACTS: Dict[str, Tuple[str, ...]] = {
+    "universe": ("universe.json.gz",),
+    "crawl": ("crawl.jsonl", "crawl_stats.json"),
+    "filter": ("dataset.jsonl", "filter_report.json"),
+    "reconstruct": ("tag_views.json",),
+}
+
+MANIFEST_NAME = "manifest.json"
+_MANIFEST_FORMAT = "repro-pipeline-manifest"
+_MANIFEST_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -34,6 +75,8 @@ class PipelineConfig:
         quota_limit: API quota units (``inf`` = unmetered).
         seeds_per_country: Crawl seeds per country (paper: 10).
         seed_countries: Seed countries (paper: 25).
+        checkpoint_every: Crawl journal cadence (videos per durable
+            batch); only used when running with a ``workdir``.
     """
 
     universe: UniverseConfig = field(
@@ -44,6 +87,7 @@ class PipelineConfig:
     quota_limit: float = UNLIMITED
     seeds_per_country: int = 10
     seed_countries: tuple = SEED_COUNTRIES
+    checkpoint_every: int = 50
 
 
 @dataclass
@@ -59,6 +103,11 @@ class PipelineResult:
         reconstructor: The Eq. (1)–(2) estimator bound to the universe's
             traffic model.
         tag_table: The Eq. (3) ``views(t)`` table over ``dataset``.
+        stages_skipped: Stage names satisfied from intact workdir
+            artifacts instead of recomputation (empty without a
+            workdir).
+        quarantined: Corrupt artifact paths moved aside as
+            ``*.quarantined`` during this run (empty without a workdir).
     """
 
     universe: Universe
@@ -68,28 +117,186 @@ class PipelineResult:
     filter_report: FilterReport
     reconstructor: ViewReconstructor
     tag_table: TagViewsTable
+    stages_skipped: Tuple[str, ...] = ()
+    quarantined: Tuple[str, ...] = ()
 
 
-def run_pipeline(config: Optional[PipelineConfig] = None) -> PipelineResult:
-    """Run the full paper pipeline; deterministic given the config."""
+def config_fingerprint(config: PipelineConfig) -> str:
+    """Stable digest of everything that determines pipeline output.
+
+    A workdir is bound to one fingerprint; resuming it under a different
+    config would silently mix incompatible artifacts, so it is an error.
+    """
+    u = config.universe
+    payload = {
+        "universe": {
+            "n_videos": u.n_videos,
+            "n_tags": u.n_tags,
+            "seed": u.seed,
+            "zipf_exponent": u.zipf_exponent,
+            "mean_tags": u.mean_tags,
+            "p_no_tags": u.p_no_tags,
+            "p_missing_map": u.p_missing_map,
+            "views_lognormal_mu": u.views_lognormal_mu,
+            "views_lognormal_sigma": u.views_lognormal_sigma,
+            "tag_coupling": u.tag_coupling,
+            "tag_coherence": u.tag_coherence,
+            "audience_effect": u.audience_effect,
+            "related_count": u.related_count,
+            "p_local_edge": u.p_local_edge,
+            "preferential_exponent": u.preferential_exponent,
+            "global_dirichlet": u.global_dirichlet,
+        },
+        "crawl_budget": config.crawl_budget,
+        "fault_rate": config.fault_rate,
+        "quota_limit": (
+            "inf" if config.quota_limit == UNLIMITED else config.quota_limit
+        ),
+        "seeds_per_country": config.seeds_per_country,
+        "seed_countries": list(config.seed_countries),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class _Workdir:
+    """Stage manifest + artifact bookkeeping for a resumable run."""
+
+    def __init__(
+        self, root: PathLike, fingerprint: str, fs: Optional[Filesystem]
+    ):
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self.fs = fs
+        self.quarantined: List[Path] = []
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stages: Dict[str, bool] = {name: False for name in PIPELINE_STAGES}
+        self._load_manifest()
+
+    # -- manifest ----------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _load_manifest(self) -> None:
+        path = self.manifest_path
+        if not path.exists():
+            return
+        bad = artifacts.verify_or_quarantine(path, fs=self.fs)
+        if bad is not None:
+            # Corrupt/unverifiable manifest: forget completion state and
+            # let artifact verification decide stage by stage.
+            if bad != path:
+                self.quarantined.append(bad)
+            return
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise DatasetIOError(f"cannot read {path}: {exc}") from exc
+        if data.get("format") != _MANIFEST_FORMAT:
+            raise DatasetIOError(f"{path} is not a pipeline manifest")
+        recorded = data.get("fingerprint")
+        if recorded != self.fingerprint:
+            raise ConfigError(
+                f"workdir {self.root} belongs to a different pipeline config "
+                f"(manifest fingerprint {str(recorded)[:16]}..., current "
+                f"{self.fingerprint[:16]}...); use a fresh workdir or the "
+                "original config"
+            )
+        for name, done in data.get("stages", {}).items():
+            if name in self.stages:
+                self.stages[name] = bool(done)
+
+    def save_manifest(self) -> None:
+        data = {
+            "format": _MANIFEST_FORMAT,
+            "version": _MANIFEST_VERSION,
+            "fingerprint": self.fingerprint,
+            "stages": dict(self.stages),
+        }
+        artifacts.atomic_write_text(
+            self.manifest_path,
+            json.dumps(data, indent=2, sort_keys=True),
+            fs=self.fs,
+            checksum=True,
+        )
+
+    def mark_done(self, stage: str) -> None:
+        self.stages[stage] = True
+        self.save_manifest()
+
+    # -- artifacts ----------------------------------------------------------
+
+    def path(self, name: str) -> Path:
+        return self.root / name
+
+    def stage_intact(self, stage: str) -> bool:
+        """True when the stage is recorded done and every artifact
+        verifies; quarantines anything corrupt (forcing a recompute)."""
+        if not self.stages.get(stage, False):
+            return False
+        intact = True
+        for name in STAGE_ARTIFACTS[stage]:
+            bad = artifacts.verify_or_quarantine(self.path(name), fs=self.fs)
+            if bad is not None:
+                intact = False
+                if bad != self.path(name):
+                    self.quarantined.append(bad)
+        return intact
+
+
+def run_pipeline(
+    config: Optional[PipelineConfig] = None,
+    workdir: Optional[PathLike] = None,
+    fs: Optional[Filesystem] = None,
+) -> PipelineResult:
+    """Run the full paper pipeline; deterministic given the config.
+
+    Args:
+        config: Pipeline knobs (defaults to the ``small`` preset).
+        workdir: Directory for stage artifacts, the crawl journal and
+            the stage manifest. When given, the run is crash-safe and
+            resumable: completed stages are skipped, a half-finished
+            crawl continues from its journal, and corrupt artifacts are
+            quarantined and recomputed.
+        fs: Filesystem facade for durability I/O (fault injection);
+            defaults to the real filesystem.
+
+    Raises:
+        ConfigError: ``workdir`` holds state from a different config.
+    """
     if config is None:
         config = PipelineConfig()
-    universe = build_universe(config.universe)
-    service = YoutubeService(
+    if workdir is None:
+        return _run_in_memory(config)
+    return _run_resumable(config, _Workdir(workdir, config_fingerprint(config), fs))
+
+
+def _build_service(config: PipelineConfig, universe: Universe) -> YoutubeService:
+    return YoutubeService(
         universe,
         quota=QuotaBudget(config.quota_limit),
         faults=FaultInjector(rate=config.fault_rate, seed=config.universe.seed),
     )
-    budget = (
+
+
+def _crawl_budget(config: PipelineConfig, universe: Universe) -> int:
+    return (
         config.crawl_budget
         if config.crawl_budget is not None
         else len(universe)
     )
+
+
+def _run_in_memory(config: PipelineConfig) -> PipelineResult:
+    universe = build_universe(config.universe)
+    service = _build_service(config, universe)
     crawler = SnowballCrawler(
         service,
         seed_countries=config.seed_countries,
         seeds_per_country=config.seeds_per_country,
-        max_videos=budget,
+        max_videos=_crawl_budget(config, universe),
     )
     crawl = crawler.run()
     dataset, filter_report = crawl.dataset.apply_paper_filter()
@@ -103,4 +310,126 @@ def run_pipeline(config: Optional[PipelineConfig] = None) -> PipelineResult:
         filter_report=filter_report,
         reconstructor=reconstructor,
         tag_table=tag_table,
+    )
+
+
+def _run_resumable(config: PipelineConfig, wd: _Workdir) -> PipelineResult:
+    skipped: List[str] = []
+
+    # Stage 1: universe -------------------------------------------------------
+    universe_path = wd.path("universe.json.gz")
+    if wd.stage_intact("universe"):
+        universe = load_universe(universe_path)
+        skipped.append("universe")
+    else:
+        universe = build_universe(config.universe)
+        save_universe(universe, universe_path)
+        artifacts.persist_file(universe_path, fs=wd.fs)
+        wd.mark_done("universe")
+    registry = universe.registry
+
+    service = _build_service(config, universe)
+
+    # Stage 2: crawl ---------------------------------------------------------
+    crawl_path = wd.path("crawl.jsonl")
+    stats_path = wd.path("crawl_stats.json")
+    if wd.stage_intact("crawl"):
+        videos = list(read_videos_jsonl(crawl_path, registry))
+        stats = CrawlStats.from_dict(
+            json.loads(stats_path.read_text(encoding="utf-8"))
+        )
+        crawl = CrawlResult(Dataset(videos, registry), stats)
+        skipped.append("crawl")
+    else:
+        journal = CheckpointJournal(wd.path("journal"), fs=wd.fs)
+        try:
+            crawler = SnowballCrawler.resume_from_journal(
+                service,
+                journal,
+                seed_countries=config.seed_countries,
+                seeds_per_country=config.seeds_per_country,
+                max_videos=_crawl_budget(config, universe),
+                checkpoint_every=config.checkpoint_every,
+            )
+            crawl = crawler.run()
+        finally:
+            wd.quarantined.extend(journal.quarantined)
+            journal.close()
+        write_videos_jsonl(iter(crawl.dataset), crawl_path)
+        artifacts.persist_file(crawl_path, fs=wd.fs)
+        artifacts.atomic_write_text(
+            stats_path,
+            json.dumps(crawl.stats.to_dict(), indent=2, sort_keys=True),
+            fs=wd.fs,
+            checksum=True,
+        )
+        wd.mark_done("crawl")
+
+    # Stage 3: filter --------------------------------------------------------
+    dataset_path = wd.path("dataset.jsonl")
+    report_path = wd.path("filter_report.json")
+    if wd.stage_intact("filter"):
+        dataset = Dataset(read_videos_jsonl(dataset_path, registry), registry)
+        report_data = json.loads(report_path.read_text(encoding="utf-8"))
+        filter_report = FilterReport(
+            input_videos=int(report_data["input_videos"]),
+            removed_no_tags=int(report_data["removed_no_tags"]),
+            removed_bad_popularity=int(report_data["removed_bad_popularity"]),
+            retained=int(report_data["retained"]),
+        )
+        skipped.append("filter")
+    else:
+        dataset, filter_report = crawl.dataset.apply_paper_filter()
+        write_videos_jsonl(iter(dataset), dataset_path)
+        artifacts.persist_file(dataset_path, fs=wd.fs)
+        artifacts.atomic_write_text(
+            report_path,
+            json.dumps(
+                {
+                    "input_videos": filter_report.input_videos,
+                    "removed_no_tags": filter_report.removed_no_tags,
+                    "removed_bad_popularity": filter_report.removed_bad_popularity,
+                    "retained": filter_report.retained,
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+            fs=wd.fs,
+            checksum=True,
+        )
+        wd.mark_done("filter")
+
+    # Stage 4: reconstruct ---------------------------------------------------
+    # The estimator objects are always rebuilt (they are views over the
+    # dataset, not stored state); the artifact is the views(t) summary.
+    reconstructor = ViewReconstructor(universe.traffic)
+    tag_table = TagViewsTable(dataset, reconstructor)
+    tagviews_path = wd.path("tag_views.json")
+    if wd.stage_intact("reconstruct"):
+        skipped.append("reconstruct")
+    else:
+        summary = {
+            "tags": len(tag_table),
+            "views": {
+                tag: tag_table.total_views(tag) for tag in tag_table.tags()
+            },
+        }
+        artifacts.atomic_write_text(
+            tagviews_path,
+            json.dumps(summary, sort_keys=True),
+            fs=wd.fs,
+            checksum=True,
+        )
+        wd.mark_done("reconstruct")
+
+    return PipelineResult(
+        universe=universe,
+        service=service,
+        crawl=crawl,
+        dataset=dataset,
+        filter_report=filter_report,
+        reconstructor=reconstructor,
+        tag_table=tag_table,
+        stages_skipped=tuple(skipped),
+        quarantined=tuple(str(p) for p in wd.quarantined),
     )

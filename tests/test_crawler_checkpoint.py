@@ -5,6 +5,8 @@ import pytest
 from repro.api.service import YoutubeService
 from repro.crawler.checkpoint import CrawlCheckpoint
 from repro.crawler.snowball import SnowballCrawler
+from repro.durability.artifacts import checksum_path
+from repro.durability.fsfaults import FaultyFilesystem
 from repro.errors import CheckpointError
 
 
@@ -102,3 +104,70 @@ class TestCheckpointFile:
         crawler.checkpoint().save(path)
         assert path.exists()
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCheckpointDurability:
+    @pytest.fixture()
+    def checkpoint(self, tiny_universe):
+        crawler = SnowballCrawler(YoutubeService(tiny_universe), max_videos=5)
+        crawler.run()
+        return crawler.checkpoint()
+
+    def test_save_writes_integrity_sidecar(self, checkpoint, tmp_path):
+        path = tmp_path / "crawl.ckpt.json"
+        checkpoint.save(path)
+        assert checksum_path(path).exists()
+        assert CrawlCheckpoint.load(path).videos == checkpoint.videos
+
+    def test_failed_save_preserves_previous_checkpoint(
+        self, checkpoint, tmp_path
+    ):
+        path = tmp_path / "crawl.ckpt.json"
+        checkpoint.save(path)
+        good_bytes = path.read_bytes()
+        # Every write hits ENOSPC: the save must fail loudly...
+        enospc = FaultyFilesystem(seed=0, fault_rate=0.99, kinds=("enospc",))
+        with pytest.raises(CheckpointError):
+            checkpoint.save(path, fs=enospc)
+        # ...while the old checkpoint and its sidecar stay intact,
+        # and no temp file leaks.
+        assert path.read_bytes() == good_bytes
+        assert not list(tmp_path.glob("*.tmp"))
+        assert CrawlCheckpoint.load(path).seeded == checkpoint.seeded
+
+    def test_bit_flip_detected_on_load(self, checkpoint, tmp_path):
+        path = tmp_path / "crawl.ckpt.json"
+        checkpoint.save(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 3] ^= 0x10
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CrawlCheckpoint.load(path)
+
+    def test_truncation_at_every_offset_never_loads_partial_state(
+        self, checkpoint, tmp_path
+    ):
+        """Satellite: a checksummed checkpoint cut at ANY byte offset is
+        refused outright — with a sidecar there is no 'previous durable
+        state' inside one file, so every truncation must raise."""
+        path = tmp_path / "crawl.ckpt.json"
+        checkpoint.save(path)
+        good_bytes = path.read_bytes()
+        target = tmp_path / "cut.ckpt.json"
+        sidecar = checksum_path(target)
+        sidecar.write_bytes(checksum_path(path).read_bytes())
+        for cut in range(len(good_bytes)):
+            target.write_bytes(good_bytes[:cut])
+            with pytest.raises(CheckpointError):
+                CrawlCheckpoint.load(target)
+        # The untruncated bytes still load.
+        target.write_bytes(good_bytes)
+        assert CrawlCheckpoint.load(target).videos == checkpoint.videos
+
+    def test_sidecarless_legacy_checkpoint_still_loads(
+        self, checkpoint, tmp_path
+    ):
+        path = tmp_path / "old.ckpt.json"
+        checkpoint.save(path)
+        checksum_path(path).unlink()
+        assert CrawlCheckpoint.load(path).seeded == checkpoint.seeded

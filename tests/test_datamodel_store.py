@@ -6,7 +6,7 @@ from repro.datamodel.dataset import Dataset
 from repro.datamodel.popularity import PopularityVector
 from repro.datamodel.store import VideoStore
 from repro.datamodel.video import Video
-from repro.errors import DatasetError
+from repro.errors import DatasetError, DatasetIOError
 
 IDS = [f"AAAAAAAAA{i:02d}" for i in range(20)]
 
@@ -46,6 +46,18 @@ class TestBasicOperations:
             # The failed batch must not have been partially applied.
             assert IDS[1] not in store
             assert len(store) == 1
+
+    def test_duplicate_error_names_the_colliding_id(self):
+        with VideoStore() as store:
+            store.add(video(IDS[3]))
+            with pytest.raises(DatasetError, match=IDS[3]):
+                store.add_many([video(IDS[4]), video(IDS[3])])
+
+    def test_intra_batch_duplicate_names_the_id(self):
+        with VideoStore() as store:
+            with pytest.raises(DatasetError, match=IDS[5]):
+                store.add_many([video(IDS[5]), video(IDS[5])])
+            assert len(store) == 0
 
     def test_iteration_in_insertion_order(self):
         with VideoStore() as store:
@@ -121,3 +133,37 @@ class TestConversionsAndPersistence:
             store.most_viewed(1)[0].video_id
             == tiny_dataset.most_viewed_video().video_id
         )
+
+
+class TestDurability:
+    def test_on_disk_store_uses_wal(self, tmp_path):
+        with VideoStore(tmp_path / "crawl.db") as store:
+            assert store.journal_mode() == "wal"
+
+    def test_memory_store_keeps_default_journal(self):
+        with VideoStore() as store:
+            assert store.journal_mode() != "wal"  # WAL needs a real file
+
+    def test_integrity_check_passes_on_healthy_store(self, tmp_path):
+        path = tmp_path / "crawl.db"
+        with VideoStore(path) as store:
+            store.add_many([video(i) for i in make_ids(300)])
+            store.integrity_check()
+
+    def test_integrity_check_detects_zeroed_page(self, tmp_path):
+        path = tmp_path / "crawl.db"
+        with VideoStore(path) as store:
+            store.add_many([video(i) for i in make_ids(300)])
+        # Zero out a 4096-byte page in the middle of the database file.
+        blob = bytearray(path.read_bytes())
+        page_size = 4096
+        middle = (len(blob) // page_size) // 2 * page_size
+        blob[middle : middle + page_size] = b"\0" * page_size
+        path.write_bytes(bytes(blob))
+        with VideoStore(path) as reopened:
+            with pytest.raises(DatasetIOError):
+                reopened.integrity_check()
+
+
+def make_ids(count):
+    return [f"BBBBBBBB{i:03d}" for i in range(count)]

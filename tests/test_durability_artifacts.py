@@ -1,0 +1,122 @@
+"""Tests for atomic artifact writes and checksum sidecars."""
+
+import json
+
+import pytest
+
+from repro.durability import artifacts
+from repro.durability.fsfaults import FaultyFilesystem
+from repro.errors import ArtifactError, ArtifactIntegrityError
+
+
+class TestAtomicWrite:
+    def test_roundtrip_with_sidecar(self, tmp_path):
+        path = tmp_path / "data.json"
+        artifacts.atomic_write_text(path, '{"x": 1}', checksum=True)
+        assert path.read_text(encoding="utf-8") == '{"x": 1}'
+        assert artifacts.has_checksum(path)
+        artifacts.verify_artifact(path)  # must not raise
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        artifacts.atomic_write_bytes(tmp_path / "a.bin", b"abc")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.bin"]
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        path = tmp_path / "data.json"
+        artifacts.atomic_write_text(path, "old", checksum=True)
+        artifacts.atomic_write_text(path, "new", checksum=True)
+        assert path.read_text(encoding="utf-8") == "new"
+        artifacts.verify_artifact(path)
+
+    def test_failed_write_preserves_previous_and_unlinks_tmp(self, tmp_path):
+        path = tmp_path / "data.json"
+        artifacts.atomic_write_text(path, "precious", checksum=True)
+        fs = FaultyFilesystem(seed=0, crash_at_op=None, fault_rate=0.0)
+        # Force every write to fail with ENOSPC.
+        enospc = FaultyFilesystem(seed=0, fault_rate=0.99, kinds=("enospc",))
+        with pytest.raises(ArtifactError):
+            artifacts.atomic_write_text(path, "lost", fs=enospc, checksum=True)
+        assert path.read_text(encoding="utf-8") == "precious"
+        assert not list(tmp_path.glob("*.tmp"))
+        artifacts.verify_artifact(path, fs=fs)  # old sidecar still matches
+
+    def test_persist_file_checksums_streamed_output(self, tmp_path):
+        path = tmp_path / "streamed.jsonl"
+        path.write_text("line1\nline2\n", encoding="utf-8")
+        artifacts.persist_file(path)
+        artifacts.verify_artifact(path)
+
+
+class TestVerification:
+    def _artifact(self, tmp_path, content=b"payload-bytes"):
+        path = tmp_path / "art.bin"
+        artifacts.atomic_write_bytes(path, content, checksum=True)
+        return path
+
+    def test_missing_artifact_is_artifact_error(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            artifacts.verify_artifact(tmp_path / "ghost.bin")
+
+    def test_missing_sidecar_is_integrity_error(self, tmp_path):
+        path = tmp_path / "bare.bin"
+        path.write_bytes(b"data")
+        with pytest.raises(ArtifactIntegrityError):
+            artifacts.verify_artifact(path)
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = self._artifact(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[3] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactIntegrityError, match="digest mismatch"):
+            artifacts.verify_artifact(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = self._artifact(tmp_path)
+        path.write_bytes(path.read_bytes()[:-1])
+        with pytest.raises(ArtifactIntegrityError, match="truncated"):
+            artifacts.verify_artifact(path)
+
+    def test_malformed_sidecar_detected(self, tmp_path):
+        path = self._artifact(tmp_path)
+        artifacts.checksum_path(path).write_text("{]", encoding="utf-8")
+        with pytest.raises(ArtifactIntegrityError):
+            artifacts.verify_artifact(path)
+
+    def test_sidecar_is_json_with_algorithm(self, tmp_path):
+        path = self._artifact(tmp_path)
+        sidecar = json.loads(
+            artifacts.checksum_path(path).read_text(encoding="utf-8")
+        )
+        assert sidecar["algorithm"] == "sha256"
+        assert sidecar["size"] == len(b"payload-bytes")
+
+
+class TestQuarantine:
+    def test_quarantine_moves_artifact_and_sidecar(self, tmp_path):
+        path = tmp_path / "art.bin"
+        artifacts.atomic_write_bytes(path, b"x", checksum=True)
+        moved = artifacts.quarantine(path)
+        assert moved.name == "art.bin.quarantined"
+        assert moved.exists()
+        assert not path.exists()
+        assert not artifacts.checksum_path(path).exists()
+
+    def test_verify_or_quarantine_clean(self, tmp_path):
+        path = tmp_path / "art.bin"
+        artifacts.atomic_write_bytes(path, b"x", checksum=True)
+        assert artifacts.verify_or_quarantine(path) is None
+        assert path.exists()
+
+    def test_verify_or_quarantine_corrupt(self, tmp_path):
+        path = tmp_path / "art.bin"
+        artifacts.atomic_write_bytes(path, b"xyz", checksum=True)
+        path.write_bytes(b"xyZ")
+        moved = artifacts.verify_or_quarantine(path)
+        assert moved is not None
+        assert moved.suffix == ".quarantined"
+        assert not path.exists()
+
+    def test_verify_or_quarantine_missing(self, tmp_path):
+        ghost = tmp_path / "ghost.bin"
+        assert artifacts.verify_or_quarantine(ghost) == ghost

@@ -1,0 +1,171 @@
+"""Tests for the deterministic filesystem fault injector."""
+
+import errno
+
+import pytest
+
+from repro.durability.fsfaults import (
+    FS_FAULT_KINDS,
+    FaultyFilesystem,
+    Filesystem,
+    SimulatedCrash,
+)
+from repro.errors import ConfigError
+
+
+class TestRealFilesystem:
+    def test_atomic_primitives_work(self, tmp_path):
+        fs = Filesystem()
+        path = tmp_path / "a.txt"
+        with fs.open(path, "wb") as handle:
+            handle.write(b"hello")
+            fs.fsync(handle)
+        fs.fsync_dir(tmp_path)
+        assert fs.read_bytes(path) == b"hello"
+        assert fs.exists(path)
+        assert fs.size(path) == 5
+        fs.replace(path, tmp_path / "b.txt")
+        assert not fs.exists(path)
+        fs.truncate(tmp_path / "b.txt", 2)
+        assert fs.read_bytes(tmp_path / "b.txt") == b"he"
+        fs.unlink(tmp_path / "b.txt")
+        fs.unlink(tmp_path / "b.txt")  # missing_ok by default
+
+    def test_unlink_missing_strict(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Filesystem().unlink(tmp_path / "nope", missing_ok=False)
+
+
+class TestConfigValidation:
+    def test_bad_fault_rate(self):
+        with pytest.raises(ConfigError):
+            FaultyFilesystem(fault_rate=1.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            FaultyFilesystem(kinds=("meteor",))
+
+    def test_bad_crash_op(self):
+        with pytest.raises(ConfigError):
+            FaultyFilesystem(crash_at_op=0)
+
+    def test_bad_torn_fraction(self):
+        with pytest.raises(ConfigError):
+            FaultyFilesystem(torn_fraction=1.5)
+
+
+class TestFaultInjection:
+    def _hammer(self, fs, tmp_path, rounds=60):
+        """Drive many writes+fsyncs, tolerating injected OSErrors."""
+        outcomes = []
+        for i in range(rounds):
+            path = tmp_path / f"f{i}.bin"
+            try:
+                handle = fs.open(path, "wb")
+                try:
+                    handle.write(b"x" * 64)
+                    fs.fsync(handle)
+                finally:
+                    handle.close()
+                outcomes.append("ok")
+            except OSError as exc:
+                outcomes.append(exc.errno)
+        return outcomes
+
+    def test_zero_rate_is_clean_passthrough(self, tmp_path):
+        fs = FaultyFilesystem(seed=1, fault_rate=0.0)
+        outcomes = self._hammer(fs, tmp_path, rounds=10)
+        assert outcomes == ["ok"] * 10
+        assert sum(fs.fault_counts.values()) == 0
+
+    def test_faults_fire_and_are_counted(self, tmp_path):
+        fs = FaultyFilesystem(seed=3, fault_rate=0.4)
+        outcomes = self._hammer(fs, tmp_path)
+        assert any(o != "ok" for o in outcomes)
+        assert sum(fs.fault_counts.values()) > 0
+        assert set(fs.fault_counts) == set(FS_FAULT_KINDS)
+
+    def test_same_seed_same_schedule(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = self._hammer(FaultyFilesystem(seed=7, fault_rate=0.3), tmp_path / "a")
+        b = self._hammer(FaultyFilesystem(seed=7, fault_rate=0.3), tmp_path / "b")
+        assert a == b
+
+    def test_different_seed_different_schedule(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = self._hammer(FaultyFilesystem(seed=7, fault_rate=0.3), tmp_path / "a")
+        b = self._hammer(FaultyFilesystem(seed=8, fault_rate=0.3), tmp_path / "b")
+        assert a != b
+
+    def test_enospc_has_right_errno(self, tmp_path):
+        fs = FaultyFilesystem(seed=2, fault_rate=0.6, kinds=("enospc",))
+        outcomes = self._hammer(fs, tmp_path, rounds=30)
+        assert errno.ENOSPC in outcomes
+
+    def test_torn_write_persists_prefix(self, tmp_path):
+        fs = FaultyFilesystem(
+            seed=2, fault_rate=0.6, kinds=("torn",), torn_fraction=0.5
+        )
+        torn_sizes = []
+        for i in range(30):
+            path = tmp_path / f"f{i}.bin"
+            try:
+                with fs.open(path, "wb") as handle:
+                    handle.write(b"x" * 64)
+            except OSError:
+                torn_sizes.append(path.stat().st_size)
+        assert torn_sizes and all(size == 32 for size in torn_sizes)
+
+    def test_short_read_returns_prefix(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"y" * 100)
+        fs = FaultyFilesystem(seed=5, fault_rate=0.8, kinds=("short_read",))
+        lengths = {len(fs.read_bytes(path)) for _ in range(30)}
+        assert 50 in lengths  # some reads were short
+        assert 100 in lengths  # and some were whole
+
+
+class TestCrashCutPoints:
+    def test_crash_tears_write_and_raises(self, tmp_path):
+        fs = FaultyFilesystem(seed=1, crash_at_op=1, torn_fraction=0.25)
+        path = tmp_path / "wal.bin"
+        handle = fs.open(path, "wb")
+        with pytest.raises(SimulatedCrash):
+            handle.write(b"z" * 80)
+        assert path.stat().st_size == 20  # the torn prefix survived
+        assert fs.crashed
+
+    def test_everything_fails_after_crash(self, tmp_path):
+        fs = FaultyFilesystem(seed=1, crash_at_op=1)
+        handle = fs.open(tmp_path / "a.bin", "wb")
+        with pytest.raises(SimulatedCrash):
+            handle.write(b"data")
+        with pytest.raises(SimulatedCrash):
+            fs.fsync_dir(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            fs.replace(tmp_path / "a.bin", tmp_path / "b.bin")
+        with pytest.raises(SimulatedCrash):
+            fs.read_bytes(tmp_path / "a.bin")
+
+    def test_crash_counts_mutating_ops_only(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"q" * 10)
+        fs = FaultyFilesystem(seed=1, crash_at_op=2)
+        for _ in range(5):
+            fs.read_bytes(path)  # reads never advance the crash clock
+        handle = fs.open(tmp_path / "out.bin", "wb")
+        handle.write(b"one")  # op 1
+        with pytest.raises(SimulatedCrash):
+            fs.fsync(handle)  # op 2 — boom
+        assert fs.ops_performed == 2
+
+    def test_simulated_crash_evades_except_exception(self):
+        """The kill -9 analogue must not be absorbable by cleanup code."""
+        assert not issubclass(SimulatedCrash, Exception)
+        with pytest.raises(SimulatedCrash):
+            try:
+                raise SimulatedCrash("boom")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("except Exception caught a simulated crash")

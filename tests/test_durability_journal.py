@@ -1,0 +1,306 @@
+"""Tests for the write-ahead checkpoint journal.
+
+The property test at the bottom is the crash-safety contract: a journal
+file truncated at *any* byte offset either loads a previous durable
+state or raises :class:`CheckpointError` — never a partial/invented
+state.
+"""
+
+import shutil
+
+import pytest
+
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.stats import CrawlStats
+from repro.durability.journal import (
+    CheckpointJournal,
+    WAL_MAGIC,
+    _WAL_PREAMBLE,
+)
+from repro.errors import CheckpointError
+
+
+def batch(i, popped=0):
+    """A small, deterministic batch delta (no videos: keeps frames tiny)."""
+    return dict(
+        popped=popped,
+        admitted=[(f"VID{i:08d}", i)],
+        videos=[],
+        stats=CrawlStats(fetched=i),
+        seeded=True,
+    )
+
+
+def state_of(checkpoint):
+    """Comparable digest of a loaded checkpoint (None-safe)."""
+    if checkpoint is None:
+        return None
+    return (
+        tuple(checkpoint.pending),
+        tuple(checkpoint.admitted),
+        checkpoint.stats.fetched,
+        checkpoint.seeded,
+    )
+
+
+class TestAppendAndLoad:
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert CheckpointJournal(tmp_path).load() is None
+
+    def test_roundtrip_replays_batches(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1))
+        journal.append_batch(**batch(2, popped=1))
+        journal.close()
+
+        loaded = CheckpointJournal(tmp_path).load()
+        assert loaded is not None
+        assert loaded.admitted == ["VID00000001", "VID00000002"]
+        assert loaded.pending == [("VID00000002", 2)]
+        assert loaded.stats.fetched == 2
+        assert loaded.seeded
+
+    def test_counters(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1))
+        journal.append_batch(**batch(2))
+        assert journal.records_appended == 2
+        journal.close()
+        reader = CheckpointJournal(tmp_path)
+        reader.load()
+        assert reader.records_replayed == 2
+
+    def test_append_after_load_continues(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1))
+        journal.close()
+        journal = CheckpointJournal(tmp_path)
+        journal.load()
+        journal.append_batch(**batch(2))
+        journal.close()
+        loaded = CheckpointJournal(tmp_path).load()
+        assert loaded.admitted == ["VID00000001", "VID00000002"]
+
+    def test_reset_clears_everything(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1))
+        journal.reset()
+        assert CheckpointJournal(tmp_path).load() is None
+
+    def test_over_pop_is_corruption(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1, popped=5))
+        journal.close()
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(tmp_path).load()
+
+
+class TestCompaction:
+    def _checkpoint(self, journal, registry=None):
+        return CheckpointJournal(journal.directory).load(registry)
+
+    def test_snapshot_preserves_state_and_clears_wal(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1))
+        journal.append_batch(**batch(2))
+        before = state_of(CheckpointJournal(tmp_path).load())
+        journal.write_snapshot(CheckpointJournal(tmp_path).load())
+        assert not journal.wal_path.exists()
+        assert journal.snapshots_written == 1
+        journal.close()
+        assert state_of(CheckpointJournal(tmp_path).load()) == before
+
+    def test_appends_resume_after_snapshot(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1))
+        journal.write_snapshot(CheckpointJournal(tmp_path).load())
+        journal.append_batch(**batch(2))
+        journal.close()
+        loaded = CheckpointJournal(tmp_path).load()
+        assert loaded.admitted == ["VID00000001", "VID00000002"]
+
+    def test_maybe_compact_honours_threshold(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, compact_every=2)
+        factory = lambda: CheckpointJournal(tmp_path).load()  # noqa: E731
+        journal.append_batch(**batch(1))
+        assert not journal.maybe_compact(factory)
+        journal.append_batch(**batch(2))
+        assert journal.maybe_compact(factory)
+        assert journal.snapshots_written == 1
+
+    def test_stale_wal_from_crashed_compaction_is_ignored(self, tmp_path):
+        """Snapshot written, crash before WAL clear: no double-apply."""
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1))
+        journal.close()
+        wal_bytes = journal.wal_path.read_bytes()  # epoch-0 WAL
+        journal = CheckpointJournal(tmp_path)
+        journal.write_snapshot(journal.load())  # epoch-1 snapshot, WAL cleared
+        journal.close()
+        # Simulate the crash window: the old WAL is still on disk.
+        journal.wal_path.write_bytes(wal_bytes)
+        loaded = CheckpointJournal(tmp_path).load()
+        assert loaded.admitted == ["VID00000001"]
+        assert loaded.pending == [("VID00000001", 1)]  # applied exactly once
+
+    def test_wal_newer_than_snapshot_is_corruption(self, tmp_path):
+        journal = CheckpointJournal(tmp_path)
+        journal.append_batch(**batch(1))
+        journal.write_snapshot(journal.load())
+        journal.append_batch(**batch(2))  # epoch-1 WAL
+        journal.close()
+        wal_bytes = journal.wal_path.read_bytes()
+        # Roll the snapshot back to the epoch-0 original? Simplest valid
+        # forgery: delete the snapshot so epoch 0 is assumed.
+        journal.snapshot_path.unlink()
+        from repro.durability.artifacts import checksum_path
+
+        checksum_path(journal.snapshot_path).unlink()
+        journal.wal_path.write_bytes(wal_bytes)
+        with pytest.raises(CheckpointError, match="epoch"):
+            CheckpointJournal(tmp_path).load()
+
+
+class TestCorruptionAndRecovery:
+    def _journal_with_batches(self, tmp_path, n=3):
+        journal = CheckpointJournal(tmp_path)
+        for i in range(1, n + 1):
+            journal.append_batch(**batch(i))
+        journal.close()
+        return journal
+
+    def test_crc_flip_raises_strict(self, tmp_path):
+        journal = self._journal_with_batches(tmp_path)
+        blob = bytearray(journal.wal_path.read_bytes())
+        blob[_WAL_PREAMBLE + 20] ^= 0x01  # inside the first payload
+        journal.wal_path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="CRC"):
+            CheckpointJournal(tmp_path).load()
+
+    def test_crc_flip_recovers_to_nothing_without_snapshot(self, tmp_path):
+        journal = self._journal_with_batches(tmp_path)
+        blob = bytearray(journal.wal_path.read_bytes())
+        blob[_WAL_PREAMBLE + 20] ^= 0x01
+        journal.wal_path.write_bytes(bytes(blob))
+        reader = CheckpointJournal(tmp_path)
+        assert reader.load(recover=True) is None
+        assert any("journal.wal" in str(p) for p in reader.quarantined)
+
+    def test_crc_flip_recovers_to_snapshot(self, tmp_path):
+        journal = self._journal_with_batches(tmp_path, n=1)
+        journal = CheckpointJournal(tmp_path)
+        journal.write_snapshot(journal.load())
+        journal.append_batch(**batch(2))
+        journal.close()
+        blob = bytearray(journal.wal_path.read_bytes())
+        blob[-3] ^= 0x01
+        journal.wal_path.write_bytes(bytes(blob))
+        reader = CheckpointJournal(tmp_path)
+        loaded = reader.load(recover=True)
+        assert loaded is not None
+        assert loaded.admitted == ["VID00000001"]  # snapshot state only
+        assert reader.quarantined
+
+    def test_corrupt_snapshot_raises_strict(self, tmp_path):
+        journal = self._journal_with_batches(tmp_path, n=1)
+        journal = CheckpointJournal(tmp_path)
+        journal.write_snapshot(journal.load())
+        journal.close()
+        blob = bytearray(journal.snapshot_path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        journal.snapshot_path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="snapshot"):
+            CheckpointJournal(tmp_path).load()
+
+    def test_corrupt_snapshot_recovery_quarantines_both(self, tmp_path):
+        journal = self._journal_with_batches(tmp_path, n=1)
+        journal = CheckpointJournal(tmp_path)
+        journal.write_snapshot(journal.load())
+        journal.append_batch(**batch(2))
+        journal.close()
+        blob = bytearray(journal.snapshot_path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        journal.snapshot_path.write_bytes(bytes(blob))
+        reader = CheckpointJournal(tmp_path)
+        # The WAL's deltas are meaningless without their base snapshot.
+        assert reader.load(recover=True) is None
+        names = {p.name for p in reader.quarantined}
+        assert "snapshot.ckpt.json.quarantined" in names
+        assert "journal.wal.quarantined" in names
+
+    def test_bad_magic_raises(self, tmp_path):
+        journal = self._journal_with_batches(tmp_path)
+        blob = bytearray(journal.wal_path.read_bytes())
+        blob[0:8] = b"NOTAJRNL"
+        journal.wal_path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="magic"):
+            CheckpointJournal(tmp_path).load()
+
+
+class TestTruncationProperty:
+    """Satellite: cut the WAL at EVERY byte offset; the load must yield a
+    previous durable state (a strict prefix of the batches) or raise
+    CheckpointError — never a partial or invented state."""
+
+    def test_wal_truncated_at_every_offset(self, tmp_path):
+        source = tmp_path / "source"
+        journal = CheckpointJournal(source)
+        valid_states = {None}
+        boundary_states = [None]
+        for i in range(1, 4):
+            journal.append_batch(**batch(i, popped=1 if i > 1 else 0))
+            journal.close()
+            loaded = state_of(CheckpointJournal(source).load())
+            valid_states.add(loaded)
+            boundary_states.append(loaded)
+            journal = CheckpointJournal(source)
+            journal.load()
+        journal.close()
+
+        wal_bytes = (source / CheckpointJournal.WAL_NAME).read_bytes()
+        work = tmp_path / "work"
+        for cut in range(len(wal_bytes)):
+            if work.exists():
+                shutil.rmtree(work)
+            work.mkdir()
+            (work / CheckpointJournal.WAL_NAME).write_bytes(wal_bytes[:cut])
+            loaded = state_of(CheckpointJournal(work).load())
+            assert loaded in valid_states, (
+                f"truncation at byte {cut} produced a state outside the "
+                f"durable history: {loaded}"
+            )
+        # Sanity: the untruncated file loads the final state.
+        assert state_of(CheckpointJournal(source).load()) == boundary_states[-1]
+
+    def test_snapshot_truncated_at_every_offset(self, tmp_path):
+        source = tmp_path / "source"
+        journal = CheckpointJournal(source)
+        journal.append_batch(**batch(1))
+        journal.write_snapshot(journal.load())
+        journal.close()
+        full_state = state_of(CheckpointJournal(source).load())
+        snap_bytes = journal.snapshot_path.read_bytes()
+        sidecar = journal.snapshot_path.with_name(
+            journal.snapshot_path.name + ".sha256"
+        ).read_bytes()
+
+        work = tmp_path / "work"
+        for cut in range(len(snap_bytes)):
+            if work.exists():
+                shutil.rmtree(work)
+            work.mkdir()
+            (work / CheckpointJournal.SNAPSHOT_NAME).write_bytes(
+                snap_bytes[:cut]
+            )
+            (work / (CheckpointJournal.SNAPSHOT_NAME + ".sha256")).write_bytes(
+                sidecar
+            )
+            reader = CheckpointJournal(work)
+            # A truncated snapshot is corruption (checksummed artifact):
+            # strict load must refuse, recovering load must fall back to
+            # "nothing durable" — never a partial state.
+            with pytest.raises(CheckpointError):
+                reader.load()
+            recoverer = CheckpointJournal(work)
+            assert recoverer.load(recover=True) is None
+        assert state_of(CheckpointJournal(source).load()) == full_state
