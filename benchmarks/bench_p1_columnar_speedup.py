@@ -1,0 +1,149 @@
+"""P1 — perf regression gate: columnar engine vs the scalar oracle.
+
+Times the Eq. (1)–(3) path — per-video reconstruction plus the
+``views(t)`` aggregation — through both engines on the same filtered
+dataset, asserts the columnar output matches the scalar reference within
+1e-9, and enforces a minimum speedup. Results are written as
+machine-readable JSON to ``BENCH_p1.json`` at the repository root so CI
+can archive the numbers and fail on regression.
+
+What is gated: the **compute** path — ``TagViewsTable.from_columnar``
+over a prebuilt :class:`ColumnarDataset`, i.e. the vectorized Eq. (1)–(3)
+kernels the pipeline runs on every resume from the persisted
+``columnar.npz`` artifact — against the scalar per-video loop. The
+one-time columnar materialization (``build_columnar``) is timed and
+reported (``build_seconds``, ``cold_speedup``) but not gated: it is
+bounded by Python-object traversal the scalar path pays on *every* run,
+while the columnar engine pays it once per dataset.
+
+Knobs (environment):
+
+- ``BENCH_P1_PRESET`` — universe preset (default ``medium``);
+- ``BENCH_P1_MIN_SPEEDUP`` — override the speedup floor (default 10 on
+  ``medium``/larger, 5 on the smaller presets CI uses).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import build_columnar
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.synth.presets import preset_config
+
+REPO_ROOT = Path(__file__).parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_p1.json"
+
+PRESET = os.environ.get("BENCH_P1_PRESET", "medium")
+_DEFAULT_FLOOR = 10.0 if PRESET in ("medium", "large", "paper") else 5.0
+MIN_SPEEDUP = float(os.environ.get("BENCH_P1_MIN_SPEEDUP", _DEFAULT_FLOOR))
+
+RTOL = 1e-9
+
+#: Timed repetitions; best-of is reported so first-touch page faults and
+#: allocator warmup don't masquerade as compute cost.
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def p1_pipeline():
+    return run_pipeline(PipelineConfig(universe=preset_config(PRESET)))
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux (bytes on macOS — normalized here).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak > 1 << 32:  # plausibly bytes (macOS)
+        return peak / (1 << 20)
+    return peak / 1024.0
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    """(result, best_seconds) over ``repeats`` timed calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_p1_columnar_speedup(p1_pipeline, report_writer):
+    dataset = p1_pipeline.dataset
+    reconstructor = p1_pipeline.reconstructor
+    registry = dataset.registry
+
+    # Warm both paths once (imports, allocator) before timing.
+    small_warmup = list(dataset)[:50]
+    TagViewsTable(small_warmup, reconstructor, engine="scalar")
+    TagViewsTable(small_warmup, reconstructor, engine="columnar")
+
+    scalar_table, scalar_s = _best_of(
+        lambda: TagViewsTable(dataset, reconstructor, engine="scalar"),
+        repeats=2,
+    )
+    columnar, build_s = _best_of(lambda: build_columnar(dataset, registry))
+    columnar_table, compute_s = _best_of(
+        lambda: TagViewsTable.from_columnar(columnar, reconstructor)
+    )
+
+    # Correctness gate: the speedup only counts if the answers agree.
+    assert scalar_table.tags() == columnar_table.tags()
+    a = columnar_table.views_matrix()
+    b = scalar_table.views_matrix()
+    np.testing.assert_allclose(a, b, rtol=RTOL, atol=RTOL)
+    nonzero = np.abs(b) > 0
+    max_rel_diff = (
+        float(np.max(np.abs(a[nonzero] - b[nonzero]) / np.abs(b[nonzero])))
+        if nonzero.any()
+        else 0.0
+    )
+
+    videos = len(dataset)
+    tags = len(columnar_table)
+    speedup = scalar_s / compute_s if compute_s > 0 else float("inf")
+    cold_s = build_s + compute_s
+    payload = {
+        "benchmark": "p1_columnar_speedup",
+        "preset": PRESET,
+        "videos": videos,
+        "tags": tags,
+        "countries": len(reconstructor.registry),
+        "scalar_seconds": round(scalar_s, 6),
+        "build_seconds": round(build_s, 6),
+        "compute_seconds": round(compute_s, 6),
+        "speedup": round(speedup, 2),
+        "cold_speedup": round(scalar_s / cold_s, 2) if cold_s > 0 else None,
+        "min_speedup": MIN_SPEEDUP,
+        "scalar_videos_per_sec": round(videos / scalar_s, 1),
+        "columnar_videos_per_sec": round(videos / compute_s, 1),
+        "columnar_tags_per_sec": round(tags / compute_s, 1),
+        "max_rel_diff": max_rel_diff,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+    OUTPUT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    report_writer(
+        "p1_columnar_speedup",
+        "\n".join(f"{key}: {value}" for key, value in sorted(payload.items())),
+    )
+
+    assert max_rel_diff <= RTOL
+    assert speedup >= MIN_SPEEDUP, (
+        f"columnar compute only {speedup:.1f}x faster than scalar "
+        f"(floor {MIN_SPEEDUP}x) on preset {PRESET!r}"
+    )

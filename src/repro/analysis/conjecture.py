@@ -91,33 +91,38 @@ def predict_from_tags(
         raise AnalysisError(
             f"unknown weighting {weighting!r}; choose from {WEIGHTINGS}"
         )
-    prior = (
-        table.reconstructor.traffic.as_vector()
-        if weighting == "specificity"
-        else None
-    )
-    mixture = np.zeros(len(table.registry))
-    weight_total = 0.0
+    # Matrix path: resolve the video's known tags to table rows once,
+    # then mix with a single weighted matrix product — no per-tag
+    # ``shares_for``/``total_views`` round-trips.
+    totals = table.totals()
+    positions: List[int] = []
+    slots: List[int] = []
     for position, tag in enumerate(video.tags):
         if tag not in table:
             continue
-        total_views = table.total_views(tag)
-        if total_views <= 0:
+        slot = table.tag_id(tag)
+        if totals[slot] <= 0:
             continue
-        shares = table.shares_for(tag)
-        if weighting == "views":
-            weight = total_views
-        elif weighting == "uniform":
-            weight = 1.0
-        elif weighting == "position":
-            weight = POSITION_DECAY**position
-        else:  # specificity
-            weight = jensen_shannon(shares, prior) + 1e-6
-        mixture += weight * shares
-        weight_total += weight
+        positions.append(position)
+        slots.append(slot)
+    if not slots:
+        return None
+    rows = table.shares_matrix()[slots]
+    if weighting == "views":
+        weights = totals[slots].astype(np.float64)
+    elif weighting == "uniform":
+        weights = np.ones(len(slots))
+    elif weighting == "position":
+        weights = POSITION_DECAY ** np.asarray(positions, dtype=np.float64)
+    else:  # specificity
+        from repro.engine.compute import jensen_shannon_rows
+
+        prior = table.reconstructor.traffic.as_vector()
+        weights = jensen_shannon_rows(rows, prior / prior.sum()) + 1e-6
+    weight_total = float(weights.sum())
     if weight_total <= 0:
         return None
-    return mixture / weight_total
+    return (weights @ rows) / weight_total
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,11 @@ to niche audiences, in limited geographic areas" in the paper's
 introduction. This module quantifies that relationship on a corpus:
 the rank correlation between a video's view count and the concentration
 of its (reconstructed) geographic distribution.
+
+``scipy`` is optional here: when it is installed (the ``dev`` extra
+pulls it in) Spearman's ρ comes from ``scipy.stats``; otherwise a
+numpy-only implementation (average-rank ties + Pearson on ranks — the
+textbook definition) is used. The two agree to float precision.
 """
 
 from __future__ import annotations
@@ -15,12 +20,52 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
-from scipy import stats as scipy_stats
+
+try:  # pyproject declares only numpy as a hard dependency
+    from scipy import stats as scipy_stats
+except ImportError:  # pragma: no cover - exercised via import-blocking test
+    scipy_stats = None
 
 from repro.analysis.metrics import jensen_shannon, top_k_share
 from repro.datamodel.dataset import Dataset
 from repro.errors import AnalysisError
 from repro.reconstruct.views import ViewReconstructor
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties sharing their average rank."""
+    _, inverse, counts = np.unique(
+        values, return_inverse=True, return_counts=True
+    )
+    ends = np.cumsum(counts).astype(np.float64)
+    starts = ends - counts
+    # Ranks start+1 .. end average to (start + end + 1) / 2.
+    return ((starts + ends + 1.0) / 2.0)[inverse]
+
+
+def spearman_rank(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman's ρ between two samples.
+
+    Delegates to scipy when available, otherwise falls back to the
+    numpy implementation. Raises on mismatched or too-short input.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise AnalysisError(
+            f"spearman needs two equal-length vectors, got {x.shape}/{y.shape}"
+        )
+    if x.size < 2:
+        raise AnalysisError("spearman needs at least 2 observations")
+    if scipy_stats is not None:
+        return float(scipy_stats.spearmanr(x, y).statistic)
+    rx = _average_ranks(x)
+    ry = _average_ranks(y)
+    sx = rx.std()
+    sy = ry.std()
+    if sx == 0 or sy == 0:
+        return float("nan")  # scipy returns nan for constant input too
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
 
 
 @dataclass(frozen=True)
@@ -53,39 +98,45 @@ def popularity_vs_locality(
     """Measure the popularity↔locality relationship over a corpus.
 
     Uses reconstructed share vectors (the observable path); requires at
-    least 20 eligible videos for a meaningful correlation.
+    least 20 eligible videos for a meaningful correlation. The share
+    matrix comes from the columnar engine — one vectorized pass instead
+    of a reconstruction per video.
     """
     if reconstructor is None:
         reconstructor = ViewReconstructor()
     prior = reconstructor.traffic.as_vector()
-    views: List[float] = []
-    top1: List[float] = []
-    jsd: List[float] = []
-    for video in dataset:
-        if not video.has_valid_popularity():
-            continue
-        shares = reconstructor.shares_for_video(video)
-        views.append(float(video.views))
-        top1.append(top_k_share(shares, 1))
-        jsd.append(jensen_shannon(shares, prior))
-    if len(views) < 20:
-        raise AnalysisError(
-            f"need >= 20 eligible videos, got {len(views)}"
-        )
-    views_arr = np.array(views)
-    top1_arr = np.array(top1)
+
+    ids, estimated = reconstructor.matrix_for_dataset(dataset)
+    if len(ids) < 20:
+        raise AnalysisError(f"need >= 20 eligible videos, got {len(ids)}")
+    views_arr = np.array([dataset.get(video_id).views for video_id in ids], float)
+
+    from repro.engine.compute import (
+        jensen_shannon_rows,
+        rows_to_distributions,
+        top_k_share_rows,
+    )
+
+    # Shares are view-count independent (the weights renormalize), so a
+    # zero-view video still has well-defined shares: normalize the
+    # weights row, which reconstruct() scaled by views — recover it by
+    # reconstructing a unit-view copy for those rows.
+    shares = rows_to_distributions(estimated)
+    zero_rows = np.flatnonzero(estimated.sum(axis=1) <= 0)
+    for row in zero_rows:
+        shares[row] = reconstructor.shares_for_video(dataset.get(ids[row]))
+
+    top1_arr = top_k_share_rows(shares, 1)
+    jsd_arr = jensen_shannon_rows(shares, prior / prior.sum())
+
     order = np.argsort(views_arr)
-    decile = max(len(views) // 10, 1)
+    decile = max(len(ids) // 10, 1)
     tail_mean = float(top1_arr[order[:decile]].mean())
     head_mean = float(top1_arr[order[-decile:]].mean())
     return PopularityLocalityResult(
-        spearman_views_top1=float(
-            scipy_stats.spearmanr(views_arr, top1_arr).statistic
-        ),
-        spearman_views_jsd=float(
-            scipy_stats.spearmanr(views_arr, np.array(jsd)).statistic
-        ),
-        videos=len(views),
+        spearman_views_top1=spearman_rank(views_arr, top1_arr),
+        spearman_views_jsd=spearman_rank(views_arr, jsd_arr),
+        videos=len(ids),
         head_mean_top1=head_mean,
         tail_mean_top1=tail_mean,
     )

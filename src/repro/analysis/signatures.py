@@ -14,6 +14,7 @@ signature surfaces *favela*-like tags.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -56,10 +57,9 @@ class CountrySignatures:
         self.table = table
         self.registry: CountryRegistry = table.registry
         self.min_videos = min_videos
-        # Baseline: each country's share of all tag-weighted views.
-        total = np.zeros(len(self.registry))
-        for _, views in table.items():
-            total += views
+        # Baseline: each country's share of all tag-weighted views —
+        # one column reduction over the table's matrix.
+        total = table.views_matrix().sum(axis=0)
         mass = total.sum()
         if mass <= 0:
             raise AnalysisError("tag table has no view mass")
@@ -79,26 +79,39 @@ class CountrySignatures:
         return float(shares[index] / baseline)
 
     def signature(self, country: str, count: int = 10) -> List[TagLift]:
-        """The ``count`` most over-represented tags in ``country``."""
+        """The ``count`` most over-represented tags in ``country``.
+
+        Matrix path: one column slice over the table gives every tag's
+        share in the country at once; only the surviving top-``count``
+        entries are materialized as :class:`TagLift` objects.
+        """
         index = self.registry.index_of(country)
         baseline = self._baseline[index]
         if baseline <= 0:
             raise AnalysisError(f"country {country} has no baseline mass")
-        entries: List[TagLift] = []
-        for tag, views in self.table.items():
-            if self.table.video_count(tag) < self.min_videos:
-                continue
-            total = views.sum()
-            if total <= 0:
-                continue
-            share = float(views[index] / total)
-            entries.append(
-                TagLift(
-                    tag=tag,
-                    lift=share / baseline,
-                    country_share=share,
-                    video_count=self.table.video_count(tag),
-                )
+        totals = self.table.totals()
+        counts = self.table.video_counts()
+        eligible = np.flatnonzero((counts >= self.min_videos) & (totals > 0))
+        if eligible.size == 0:
+            return []
+        shares = (
+            self.table.views_matrix()[eligible, index] / totals[eligible]
+        )
+        lifts = shares / baseline
+        tags = self.table.tags()
+        # Same ordering contract as the historical full sort: lift
+        # descending, tag ascending on ties — but over a bounded heap.
+        best = heapq.nsmallest(
+            count,
+            range(eligible.size),
+            key=lambda i: (-lifts[i], tags[eligible[i]]),
+        )
+        return [
+            TagLift(
+                tag=tags[eligible[i]],
+                lift=float(lifts[i]),
+                country_share=float(shares[i]),
+                video_count=int(counts[eligible[i]]),
             )
-        entries.sort(key=lambda entry: (-entry.lift, entry.tag))
-        return entries[:count]
+            for i in best
+        ]

@@ -93,24 +93,44 @@ class TagGeographyReport:
         self.traffic = traffic
         prior = traffic.as_vector()
         self._stats: Dict[str, TagGeography] = {}
-        for tag, views in table.items():
-            count = table.video_count(tag)
-            if count < min_videos:
-                continue
-            total = float(views.sum())
-            if total <= 0:
-                continue
-            shares = views / total
+
+        # Matrix path: every metric for every surviving tag in one
+        # vectorized pass over the table's (T × C) matrix; the loop below
+        # only boxes precomputed floats into the report dataclasses.
+        from repro.engine.compute import (
+            entropy_rows,
+            gini_rows,
+            herfindahl_rows,
+            jensen_shannon_rows,
+            top_k_share_rows,
+        )
+
+        totals = table.totals()
+        counts = table.video_counts()
+        eligible = np.flatnonzero((counts >= min_videos) & (totals > 0))
+        if eligible.size == 0:
+            return
+        shares = table.views_matrix()[eligible] / totals[eligible, np.newaxis]
+        entropies = entropy_rows(shares)
+        ginis = gini_rows(shares)
+        hhis = herfindahl_rows(shares)
+        top1s = top_k_share_rows(shares, 1)
+        top_idx = np.argmax(shares, axis=1)
+        jsds = jensen_shannon_rows(shares, prior / prior.sum())
+        codes = table.registry.codes()
+        tags = table.tags()
+        for pos, slot in enumerate(eligible):
+            tag = tags[slot]
             self._stats[tag] = TagGeography(
                 tag=tag,
-                total_views=total,
-                video_count=count,
-                entropy=normalized_entropy(shares),
-                gini=gini(shares),
-                hhi=herfindahl(shares),
-                top1_share=top_k_share(shares, 1),
-                top_country=table.registry.codes()[int(np.argmax(shares))],
-                jsd_to_prior=jensen_shannon(shares, prior),
+                total_views=float(totals[slot]),
+                video_count=int(counts[slot]),
+                entropy=float(entropies[pos]),
+                gini=float(ginis[pos]),
+                hhi=float(hhis[pos]),
+                top1_share=float(top1s[pos]),
+                top_country=codes[int(top_idx[pos])],
+                jsd_to_prior=float(jsds[pos]),
             )
 
     def __len__(self) -> int:

@@ -26,6 +26,9 @@ Datasets written by ``crawl`` are plain JSONL (one video per line) and
 are re-read by the analysis subcommands with the library's default
 traffic model. ``genworld`` saves a universe *with ground truth* so
 ``validate`` (and crawls of the same world) can run in later processes.
+``tag``/``toptags``/``classify``/``country`` accept
+``--engine {auto,columnar,scalar}`` to pick the Eq. (1)-(3) execution
+engine (columnar vectorized fast path vs. the scalar reference loop).
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ from repro.datamodel.io import read_videos_jsonl, write_videos_jsonl
 from repro.errors import ReproError
 from repro.pipeline import PipelineConfig, run_pipeline
 from repro.reconstruct.tagviews import TagViewsTable
-from repro.reconstruct.views import ViewReconstructor
+from repro.reconstruct.views import ENGINES, ViewReconstructor
 from repro.synth.presets import PRESETS, preset_config
 from repro.viz.report import (
     funnel_report,
@@ -48,6 +51,16 @@ from repro.viz.report import (
     video_map_report,
 )
 from repro.world.traffic import default_traffic_model
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=ENGINES,
+        help="Eq. (1)-(3) execution engine: the vectorized columnar fast "
+        "path (auto/columnar) or the per-video scalar reference",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -79,10 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
     tag = sub.add_parser("tag", help="Figs. 2/3: a tag's view geography")
     tag.add_argument("--in", dest="input", required=True)
     tag.add_argument("tag", help="the tag to map")
+    _add_engine_flag(tag)
 
     toptags = sub.add_parser("toptags", help="most-viewed tags ranking")
     toptags.add_argument("--in", dest="input", required=True)
     toptags.add_argument("--count", type=int, default=15)
+    _add_engine_flag(toptags)
 
     classify = sub.add_parser(
         "classify", help="global/local classification of every tag"
@@ -91,6 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--min-videos", type=int, default=3)
     classify.add_argument("--csv", default=None, help="write full table as CSV")
     classify.add_argument("--count", type=int, default=10, help="rows to print")
+    _add_engine_flag(classify)
 
     regions = sub.add_parser(
         "regions", help="continental share of estimated views"
@@ -112,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
     country.add_argument("code", help="ISO country code, e.g. BR")
     country.add_argument("--count", type=int, default=10)
     country.add_argument("--min-videos", type=int, default=3)
+    _add_engine_flag(country)
 
     plot = sub.add_parser(
         "plot", help="view-count and tag-usage distribution plots (ASCII)"
@@ -249,7 +266,7 @@ def _cmd_tag(args: argparse.Namespace) -> int:
     raw = _load_dataset(args.input)
     filtered, _ = raw.apply_paper_filter()
     reconstructor = ViewReconstructor()
-    table = TagViewsTable(filtered, reconstructor)
+    table = TagViewsTable(filtered, reconstructor, engine=args.engine)
     if args.tag not in table:
         print(f"tag {args.tag!r} not found in dataset", file=sys.stderr)
         return 1
@@ -268,7 +285,7 @@ def _cmd_tag(args: argparse.Namespace) -> int:
 def _cmd_toptags(args: argparse.Namespace) -> int:
     raw = _load_dataset(args.input)
     filtered, _ = raw.apply_paper_filter()
-    table = TagViewsTable(filtered, ViewReconstructor())
+    table = TagViewsTable(filtered, ViewReconstructor(), engine=args.engine)
     print(f"{'rank':>4}  {'tag':<24} {'est. views':>16} {'videos':>8}")
     for rank, (tag, views) in enumerate(
         table.top_tags_by_views(args.count), start=1
@@ -286,7 +303,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     raw = _load_dataset(args.input)
     filtered, _ = raw.apply_paper_filter()
     reconstructor = ViewReconstructor()
-    table = TagViewsTable(filtered, reconstructor)
+    table = TagViewsTable(filtered, reconstructor, engine=args.engine)
     report = TagGeographyReport(
         table, reconstructor.traffic, min_videos=args.min_videos
     )
@@ -368,7 +385,7 @@ def _cmd_country(args: argparse.Namespace) -> int:
 
     raw = _load_dataset(args.input)
     filtered, _ = raw.apply_paper_filter()
-    table = TagViewsTable(filtered, ViewReconstructor())
+    table = TagViewsTable(filtered, ViewReconstructor(), engine=args.engine)
     signatures = CountrySignatures(table, min_videos=args.min_videos)
     code = args.code.upper()
     entries = signatures.signature(code, args.count)

@@ -1,0 +1,238 @@
+"""Columnar materialization of a dataset.
+
+The scalar path walks Python objects: one :class:`~repro.datamodel.video.Video`
+at a time, one dict lookup per country, one small numpy allocation per
+video. At the paper's scale (691k videos × 705k tags) that shape cannot
+saturate the hardware. This module materializes a dataset **once** into
+flat arrays — the columnar form every vectorized kernel in
+:mod:`repro.engine.compute` consumes:
+
+- ``pop`` — a dense ``(V × C)`` popularity-intensity matrix (one row per
+  eligible video, one column per registry country);
+- ``views`` — an int64 vector of worldwide view counts;
+- ``video_ids`` — row labels, in dataset (crawl) order;
+- ``tags`` / ``indptr`` / ``indices`` — the tag→video incidence as a CSR
+  structure (plain numpy, no scipy): the videos carrying tag ``t`` occupy
+  ``indices[indptr[t]:indptr[t+1]]``, as row numbers into ``pop``.
+
+Eligibility mirrors the paper's funnel: a video needs a valid popularity
+vector to get a row; tagless rows simply appear in no CSR segment. A
+video's duplicate tags (possible when records bypass
+:func:`~repro.datamodel.tags.normalize_tags`) are counted **once** per
+video — the Eq. (3) sum is over *distinct* tags.
+
+For large universes the dense fill — the only remaining per-video Python
+work — shards across :mod:`concurrent.futures` workers; each shard
+extracts its ``(row, column, intensity)`` triples and the main thread
+scatters them into the preallocated matrix with a single fancy-index
+assignment per shard.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel.video import Video
+from repro.errors import ReconstructionError
+from repro.world.countries import CountryRegistry, default_registry
+
+#: Videos below this count are materialized serially; sharding only pays
+#: once the per-video Python work dominates the executor overhead.
+SHARD_THRESHOLD = 50_000
+
+#: Upper bound on build workers (beyond this the scatter is memory-bound).
+MAX_BUILD_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class ColumnarDataset:
+    """A dataset flattened into matrices (see module docstring).
+
+    Attributes:
+        video_ids: Row labels, in dataset order (length ``V``).
+        pop: ``(V, C)`` float64 intensity matrix on the registry axis.
+        views: ``(V,)`` int64 worldwide view counts.
+        tags: Tag vocabulary in first-seen order (length ``T``).
+        indptr: ``(T + 1,)`` int64 CSR row pointer over ``indices``.
+        indices: ``(nnz,)`` int64 video row numbers, grouped by tag.
+        codes: The registry axis the columns follow (for integrity
+            checks when reloading from disk).
+    """
+
+    video_ids: Tuple[str, ...]
+    pop: np.ndarray
+    views: np.ndarray
+    tags: Tuple[str, ...]
+    indptr: np.ndarray
+    indices: np.ndarray
+    codes: Tuple[str, ...]
+
+    @property
+    def n_videos(self) -> int:
+        return len(self.video_ids)
+
+    @property
+    def n_tags(self) -> int:
+        return len(self.tags)
+
+    @property
+    def n_countries(self) -> int:
+        return self.pop.shape[1]
+
+    def tag_video_counts(self) -> np.ndarray:
+        """|videos(t)| per tag (distinct videos), aligned with ``tags``."""
+        return np.diff(self.indptr)
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises ``ReconstructionError``."""
+        v, c = self.pop.shape
+        if v != len(self.video_ids) or v != len(self.views):
+            raise ReconstructionError("columnar row counts disagree")
+        if c != len(self.codes):
+            raise ReconstructionError("columnar axis width disagrees")
+        if len(self.indptr) != len(self.tags) + 1:
+            raise ReconstructionError("columnar indptr length disagrees")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ReconstructionError("columnar indptr endpoints disagree")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ReconstructionError("columnar indptr must be nondecreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= v
+        ):
+            raise ReconstructionError("columnar indices out of row range")
+
+
+def _eligible(dataset: Iterable[Video]) -> List[Video]:
+    return [video for video in dataset if video.has_valid_popularity()]
+
+
+def _extract_triples(
+    videos: Sequence[Video],
+    row_offset: int,
+    column_of: Dict[str, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(rows, cols, vals) for one shard of the dense fill.
+
+    The per-video loop only issues C-speed bulk calls (``dict`` view
+    extends); the string→column mapping and the int→float widening run
+    once over the whole shard, not once per entry.
+    """
+    codes: List[str] = []
+    values: List[int] = []
+    counts: List[int] = []
+    for video in videos:
+        intensities = video.popularity.as_dict()
+        codes.extend(intensities)
+        values.extend(intensities.values())
+        counts.append(len(intensities))
+    rows = np.repeat(
+        np.arange(row_offset, row_offset + len(videos), dtype=np.int64),
+        counts,
+    )
+    cols = np.fromiter(
+        map(column_of.__getitem__, codes), dtype=np.int64, count=len(codes)
+    )
+    vals = np.fromiter(values, dtype=np.float64, count=len(values))
+    return rows, cols, vals
+
+
+def _resolve_workers(n_videos: int, workers: Optional[int]) -> int:
+    if workers is not None:
+        if workers < 1:
+            raise ReconstructionError(f"workers must be >= 1, got {workers}")
+        return workers
+    if n_videos < SHARD_THRESHOLD:
+        return 1
+    return min(MAX_BUILD_WORKERS, os.cpu_count() or 1)
+
+
+def build_columnar(
+    dataset: Iterable[Video],
+    registry: Optional[CountryRegistry] = None,
+    workers: Optional[int] = None,
+) -> ColumnarDataset:
+    """Materialize ``dataset`` into a :class:`ColumnarDataset`.
+
+    Args:
+        dataset: Any iterable of videos (a :class:`Dataset` works); only
+            videos with a valid popularity vector get a row.
+        registry: The column axis; defaults to the library default.
+        workers: Dense-fill shard count. ``None`` picks 1 below
+            :data:`SHARD_THRESHOLD` videos and up to
+            :data:`MAX_BUILD_WORKERS` above it.
+    """
+    if registry is None:
+        registry = default_registry()
+    codes = tuple(registry.codes())
+    column_of = {code: i for i, code in enumerate(codes)}
+    videos = _eligible(dataset)
+    n = len(videos)
+
+    pop = np.zeros((n, len(codes)), dtype=np.float64)
+    views = np.fromiter(
+        (video.views for video in videos), dtype=np.int64, count=n
+    )
+
+    workers = _resolve_workers(n, workers)
+    if workers <= 1 or n < 2 * workers:
+        rows, cols, vals = _extract_triples(videos, 0, column_of)
+        pop[rows, cols] = vals
+    else:
+        bounds = np.linspace(0, n, workers + 1, dtype=np.int64)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _extract_triples,
+                    videos[bounds[i]:bounds[i + 1]],
+                    int(bounds[i]),
+                    column_of,
+                )
+                for i in range(workers)
+                if bounds[i] < bounds[i + 1]
+            ]
+            for future in futures:
+                rows, cols, vals = future.result()
+                pop[rows, cols] = vals
+
+    # Tag→video incidence. Tag-id assignment is first-seen order (the
+    # same order the scalar table encounters tags), kept serial so the
+    # vocabulary is deterministic regardless of worker count.
+    entry_names: List[str] = []
+    tag_counts: List[int] = []
+    for video in videos:
+        unique = dict.fromkeys(video.tags)  # dedupe, keep uploader order
+        entry_names.extend(unique)
+        tag_counts.append(len(unique))
+    tag_of: Dict[str, int] = {}
+    for tag in entry_names:
+        tag_of.setdefault(tag, len(tag_of))
+
+    n_tags = len(tag_of)
+    tag_ids = np.fromiter(
+        map(tag_of.__getitem__, entry_names),
+        dtype=np.int64,
+        count=len(entry_names),
+    )
+    row_ids = np.repeat(np.arange(n, dtype=np.int64), tag_counts)
+    counts = np.bincount(tag_ids, minlength=n_tags).astype(np.int64)
+    indptr = np.zeros(n_tags + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    # Stable counting sort groups entries by tag while preserving the
+    # within-tag video (crawl) order the scalar path accumulates in.
+    order = np.argsort(tag_ids, kind="stable")
+    indices = row_ids[order]
+
+    return ColumnarDataset(
+        video_ids=tuple(video.video_id for video in videos),
+        pop=pop,
+        views=views,
+        tags=tuple(tag_of.keys()),
+        indptr=indptr,
+        indices=indices,
+        codes=codes,
+    )

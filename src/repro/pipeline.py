@@ -37,7 +37,7 @@ from repro.datamodel.io import read_videos_jsonl, write_videos_jsonl
 from repro.durability import artifacts
 from repro.durability.fsfaults import Filesystem
 from repro.durability.journal import CheckpointJournal
-from repro.errors import ConfigError, DatasetIOError
+from repro.errors import ConfigError, DatasetIOError, ReproError
 from repro.reconstruct.tagviews import TagViewsTable
 from repro.reconstruct.views import ViewReconstructor
 from repro.synth.io import load_universe, save_universe
@@ -55,7 +55,7 @@ STAGE_ARTIFACTS: Dict[str, Tuple[str, ...]] = {
     "universe": ("universe.json.gz",),
     "crawl": ("crawl.jsonl", "crawl_stats.json"),
     "filter": ("dataset.jsonl", "filter_report.json"),
-    "reconstruct": ("tag_views.json",),
+    "reconstruct": ("tag_views.json", "columnar.npz"),
 }
 
 MANIFEST_NAME = "manifest.json"
@@ -400,14 +400,31 @@ def _run_resumable(config: PipelineConfig, wd: _Workdir) -> PipelineResult:
         wd.mark_done("filter")
 
     # Stage 4: reconstruct ---------------------------------------------------
-    # The estimator objects are always rebuilt (they are views over the
-    # dataset, not stored state); the artifact is the views(t) summary.
+    # The estimator is always rebuilt (it is a view over the traffic
+    # model, not stored state); the artifacts are the views(t) summary
+    # and the columnar matrices — an intact ``columnar.npz`` lets a
+    # resumed run skip re-vectorizing the dataset entirely.
+    from repro.engine import build_columnar, load_columnar, save_columnar
+
     reconstructor = ViewReconstructor(universe.traffic)
-    tag_table = TagViewsTable(dataset, reconstructor)
     tagviews_path = wd.path("tag_views.json")
+    columnar_path = wd.path("columnar.npz")
+    columnar = None
     if wd.stage_intact("reconstruct"):
-        skipped.append("reconstruct")
-    else:
+        try:
+            # stage_intact already checksummed the file; skip re-hashing.
+            columnar = load_columnar(
+                columnar_path, registry=registry, fs=wd.fs, verify=False
+            )
+            skipped.append("reconstruct")
+        except ReproError:
+            # Checksum-valid but unloadable (e.g. written by an older
+            # format): quarantine and fall through to a recompute.
+            wd.quarantined.append(artifacts.quarantine(columnar_path, fs=wd.fs))
+    if columnar is None:
+        columnar = build_columnar(dataset, registry)
+        save_columnar(columnar, columnar_path, fs=wd.fs)
+        tag_table = TagViewsTable.from_columnar(columnar, reconstructor)
         summary = {
             "tags": len(tag_table),
             "views": {
@@ -421,6 +438,8 @@ def _run_resumable(config: PipelineConfig, wd: _Workdir) -> PipelineResult:
             checksum=True,
         )
         wd.mark_done("reconstruct")
+    else:
+        tag_table = TagViewsTable.from_columnar(columnar, reconstructor)
 
     return PipelineResult(
         universe=universe,

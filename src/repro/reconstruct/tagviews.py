@@ -2,18 +2,34 @@
 
 ``views(t)[c] = Σ_{v ∈ videos(t)} views(v)[c]`` — the quantity behind the
 paper's Figs. 2 and 3. :class:`TagViewsTable` materializes it for every
-tag of a dataset in one pass over the reconstructed videos.
+tag of a dataset.
+
+Two build paths produce the identical table:
+
+- **columnar** (the default): the dataset is materialized once through
+  :mod:`repro.engine`, Eq. (1)–(2) runs vectorized for every video, and
+  Eq. (3) becomes CSR segment sums — a handful of numpy ops total;
+- **scalar** (``engine="scalar"``): the historical per-video loop, kept
+  as the reference oracle the property tests pin the engine to.
+
+Either way the table is backed by one dense ``(T × C)`` matrix plus a
+tag index, so matrix-level consumers (:mod:`repro.analysis.signatures`,
+:mod:`repro.analysis.tagstats`, :mod:`repro.analysis.conjecture`) can
+grab :meth:`TagViewsTable.views_matrix` / :meth:`shares_matrix` instead
+of looping tag by tag. A video's duplicate tags are counted **once** —
+Eq. (3) sums over *distinct* tags per video.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datamodel.dataset import Dataset
 from repro.errors import AnalysisError
-from repro.reconstruct.views import ViewReconstructor
+from repro.reconstruct.views import ViewReconstructor, _resolve_engine
 from repro.world.countries import CountryRegistry
 
 
@@ -25,89 +41,195 @@ class TagViewsTable:
             vector are ignored, as in the paper.
         reconstructor: The Eq. (1)–(2) estimator to use; defaults to the
             standard one.
+        engine: ``"auto"``/``"columnar"`` for the vectorized fast path,
+            ``"scalar"`` for the per-video reference oracle.
 
-    The table is built eagerly in the constructor: one reconstruction per
-    eligible video, one accumulation per (video, tag) pair.
+    The table is built eagerly in the constructor.
     """
 
     def __init__(
         self,
         dataset: Dataset,
         reconstructor: Optional[ViewReconstructor] = None,
+        engine: str = "auto",
     ):
         if reconstructor is None:
             reconstructor = ViewReconstructor()
         self.reconstructor = reconstructor
         self.registry: CountryRegistry = reconstructor.registry
-        self._views: Dict[str, np.ndarray] = {}
-        self._video_counts: Dict[str, int] = {}
+        if _resolve_engine(engine) == "columnar":
+            from repro.engine.columnar import build_columnar
+
+            self._build_from_columnar(build_columnar(dataset, self.registry))
+        else:
+            self._build_scalar(dataset)
+
+    @classmethod
+    def from_columnar(
+        cls,
+        columnar,
+        reconstructor: Optional[ViewReconstructor] = None,
+    ) -> "TagViewsTable":
+        """Build directly from a prebuilt/persisted columnar dataset.
+
+        This is the resume path: a pipeline that already holds a
+        :class:`~repro.engine.columnar.ColumnarDataset` (e.g. loaded from
+        the ``columnar.npz`` artifact) skips re-materialization entirely
+        and goes straight to the vectorized kernels.
+        """
+        table = cls.__new__(cls)
+        if reconstructor is None:
+            reconstructor = ViewReconstructor()
+        table.reconstructor = reconstructor
+        table.registry = reconstructor.registry
+        table._build_from_columnar(columnar)
+        return table
+
+    # -- construction -----------------------------------------------------
+
+    def _build_from_columnar(self, columnar) -> None:
+        from repro.engine.compute import tag_segment_sums
+
+        estimated = self.reconstructor.matrix_for_columnar(columnar)
+        matrix = tag_segment_sums(estimated, columnar.indptr, columnar.indices)
+        self._finish(columnar.tags, matrix, columnar.tag_video_counts())
+
+    def _build_scalar(self, dataset: Dataset) -> None:
         axis = len(self.registry)
+        index: Dict[str, int] = {}
+        rows: List[np.ndarray] = []
+        counts: List[int] = []
         for video in dataset:
             if not video.has_valid_popularity() or not video.tags:
                 continue
-            estimated = reconstructor.for_video(video)
-            for tag in video.tags:
-                bucket = self._views.get(tag)
-                if bucket is None:
-                    bucket = np.zeros(axis)
-                    self._views[tag] = bucket
-                bucket += estimated
-                self._video_counts[tag] = self._video_counts.get(tag, 0) + 1
+            estimated = self.reconstructor.for_video(video)
+            # dict.fromkeys dedupes while keeping uploader order: a
+            # duplicated tag must not receive the video's views twice.
+            for tag in dict.fromkeys(video.tags):
+                slot = index.get(tag)
+                if slot is None:
+                    slot = len(rows)
+                    index[tag] = slot
+                    rows.append(np.zeros(axis))
+                    counts.append(0)
+                rows[slot] += estimated
+                counts[slot] += 1
+        matrix = np.vstack(rows) if rows else np.zeros((0, axis))
+        self._finish(list(index.keys()), matrix, counts)
+
+    def _finish(
+        self,
+        tags: Sequence[str],
+        matrix: np.ndarray,
+        counts: Sequence[int],
+    ) -> None:
+        self._tags: List[str] = list(tags)
+        self._index: Dict[str, int] = {
+            tag: i for i, tag in enumerate(self._tags)
+        }
+        self._matrix = matrix
+        self._counts = np.asarray(counts, dtype=np.int64)
+        self._totals = matrix.sum(axis=1)
+        self._shares: Optional[np.ndarray] = None
 
     # -- access ---------------------------------------------------------------
 
     def __len__(self) -> int:
         """Number of distinct tags in the table."""
-        return len(self._views)
+        return len(self._tags)
 
     def __contains__(self, tag: str) -> bool:
-        return tag in self._views
+        return tag in self._index
 
     def tags(self) -> List[str]:
-        return list(self._views.keys())
+        return list(self._tags)
 
-    def views_for(self, tag: str) -> np.ndarray:
-        """``views(t)`` as a vector on the registry axis (copy)."""
+    def tag_id(self, tag: str) -> int:
+        """Row number of ``tag`` in the table's matrices."""
         try:
-            return self._views[tag].copy()
+            return self._index[tag]
         except KeyError:
             raise AnalysisError(f"tag not in table: {tag!r}") from None
 
+    def views_for(self, tag: str) -> np.ndarray:
+        """``views(t)`` as a vector on the registry axis (copy)."""
+        return self._matrix[self.tag_id(tag)].copy()
+
     def shares_for(self, tag: str) -> np.ndarray:
         """``views(t)`` normalized to a distribution."""
-        views = self.views_for(tag)
-        total = views.sum()
+        slot = self.tag_id(tag)
+        total = self._totals[slot]
         if total <= 0:
             raise AnalysisError(f"tag {tag!r} has zero reconstructed views")
-        return views / total
+        return self._matrix[slot] / total
 
     def total_views(self, tag: str) -> float:
         """Worldwide reconstructed views carrying ``tag``."""
-        return float(self.views_for(tag).sum())
+        return float(self._totals[self.tag_id(tag)])
 
     def video_count(self, tag: str) -> int:
         """|videos(t)| — number of contributing videos."""
-        return self._video_counts.get(tag, 0)
+        slot = self._index.get(tag)
+        return int(self._counts[slot]) if slot is not None else 0
 
     def items(self) -> Iterator[Tuple[str, np.ndarray]]:
         """Iterate ``(tag, views-vector)`` pairs (vectors are live; do not
         mutate)."""
-        return iter(self._views.items())
+        for tag, row in zip(self._tags, self._matrix):
+            yield tag, row
+
+    # -- matrix-level access (the engine-facing surface) -------------------
+
+    def views_matrix(self) -> np.ndarray:
+        """The full ``(T × C)`` ``views(t)`` matrix, rows in tag order.
+
+        Returned as a read-only view — copy before mutating.
+        """
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    def shares_matrix(self) -> np.ndarray:
+        """Row-normalized ``views(t)`` (zero-mass tags stay zero rows).
+
+        Computed once and cached; returned read-only.
+        """
+        if self._shares is None:
+            from repro.engine.compute import rows_to_distributions
+
+            self._shares = rows_to_distributions(self._matrix)
+            self._shares.flags.writeable = False
+        return self._shares
+
+    def totals(self) -> np.ndarray:
+        """Worldwide views per tag, aligned with :meth:`tags` (read-only)."""
+        view = self._totals.view()
+        view.flags.writeable = False
+        return view
+
+    def video_counts(self) -> np.ndarray:
+        """|videos(t)| per tag, aligned with :meth:`tags` (read-only)."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    # -- rankings ----------------------------------------------------------
 
     def top_tags_by_views(self, count: int = 10) -> List[Tuple[str, float]]:
         """The ``count`` most-viewed tags, best first.
 
         The paper reports *pop* as "the second most viewed tag in our
-        dataset" — this is that ranking.
+        dataset" — this is that ranking. Top-k over the precomputed
+        totals via a bounded heap: no full sort of a 700k-tag world.
         """
-        ranked = sorted(
-            ((tag, float(vec.sum())) for tag, vec in self._views.items()),
+        best = heapq.nlargest(
+            count,
+            zip(self._tags, self._totals),
             key=lambda pair: pair[1],
-            reverse=True,
         )
-        return ranked[:count]
+        return [(tag, float(total)) for tag, total in best]
 
     def top_country(self, tag: str) -> str:
         """The country with the largest share of ``views(t)``."""
-        views = self.views_for(tag)
-        return self.registry.codes()[int(np.argmax(views))]
+        slot = self.tag_id(tag)
+        return self.registry.codes()[int(np.argmax(self._matrix[slot]))]

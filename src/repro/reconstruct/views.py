@@ -37,6 +37,19 @@ from repro.errors import ReconstructionError
 from repro.world.countries import CountryRegistry, default_registry
 from repro.world.traffic import TrafficModel, default_traffic_model
 
+#: Engine selection values for the dataset-scale entry points. ``auto``
+#: resolves to the columnar fast path; ``scalar`` forces the per-video
+#: reference oracle.
+ENGINES = ("auto", "columnar", "scalar")
+
+
+def _resolve_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ReconstructionError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    return "columnar" if engine == "auto" else engine
+
 
 def reconstruct_views(
     popularity: PopularityVector,
@@ -132,6 +145,13 @@ def reconstruct_views_smoothed(
 class ViewReconstructor:
     """Dataset-scale Eq. (1)–(2) reconstruction.
 
+    Per-video calls (:meth:`for_video`) run the scalar estimators above —
+    the reference oracle. Dataset-scale calls (:meth:`for_dataset`,
+    :meth:`matrix_for_dataset`) default to the columnar engine
+    (:mod:`repro.engine`): one materialization, then every video in a
+    handful of vectorized numpy ops. The traffic prior and the registry
+    axis are resolved once at construction and cached — never per call.
+
     Args:
         traffic: The traffic prior; defaults to the library's 2011-flavour
             model.
@@ -153,10 +173,19 @@ class ViewReconstructor:
         self.traffic = traffic if traffic is not None else default_traffic_model()
         self.naive = naive
         self.smoothing = smoothing
+        self._prior = self.traffic.as_vector()
+        self._codes = tuple(self.traffic.registry.codes())
 
     @property
     def registry(self) -> CountryRegistry:
         return self.traffic.registry
+
+    @property
+    def prior(self) -> np.ndarray:
+        """The cached traffic prior ``p̂_yt`` (read-only view)."""
+        view = self._prior.view()
+        view.flags.writeable = False
+        return view
 
     def for_video(self, video: Video) -> np.ndarray:
         """Reconstructed per-country views for one video."""
@@ -188,28 +217,66 @@ class ViewReconstructor:
             return reconstruct_views(video.popularity, 1, self.traffic)
         return views / total
 
-    def for_dataset(self, dataset: Dataset) -> Dict[str, np.ndarray]:
+    def matrix_for_columnar(self, columnar) -> np.ndarray:
+        """Vectorized Eq. (1)–(2) over a prebuilt columnar dataset.
+
+        ``columnar`` is a :class:`~repro.engine.columnar.ColumnarDataset`
+        (imported lazily to keep the oracle module free of engine
+        dependencies at import time). Returns the ``(V, C)`` matrix of
+        reconstructed views, rows aligned with ``columnar.video_ids``.
+        """
+        from repro.engine.compute import reconstruct_all
+
+        if tuple(columnar.codes) != self._codes:
+            raise ReconstructionError(
+                "columnar dataset was built on a different country axis"
+            )
+        return reconstruct_all(
+            columnar.pop,
+            columnar.views,
+            self._prior,
+            naive=self.naive,
+            smoothing=self.smoothing,
+        )
+
+    def for_dataset(
+        self, dataset: Dataset, engine: str = "auto"
+    ) -> Dict[str, np.ndarray]:
         """Reconstruct every eligible video in ``dataset``.
 
         Videos without a valid popularity vector are skipped (they do not
         survive the paper's filter anyway). Returns ``{video_id: vector}``.
+
+        ``engine`` selects the execution path: ``"auto"``/``"columnar"``
+        vectorizes through :mod:`repro.engine`; ``"scalar"`` runs the
+        per-video oracle (bit-for-bit the historical behaviour).
         """
-        result: Dict[str, np.ndarray] = {}
-        for video in dataset:
-            if video.has_valid_popularity():
-                result[video.video_id] = self.for_video(video)
-        return result
+        if _resolve_engine(engine) == "scalar":
+            result: Dict[str, np.ndarray] = {}
+            for video in dataset:
+                if video.has_valid_popularity():
+                    result[video.video_id] = self.for_video(video)
+            return result
+        ids, matrix = self.matrix_for_dataset(dataset)
+        return dict(zip(ids, matrix))
 
     def matrix_for_dataset(
-        self, dataset: Dataset
+        self, dataset: Dataset, engine: str = "auto"
     ) -> Tuple[List[str], np.ndarray]:
         """Dense ``(ids, matrix)`` of reconstructed views (rows = videos)."""
-        ids: List[str] = []
-        rows: List[np.ndarray] = []
-        for video in dataset:
-            if video.has_valid_popularity():
-                ids.append(video.video_id)
-                rows.append(self.for_video(video))
-        if rows:
-            return ids, np.vstack(rows)
-        return ids, np.zeros((0, len(self.registry)))
+        if _resolve_engine(engine) == "scalar":
+            ids: List[str] = []
+            rows: List[np.ndarray] = []
+            for video in dataset:
+                if video.has_valid_popularity():
+                    ids.append(video.video_id)
+                    rows.append(self.for_video(video))
+            if rows:
+                return ids, np.vstack(rows)
+            return ids, np.zeros((0, len(self.registry)))
+        from repro.engine.columnar import build_columnar
+
+        columnar = build_columnar(dataset, self.registry)
+        if columnar.n_videos == 0:
+            return [], np.zeros((0, len(self.registry)))
+        return list(columnar.video_ids), self.matrix_for_columnar(columnar)

@@ -167,6 +167,9 @@ class CountryRegistry:
                 raise ValueError(f"duplicate country code: {country.code}")
             self._by_code[country.code] = country
             self._order.append(country.code)
+        self._axis_index: Dict[str, int] = {
+            code: i for i, code in enumerate(self._order)
+        }
 
     def __len__(self) -> int:
         return len(self._order)
@@ -190,10 +193,11 @@ class CountryRegistry:
         return list(self._order)
 
     def index_of(self, code: str) -> int:
-        """Position of ``code`` on the canonical vector axis."""
-        if code not in self._by_code:
-            raise UnknownCountryError(code)
-        return self._order.index(code)
+        """Position of ``code`` on the canonical vector axis (O(1))."""
+        try:
+            return self._axis_index[code]
+        except KeyError:
+            raise UnknownCountryError(code) from None
 
     def subset(self, codes: List[str]) -> "CountryRegistry":
         """A new registry restricted to ``codes`` (in the given order)."""

@@ -149,10 +149,27 @@ class TrafficModel:
         return f"TrafficModel({len(self)} countries; top: {head})"
 
 
+_DEFAULT_MODEL: Optional[TrafficModel] = None
+
+
 def default_traffic_model(registry: Optional[CountryRegistry] = None) -> TrafficModel:
-    """The 2011-flavoured default traffic model (see module docstring)."""
+    """The 2011-flavoured default traffic model (see module docstring).
+
+    The no-argument form returns a cached shared instance (the model is
+    immutable: derived models like :meth:`TrafficModel.perturbed` are new
+    objects and :meth:`TrafficModel.as_vector` copies) — constructing a
+    :class:`~repro.reconstruct.views.ViewReconstructor` per call no
+    longer rebuilds the share table each time.
+    """
+    global _DEFAULT_MODEL
     if registry is None:
-        registry = default_registry()
+        if _DEFAULT_MODEL is None:
+            _DEFAULT_MODEL = _build_default_model(default_registry())
+        return _DEFAULT_MODEL
+    return _build_default_model(registry)
+
+
+def _build_default_model(registry: CountryRegistry) -> TrafficModel:
     weights: Dict[str, float] = {}
     for country in registry:
         engagement = _COUNTRY_ENGAGEMENT_OVERRIDE.get(

@@ -1,13 +1,69 @@
 """Tests for the popularity↔locality relationship and estimator bias."""
 
+import importlib
+import sys
+
 import numpy as np
 import pytest
 
-from repro.analysis.popularity import popularity_vs_locality
+import repro.analysis.popularity as popularity_module
+from repro.analysis.popularity import popularity_vs_locality, spearman_rank
 from repro.datamodel.dataset import Dataset
 from repro.errors import AnalysisError
 from repro.reconstruct.validation import per_country_bias
 from repro.reconstruct.views import ViewReconstructor
+
+
+class TestSpearmanScipyOptional:
+    def test_module_imports_and_works_without_scipy(self):
+        """The analysis layer must stay usable on a numpy-only install."""
+        saved = {
+            name: module
+            for name, module in list(sys.modules.items())
+            if name == "scipy" or name.startswith("scipy.")
+        }
+        for name in saved:
+            del sys.modules[name]
+        # A None entry makes ``import scipy`` raise ImportError.
+        sys.modules["scipy"] = None
+        try:
+            reloaded = importlib.reload(popularity_module)
+            assert reloaded.scipy_stats is None
+            assert reloaded.spearman_rank(
+                np.array([1.0, 2.0, 3.0, 4.0]),
+                np.array([10.0, 20.0, 25.0, 70.0]),
+            ) == pytest.approx(1.0)
+        finally:
+            del sys.modules["scipy"]
+            sys.modules.update(saved)
+            importlib.reload(popularity_module)
+
+    def test_fallback_matches_scipy_with_ties(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 10, size=60).astype(float)  # heavy ties
+        y = x + rng.normal(0, 2.0, size=60)
+        fallback = popularity_module._average_ranks
+        rx, ry = fallback(x), fallback(y)
+        ours = float(
+            ((rx - rx.mean()) * (ry - ry.mean())).mean() / (rx.std() * ry.std())
+        )
+        theirs = float(scipy_stats.spearmanr(x, y).statistic)
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    @pytest.mark.filterwarnings("ignore")
+    def test_constant_input_is_nan(self):
+        # scipy warns on constant input (and so returns nan) — the numpy
+        # fallback matches the nan without the warning.
+        assert np.isnan(
+            spearman_rank(np.ones(5), np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        )
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(AnalysisError):
+            spearman_rank(np.ones(3), np.ones(4))
+        with pytest.raises(AnalysisError):
+            spearman_rank(np.ones(1), np.ones(1))
 
 
 class TestPopularityVsLocality:

@@ -50,6 +50,7 @@ class TestResumableRun:
             "dataset.jsonl",
             "filter_report.json",
             "tag_views.json",
+            "columnar.npz",
         ):
             assert artifact in names
             assert artifact + ".sha256" in names
@@ -81,6 +82,38 @@ class TestResumableRun:
         assert any("dataset.jsonl.quarantined" in q for q in rerun.quarantined)
         assert ids_of(rerun) == ids_of(reference)
         # The recomputed artifact verifies again.
+        final = run_pipeline(config, workdir=tmp_path)
+        assert final.stages_skipped == PIPELINE_STAGES
+
+    def test_resume_reuses_columnar_artifact(self, config, reference, tmp_path):
+        """A resumed run loads columnar.npz instead of re-vectorizing."""
+        run_pipeline(config, workdir=tmp_path)
+        mtime = (tmp_path / "columnar.npz").stat().st_mtime_ns
+        rerun = run_pipeline(config, workdir=tmp_path)
+        assert "reconstruct" in rerun.stages_skipped
+        # Artifact untouched — the run loaded it rather than rewriting it.
+        assert (tmp_path / "columnar.npz").stat().st_mtime_ns == mtime
+        assert set(rerun.tag_table.tags()) == set(reference.tag_table.tags())
+        for tag in reference.tag_table.tags():
+            assert rerun.tag_table.total_views(tag) == pytest.approx(
+                reference.tag_table.total_views(tag), rel=1e-9
+            )
+
+    def test_corrupt_columnar_quarantined_and_recomputed(
+        self, config, reference, tmp_path
+    ):
+        run_pipeline(config, workdir=tmp_path)
+        target = tmp_path / "columnar.npz"
+        blob = bytearray(target.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        target.write_bytes(bytes(blob))
+
+        rerun = run_pipeline(config, workdir=tmp_path)
+        assert "reconstruct" not in rerun.stages_skipped
+        assert "crawl" in rerun.stages_skipped  # upstream stages untouched
+        assert any("columnar.npz.quarantined" in q for q in rerun.quarantined)
+        assert set(rerun.tag_table.tags()) == set(reference.tag_table.tags())
+        # The recomputed artifact verifies (and is reused) again.
         final = run_pipeline(config, workdir=tmp_path)
         assert final.stages_skipped == PIPELINE_STAGES
 

@@ -76,6 +76,23 @@ class TestEquationThree:
         values = [views for _, views in ranking]
         assert values == sorted(values, reverse=True)
 
+    @pytest.mark.parametrize("engine", ["scalar", "columnar"])
+    def test_duplicate_tags_counted_once(self, traffic, engine):
+        """Regression: a video listing the same tag twice must contribute
+        its views to that tag once, not twice.
+
+        ``normalize_tags`` dedupes at construction, so the duplicate is
+        forced past it — modelling records that bypass normalization.
+        """
+        dup = video(IDS[0], 100, ("a",), {"BR": 61})
+        object.__setattr__(dup, "tags", ("a", "a", "b", "a"))
+        table = TagViewsTable(
+            Dataset([dup]), ViewReconstructor(traffic), engine=engine
+        )
+        assert table.total_views("a") == pytest.approx(100)
+        assert table.video_count("a") == 1
+        assert table.tags() == ["a", "b"]
+
 
 class TestOnPipelineData:
     def test_table_covers_all_filtered_tags(self, tiny_pipeline):
