@@ -1,0 +1,317 @@
+"""S2 — edge-serving gate: tag-driven placement vs tag-blind baselines.
+
+Drives the full origin → controller → replicas service
+(:mod:`repro.serving`) with a multi-million-request **rollout**
+workload on a virtual-time event loop, three times — identical trace,
+identical fleet, only the placement strategy differs.
+
+The workload models how YouTube demand actually arrives (the regime
+the paper's tag predictor targets): the catalogue launches in
+*cohorts*. The trace is split into waves; each wave's traffic is
+dominated by that wave's newly-launched cohort, with every
+``BACKLOG_EVERY``-th request drawn from the whole launched-so-far
+backlog. A video's geographic demand therefore lands *before* any
+view history exists at the edge — exactly where predicting the
+distribution from tags (Eq. (3)) pays, and where a purely reactive
+cache eats a cold miss per (video × PoP).
+
+Policies, all serving through identical reactive-LRU edges:
+
+- **tags** — at each wave boundary,
+  :class:`~repro.serving.planner.TagAwarePlanner` pushes the new
+  cohort where its Eq. (3) tag-geography mixture predicts the demand,
+  aggregated onto each country's nearest replica;
+- **round_robin** — the same proactive loop, but the plan deals the
+  cohort's most-viewed videos across replicas in rotation
+  (geography-blind placement);
+- **lru** — no proactive placement at all: the deployed default,
+  reactive fill on every miss.
+
+The gated hit ratio is the **edge (home-PoP) hit ratio** — the
+fraction of requests served by the replica the viewer attaches to.
+Any-replica hits are reported (``replica_hit_ratio``) but not gated:
+round-robin can trivially reach ~100% any-replica hits by scattering
+the catalogue across the fleet while serving most traffic from the
+wrong continent.
+
+Gates (medium workload): the tag-driven plan must beat both baselines
+on edge hit ratio AND p50/p99 serving distance, no request may fail,
+and simulated serving throughput must clear a wall-clock floor.
+Results go to ``BENCH_s2.json`` at the repository root for CI to
+archive.
+
+Knobs (environment):
+
+- ``BENCH_S2_PRESET`` — universe preset (default ``medium``);
+- ``BENCH_S2_REQUESTS`` — trace length (default 2,000,000; CI's
+  serving-smoke job runs the small preset at 60,000);
+- ``BENCH_S2_REPLICAS`` — fleet size (default 8);
+- ``BENCH_S2_CAPACITY_FRAC`` — per-replica capacity as a fraction of
+  the catalogue (default 0.10);
+- ``BENCH_S2_MIN_RPS`` — wall-clock served-requests/sec floor
+  (default 10,000);
+- ``BENCH_S2_WAVES`` — number of launch cohorts (default 8);
+- ``BENCH_S2_BACKLOG_EVERY`` — every this-many-th request samples the
+  launched backlog instead of the hot cohort (default 3);
+- ``BENCH_S2_GATE`` — ``full`` (default) asserts the tags-beat-
+  baselines comparisons; ``smoke`` keeps only the invariants (CI's
+  short trace lands percentile atoms too coarsely to compare).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.placement.predictor import TagGeoPredictor
+from repro.placement.workload import WorkloadGenerator
+from repro.serving import (
+    EdgeCluster,
+    ReactiveOnlyPlanner,
+    RoundRobinPlanner,
+    TagAwarePlanner,
+    run_virtual,
+)
+from repro.synth.presets import preset_config
+from repro.world.traffic import default_traffic_model
+
+REPO_ROOT = Path(__file__).parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_s2.json"
+
+PRESET = os.environ.get("BENCH_S2_PRESET", "medium")
+N_REQUESTS = int(os.environ.get("BENCH_S2_REQUESTS", 2_000_000))
+N_REPLICAS = int(os.environ.get("BENCH_S2_REPLICAS", 8))
+CAPACITY_FRAC = float(os.environ.get("BENCH_S2_CAPACITY_FRAC", 0.10))
+MIN_RPS = float(os.environ.get("BENCH_S2_MIN_RPS", 10_000))
+WAVES = int(os.environ.get("BENCH_S2_WAVES", 8))
+BACKLOG_EVERY = int(os.environ.get("BENCH_S2_BACKLOG_EVERY", 3))
+GATE = os.environ.get("BENCH_S2_GATE", "full")
+
+#: Trace determinism key — identical request stream for every planner.
+SEED = 2014
+#: Gather-wave width on the virtual loop.
+CONCURRENCY = 64
+#: Candidate copies per video before capacity budgeting (tags planner).
+REPLICAS_PER_VIDEO = 6
+#: Within-country viewer→PoP dispersion (paired seeded draw per request
+#: index) — makes serving-distance percentiles continuous instead of
+#: landing on country-distance atoms that tie across policies.
+LAST_MILE_KM = 400.0
+
+
+@pytest.fixture(scope="module")
+def s2_pipeline():
+    return run_pipeline(PipelineConfig(universe=preset_config(PRESET)))
+
+
+class RolloutWorkload:
+    """Cohort-launch request stream plus the matching re-warm plan feed.
+
+    The shuffled catalogue is split into ``WAVES`` cohorts. Wave *w*'s
+    traffic samples cohort *w* (the freshly launched, currently hot
+    videos), except every ``BACKLOG_EVERY``-th request which samples
+    the whole launched-so-far backlog. The same object also answers
+    :meth:`catalogue_at` so a cluster re-warm at a wave boundary plans
+    over exactly the cohort going hot there.
+    """
+
+    def __init__(self, pipeline):
+        self._pipeline = pipeline
+        videos = {video.video_id: video for video in pipeline.dataset}
+        ids = np.array(sorted(videos))
+        np.random.default_rng(SEED).shuffle(ids)
+        self._cohort_ids = [list(c) for c in np.array_split(ids, WAVES)]
+        self.cohorts = [
+            [videos[video_id] for video_id in cohort]
+            for cohort in self._cohort_ids
+        ]
+        self.per_wave = N_REQUESTS // WAVES
+
+    def requests(self):
+        for wave, cohort_ids in enumerate(self._cohort_ids):
+            count = (
+                self.per_wave
+                if wave < WAVES - 1
+                else N_REQUESTS - self.per_wave * (WAVES - 1)
+            )
+            hot = WorkloadGenerator(
+                self._pipeline.universe, cohort_ids, seed=SEED + wave
+            ).iter_requests(count, stream=wave)
+            if wave == 0:  # backlog == cohort on the first wave
+                yield from hot
+                continue
+            launched = [
+                video_id
+                for cohort in self._cohort_ids[: wave + 1]
+                for video_id in cohort
+            ]
+            backlog = WorkloadGenerator(
+                self._pipeline.universe, launched, seed=9000 + wave
+            ).iter_requests(count, stream=wave)
+            for i in range(count):
+                source = (
+                    backlog if i % BACKLOG_EVERY == BACKLOG_EVERY - 1 else hot
+                )
+                yield next(source)
+
+    def catalogue_at(self, index):
+        return self.cohorts[min(index // self.per_wave, WAVES - 1)]
+
+
+def _serve(pipeline, planner, markets, capacity, proactive):
+    """One full serving run: fresh cluster, warm, serve the trace."""
+    registry = pipeline.tag_table.registry
+    cluster = EdgeCluster(
+        pipeline.dataset,
+        registry,
+        markets,
+        capacity=capacity,
+        planner=planner,
+        last_mile_km=LAST_MILE_KM,
+    )
+    workload = RolloutWorkload(pipeline)
+
+    async def main():
+        if proactive:
+            await cluster.warm(workload.cohorts[0])
+        return await cluster.serve_trace(
+            workload.requests(),
+            concurrency=CONCURRENCY,
+            rewarm_every=workload.per_wave if proactive else None,
+            catalogue_at=workload.catalogue_at if proactive else None,
+        )
+
+    started = time.perf_counter()
+    report = run_virtual(main())
+    wall = time.perf_counter() - started
+    return report, wall
+
+
+def test_s2_edge_serving(s2_pipeline, report_writer):
+    dataset = s2_pipeline.dataset
+    registry = s2_pipeline.tag_table.registry
+    predictor = TagGeoPredictor(s2_pipeline.tag_table)
+    traffic = default_traffic_model(registry)
+    markets = EdgeCluster.top_markets(traffic, N_REPLICAS)
+    capacity = max(4, int(len(dataset) * CAPACITY_FRAC))
+
+    # (planner, proactive): proactive strategies push each launching
+    # cohort at its wave boundary; the pure-reactive LRU baseline only
+    # ever learns from misses.
+    specs = {
+        "tags": (
+            TagAwarePlanner(predictor, replicas_per_video=REPLICAS_PER_VIDEO),
+            True,
+        ),
+        "round_robin": (RoundRobinPlanner(), True),
+        "lru": (ReactiveOnlyPlanner(), False),
+    }
+    reports = {}
+    walls = {}
+    for key, (planner, proactive) in specs.items():
+        reports[key], walls[key] = _serve(
+            s2_pipeline, planner, markets, capacity, proactive
+        )
+
+    tags = reports["tags"]
+    baselines = {k: reports[k] for k in ("round_robin", "lru")}
+
+    payload = {
+        "benchmark": "s2_edge_serving",
+        "preset": PRESET,
+        "videos": len(dataset),
+        "requests": N_REQUESTS,
+        "replicas": N_REPLICAS,
+        "markets": markets,
+        "capacity_per_replica": capacity,
+        "capacity_frac": CAPACITY_FRAC,
+        "concurrency": CONCURRENCY,
+        "waves": WAVES,
+        "backlog_every": BACKLOG_EVERY,
+        "last_mile_km": LAST_MILE_KM,
+        "gate_mode": GATE,
+        "seed": SEED,
+        "min_rps": MIN_RPS,
+        "policies": {},
+    }
+    for key, report in reports.items():
+        rps = report.requests / walls[key] if walls[key] > 0 else 0.0
+        payload["policies"][key] = {
+            "planner": report.planner,
+            "requests": report.requests,
+            "hit_ratio": round(report.hit_ratio, 6),
+            "replica_hit_ratio": round(report.replica_hit_ratio, 6),
+            "local_hits": report.local_hits,
+            "remote_hits": report.remote_hits,
+            "origin_fetches": report.origin_fetches,
+            "failed": report.failed,
+            "mean_km": round(report.mean_km, 1),
+            "p50_km": round(report.p50_km, 1),
+            "p99_km": round(report.p99_km, 1),
+            "virtual_seconds": round(report.virtual_seconds, 1),
+            "wall_seconds": round(walls[key], 2),
+            "requests_per_sec": round(rps, 1),
+            "retries": report.retries,
+            "reroutes": report.reroutes,
+            "placed": report.placed,
+        }
+    payload["gates"] = {
+        "hit_ratio": {
+            k: tags.hit_ratio > r.hit_ratio for k, r in baselines.items()
+        },
+        "p50_km": {k: tags.p50_km < r.p50_km for k, r in baselines.items()},
+        "p99_km": {k: tags.p99_km < r.p99_km for k, r in baselines.items()},
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"S2 edge serving — preset={PRESET} requests={N_REQUESTS:,} "
+        f"replicas={N_REPLICAS} capacity={capacity}",
+        f"{'policy':12s} {'edge hit':>9s} {'p50 km':>9s} {'p99 km':>9s} "
+        f"{'mean km':>9s} {'origin':>8s} {'req/s':>9s}",
+    ]
+    for key in specs:
+        stats = payload["policies"][key]
+        lines.append(
+            f"{key:12s} {stats['hit_ratio']:9.4f} {stats['p50_km']:9.1f} "
+            f"{stats['p99_km']:9.1f} {stats['mean_km']:9.1f} "
+            f"{stats['origin_fetches']:8d} {stats['requests_per_sec']:9.1f}"
+        )
+    report_writer("bench_s2_edge_serving", "\n".join(lines))
+
+    # -- gates ---------------------------------------------------------------
+    # Invariant: the origin always answers, so nothing may ever fail.
+    for key, report in reports.items():
+        assert report.failed == 0, f"{key}: {report.failed} failed requests"
+        assert report.requests == N_REQUESTS, key
+
+    # Tag-driven placement must beat both tag-blind baselines on edge
+    # hit ratio and on the serving-distance distribution. The win gates
+    # are calibrated for the full (medium, multi-million-request)
+    # configuration; smoke runs (GATE=smoke) keep only the invariants,
+    # since percentile atoms tie unpredictably on short traces.
+    comparisons = baselines.items() if GATE != "smoke" else []
+    for key, baseline in comparisons:
+        assert tags.hit_ratio > baseline.hit_ratio, (
+            f"tags edge hit ratio {tags.hit_ratio:.4f} does not beat "
+            f"{key} {baseline.hit_ratio:.4f}"
+        )
+        assert tags.p50_km < baseline.p50_km, (
+            f"tags p50 {tags.p50_km:.1f} km does not beat "
+            f"{key} {baseline.p50_km:.1f} km"
+        )
+        assert tags.p99_km < baseline.p99_km, (
+            f"tags p99 {tags.p99_km:.1f} km does not beat "
+            f"{key} {baseline.p99_km:.1f} km"
+        )
+
+    # Simulation throughput floor: virtual time must stay cheap.
+    for key in reports:
+        rps = payload["policies"][key]["requests_per_sec"]
+        assert rps >= MIN_RPS, f"{key}: {rps:.0f} req/s < floor {MIN_RPS:.0f}"

@@ -34,6 +34,7 @@ import time
 from typing import Any, Callable, Dict, Optional
 
 from repro.api.pagination import Page
+from repro.clock import ClockLike, now_fn
 from repro.api.service import VideoResource
 from repro.api.transport import RemoteYoutubeClient
 from repro.errors import (
@@ -76,7 +77,8 @@ class ResilientYoutubeClient:
         breaker: Optional shared :class:`~repro.resilience.CircuitBreaker`.
         request_deadline: Seconds a logical request may spend across all
             its attempts; ``None`` disables deadlines.
-        clock: Monotonic clock, injectable for tests.
+        clock: Monotonic clock — a :class:`~repro.clock.Clock` or a bare
+            ``() -> float`` callable — injectable for tests.
     """
 
     def __init__(
@@ -88,7 +90,7 @@ class ResilientYoutubeClient:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         request_deadline: Optional[float] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: ClockLike = time.monotonic,
     ):
         self.host = host
         self.port = port
@@ -97,7 +99,7 @@ class ResilientYoutubeClient:
         self.retry = retry if retry is not None else default_retry_policy()
         self.breaker = breaker
         self.request_deadline = request_deadline
-        self._clock = clock
+        self._clock = now_fn(clock)
         self._lock = threading.RLock()
         self._client: Optional[RemoteYoutubeClient] = None
         self._ever_connected = False

@@ -1,0 +1,98 @@
+"""Injectable clocks: one seam for every wall-time dependence.
+
+Determinism is this repo's core discipline (GUIDE §13): experiments must
+replay bit-identically, and tests must never block on real delays. Any
+component that needs to *read* time or *pay* a delay therefore takes a
+:class:`Clock` instead of calling :func:`time.monotonic` /
+:func:`time.sleep` directly:
+
+- :class:`SystemClock` — production behaviour (monotonic time, real
+  sleeps); the module-level :data:`SYSTEM_CLOCK` is the shared default.
+- :class:`ManualClock` — simulated time for tests: ``sleep`` advances
+  the clock instantly and records the requested wait, so backoff
+  schedules and breaker timeouts are assertable without wall-clock
+  coupling.
+
+The asyncio serving layer has its own virtual time source
+(:class:`repro.serving.simtime.VirtualTimeLoop` drives ``loop.time()``);
+this module covers the synchronous world — retry policies, circuit
+breakers, politeness throttles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Union
+
+from repro.errors import ConfigError
+
+
+class Clock:
+    """Interface: a monotonic time source plus a way to pay a delay."""
+
+    def now(self) -> float:
+        """Current monotonic time, in seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real wall-clock behaviour (the production default)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """Simulated time: ``sleep`` advances instantly and is recorded.
+
+    Args:
+        start: Initial reading, in seconds.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        #: Every ``sleep`` request, in call order — tests assert backoff
+        #: schedules against this without waiting for them.
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError(f"cannot sleep a negative time: {seconds}")
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (external events)."""
+        if seconds < 0:
+            raise ConfigError(f"cannot advance a negative time: {seconds}")
+        self._now += float(seconds)
+
+
+#: Shared production clock; components default to this instance.
+SYSTEM_CLOCK = SystemClock()
+
+#: A clock argument may be a :class:`Clock` or a bare ``() -> float``
+#: callable (the pre-Clock calling convention, kept working).
+ClockLike = Union[Clock, Callable[[], float]]
+
+
+def now_fn(clock: ClockLike) -> Callable[[], float]:
+    """Normalize a :data:`ClockLike` into a plain ``now()`` callable."""
+    if isinstance(clock, Clock):
+        return clock.now
+    if callable(clock):
+        return clock
+    raise ConfigError(
+        f"clock must be a Clock or a zero-argument callable, got {clock!r}"
+    )

@@ -12,6 +12,9 @@ measurable (they show up in
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.clock import SYSTEM_CLOCK, Clock
 from repro.errors import ConfigError
 
 
@@ -62,3 +65,39 @@ class TokenBucket:
     @property
     def available_tokens(self) -> float:
         return self._tokens
+
+
+class ClockedTokenBucket:
+    """A :class:`TokenBucket` bound to a :class:`~repro.clock.Clock`.
+
+    The raw bucket is pure simulated time — the caller supplies ``now``
+    and accounts the wait itself. This wrapper is for callers that live
+    on a real (or :class:`~repro.clock.ManualClock`-simulated) timeline:
+    ``acquire()`` reads the clock, *pays* any throttle wait through
+    ``clock.sleep``, and returns it. With the default
+    :data:`~repro.clock.SYSTEM_CLOCK` this is a production rate
+    limiter; with a ``ManualClock`` the waits are instant and
+    assertable, so tests never depend on real delays.
+    """
+
+    def __init__(self, rate: float, burst: int = 5, clock: Optional[Clock] = None):
+        self._bucket = TokenBucket(rate, burst)
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
+        self._wait_seconds = 0.0
+
+    def acquire(self) -> float:
+        """Take one token, sleeping out any throttle wait; returns it."""
+        wait = self._bucket.acquire(self._clock.now())
+        if wait > 0:
+            self._clock.sleep(wait)
+            self._wait_seconds += wait
+        return wait
+
+    @property
+    def wait_seconds(self) -> float:
+        """Total throttle time paid through the clock so far."""
+        return self._wait_seconds
+
+    @property
+    def available_tokens(self) -> float:
+        return self._bucket.available_tokens

@@ -179,3 +179,27 @@ class PlacementError(ReproError):
 
 class CacheError(PlacementError):
     """A cache was configured or used incorrectly."""
+
+
+# --------------------------------------------------------------------------
+# Edge serving
+# --------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for edge-serving (origin/controller/replica) errors."""
+
+
+class ReplicaDownError(ServingError, TransportError):
+    """A request reached a replica that is failed/offline.
+
+    Also a :class:`TransportError`, so the shared
+    :data:`~repro.resilience.DEFAULT_RETRYABLE` set and circuit breakers
+    treat a dead replica exactly like a dead network peer.
+    """
+
+
+class SimulationDeadlockError(ServingError):
+    """The virtual-time event loop has runnable work but no way to make
+    progress: every task is blocked on something that is neither ready
+    nor scheduled on the virtual clock."""

@@ -73,8 +73,16 @@ class EdgeCache:
         self.stats.insertions += 1
 
     def pin(self, video_id: str) -> None:
-        """Insert proactively (placement path), evicting if needed."""
-        if self.capacity == 0 or self._contains(video_id):
+        """Insert proactively (placement path), evicting if needed.
+
+        Re-pinning an already-cached video re-asserts the placement
+        (refreshes its recency/frequency standing) so a periodically
+        re-warmed plan stays resident under reactive churn.
+        """
+        if self.capacity == 0:
+            return
+        if self._contains(video_id):
+            self._touch(video_id)
             return
         self._insert(video_id)
         self.stats.pins += 1
@@ -84,6 +92,14 @@ class EdgeCache:
 
     def __contains__(self, video_id: str) -> bool:
         return self._contains(video_id)
+
+    def contents(self) -> Set[str]:
+        """Snapshot of the cached video ids (no recency side effects).
+
+        Used by the serving layer's invariant checks — the routing index
+        must always be a superset of what each replica actually holds.
+        """
+        return self._snapshot()
 
     # -- subclass hooks -------------------------------------------------------
 
@@ -97,6 +113,9 @@ class EdgeCache:
         raise NotImplementedError
 
     def _size(self) -> int:
+        raise NotImplementedError
+
+    def _snapshot(self) -> Set[str]:
         raise NotImplementedError
 
 
@@ -121,6 +140,9 @@ class LRUCache(EdgeCache):
 
     def _size(self) -> int:
         return len(self._entries)
+
+    def _snapshot(self) -> Set[str]:
+        return set(self._entries)
 
 
 class LFUCache(EdgeCache):
@@ -151,6 +173,9 @@ class LFUCache(EdgeCache):
     def _size(self) -> int:
         return len(self._frequency)
 
+    def _snapshot(self) -> Set[str]:
+        return set(self._frequency)
+
 
 class StaticCache(EdgeCache):
     """Pin-only cache: requests never insert or evict.
@@ -179,3 +204,6 @@ class StaticCache(EdgeCache):
 
     def _size(self) -> int:
         return len(self._pinned)
+
+    def _snapshot(self) -> Set[str]:
+        return set(self._pinned)

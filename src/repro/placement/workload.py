@@ -78,6 +78,7 @@ class WorkloadGenerator:
         if not video_ids:
             raise ConfigError("workload has no videos")
         self._video_ids = list(video_ids)
+        self._seed = seed
         self._rng = spawn_rng(seed, "workload")
         views = np.array(
             [universe.get(vid).views for vid in self._video_ids], dtype=float
@@ -113,3 +114,47 @@ class WorkloadGenerator:
                 )
             )
         return RequestTrace(tuple(requests))
+
+    def iter_requests(
+        self, n_requests: int, chunk_size: int = 65536, stream: int = 0
+    ) -> Iterator[Request]:
+        """Stream ``n_requests`` requests without materializing a trace.
+
+        The multi-million-request path: requests are drawn in vectorized
+        chunks (one ``choice`` for the videos, one inverse-CDF
+        ``searchsorted`` against each video's country distribution for
+        the countries), so generation is O(chunk) numpy work instead of
+        one ``rng.choice`` per request, and memory stays at one chunk.
+
+        The stream has its own RNG, derived from ``(seed, stream)`` —
+        independent of :meth:`generate` and of other streams, and
+        reproducible no matter what was drawn before.
+        """
+        if n_requests < 0:
+            raise ConfigError("n_requests must be >= 0")
+        if chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        rng = spawn_rng(self._seed, f"workload-stream-{stream}")
+        # Per-video country CDFs, shared across chunks.
+        country_cdf = np.cumsum(self._country_shares, axis=1)
+        country_cdf[:, -1] = 1.0  # guard float drift at the top end
+        remaining = n_requests
+        while remaining > 0:
+            size = min(chunk_size, remaining)
+            remaining -= size
+            video_indices = rng.choice(
+                len(self._video_ids), size=size, p=self._video_probs
+            )
+            draws = rng.random(size)
+            # Inverse-CDF sample per request against its video's row.
+            rows = country_cdf[video_indices]  # (size, C)
+            country_indices = np.clip(
+                (rows < draws[:, None]).sum(axis=1), 0, len(self._codes) - 1
+            )
+            for video_index, country_index in zip(
+                video_indices, country_indices
+            ):
+                yield Request(
+                    video_id=self._video_ids[int(video_index)],
+                    country=self._codes[int(country_index)],
+                )

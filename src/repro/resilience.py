@@ -23,11 +23,13 @@ same backoff schedule run after run.
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import threading
 import time
-from typing import Callable, Optional, Tuple, Type
+from typing import Awaitable, Callable, Optional, Tuple, Type
 
+from repro.clock import Clock, ClockLike, now_fn
 from repro.errors import (
     CircuitOpenError,
     ConfigError,
@@ -68,6 +70,10 @@ class RetryPolicy:
             propagates immediately.
         sleep: How to wait between attempts. The default blocks on real
             time; simulated-time callers inject an accounting function.
+        clock: Alternative to ``sleep``: a :class:`~repro.clock.Clock`
+            whose ``sleep`` pays the waits. Takes effect only when
+            ``sleep`` is left at its default, so explicit ``sleep``
+            injection keeps winning.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class RetryPolicy:
         seed: int = 0,
         retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Optional[Clock] = None,
     ):
         if max_attempts < 1:
             raise ConfigError("max_attempts must be >= 1")
@@ -96,6 +103,9 @@ class RetryPolicy:
         self.jitter = jitter
         self.seed = seed
         self.retryable = tuple(retryable)
+        if clock is not None and sleep is time.sleep:
+            sleep = clock.sleep
+        self.clock = clock
         self.sleep = sleep
         self._lock = threading.Lock()
         self._draws = 0
@@ -140,6 +150,35 @@ class RetryPolicy:
                 self.sleep(wait)
                 attempt += 1
 
+    async def run_async(
+        self,
+        fn: Callable[[], Awaitable],
+        on_failure: Optional[Callable[[BaseException, int, Optional[float]], None]] = None,
+        sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+    ):
+        """:meth:`run` for coroutines.
+
+        Waits go through ``sleep`` (default :func:`asyncio.sleep`, which
+        on a :class:`~repro.serving.simtime.VirtualTimeLoop` costs no
+        wall-clock time), never through the policy's synchronous
+        ``sleep`` — an async caller must not block its event loop.
+        """
+        if sleep is None:
+            sleep = asyncio.sleep
+        attempt = 0
+        while True:
+            try:
+                return await fn()
+            except self.retryable as exc:
+                final = attempt + 1 >= self.max_attempts
+                wait = None if final else self.delay(attempt)
+                if on_failure is not None:
+                    on_failure(exc, attempt, wait)
+                if final:
+                    raise
+                await sleep(wait)
+                attempt += 1
+
 
 #: Circuit-breaker states.
 CLOSED = "closed"
@@ -159,7 +198,8 @@ class CircuitBreaker:
     it.
 
     Thread-safe; all transitions happen under one lock. The clock is
-    injectable so breaker timing is testable without real waits.
+    injectable — a :class:`~repro.clock.Clock` or a bare ``() -> float``
+    callable — so breaker timing is testable without real waits.
     """
 
     def __init__(
@@ -167,7 +207,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout: float = 30.0,
         half_open_max_calls: int = 1,
-        clock: Callable[[], float] = time.monotonic,
+        clock: ClockLike = time.monotonic,
     ):
         if failure_threshold < 1:
             raise ConfigError("failure_threshold must be >= 1")
@@ -178,7 +218,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.half_open_max_calls = half_open_max_calls
-        self._clock = clock
+        self._clock = now_fn(clock)
         self._lock = threading.Lock()
         self._state = CLOSED
         self._consecutive_failures = 0

@@ -1,0 +1,57 @@
+"""Tag-aware edge serving: origin → controller → replicas.
+
+This package turns the offline placement simulator
+(:mod:`repro.placement`) into a running (in-process, asyncio) service —
+the paper's closing conjecture as an actual serving system:
+
+- :class:`~repro.serving.origin.Origin` holds the full corpus and never
+  misses (the provider's core datacenter);
+- :class:`~repro.serving.replica.Replica` is an edge cache in one
+  country, reusing the :mod:`repro.placement.cache` eviction policies,
+  and can fail/recover for chaos testing;
+- :class:`~repro.serving.controller.Controller` routes
+  ``get(video_id, country)`` to the nearest live replica holding the
+  video — falling back to origin — behind per-replica circuit breakers
+  and a shared retry policy;
+- :mod:`~repro.serving.planner` decides what the controller pushes to
+  each replica ahead of demand: the tag-geography signal (Eq. 3) versus
+  round-robin and purely reactive baselines;
+- :class:`~repro.serving.cluster.EdgeCluster` wires it all together and
+  drives request traces through it;
+- :mod:`~repro.serving.simtime` provides the deterministic simulation
+  harness: a virtual-time event loop, so every async test — including
+  replica-failure and failover scenarios — replays identically with
+  zero wall-clock sleeps.
+"""
+
+from repro.serving.cluster import ChaosAction, ChaosSchedule, EdgeCluster, ServingReport
+from repro.serving.controller import Controller, ControllerStats, ServeResult
+from repro.serving.origin import Origin
+from repro.serving.planner import (
+    ReactiveOnlyPlanner,
+    RoundRobinPlanner,
+    ServingPlanner,
+    TagAwarePlanner,
+)
+from repro.serving.replica import Replica, ReplicaStats
+from repro.serving.simtime import SimulationHarness, VirtualTimeLoop, run_virtual
+
+__all__ = [
+    "ChaosAction",
+    "ChaosSchedule",
+    "Controller",
+    "ControllerStats",
+    "EdgeCluster",
+    "Origin",
+    "ReactiveOnlyPlanner",
+    "Replica",
+    "ReplicaStats",
+    "RoundRobinPlanner",
+    "ServeResult",
+    "ServingPlanner",
+    "ServingReport",
+    "SimulationHarness",
+    "TagAwarePlanner",
+    "VirtualTimeLoop",
+    "run_virtual",
+]

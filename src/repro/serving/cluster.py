@@ -1,0 +1,385 @@
+"""EdgeCluster: one-stop assembly of origin + controller + replicas.
+
+This is the level benchmarks and tests talk to: build a cluster from a
+catalogue and a list of replica countries, ``warm()`` it with a
+planner's placement plan, then ``serve_trace()`` a workload and read a
+:class:`ServingReport` (hit ratio, serving-distance percentiles, origin
+load, resilience counters).
+
+Chaos is first-class: a :class:`ChaosSchedule` kills and revives
+replicas at named request indices, deterministically, so "k of N edges
+die mid-workload" is one reproducible test case rather than a flaky
+thread race.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel.dataset import Dataset
+from repro.errors import ServingError
+from repro.placement.cache import EdgeCache, LRUCache
+from repro.placement.workload import Request
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.serving.controller import Controller, ControllerStats
+from repro.serving.origin import Origin
+from repro.serving.planner import ReactiveOnlyPlanner, ServingPlanner
+from repro.serving.replica import Replica
+from repro.synth.rng import spawn_rng
+from repro.world.countries import CountryRegistry
+from repro.world.geo import distance_matrix
+from repro.world.traffic import TrafficModel
+
+FAIL = "fail"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """Flip one replica's liveness just before request ``at_request``."""
+
+    at_request: int
+    action: str  # "fail" | "recover"
+    replica_id: str
+
+
+class ChaosSchedule:
+    """An ordered, replayable list of liveness flips.
+
+    ``apply(cluster, i)`` executes every not-yet-applied action with
+    ``at_request <= i``; :meth:`reset` rewinds for a second run. The
+    schedule is pure data — the same schedule against the same trace is
+    the same experiment, every time.
+    """
+
+    def __init__(self, actions: Iterable[ChaosAction]):
+        self._actions = sorted(
+            actions, key=lambda a: (a.at_request, a.replica_id, a.action)
+        )
+        for action in self._actions:
+            if action.action not in (FAIL, RECOVER):
+                raise ServingError(
+                    f"unknown chaos action {action.action!r}"
+                )
+            if action.at_request < 0:
+                raise ServingError("at_request must be >= 0")
+        self._position = 0
+
+    @classmethod
+    def kill(
+        cls,
+        replica_ids: Sequence[str],
+        at_request: int,
+        recover_at: Optional[int] = None,
+    ) -> "ChaosSchedule":
+        """Kill ``replica_ids`` at one index, optionally revive later."""
+        actions = [
+            ChaosAction(at_request, FAIL, rid) for rid in replica_ids
+        ]
+        if recover_at is not None:
+            if recover_at <= at_request:
+                raise ServingError("recover_at must come after at_request")
+            actions += [
+                ChaosAction(recover_at, RECOVER, rid) for rid in replica_ids
+            ]
+        return cls(actions)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._actions)
+
+    def reset(self) -> None:
+        self._position = 0
+
+    def apply(self, cluster: "EdgeCluster", request_index: int) -> None:
+        while (
+            self._position < len(self._actions)
+            and self._actions[self._position].at_request <= request_index
+        ):
+            action = self._actions[self._position]
+            replica = cluster.replica(action.replica_id)
+            if action.action == FAIL:
+                replica.fail()
+            else:
+                replica.recover()
+            self._position += 1
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """What one served workload looked like, end to end."""
+
+    planner: str
+    requests: int
+    local_hits: int
+    remote_hits: int
+    origin_fetches: int
+    failed: int
+    #: Edge (home-PoP) hit ratio — the gated number.
+    hit_ratio: float
+    #: Served by any replica at all (edge or peer PoP).
+    replica_hit_ratio: float
+    mean_km: float
+    p50_km: float
+    p99_km: float
+    virtual_seconds: float
+    retries: int
+    reroutes: int
+    breaker_opens: int
+    placed: int
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        return [
+            ("requests", float(self.requests)),
+            ("hit_ratio", self.hit_ratio),
+            ("replica_hit_ratio", self.replica_hit_ratio),
+            ("local_hits", float(self.local_hits)),
+            ("remote_hits", float(self.remote_hits)),
+            ("origin_fetches", float(self.origin_fetches)),
+            ("failed", float(self.failed)),
+            ("mean_km", self.mean_km),
+            ("p50_km", self.p50_km),
+            ("p99_km", self.p99_km),
+            ("virtual_seconds", self.virtual_seconds),
+            ("retries", float(self.retries)),
+            ("reroutes", float(self.reroutes)),
+            ("breaker_opens", float(self.breaker_opens)),
+            ("placed", float(self.placed)),
+        ]
+
+
+class EdgeCluster:
+    """Origin + replicas + controller, wired and ready to serve.
+
+    Args:
+        catalogue: What the origin holds (and planners plan over).
+        registry: Country axis shared by all geographic math.
+        replica_countries: One replica per listed country (ids become
+            ``edge-<CC>``).
+        capacity: Per-replica cache capacity (videos).
+        planner: Warm-placement planner; default
+            :class:`~repro.serving.planner.ReactiveOnlyPlanner`.
+        cache_factory: Builds each replica's cache; default
+            ``LRUCache(capacity)``.
+        origin_country / origin_latency / replica_latency: Topology and
+            simulated timing knobs.
+        last_mile_km: Within-country dispersion — every served request
+            adds a seeded uniform ``[0, last_mile_km)`` viewer→PoP
+            distance on top of the country-level geodesic. The draw
+            depends only on the request *index*, so identical traces
+            through different policies stay a paired comparison, and
+            percentiles become continuous instead of sitting on
+            country-distance atoms. 0 (default) disables it.
+        retry / breaker_factory / reactive_admission: Passed through to
+            the :class:`~repro.serving.controller.Controller`.
+    """
+
+    def __init__(
+        self,
+        catalogue: Dataset,
+        registry: CountryRegistry,
+        replica_countries: Sequence[str],
+        capacity: int,
+        planner: Optional[ServingPlanner] = None,
+        cache_factory: Optional[Callable[[], EdgeCache]] = None,
+        origin_country: str = "US",
+        origin_latency: float = 0.08,
+        replica_latency: float = 0.01,
+        last_mile_km: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+        reactive_admission: bool = True,
+    ):
+        if not replica_countries:
+            raise ServingError("need at least one replica country")
+        if len(set(replica_countries)) != len(replica_countries):
+            raise ServingError("replica countries must be unique")
+        if last_mile_km < 0:
+            raise ServingError(
+                f"last_mile_km must be >= 0, got {last_mile_km}"
+            )
+        if cache_factory is None:
+            cache_factory = lambda: LRUCache(capacity)
+        self.last_mile_km = last_mile_km
+        self.catalogue = catalogue
+        self.registry = registry
+        self.capacity = capacity
+        self.planner = planner if planner is not None else ReactiveOnlyPlanner()
+        self.origin = Origin(
+            catalogue, country=origin_country, latency_seconds=origin_latency
+        )
+        self._fleet = [
+            Replica(
+                replica_id=f"edge-{country}",
+                country=country,
+                cache=cache_factory(),
+                latency_seconds=replica_latency,
+            )
+            for country in replica_countries
+        ]
+        self.controller = Controller(
+            origin=self.origin,
+            replicas=self._fleet,
+            registry=registry,
+            retry=retry,
+            breaker_factory=breaker_factory,
+            distances=distance_matrix(registry),
+            reactive_admission=reactive_admission,
+        )
+        self._placed = 0
+
+    @staticmethod
+    def top_markets(traffic: TrafficModel, count: int) -> List[str]:
+        """The ``count`` biggest markets by worldwide traffic share —
+        the natural places to put replicas."""
+        shares = traffic.as_vector()
+        codes = traffic.registry.codes()
+        order = np.argsort(-shares, kind="stable")[:count]
+        return [codes[int(i)] for i in order]
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def replicas(self) -> List[Replica]:
+        return list(self._fleet)
+
+    def replica(self, replica_id: str) -> Replica:
+        return self.controller.replica(replica_id)
+
+    @property
+    def placed(self) -> int:
+        """Copies placed by the last :meth:`warm`."""
+        return self._placed
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def warm(self, catalogue=None) -> int:
+        """Plan + push the warm placement; returns copies placed.
+
+        ``catalogue`` restricts planning to a subset (e.g. the cohort
+        of videos launched so far in a rollout workload); the origin
+        always holds the full catalogue regardless.
+        """
+        source = self.catalogue if catalogue is None else catalogue
+        plan = self.planner.plan(source, self._fleet, self.capacity)
+        self._placed = await self.controller.place(plan)
+        return self._placed
+
+    async def serve_trace(
+        self,
+        requests: Iterable[Request],
+        concurrency: int = 1,
+        chaos: Optional[ChaosSchedule] = None,
+        rewarm_every: Optional[int] = None,
+        catalogue_at: Optional[Callable[[int], object]] = None,
+    ) -> ServingReport:
+        """Serve a whole trace; returns the report *for this trace only*
+        (stats are delta-measured, so repeated calls each report their
+        own window).
+
+        ``concurrency`` > 1 batches that many requests into
+        ``asyncio.gather`` waves (chaos actions land on wave
+        boundaries). ``rewarm_every`` re-runs the planner's placement
+        every that-many requests — the periodic placement refresh a real
+        CDN runs, without which reactive churn erodes any warm plan.
+        ``catalogue_at`` (requires ``rewarm_every``) maps the request
+        index to the catalogue the re-warm plans over — how a rollout
+        workload tells the planner which videos have launched.
+        Every request produces exactly one result — an exception
+        anywhere aborts the run loudly rather than dropping requests
+        silently.
+        """
+        if concurrency < 1:
+            raise ServingError(f"concurrency must be >= 1, got {concurrency}")
+        if rewarm_every is not None and rewarm_every < 1:
+            raise ServingError(
+                f"rewarm_every must be >= 1, got {rewarm_every}"
+            )
+        if catalogue_at is not None and rewarm_every is None:
+            raise ServingError("catalogue_at requires rewarm_every")
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        before = self.controller.stats.copy()
+        distances: List[float] = []
+
+        # Last-mile draws depend only on the request index (issue order),
+        # so identical traces through different policies see identical
+        # jitter — a paired comparison.
+        jitter_rng = (
+            spawn_rng(0, "last-mile") if self.last_mile_km > 0 else None
+        )
+        jitter_chunk = 65536
+        jitter_buf = None
+
+        async def serve_one(request: Request, extra_km: float) -> None:
+            result = await self.controller.get(request.video_id, request.country)
+            distances.append(result.distance_km + extra_km)
+
+        batch: List = []
+        for index, request in enumerate(requests):
+            if chaos is not None:
+                chaos.apply(self, index)
+            if rewarm_every is not None and index > 0 and index % rewarm_every == 0:
+                if batch:
+                    await asyncio.gather(*batch)
+                    batch = []
+                await self.warm(
+                    catalogue_at(index) if catalogue_at is not None else None
+                )
+            if jitter_rng is not None:
+                offset = index % jitter_chunk
+                if offset == 0:
+                    jitter_buf = jitter_rng.random(jitter_chunk)
+                extra_km = float(jitter_buf[offset]) * self.last_mile_km
+            else:
+                extra_km = 0.0
+            if concurrency == 1:
+                await serve_one(request, extra_km)
+            else:
+                batch.append(serve_one(request, extra_km))
+                if len(batch) >= concurrency:
+                    await asyncio.gather(*batch)
+                    batch = []
+        if batch:
+            await asyncio.gather(*batch)
+        return self._report(before, distances, loop.time() - started)
+
+    def _report(
+        self,
+        before: "ControllerStats",
+        distances: Sequence[float],
+        virtual_seconds: float,
+    ) -> ServingReport:
+        stats = self.controller.stats.delta(before)
+        if distances:
+            array = np.asarray(distances, dtype=float)
+            mean_km = float(array.mean())
+            p50_km = float(np.percentile(array, 50))
+            p99_km = float(np.percentile(array, 99))
+        else:
+            mean_km = p50_km = p99_km = 0.0
+        return ServingReport(
+            planner=self.planner.name,
+            requests=stats.requests,
+            local_hits=stats.local_hits,
+            remote_hits=stats.remote_hits,
+            origin_fetches=stats.origin_fetches,
+            failed=stats.failed,
+            hit_ratio=stats.hit_ratio,
+            replica_hit_ratio=stats.replica_hit_ratio,
+            mean_km=mean_km,
+            p50_km=p50_km,
+            p99_km=p99_km,
+            virtual_seconds=virtual_seconds,
+            retries=stats.retries,
+            reroutes=stats.reroutes,
+            breaker_opens=self.controller.breaker_opens(),
+            placed=self._placed,
+        )

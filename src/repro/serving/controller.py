@@ -1,0 +1,428 @@
+"""The controller: tag-aware request routing with failure awareness.
+
+The CDN-architecture sketch this realizes is origin → controller →
+replicas, but where the sketch's controller picked replicas round-robin,
+this one routes on *placement knowledge and geography*:
+
+1. the requesting country's *home* replica — the nearest replica to
+   that country, the PoP its viewers attach to — if the routing index
+   says it holds the video (a **local** hit, the CDN's edge-hit);
+2. otherwise the nearest other live replica holding it (a **remote**
+   hit: served from a peer PoP over the backbone);
+3. otherwise the origin (the cost placement failed to avoid).
+
+Every replica call goes through a per-replica
+:class:`~repro.resilience.CircuitBreaker` and the shared
+:class:`~repro.resilience.RetryPolicy` (async flavour): transient faults
+are retried, a dead replica trips its breaker after a few failures and
+is skipped at ~zero cost until its (virtual-time) reset timeout, and the
+request reroutes down the candidate list — the origin always answers, so
+**no request ever fails** while the origin lives.
+
+The routing index is deliberately a *superset* hint, never ground truth:
+pushes and reactive admissions add entries through the controller, but
+LRU evictions happen silently inside replicas. A probe that misses
+removes the stale entry (self-healing), and the invariant the test suite
+enforces is exactly ``index ⊇ actual cache contents``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    CircuitOpenError,
+    ReplicaDownError,
+    ServingError,
+    TransientAPIError,
+)
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.serving.origin import Origin
+from repro.serving.replica import Replica
+from repro.serving.simtime import running_loop_time
+from repro.world.countries import CountryRegistry
+from repro.world.geo import distance_matrix
+
+#: Where a request was ultimately served from.
+LOCAL = "local"
+REMOTE = "remote"
+ORIGIN = "origin"
+
+
+def default_probe_retry_policy(seed: int = 0) -> RetryPolicy:
+    """Retry transient replica faults once, with a short virtual backoff.
+
+    Only :class:`~repro.errors.TransientAPIError` is retried: a dead
+    replica (``ReplicaDownError``) or an open breaker means *reroute*,
+    not retry — the next candidate is cheaper than waiting.
+    """
+    return RetryPolicy(
+        max_attempts=2,
+        backoff_base=0.02,
+        backoff_cap=0.1,
+        seed=seed,
+        retryable=(TransientAPIError,),
+    )
+
+
+def default_breaker_factory() -> CircuitBreaker:
+    """Per-replica breaker: opens after 3 straight failures, probes again
+    after 5 (virtual) seconds."""
+    return CircuitBreaker(
+        failure_threshold=3, reset_timeout=5.0, clock=running_loop_time
+    )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one ``get``: exactly one per request, always.
+
+    Attributes:
+        video_id / country: The request.
+        source: ``"local"`` (home-PoP hit), ``"remote"`` (peer replica),
+            or ``"origin"``.
+        served_by: Serving replica id, or ``"origin"``.
+        distance_km: Viewer-country → serving-node centroid distance.
+        probes: Replica probes attempted (successful or not).
+    """
+
+    video_id: str
+    country: str
+    source: str
+    served_by: str
+    distance_km: float
+    probes: int
+
+    @property
+    def hit(self) -> bool:
+        """True when a replica cache served the request."""
+        return self.source != ORIGIN
+
+
+@dataclass
+class ControllerStats:
+    """Controller-level counters (replica/cache counters live on each
+    replica)."""
+
+    requests: int = 0
+    local_hits: int = 0
+    remote_hits: int = 0
+    origin_fetches: int = 0
+    failed: int = 0
+    retries: int = 0
+    reroutes: int = 0
+    admissions: int = 0
+    pushes: int = 0
+    push_failures: int = 0
+
+    @property
+    def served(self) -> int:
+        return self.local_hits + self.remote_hits + self.origin_fetches
+
+    @property
+    def hit_ratio(self) -> float:
+        """Edge (home-PoP) hit ratio: the fraction of requests the
+        viewer's own attachment point served. Remote hits are *backbone
+        fills*, not edge hits — a CDN that serves everything from the
+        wrong continent has a 100% any-replica ratio and terrible
+        serving distance, so the any-replica number is reported via
+        :attr:`replica_hit_ratio`, never gated."""
+        if self.served == 0:
+            return 0.0
+        return self.local_hits / self.served
+
+    @property
+    def replica_hit_ratio(self) -> float:
+        """Fraction served by *any* replica (edge or peer) vs origin."""
+        if self.served == 0:
+            return 0.0
+        return (self.local_hits + self.remote_hits) / self.served
+
+    def copy(self) -> "ControllerStats":
+        """Snapshot (for before/after deltas around one workload)."""
+        return replace(self)
+
+    def delta(self, since: "ControllerStats") -> "ControllerStats":
+        """Counter-wise ``self - since``: what happened after the snapshot."""
+        return ControllerStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+class Controller:
+    """Routes requests across replicas; owns the routing index.
+
+    Args:
+        origin: The always-hit fallback.
+        replicas: The edge fleet — at most one replica per country.
+        registry: Country axis (distances, validation).
+        retry: Probe retry policy; default
+            :func:`default_probe_retry_policy`.
+        breaker_factory: Builds one breaker per replica; default
+            :func:`default_breaker_factory` (virtual-time clock).
+        distances: Precomputed ``registry``-ordered distance matrix;
+            computed on demand otherwise.
+        reactive_admission: After a miss served remotely or from origin,
+            insert the video into the requester's home replica (the
+            copy rides back on the response).
+    """
+
+    def __init__(
+        self,
+        origin: Origin,
+        replicas: Sequence[Replica],
+        registry: CountryRegistry,
+        retry: Optional[RetryPolicy] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+        distances: Optional[np.ndarray] = None,
+        reactive_admission: bool = True,
+    ):
+        if origin.country not in registry:
+            raise ServingError(f"unknown origin country {origin.country!r}")
+        self.origin = origin
+        self.registry = registry
+        self.retry = retry if retry is not None else default_probe_retry_policy()
+        if breaker_factory is None:
+            breaker_factory = default_breaker_factory
+        self.reactive_admission = reactive_admission
+
+        self._replicas: Dict[str, Replica] = {}
+        self._by_country: Dict[str, Replica] = {}
+        for replica in replicas:
+            if replica.replica_id in self._replicas:
+                raise ServingError(
+                    f"duplicate replica id {replica.replica_id!r}"
+                )
+            if replica.country not in registry:
+                raise ServingError(
+                    f"replica {replica.replica_id!r} in unknown country "
+                    f"{replica.country!r}"
+                )
+            if replica.country in self._by_country:
+                raise ServingError(
+                    f"two replicas in {replica.country!r}: "
+                    f"{self._by_country[replica.country].replica_id!r} and "
+                    f"{replica.replica_id!r}"
+                )
+            self._replicas[replica.replica_id] = replica
+            self._by_country[replica.country] = replica
+
+        self._breakers: Dict[str, CircuitBreaker] = {
+            replica_id: breaker_factory() for replica_id in self._replicas
+        }
+        if distances is None:
+            distances = distance_matrix(registry)
+        self._distances = distances
+        self._code_index = {
+            code: i for i, code in enumerate(registry.codes())
+        }
+        #: country -> home replica: the nearest PoP, where its viewers
+        #: attach (their own country's replica when one exists).
+        self._home: Dict[str, Replica] = {}
+        for code in registry.codes():
+            self._home[code] = min(
+                self._replicas.values(),
+                key=lambda r: (self._distance(code, r.country), r.replica_id),
+            )
+        #: video_id -> replica ids believed to hold it (superset hint).
+        self._index: Dict[str, Set[str]] = {}
+        self.stats = ControllerStats()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def replicas(self) -> List[Replica]:
+        return list(self._replicas.values())
+
+    def replica(self, replica_id: str) -> Replica:
+        try:
+            return self._replicas[replica_id]
+        except KeyError:
+            raise ServingError(f"unknown replica {replica_id!r}") from None
+
+    def breaker(self, replica_id: str) -> CircuitBreaker:
+        try:
+            return self._breakers[replica_id]
+        except KeyError:
+            raise ServingError(f"unknown replica {replica_id!r}") from None
+
+    def breaker_opens(self) -> int:
+        """Total open transitions across all per-replica breakers."""
+        return sum(b.opens for b in self._breakers.values())
+
+    def home(self, country: str) -> Replica:
+        """The home (nearest) replica that ``country``'s viewers attach to."""
+        try:
+            return self._home[country]
+        except KeyError:
+            raise ServingError(f"unknown country {country!r}") from None
+
+    def holders(self, video_id: str) -> Set[str]:
+        """Replica ids the routing index lists for ``video_id``."""
+        return set(self._index.get(video_id, ()))
+
+    def routing_index(self) -> Dict[str, Set[str]]:
+        """Copy of the whole index (video -> replica ids)."""
+        return {vid: set(rids) for vid, rids in self._index.items()}
+
+    def _distance(self, country_a: str, country_b: str) -> float:
+        return float(
+            self._distances[self._code_index[country_a]][
+                self._code_index[country_b]
+            ]
+        )
+
+    # -- placement path ------------------------------------------------------
+
+    async def push(self, replica_id: str, video_id: str) -> bool:
+        """Push one copy to one replica; True when it actually landed.
+
+        Raises :class:`~repro.errors.ReplicaDownError` /
+        :class:`~repro.errors.CircuitOpenError` when the replica (or its
+        breaker) refuses — callers placing a whole plan count and move
+        on; callers pushing a single video see the failure.
+        """
+        replica = self.replica(replica_id)
+        breaker = self._breakers[replica_id]
+        breaker.allow()
+        try:
+            await replica.push(video_id)
+        except Exception:
+            breaker.record_failure()
+            self.stats.push_failures += 1
+            raise
+        breaker.record_success()
+        # A pin-only cache past budget skips silently; only index what
+        # the replica verifiably holds.
+        if video_id in replica.cache:
+            self._index.setdefault(video_id, set()).add(replica_id)
+            self.stats.pushes += 1
+            return True
+        return False
+
+    async def place(self, plan: Dict[str, List[str]]) -> int:
+        """Push a whole placement plan; returns copies actually placed.
+
+        Unreachable replicas are skipped (their videos stay origin-served
+        until the next placement round) — a warm-up must not die because
+        one edge is down.
+        """
+        placed = 0
+        for replica_id in sorted(plan):
+            for video_id in plan[replica_id]:
+                try:
+                    if await self.push(replica_id, video_id):
+                        placed += 1
+                except (ReplicaDownError, CircuitOpenError):
+                    self.stats.reroutes += 1
+                    break  # this replica is down; skip its whole list
+        return placed
+
+    # -- serving path --------------------------------------------------------
+
+    async def get(self, video_id: str, country: str) -> ServeResult:
+        """Serve one request; exactly one result, never silently dropped."""
+        if country not in self._code_index:
+            raise ServingError(f"request from unknown country {country!r}")
+        self.stats.requests += 1
+        try:
+            return await self._route(video_id, country)
+        except BaseException:
+            self.stats.failed += 1
+            raise
+
+    async def _route(self, video_id: str, country: str) -> ServeResult:
+        home = self._home[country]
+        holders = self._index.get(video_id, ())
+
+        candidates: List[Tuple[float, str, Replica]] = []
+        if home.replica_id in holders:
+            candidates.append(
+                (self._distance(country, home.country), LOCAL, home)
+            )
+        remote = [
+            (self._distance(country, self._replicas[rid].country), rid)
+            for rid in holders
+            if rid != home.replica_id
+        ]
+        for distance, rid in sorted(remote):
+            candidates.append((distance, REMOTE, self._replicas[rid]))
+
+        probes = 0
+        for distance, source, replica in candidates:
+            probes += 1
+            try:
+                hit = await self._probe(replica, video_id)
+            except (ReplicaDownError, CircuitOpenError, TransientAPIError):
+                self.stats.reroutes += 1
+                continue
+            if hit:
+                if source == LOCAL:
+                    self.stats.local_hits += 1
+                else:
+                    self.stats.remote_hits += 1
+                    self._admit_home(home, video_id)
+                return ServeResult(
+                    video_id=video_id,
+                    country=country,
+                    source=source,
+                    served_by=replica.replica_id,
+                    distance_km=distance,
+                    probes=probes,
+                )
+            # The index lied (eviction since placement) — self-heal.
+            self._unindex(video_id, replica.replica_id)
+
+        await self.origin.fetch(video_id)
+        self.stats.origin_fetches += 1
+        self._admit_home(home, video_id)
+        return ServeResult(
+            video_id=video_id,
+            country=country,
+            source=ORIGIN,
+            served_by=ORIGIN,
+            distance_km=self._distance(country, self.origin.country),
+            probes=probes,
+        )
+
+    async def _probe(self, replica: Replica, video_id: str) -> bool:
+        """One breaker-guarded, retry-wrapped replica lookup."""
+        breaker = self._breakers[replica.replica_id]
+
+        async def attempt() -> bool:
+            breaker.allow()
+            try:
+                result = await replica.get(video_id)
+            except Exception:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return result
+
+        return await self.retry.run_async(attempt, on_failure=self._on_retry)
+
+    def _on_retry(self, exc, attempt, delay) -> None:
+        if delay is not None:
+            self.stats.retries += 1
+
+    def _admit_home(self, home: Replica, video_id: str) -> None:
+        if not self.reactive_admission or not home.alive:
+            return
+        home.admit(video_id)
+        if video_id in home.cache:
+            self._index.setdefault(video_id, set()).add(home.replica_id)
+            self.stats.admissions += 1
+
+    def _unindex(self, video_id: str, replica_id: str) -> None:
+        holders = self._index.get(video_id)
+        if holders is None:
+            return
+        holders.discard(replica_id)
+        if not holders:
+            del self._index[video_id]

@@ -1,0 +1,89 @@
+"""The origin datacenter: the always-hit root of the serving tree.
+
+The origin holds every uploaded video (the filtered catalogue) and never
+misses — but it is *far* from most viewers and its egress is the cost
+the paper's introduction says dominates UGC serving. The controller
+falls back here only when no live replica can serve a request, so every
+``fetch`` is backbone traffic the placement layer failed to avoid.
+
+Latency is simulated with ``asyncio.sleep`` — real on a production
+loop, instant and deterministic on a
+:class:`~repro.serving.simtime.VirtualTimeLoop`. An optional
+:class:`~repro.crawler.politeness.TokenBucket` models finite origin
+egress: when the bucket is dry, fetches queue for (virtual) bucket
+refill time, so an origin-hammering policy pays visibly in the serving
+distribution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.crawler.politeness import TokenBucket
+from repro.datamodel.dataset import Dataset
+from repro.errors import ServingError, VideoNotFoundError
+
+
+class Origin:
+    """Holds the full catalogue; serves any known video, with latency.
+
+    Args:
+        catalogue: Every video the provider serves.
+        country: Where the origin datacenter sits (the paper's 2011
+            YouTube origin was in the US).
+        latency_seconds: Simulated one-way fetch latency.
+        rate_limit: Optional egress throttle (requests/second bucket);
+            ``None`` models unbounded origin capacity.
+    """
+
+    def __init__(
+        self,
+        catalogue: Dataset,
+        country: str = "US",
+        latency_seconds: float = 0.08,
+        rate_limit: Optional[TokenBucket] = None,
+    ):
+        if latency_seconds < 0:
+            raise ServingError(
+                f"latency_seconds must be >= 0, got {latency_seconds}"
+            )
+        self.catalogue = catalogue
+        self.country = country
+        self.latency_seconds = latency_seconds
+        self.rate_limit = rate_limit
+        self._fetches = 0
+        self._throttle_seconds = 0.0
+        self._bucket_horizon = 0.0
+
+    async def fetch(self, video_id: str) -> str:
+        """Serve ``video_id`` from the origin; raises on unknown ids."""
+        if self.rate_limit is not None:
+            # Concurrent fetches may share one loop instant; the bucket
+            # demands a nondecreasing clock, so reservations queue FIFO
+            # behind the bucket's horizon and each fetch pays its queue
+            # delay plus its own refill wait.
+            now = asyncio.get_event_loop().time()
+            arrival = max(now, self._bucket_horizon)
+            refill = self.rate_limit.acquire(arrival)
+            self._bucket_horizon = arrival + refill
+            wait = self._bucket_horizon - now
+            if wait > 0:
+                self._throttle_seconds += wait
+                await asyncio.sleep(wait)
+        if self.latency_seconds > 0:
+            await asyncio.sleep(self.latency_seconds)
+        if video_id not in self.catalogue:
+            raise VideoNotFoundError(f"origin does not hold {video_id!r}")
+        self._fetches += 1
+        return video_id
+
+    @property
+    def fetches(self) -> int:
+        """Requests the origin actually served (backbone traffic)."""
+        return self._fetches
+
+    @property
+    def throttle_seconds(self) -> float:
+        """Total simulated time fetches queued on the egress bucket."""
+        return self._throttle_seconds

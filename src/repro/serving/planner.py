@@ -1,0 +1,213 @@
+"""Warm-placement planners: what each replica holds before traffic.
+
+A planner looks at the catalogue and the replica fleet and produces a
+*placement plan* — ``{replica_id: [video_id, ...]}`` — that the
+controller pushes before serving starts. The three planners mirror the
+policy families the offline placement benchmark compares, recast for a
+replica fleet:
+
+- :class:`ReactiveOnlyPlanner` — push nothing; caches fill purely from
+  misses (the deployed-default baseline);
+- :class:`RoundRobinPlanner` — deal the most-viewed videos across
+  replicas in rotation, blind to geography (the architecture baseline —
+  this is what the snippet-style controller did);
+- :class:`TagAwarePlanner` — the paper's proposal operationalized: for
+  each video, predict its per-country view shares from its tags
+  (Eq. (3) mixture), aggregate the predicted demand onto each country's
+  *nearest replica*, and give every replica the videos it is predicted
+  to serve most.
+
+Plans are deterministic: ties break on video id / replica id, never on
+hash order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel.dataset import Dataset
+from repro.errors import ServingError
+from repro.placement.predictor import TagGeoPredictor
+from repro.serving.replica import Replica
+from repro.world.geo import distance_matrix
+
+
+class ServingPlanner:
+    """Interface: build a placement plan for a replica fleet."""
+
+    #: Human-readable planner name (subclasses override).
+    name = "abstract"
+
+    def plan(
+        self,
+        catalogue: Dataset,
+        replicas: Sequence[Replica],
+        capacity: int,
+    ) -> Dict[str, List[str]]:
+        """``{replica_id: ordered video ids}``, each list ≤ ``capacity``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(replicas: Sequence[Replica], capacity: int) -> List[Replica]:
+        if capacity < 0:
+            raise ServingError(f"capacity must be >= 0, got {capacity}")
+        fleet = list(replicas)
+        if not fleet:
+            raise ServingError("cannot plan for an empty replica fleet")
+        return fleet
+
+
+class ReactiveOnlyPlanner(ServingPlanner):
+    """Push nothing: caches start cold and fill reactively."""
+
+    name = "reactive"
+
+    def plan(self, catalogue, replicas, capacity):
+        fleet = self._check(replicas, capacity)
+        return {replica.replica_id: [] for replica in fleet}
+
+
+class RoundRobinPlanner(ServingPlanner):
+    """Deal globally popular videos across replicas in rotation.
+
+    Geography-blind: replica *k* gets the (k, k+R, k+2R, ...)-th most
+    viewed videos. Every replica ends up with a popularity-stratified
+    slice of the catalogue regardless of where its viewers are.
+    """
+
+    name = "round-robin"
+
+    def plan(self, catalogue, replicas, capacity):
+        fleet = self._check(replicas, capacity)
+        ranked = sorted(
+            catalogue, key=lambda video: (-video.views, video.video_id)
+        )
+        plan: Dict[str, List[str]] = {
+            replica.replica_id: [] for replica in fleet
+        }
+        position = 0
+        for video in ranked:
+            if all(len(vids) >= capacity for vids in plan.values()):
+                break
+            for _ in range(len(fleet)):
+                target = plan[fleet[position % len(fleet)].replica_id]
+                position += 1
+                if len(target) < capacity:
+                    target.append(video.video_id)
+                    break
+        return plan
+
+
+class TagAwarePlanner(ServingPlanner):
+    """Place each video where its tags predict its viewers are.
+
+    For video *v* with predicted share vector *s_v* (Eq. (3) tag
+    mixture, worldwide prior on cold start) and total views *V_v*, the
+    demand replica *r* would absorb is ``d_r(v) = V_v · Σ_{c → r}
+    s_v[c]`` where *c → r* means replica *r* is the nearest replica to
+    country *c* (centroid distance — the same geography the serving
+    report scores against). Each video nominates its top
+    ``replicas_per_video`` replicas by demand; each replica keeps its
+    ``capacity`` highest-demand nominations.
+
+    Budgeting is a single global greedy pass: all (video, replica)
+    candidates compete on *discounted* demand — a video's k-th copy is
+    worth ``copy_discount^k`` of its raw demand — so a second copy of a
+    popular video must beat the *first* copy of a less popular one.
+    This trades locality against catalogue coverage explicitly instead
+    of letting duplicates silently crowd out coverage.
+
+    Args:
+        predictor: Tag → geography predictor (Eq. (3) table).
+        replicas_per_video: Candidate copies per video before capacity
+            budgeting (≥ 1).
+        copy_discount: Multiplier applied per additional copy of the
+            same video, in (0, 1].
+    """
+
+    name = "tags"
+
+    def __init__(
+        self,
+        predictor: TagGeoPredictor,
+        replicas_per_video: int = 2,
+        copy_discount: float = 0.5,
+    ):
+        if replicas_per_video < 1:
+            raise ServingError(
+                f"replicas_per_video must be >= 1, got {replicas_per_video}"
+            )
+        if not 0.0 < copy_discount <= 1.0:
+            raise ServingError(
+                f"copy_discount must be in (0, 1], got {copy_discount}"
+            )
+        self.predictor = predictor
+        self.replicas_per_video = replicas_per_video
+        self.copy_discount = copy_discount
+        # Predictions are a pure function of (catalogue, fleet), so the
+        # scored candidate list is memoized across periodic re-warms.
+        self._cache_key = None
+        self._cache_candidates: List[Tuple[float, str, str]] = []
+
+    def plan(self, catalogue, replicas, capacity):
+        fleet = self._check(replicas, capacity)
+        cache_key = (
+            id(catalogue),
+            len(catalogue),
+            tuple((replica.replica_id, replica.country) for replica in fleet),
+        )
+        if cache_key == self._cache_key:
+            candidates = self._cache_candidates
+        else:
+            candidates = self._score(catalogue, fleet)
+            self._cache_key = cache_key
+            self._cache_candidates = candidates
+
+        plan: Dict[str, List[str]] = {
+            replica.replica_id: [] for replica in fleet
+        }
+        for score, video_id, replica_id in candidates:
+            target = plan[replica_id]
+            if len(target) < capacity:
+                target.append(video_id)
+        return plan
+
+    def _score(self, catalogue, fleet) -> List[Tuple[float, str, str]]:
+        registry = self.predictor.registry
+        codes = registry.codes()
+        code_index = {code: i for i, code in enumerate(codes)}
+        for replica in fleet:
+            if replica.country not in code_index:
+                raise ServingError(
+                    f"replica {replica.replica_id!r} in unknown country "
+                    f"{replica.country!r}"
+                )
+
+        # Country → nearest replica, as a (replicas × countries) 0/1
+        # aggregation matrix. Ties break on fleet order (stable argmin).
+        distances = distance_matrix(registry)
+        replica_columns = [code_index[replica.country] for replica in fleet]
+        to_replica = distances[:, replica_columns]  # (C, R)
+        nearest = np.argmin(to_replica, axis=1)  # (C,)
+        aggregate = np.zeros((len(fleet), len(codes)))
+        aggregate[nearest, np.arange(len(codes))] = 1.0
+
+        # Each video's k-th best replica (by predicted absorbed demand)
+        # becomes a candidate worth demand · discount^k.
+        candidates: List[Tuple[float, str, str]] = []
+        for video in catalogue:
+            shares = self.predictor.predict_shares(video)
+            demand = aggregate @ shares * float(video.views)  # (R,)
+            order = np.argsort(-demand, kind="stable")[: self.replicas_per_video]
+            for copy, position in enumerate(order):
+                score = float(demand[int(position)]) * self.copy_discount**copy
+                if score <= 0.0:
+                    continue
+                candidates.append(
+                    (score, video.video_id, fleet[int(position)].replica_id)
+                )
+
+        candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+        return candidates

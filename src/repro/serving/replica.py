@@ -1,0 +1,134 @@
+"""An edge replica: one country's cache, servable and killable.
+
+A replica wraps one :class:`~repro.placement.cache.EdgeCache` (any
+flavour — LRU, LFU, or pin-only static) behind an async interface with
+simulated network latency, and adds the two things a *running* service
+needs that the offline simulator did not:
+
+- **liveness** — ``fail()`` / ``recover()`` flip the replica dead and
+  alive; a dead replica raises
+  :class:`~repro.errors.ReplicaDownError` (a ``TransportError``, so
+  retry policies and circuit breakers treat it like a dead peer);
+- **transient flakiness** — an optional deterministic
+  :class:`~repro.api.faults.FaultInjector` makes a fraction of calls
+  raise :class:`~repro.errors.TransientAPIError`, which the
+  controller's retry policy absorbs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.api.faults import FaultInjector
+from repro.errors import ReplicaDownError, ServingError
+from repro.placement.cache import EdgeCache
+
+
+@dataclass
+class ReplicaStats:
+    """Serving counters for one replica (cache counters live on the
+    cache's own :class:`~repro.placement.cache.CacheStats`)."""
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    pushes: int = 0
+    rejected: int = 0  # calls refused while down
+
+
+class Replica:
+    """One edge node: ``get`` looks up the cache, ``push`` pre-places.
+
+    Args:
+        replica_id: Stable identifier (e.g. ``edge-BR``).
+        country: The country whose viewers this replica is local to.
+        cache: Storage + eviction policy (one of
+            :mod:`repro.placement.cache`).
+        latency_seconds: Simulated per-call latency.
+        fault_injector: Optional deterministic transient-fault source.
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        country: str,
+        cache: EdgeCache,
+        latency_seconds: float = 0.01,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
+        if latency_seconds < 0:
+            raise ServingError(
+                f"latency_seconds must be >= 0, got {latency_seconds}"
+            )
+        self.replica_id = replica_id
+        self.country = country
+        self.cache = cache
+        self.latency_seconds = latency_seconds
+        self.fault_injector = fault_injector
+        self.stats = ReplicaStats()
+        self._alive = True
+
+    # -- liveness ------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> None:
+        """Take the replica offline (chaos hook)."""
+        self._alive = False
+
+    def recover(self) -> None:
+        """Bring the replica back; its cache contents survive the outage."""
+        self._alive = True
+
+    def _check_up(self, operation: str) -> None:
+        if not self._alive:
+            self.stats.rejected += 1
+            raise ReplicaDownError(
+                f"replica {self.replica_id!r} is down ({operation})"
+            )
+
+    # -- serving -------------------------------------------------------------
+
+    async def get(self, video_id: str) -> bool:
+        """Cache lookup; True on hit. Raises when down or (injected) flaky."""
+        self._check_up("get")
+        if self.fault_injector is not None:
+            self.fault_injector.before_request(f"get {video_id}")
+        if self.latency_seconds > 0:
+            await asyncio.sleep(self.latency_seconds)
+        self.stats.gets += 1
+        hit = self.cache.request(video_id)
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return hit
+
+    async def push(self, video_id: str) -> None:
+        """Proactively place a copy (the controller's placement path)."""
+        self._check_up("push")
+        if self.latency_seconds > 0:
+            await asyncio.sleep(self.latency_seconds)
+        self.cache.pin(video_id)
+        self.stats.pushes += 1
+
+    def admit(self, video_id: str) -> None:
+        """Reactive insert after an origin fetch (no extra round trip —
+        the copy rides back on the response)."""
+        if self._alive:
+            self.cache.admit(video_id)
+
+    def contents(self) -> Set[str]:
+        """Snapshot of cached ids (for invariant checks)."""
+        return self.cache.contents()
+
+    def __repr__(self) -> str:
+        state = "up" if self._alive else "down"
+        return (
+            f"Replica({self.replica_id!r}, {self.country!r}, "
+            f"{len(self.cache)}/{self.cache.capacity} cached, {state})"
+        )

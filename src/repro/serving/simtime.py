@@ -1,0 +1,164 @@
+"""Deterministic simulation time for asyncio: the test harness's core.
+
+The serving layer is ordinary asyncio code — coroutines that ``await
+asyncio.sleep(latency)`` to model network and disk time. Run on a
+normal event loop those sleeps are real, tests crawl, and timing races
+make failures unreproducible. :class:`VirtualTimeLoop` removes the wall
+clock entirely:
+
+- ``loop.time()`` reads a *virtual* clock starting at 0.0;
+- whenever the loop would block waiting for the next timer, it instead
+  jumps the virtual clock straight to that timer's deadline and keeps
+  going ("auto-advance", the FoundationDB / trio-autojump discipline).
+
+Every ``asyncio.sleep``, ``wait_for`` timeout, circuit-breaker
+``reset_timeout``, and retry backoff therefore elapses deterministically
+and instantly. A single-threaded loop with a FIFO ready queue and a
+deterministic timer heap is a *seeded scheduler* in the relevant sense:
+given the same coroutines and the same (seeded) workload, every
+interleaving replays identically, run after run — there is no
+wall-clock jitter left to race against.
+
+If the loop ever has no runnable callback *and* no scheduled timer, no
+source of progress exists (this loop does no real I/O), so it raises
+:class:`~repro.errors.SimulationDeadlockError` instead of hanging — a
+blocked-forever test fails immediately with a meaningful error.
+
+Use :func:`run_virtual` for one coroutine, or :class:`SimulationHarness`
+to keep one virtual timeline alive across many ``run`` calls (stateful
+property tests drive the same cluster through hundreds of steps).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Optional, TypeVar
+
+from repro.errors import SimulationDeadlockError
+
+T = TypeVar("T")
+
+
+def running_loop_time() -> float:
+    """``now()`` on the *running* loop's clock — virtual when inside a
+    :class:`VirtualTimeLoop`. The natural breaker/limiter clock for
+    async serving components."""
+    return asyncio.get_event_loop().time()
+
+
+class _AutoAdvanceSelector:
+    """Selector proxy: waiting becomes advancing the virtual clock.
+
+    ``BaseEventLoop._run_once`` computes how long it may block (0 when
+    callbacks are ready, the delay to the next timer otherwise, ``None``
+    when it would block forever) and passes it to
+    ``selector.select(timeout)``. Intercepting that single call is the
+    entire virtual-time mechanism: advance the loop's clock by
+    ``timeout`` and report "no I/O events".
+    """
+
+    def __init__(self, inner, loop: "VirtualTimeLoop"):
+        self._inner = inner
+        self._loop = loop
+
+    def select(self, timeout: Optional[float] = None):
+        if timeout is None:
+            raise SimulationDeadlockError(
+                "virtual-time deadlock: every task is blocked on an "
+                "event that is neither ready nor scheduled on the "
+                "virtual clock (e.g. a Queue.get or Future that nothing "
+                "will ever complete)"
+            )
+        if timeout > 0:
+            self._loop._virtual_now += timeout
+        return []
+
+    def __getattr__(self, name):
+        # register/unregister/get_map/close/... pass through untouched.
+        return getattr(self._inner, name)
+
+
+class VirtualTimeLoop(asyncio.SelectorEventLoop):
+    """A selector event loop whose clock is virtual and auto-advancing.
+
+    Only for in-process simulation: real sockets registered on this loop
+    will never be polled (the selector never actually selects). All
+    serving-layer components are pure coroutines, so nothing is lost —
+    and everything timed becomes deterministic.
+    """
+
+    def __init__(self, start: float = 0.0):
+        super().__init__()
+        self._virtual_now = float(start)
+        self._selector = _AutoAdvanceSelector(self._selector, self)
+
+    def time(self) -> float:
+        return self._virtual_now
+
+
+def _cancel_pending(loop: asyncio.AbstractEventLoop) -> None:
+    """Cancel and drain whatever tasks are still alive on ``loop``."""
+    pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+    if not pending:
+        return
+    for task in pending:
+        task.cancel()
+    loop.run_until_complete(
+        asyncio.gather(*pending, return_exceptions=True)
+    )
+
+
+def run_virtual(main: Awaitable[T], start: float = 0.0) -> T:
+    """Run ``main`` to completion on a fresh :class:`VirtualTimeLoop`.
+
+    The virtual-time sibling of :func:`asyncio.run`: however much
+    simulated time ``main`` sleeps through, the call returns in the wall
+    time the computation itself takes. Pending tasks are cancelled and
+    the loop closed on the way out, success or failure.
+    """
+    loop = VirtualTimeLoop(start)
+    try:
+        return loop.run_until_complete(main)
+    finally:
+        try:
+            _cancel_pending(loop)
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+
+class SimulationHarness:
+    """One persistent virtual timeline for multi-step tests.
+
+    ``run`` executes a coroutine on the harness's loop; virtual time
+    carries over between calls, so a stateful test can serve requests,
+    kill a replica, let a breaker's ``reset_timeout`` elapse with
+    ``run(asyncio.sleep(t))``, and observe recovery — all on one clock.
+    Context-manager protocol closes the loop (and cancels stragglers).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.loop = VirtualTimeLoop(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.loop.time()
+
+    def run(self, coro: Awaitable[T]) -> T:
+        return self.loop.run_until_complete(coro)
+
+    def close(self) -> None:
+        if self.loop.is_closed():
+            return
+        try:
+            _cancel_pending(self.loop)
+            self.loop.run_until_complete(self.loop.shutdown_asyncgens())
+        finally:
+            self.loop.close()
+
+    def __enter__(self) -> "SimulationHarness":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

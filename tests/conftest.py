@@ -7,17 +7,40 @@ them once keeps the suite fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.api.service import YoutubeService
 from repro.crawler.snowball import SnowballCrawler
 from repro.pipeline import PipelineConfig, run_pipeline
+from repro.placement.predictor import TagGeoPredictor
+from repro.placement.workload import WorkloadGenerator
 from repro.reconstruct.tagviews import TagViewsTable
 from repro.reconstruct.views import ViewReconstructor
 from repro.synth.presets import preset_config
 from repro.synth.universe import UniverseConfig, build_universe
 from repro.world.countries import default_registry
 from repro.world.traffic import default_traffic_model
+
+# Hypothesis profiles: "ci" is fully derandomized so stateful suites
+# replay identically on every CI run; "dev" (default) keeps random
+# exploration but drops the deadline (session-scoped fixtures make the
+# first example of a run look slow).
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")
@@ -62,6 +85,41 @@ def tiny_reconstructor(tiny_pipeline):
 @pytest.fixture(scope="session")
 def tiny_tag_table(tiny_pipeline):
     return tiny_pipeline.tag_table
+
+
+@pytest.fixture(scope="session")
+def tiny_predictor(tiny_pipeline):
+    """The tag → geography predictor over the tiny pipeline's table.
+
+    Session-scoped: it is read-only and several placement/serving suites
+    used to rebuild an identical instance each.
+    """
+    return TagGeoPredictor(tiny_pipeline.tag_table)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_pipeline):
+    """Cached request-trace factory over the tiny universe.
+
+    ``tiny_trace(n, seed=..., restrict=True)`` returns the same object
+    for the same arguments, so suites that previously each generated
+    near-identical traces share one. ``restrict`` limits the workload to
+    the filtered catalogue (what the placement suites simulate).
+    """
+    cache = {}
+
+    def _trace(n_requests: int, seed: int = 0, restrict: bool = True):
+        key = (n_requests, seed, restrict)
+        if key not in cache:
+            video_ids = (
+                tiny_pipeline.dataset.video_ids() if restrict else None
+            )
+            cache[key] = WorkloadGenerator(
+                tiny_pipeline.universe, video_ids, seed=seed
+            ).generate(n_requests)
+        return cache[key]
+
+    return _trace
 
 
 @pytest.fixture()

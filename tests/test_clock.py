@@ -1,0 +1,76 @@
+"""Tests for the injectable clock seam (:mod:`repro.clock`)."""
+
+import pytest
+
+from repro.clock import (
+    SYSTEM_CLOCK,
+    Clock,
+    ManualClock,
+    SystemClock,
+    now_fn,
+)
+from repro.errors import ConfigError
+
+
+class TestManualClock:
+    def test_starts_where_told(self):
+        assert ManualClock().now() == 0.0
+        assert ManualClock(start=42.5).now() == 42.5
+
+    def test_sleep_advances_and_records(self):
+        clock = ManualClock()
+        clock.sleep(1.5)
+        clock.sleep(0.5)
+        assert clock.now() == pytest.approx(2.0)
+        assert clock.sleeps == [1.5, 0.5]
+
+    def test_advance_moves_time_without_recording(self):
+        clock = ManualClock()
+        clock.advance(10.0)
+        assert clock.now() == 10.0
+        assert clock.sleeps == []
+
+    def test_negative_times_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ConfigError):
+            clock.sleep(-1.0)
+        with pytest.raises(ConfigError):
+            clock.advance(-0.1)
+
+
+class TestSystemClock:
+    def test_now_is_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_zero_sleep_returns_immediately(self):
+        SystemClock().sleep(0.0)  # must not block
+        SystemClock().sleep(-1.0)  # negative treated as no wait
+
+    def test_shared_default_instance(self):
+        assert isinstance(SYSTEM_CLOCK, SystemClock)
+
+
+class TestNowFn:
+    def test_clock_normalizes_to_its_now(self):
+        clock = ManualClock(start=7.0)
+        fn = now_fn(clock)
+        assert fn() == 7.0
+        clock.advance(1.0)
+        assert fn() == 8.0
+
+    def test_bare_callable_passes_through(self):
+        fn = now_fn(lambda: 3.0)
+        assert fn() == 3.0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            now_fn(42)
+
+    def test_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Clock().now()
+        with pytest.raises(NotImplementedError):
+            Clock().sleep(1.0)

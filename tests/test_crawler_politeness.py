@@ -95,3 +95,42 @@ class TestCrawlerIntegration:
             fast.stats.politeness_wait_seconds
             < slow.stats.politeness_wait_seconds
         )
+
+
+class TestClockedTokenBucket:
+    """The bucket bound to an injectable clock (no wall-time coupling)."""
+
+    def test_burst_is_free_on_manual_clock(self):
+        from repro.clock import ManualClock
+        from repro.crawler.politeness import ClockedTokenBucket
+
+        clock = ManualClock()
+        bucket = ClockedTokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        assert clock.sleeps == []
+        assert bucket.wait_seconds == 0.0
+
+    def test_throttle_paid_through_clock_sleep(self):
+        from repro.clock import ManualClock
+        from repro.crawler.politeness import ClockedTokenBucket
+
+        clock = ManualClock()
+        bucket = ClockedTokenBucket(rate=2.0, burst=1, clock=clock)
+        bucket.acquire()
+        wait = bucket.acquire()
+        assert wait == pytest.approx(0.5)
+        assert clock.sleeps == [pytest.approx(0.5)]
+        assert bucket.wait_seconds == pytest.approx(0.5)
+
+    def test_steady_state_rate_advances_simulated_time(self):
+        from repro.clock import ManualClock
+        from repro.crawler.politeness import ClockedTokenBucket
+
+        clock = ManualClock()
+        bucket = ClockedTokenBucket(rate=10.0, burst=1, clock=clock)
+        for _ in range(101):
+            bucket.acquire()
+        # 100 throttled requests at 10 rps: ten simulated seconds, paid
+        # instantly on the manual clock.
+        assert clock.now() == pytest.approx(10.0)
+        assert bucket.wait_seconds == pytest.approx(10.0)

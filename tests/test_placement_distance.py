@@ -10,19 +10,13 @@ from repro.placement.policies import (
     PriorPlacement,
     TagPredictivePlacement,
 )
-from repro.placement.predictor import TagGeoPredictor
 from repro.placement.simulator import budgeted_placements
-from repro.placement.workload import WorkloadGenerator
 
 
 @pytest.fixture(scope="module")
-def distance_setup(tiny_pipeline):
+def distance_setup(tiny_pipeline, tiny_predictor, tiny_trace):
     universe = tiny_pipeline.universe
-    trace = WorkloadGenerator(
-        universe, tiny_pipeline.dataset.video_ids(), seed=77
-    ).generate(5000)
-    predictor = TagGeoPredictor(tiny_pipeline.tag_table)
-    return universe, tiny_pipeline.dataset, trace, predictor
+    return universe, tiny_pipeline.dataset, tiny_trace(5000, seed=77), tiny_predictor
 
 
 class TestBudgetedPlacements:

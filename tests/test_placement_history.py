@@ -8,10 +8,8 @@ from repro.placement.workload import Request, RequestTrace, WorkloadGenerator
 
 
 @pytest.fixture(scope="module")
-def training(tiny_pipeline):
-    return WorkloadGenerator(
-        tiny_pipeline.universe, tiny_pipeline.dataset.video_ids(), seed=55
-    ).generate(5000)
+def training(tiny_trace):
+    return tiny_trace(5000, seed=55)
 
 
 class TestHistoryPlacement:
@@ -87,12 +85,13 @@ class TestHistoryPlacement:
                 smoothing=-1.0,
             )
 
-    def test_blend_equals_tags_on_cold_video(self, tiny_pipeline, training):
+    def test_blend_equals_tags_on_cold_video(
+        self, tiny_pipeline, training, tiny_predictor
+    ):
         from repro.placement.history import BlendedPlacement
         from repro.placement.policies import TagPredictivePlacement
-        from repro.placement.predictor import TagGeoPredictor
 
-        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        predictor = tiny_predictor
         history = HistoryPlacement(
             RequestTrace(()), tiny_pipeline.universe.traffic, replicas=5
         )
@@ -102,28 +101,28 @@ class TestHistoryPlacement:
         assert set(blend.place(video)) == set(tags.place(video))
 
     def test_blend_follows_history_when_data_dominates(
-        self, tiny_pipeline
+        self, tiny_pipeline, tiny_predictor
     ):
         from repro.placement.history import BlendedPlacement
-        from repro.placement.predictor import TagGeoPredictor
 
         video = next(iter(tiny_pipeline.dataset))
         # 10,000 observations in IS swamp a pseudo-count of 20.
         trace = RequestTrace(
             tuple(Request(video.video_id, "IS") for _ in range(10_000))
         )
-        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        predictor = tiny_predictor
         history = HistoryPlacement(
             trace, tiny_pipeline.universe.traffic, replicas=1
         )
         blend = BlendedPlacement(history, predictor, replicas=1)
         assert list(blend.place(video)) == ["IS"]
 
-    def test_blend_invalid_pseudo_count(self, tiny_pipeline, training):
+    def test_blend_invalid_pseudo_count(
+        self, tiny_pipeline, training, tiny_predictor
+    ):
         from repro.placement.history import BlendedPlacement
-        from repro.placement.predictor import TagGeoPredictor
 
-        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        predictor = tiny_predictor
         history = HistoryPlacement(
             training, tiny_pipeline.universe.traffic, replicas=3
         )

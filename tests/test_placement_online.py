@@ -16,7 +16,6 @@ from repro.placement.policies import (
     OraclePlacement,
     TagPredictivePlacement,
 )
-from repro.placement.predictor import TagGeoPredictor
 
 
 @pytest.fixture(scope="module")
@@ -101,13 +100,15 @@ class TestOnlineSimulator:
         report = sim.run(tiny_pipeline.dataset, online_trace, NoPlacement())
         assert report.cold_hit_rate == 0.0
 
-    def test_proactive_rescues_cold_requests(self, tiny_pipeline, online_trace):
+    def test_proactive_rescues_cold_requests(
+        self, tiny_pipeline, online_trace, tiny_predictor
+    ):
         universe = tiny_pipeline.universe
         sim = OnlineCacheSimulator(
             universe.registry, lambda: LRUCache(30), cold_window=3
         )
         reactive = sim.run(tiny_pipeline.dataset, online_trace, NoPlacement())
-        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        predictor = tiny_predictor
         tags = sim.run(
             tiny_pipeline.dataset,
             online_trace,

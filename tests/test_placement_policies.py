@@ -14,8 +14,9 @@ from repro.placement.predictor import TagGeoPredictor
 
 
 @pytest.fixture(scope="module")
-def predictor(tiny_pipeline):
-    return TagGeoPredictor(tiny_pipeline.tag_table)
+def predictor(tiny_predictor):
+    """Alias for the shared session-scoped predictor."""
+    return tiny_predictor
 
 
 class TestTagGeoPredictor:

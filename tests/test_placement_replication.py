@@ -4,13 +4,13 @@ import numpy as np
 import pytest
 
 from repro.errors import PlacementError
-from repro.placement.predictor import TagGeoPredictor
 from repro.placement.replication import AdaptiveTagPlacement
 
 
 @pytest.fixture(scope="module")
-def predictor(tiny_pipeline):
-    return TagGeoPredictor(tiny_pipeline.tag_table)
+def predictor(tiny_predictor):
+    """Alias for the shared session-scoped predictor."""
+    return tiny_predictor
 
 
 class TestAdaptivePlacement:

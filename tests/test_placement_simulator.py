@@ -10,20 +10,14 @@ from repro.placement.policies import (
     PriorPlacement,
     TagPredictivePlacement,
 )
-from repro.placement.predictor import TagGeoPredictor
 from repro.placement.simulator import CacheSimulator, default_simulator
-from repro.placement.workload import WorkloadGenerator
 
 
 @pytest.fixture(scope="module")
-def sim_setup(tiny_pipeline):
+def sim_setup(tiny_pipeline, tiny_predictor, tiny_trace):
     universe = tiny_pipeline.universe
     dataset = tiny_pipeline.dataset
-    trace = WorkloadGenerator(
-        universe, dataset.video_ids(), seed=99
-    ).generate(8000)
-    predictor = TagGeoPredictor(tiny_pipeline.tag_table)
-    return universe, dataset, trace, predictor
+    return universe, dataset, tiny_trace(8000, seed=99), tiny_predictor
 
 
 class TestSimulatorMechanics:

@@ -209,3 +209,65 @@ class TestCircuitBreaker:
             CircuitBreaker(reset_timeout=-1.0)
         with pytest.raises(ConfigError):
             CircuitBreaker(half_open_max_calls=0)
+
+
+class TestManualClockWiring:
+    """The injectable-clock seam: no component touches wall time."""
+
+    def test_retry_pays_backoff_through_the_clock(self):
+        from repro.clock import ManualClock
+
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base=0.5, clock=clock
+        )
+        calls = []
+
+        def flaky():
+            calls.append(len(calls))
+            if len(calls) < 4:
+                raise TransientAPIError("try again")
+            return "done"
+
+        assert policy.run(flaky) == "done"
+        # Exponential schedule, recorded instead of slept.
+        assert clock.sleeps == [0.5, 1.0, 2.0]
+        assert clock.now() == pytest.approx(3.5)
+
+    def test_explicit_sleep_beats_clock(self):
+        from repro.clock import ManualClock
+
+        clock = ManualClock()
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=2,
+            backoff_base=1.0,
+            sleep=sleeps.append,
+            clock=clock,
+        )
+        with pytest.raises(TransientAPIError):
+            policy.run(self._always_transient)
+        assert sleeps == [1.0]
+        assert clock.sleeps == []  # the injected sleep won
+
+    @staticmethod
+    def _always_transient():
+        raise TransientAPIError("no luck")
+
+    def test_breaker_accepts_a_clock_object(self):
+        from repro.clock import ManualClock
+
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=30.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(29.9)
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock.advance(0.2)
+        breaker.allow()  # reset timeout elapsed: admits a probe
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED

@@ -1,0 +1,132 @@
+"""Chaos tests: kill k of N replicas mid-workload, keep serving.
+
+The service's resilience claim, stated as invariants:
+
+- **zero failed requests** — the origin always answers, so replica
+  outages degrade distance/latency, never availability;
+- **bounded degradation** — tail serving distance under chaos stays
+  within a constant factor of the clean run (failed edges reroute to
+  peers or origin, not into the void);
+- **full recovery** — after replicas come back, caches (which survive
+  the outage) keep serving, and breakers close again in virtual time.
+
+Everything runs on the virtual-time loop: the same schedule against
+the same trace is bit-for-bit the same experiment.
+"""
+
+import pytest
+
+from repro.serving import ChaosSchedule, EdgeCluster, run_virtual
+
+MARKETS = ["US", "BR", "JP", "DE", "IN", "GB"]
+N_REQUESTS = 6000
+CAPACITY = 24
+CONCURRENCY = 16
+
+
+@pytest.fixture(scope="module")
+def registry(tiny_pipeline):
+    return tiny_pipeline.tag_table.registry
+
+
+@pytest.fixture(scope="module")
+def chaos_trace(tiny_trace):
+    return tiny_trace(N_REQUESTS, seed=424)
+
+
+def _serve(tiny_pipeline, registry, trace, chaos=None):
+    cluster = EdgeCluster(
+        tiny_pipeline.dataset, registry, MARKETS, capacity=CAPACITY
+    )
+    report = run_virtual(
+        cluster.serve_trace(trace, concurrency=CONCURRENCY, chaos=chaos)
+    )
+    return cluster, report
+
+
+class TestKillKOfN:
+    def test_zero_failed_requests_under_chaos(
+        self, tiny_pipeline, registry, chaos_trace
+    ):
+        chaos = ChaosSchedule.kill(
+            ["edge-BR", "edge-JP", "edge-IN"],
+            at_request=N_REQUESTS // 3,
+            recover_at=2 * N_REQUESTS // 3,
+        )
+        _, report = _serve(tiny_pipeline, registry, chaos_trace, chaos)
+        assert report.failed == 0
+        assert report.requests == N_REQUESTS
+        assert (
+            report.local_hits + report.remote_hits + report.origin_fetches
+            == N_REQUESTS
+        )
+
+    def test_p99_degradation_is_bounded(
+        self, tiny_pipeline, registry, chaos_trace
+    ):
+        _, clean = _serve(tiny_pipeline, registry, chaos_trace)
+        chaos = ChaosSchedule.kill(
+            ["edge-BR", "edge-JP", "edge-IN"],
+            at_request=N_REQUESTS // 3,
+            recover_at=2 * N_REQUESTS // 3,
+        )
+        _, degraded = _serve(tiny_pipeline, registry, chaos_trace, chaos)
+        # Outage reroutes cost distance, but boundedly: requests fall
+        # back to live peers or the origin, both at finite distance.
+        assert degraded.failed == 0
+        assert degraded.p99_km <= 2.0 * clean.p99_km + 1.0
+        assert degraded.hit_ratio <= clean.hit_ratio
+
+    def test_dead_replicas_reroute_and_recover(
+        self, tiny_pipeline, registry, chaos_trace
+    ):
+        kill_at = N_REQUESTS // 3
+        recover_at = 2 * N_REQUESTS // 3
+        chaos = ChaosSchedule.kill(
+            ["edge-BR", "edge-JP"], at_request=kill_at, recover_at=recover_at
+        )
+        cluster, report = _serve(tiny_pipeline, registry, chaos_trace, chaos)
+        assert report.failed == 0
+        assert report.reroutes > 0
+        assert chaos.exhausted
+        for replica in cluster.replicas:
+            assert replica.alive
+        # Caches survive the outage: the revived replicas still hold
+        # what they had admitted before the kill.
+        assert len(cluster.replica("edge-BR").cache) > 0
+
+    def test_killing_every_replica_still_serves(
+        self, tiny_pipeline, registry, chaos_trace
+    ):
+        chaos = ChaosSchedule.kill(
+            [f"edge-{c}" for c in MARKETS], at_request=N_REQUESTS // 2
+        )
+        _, report = _serve(tiny_pipeline, registry, chaos_trace, chaos)
+        assert report.failed == 0
+        # After the kill everything is an origin fetch.
+        assert report.origin_fetches >= N_REQUESTS // 2
+
+    def test_breakers_open_on_dead_replicas(
+        self, tiny_pipeline, registry, chaos_trace
+    ):
+        chaos = ChaosSchedule.kill(
+            ["edge-US"], at_request=N_REQUESTS // 4
+        )
+        cluster, report = _serve(tiny_pipeline, registry, chaos_trace, chaos)
+        assert report.failed == 0
+        # US is the biggest market: its breaker sees plenty of failures.
+        assert report.breaker_opens > 0
+
+    def test_chaos_run_is_deterministic(
+        self, tiny_pipeline, registry, chaos_trace
+    ):
+        def once():
+            chaos = ChaosSchedule.kill(
+                ["edge-BR", "edge-DE"],
+                at_request=N_REQUESTS // 4,
+                recover_at=N_REQUESTS // 2,
+            )
+            _, report = _serve(tiny_pipeline, registry, chaos_trace, chaos)
+            return report
+
+        assert once() == once()

@@ -1,0 +1,245 @@
+"""Tests for the EdgeCluster façade, chaos schedules, and reports."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.placement.cache import LRUCache
+from repro.placement.workload import Request
+from repro.serving import (
+    ChaosAction,
+    ChaosSchedule,
+    EdgeCluster,
+    ReactiveOnlyPlanner,
+    RoundRobinPlanner,
+    TagAwarePlanner,
+    run_virtual,
+)
+from repro.world.traffic import default_traffic_model
+
+MARKETS = ["US", "BR", "JP"]
+
+
+@pytest.fixture(scope="module")
+def registry(tiny_pipeline):
+    return tiny_pipeline.tag_table.registry
+
+
+def _cluster(tiny_pipeline, registry, **kw):
+    kw.setdefault("capacity", 16)
+    return EdgeCluster(
+        tiny_pipeline.dataset, registry, MARKETS, **kw
+    )
+
+
+class TestConstruction:
+    def test_duplicate_countries_rejected(self, tiny_pipeline, registry):
+        with pytest.raises(ServingError):
+            EdgeCluster(
+                tiny_pipeline.dataset, registry, ["US", "US"], capacity=4
+            )
+
+    def test_empty_fleet_rejected(self, tiny_pipeline, registry):
+        with pytest.raises(ServingError):
+            EdgeCluster(tiny_pipeline.dataset, registry, [], capacity=4)
+
+    def test_default_planner_is_reactive(self, tiny_pipeline, registry):
+        cluster = _cluster(tiny_pipeline, registry)
+        assert cluster.planner.name == "reactive"
+        assert [r.replica_id for r in cluster.replicas] == [
+            "edge-US", "edge-BR", "edge-JP"
+        ]
+
+    def test_top_markets_ranked_by_traffic(self, registry):
+        traffic = default_traffic_model(registry)
+        markets = EdgeCluster.top_markets(traffic, 4)
+        assert len(markets) == 4
+        shares = [traffic.share(code) for code in markets]
+        assert shares == sorted(shares, reverse=True)
+        assert all(
+            traffic.share(code) <= shares[-1]
+            for code in registry.codes()
+            if code not in markets
+        )
+
+
+class TestChaosSchedule:
+    def test_actions_sorted_and_validated(self):
+        schedule = ChaosSchedule(
+            [
+                ChaosAction(50, "recover", "edge-US"),
+                ChaosAction(10, "fail", "edge-US"),
+            ]
+        )
+        assert len(schedule) == 2
+        assert not schedule.exhausted
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ServingError):
+            ChaosSchedule([ChaosAction(1, "explode", "edge-US")])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ServingError):
+            ChaosSchedule([ChaosAction(-1, "fail", "edge-US")])
+
+    def test_kill_builder_validates_recovery(self):
+        with pytest.raises(ServingError):
+            ChaosSchedule.kill(["edge-US"], at_request=10, recover_at=10)
+        schedule = ChaosSchedule.kill(
+            ["edge-US", "edge-BR"], at_request=5, recover_at=9
+        )
+        assert len(schedule) == 4
+
+    def test_apply_flips_liveness_and_reset_rewinds(
+        self, tiny_pipeline, registry
+    ):
+        cluster = _cluster(tiny_pipeline, registry)
+        schedule = ChaosSchedule.kill(["edge-BR"], at_request=3, recover_at=7)
+        schedule.apply(cluster, 2)
+        assert cluster.replica("edge-BR").alive
+        schedule.apply(cluster, 5)
+        assert not cluster.replica("edge-BR").alive
+        schedule.apply(cluster, 8)
+        assert cluster.replica("edge-BR").alive
+        assert schedule.exhausted
+        schedule.reset()
+        assert not schedule.exhausted
+
+
+class TestWarmAndServe:
+    def test_warm_places_plan(self, tiny_pipeline, registry, tiny_predictor):
+        cluster = _cluster(
+            tiny_pipeline,
+            registry,
+            planner=TagAwarePlanner(tiny_predictor, replicas_per_video=2),
+        )
+        placed = run_virtual(cluster.warm())
+        assert placed > 0
+        assert cluster.placed == placed
+        total_cached = sum(len(r.cache) for r in cluster.replicas)
+        assert total_cached == placed
+
+    def test_warm_with_catalogue_subset(
+        self, tiny_pipeline, registry, tiny_predictor
+    ):
+        cluster = _cluster(
+            tiny_pipeline,
+            registry,
+            planner=TagAwarePlanner(tiny_predictor, replicas_per_video=1),
+        )
+        subset = list(tiny_pipeline.dataset)[:5]
+        placed = run_virtual(cluster.warm(subset))
+        assert 0 < placed <= 5
+        cached = set().union(*(r.cache.contents() for r in cluster.replicas))
+        assert cached <= {video.video_id for video in subset}
+
+    def test_serve_trace_accounting(self, tiny_pipeline, registry, tiny_trace):
+        cluster = _cluster(tiny_pipeline, registry)
+        trace = tiny_trace(2000, seed=11)
+
+        report = run_virtual(cluster.serve_trace(trace, concurrency=16))
+        assert report.requests == 2000
+        assert report.failed == 0
+        assert (
+            report.local_hits + report.remote_hits + report.origin_fetches
+            == 2000
+        )
+        assert 0.0 <= report.hit_ratio <= report.replica_hit_ratio <= 1.0
+        assert report.p50_km <= report.p99_km
+        assert report.virtual_seconds > 0.0
+
+    def test_reports_are_delta_windows(self, tiny_pipeline, registry, tiny_trace):
+        cluster = _cluster(tiny_pipeline, registry)
+        trace = list(tiny_trace(1000, seed=12))
+
+        async def main():
+            first = await cluster.serve_trace(trace[:400], concurrency=8)
+            second = await cluster.serve_trace(trace[400:], concurrency=8)
+            return first, second
+
+        first, second = run_virtual(main())
+        assert first.requests == 400
+        assert second.requests == 600
+        # The second window re-serves a warmed cache: no cold misses.
+        assert second.hit_ratio >= first.hit_ratio
+
+    def test_rewarm_repins_evicted_plan(
+        self, tiny_pipeline, registry, tiny_predictor, tiny_trace
+    ):
+        planner = TagAwarePlanner(tiny_predictor, replicas_per_video=2)
+        cluster = _cluster(tiny_pipeline, registry, planner=planner, capacity=8)
+        trace = tiny_trace(3000, seed=13)
+
+        async def main():
+            await cluster.warm()
+            return await cluster.serve_trace(
+                trace, concurrency=16, rewarm_every=500
+            )
+
+        report = run_virtual(main())
+        assert report.requests == 3000
+        assert report.failed == 0
+        # 3000 requests at rewarm_every=500 fire five re-warms on top of
+        # the initial warm — each re-pushes the (memoized) plan.
+        assert cluster.controller.stats.pushes >= 6 * cluster.placed
+
+    def test_catalogue_at_requires_rewarm(self, tiny_pipeline, registry):
+        cluster = _cluster(tiny_pipeline, registry)
+        with pytest.raises(ServingError):
+            run_virtual(
+                cluster.serve_trace(
+                    [Request(next(iter(tiny_pipeline.dataset)).video_id, "US")],
+                    catalogue_at=lambda i: tiny_pipeline.dataset,
+                )
+            )
+
+    def test_invalid_knobs_rejected(self, tiny_pipeline, registry):
+        cluster = _cluster(tiny_pipeline, registry)
+        with pytest.raises(ServingError):
+            run_virtual(cluster.serve_trace([], concurrency=0))
+        with pytest.raises(ServingError):
+            run_virtual(cluster.serve_trace([], rewarm_every=0))
+
+    def test_round_robin_spreads_copies(self, tiny_pipeline, registry):
+        cluster = _cluster(
+            tiny_pipeline, registry, planner=RoundRobinPlanner(), capacity=10
+        )
+        run_virtual(cluster.warm())
+        sizes = [len(r.cache) for r in cluster.replicas]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_chaos_mid_trace_never_fails_requests(
+        self, tiny_pipeline, registry, tiny_trace
+    ):
+        cluster = _cluster(tiny_pipeline, registry)
+        trace = tiny_trace(2000, seed=14)
+        chaos = ChaosSchedule.kill(
+            ["edge-BR", "edge-JP"], at_request=500, recover_at=1500
+        )
+
+        report = run_virtual(
+            cluster.serve_trace(trace, concurrency=16, chaos=chaos)
+        )
+        assert report.failed == 0
+        assert report.requests == 2000
+        assert chaos.exhausted
+
+
+class TestReport:
+    def test_as_rows_round_trips(self, tiny_pipeline, registry, tiny_trace):
+        cluster = _cluster(tiny_pipeline, registry)
+        report = run_virtual(
+            cluster.serve_trace(tiny_trace(500, seed=15), concurrency=8)
+        )
+        rows = dict(report.as_rows())
+        assert rows["requests"] == 500.0
+        assert rows["hit_ratio"] == report.hit_ratio
+        assert rows["p99_km"] == report.p99_km
+
+    def test_planner_name_recorded(self, tiny_pipeline, registry):
+        cluster = _cluster(
+            tiny_pipeline, registry, planner=ReactiveOnlyPlanner()
+        )
+        report = run_virtual(cluster.serve_trace([], concurrency=1))
+        assert report.planner == "reactive"
+        assert report.requests == 0
+        assert report.p50_km == 0.0

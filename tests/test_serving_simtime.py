@@ -1,0 +1,134 @@
+"""Tests for the virtual-time event loop and simulation harness.
+
+Also holds the suite-wide determinism guard: no file in the serving
+layer (sources or tests) may call ``time.sleep`` — all waiting must go
+through ``asyncio.sleep`` on the virtual clock.
+"""
+
+import asyncio
+import re
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SimulationDeadlockError
+from repro.serving import SimulationHarness, VirtualTimeLoop, run_virtual
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+class TestRunVirtual:
+    def test_sleeps_cost_no_wall_time(self):
+        async def main():
+            await asyncio.sleep(3600.0)
+            return asyncio.get_event_loop().time()
+
+        started = time.perf_counter()
+        finished_at = run_virtual(main())
+        wall = time.perf_counter() - started
+        assert finished_at == pytest.approx(3600.0)
+        assert wall < 5.0  # an hour of virtual time, near-instant for real
+
+    def test_virtual_clock_starts_at_zero(self):
+        async def main():
+            return asyncio.get_event_loop().time()
+
+        assert run_virtual(main()) == 0.0
+
+    def test_start_offset(self):
+        async def main():
+            return asyncio.get_event_loop().time()
+
+        assert run_virtual(main(), start=100.0) == 100.0
+
+    def test_concurrent_sleeps_complete_in_deadline_order(self):
+        order = []
+
+        async def sleeper(name, delay):
+            await asyncio.sleep(delay)
+            order.append((name, asyncio.get_event_loop().time()))
+
+        async def main():
+            await asyncio.gather(
+                sleeper("slow", 10.0),
+                sleeper("fast", 1.0),
+                sleeper("medium", 5.0),
+            )
+
+        run_virtual(main())
+        assert order == [("fast", 1.0), ("medium", 5.0), ("slow", 10.0)]
+
+    def test_wait_for_timeout_fires_virtually(self):
+        async def main():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.sleep(60.0), timeout=2.0)
+            return asyncio.get_event_loop().time()
+
+        assert run_virtual(main()) == pytest.approx(2.0)
+
+    def test_deadlock_raises_instead_of_hanging(self):
+        async def main():
+            await asyncio.get_event_loop().create_future()  # never resolves
+
+        with pytest.raises(SimulationDeadlockError):
+            run_virtual(main())
+
+    def test_determinism_across_runs(self):
+        async def main():
+            log = []
+
+            async def worker(i):
+                await asyncio.sleep(0.01 * (i % 3 + 1))
+                log.append(i)
+
+            await asyncio.gather(*(worker(i) for i in range(20)))
+            return tuple(log)
+
+        assert run_virtual(main()) == run_virtual(main())
+
+    def test_exception_propagates_and_loop_closes(self):
+        async def main():
+            await asyncio.sleep(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run_virtual(main())
+
+
+class TestSimulationHarness:
+    def test_time_persists_across_runs(self):
+        with SimulationHarness() as harness:
+            harness.run(asyncio.sleep(5.0))
+            harness.run(asyncio.sleep(10.0))
+            assert harness.now == pytest.approx(15.0)
+
+    def test_close_is_idempotent(self):
+        harness = SimulationHarness()
+        harness.run(asyncio.sleep(1.0))
+        harness.close()
+        harness.close()
+        assert harness.loop.is_closed()
+
+    def test_loop_is_virtual(self):
+        with SimulationHarness(start=7.0) as harness:
+            assert isinstance(harness.loop, VirtualTimeLoop)
+            assert harness.now == 7.0
+
+
+class TestNoWallClockSleeps:
+    def test_serving_layer_never_calls_time_sleep(self):
+        """The determinism guarantee, enforced mechanically."""
+        suspects = [
+            *(REPO_ROOT / "src" / "repro" / "serving").glob("*.py"),
+            *(REPO_ROOT / "tests").glob("test_serving_*.py"),
+            REPO_ROOT / "benchmarks" / "bench_s2_edge_serving.py",
+        ]
+        assert len(suspects) > 8, "serving layer files went missing"
+        pattern = re.compile(r"\btime\.sleep\s*\(")
+        offenders = [
+            str(path)
+            for path in suspects
+            if pattern.search(path.read_text(encoding="utf-8"))
+        ]
+        assert offenders == []

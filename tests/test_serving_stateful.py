@@ -1,0 +1,142 @@
+"""Property-based stateful tests for the serving controller.
+
+A Hypothesis state machine drives random interleavings of serve /
+kill / revive / push / advance-time against a small origin →
+controller → replicas service on a *persistent* virtual-time loop
+(:class:`~repro.serving.simtime.SimulationHarness`), and checks the
+routing invariants no interleaving may break:
+
+- every request is served exactly once (local + remote + origin
+  always equals requests; nothing fails, nothing is double-counted);
+- no request is ever served by a dead replica;
+- the controller's routing index stays a superset of what each
+  replica actually holds (stale entries allowed — they self-heal —
+  but never missing entries).
+"""
+
+import asyncio
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.video import Video
+from repro.errors import CircuitOpenError, ReplicaDownError
+from repro.placement.cache import LRUCache
+from repro.serving import Controller, Origin, Replica, SimulationHarness
+from repro.world.countries import default_registry
+
+VIDEOS = [
+    Video(
+        video_id=f"AAAAAAAAA{i:02d}",
+        title=f"video {i}",
+        uploader="uploader",
+        upload_date="2011-01-01",
+        views=100 + i,
+        tags=("music",),
+    )
+    for i in range(6)
+]
+VIDEO_IDS = [video.video_id for video in VIDEOS]
+REPLICA_COUNTRIES = ["US", "BR", "JP"]
+REPLICA_IDS = [f"edge-{country}" for country in REPLICA_COUNTRIES]
+REQUEST_COUNTRIES = ["US", "BR", "JP", "DE", "FR", "IN"]
+
+video_strategy = st.sampled_from(VIDEO_IDS)
+replica_strategy = st.sampled_from(REPLICA_IDS)
+country_strategy = st.sampled_from(REQUEST_COUNTRIES)
+
+
+class ServingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.harness = SimulationHarness()
+        registry = default_registry()
+        self.origin = Origin(Dataset(VIDEOS, registry=registry))
+        self.replicas = {
+            f"edge-{country}": Replica(
+                f"edge-{country}", country, LRUCache(4)
+            )
+            for country in REPLICA_COUNTRIES
+        }
+        self.controller = Controller(
+            self.origin, list(self.replicas.values()), registry
+        )
+        self.model_requests = 0
+
+    def teardown(self):
+        self.harness.close()
+
+    # -- actions ------------------------------------------------------------
+
+    @rule(video_id=video_strategy, country=country_strategy)
+    def serve(self, video_id, country):
+        result = self.harness.run(self.controller.get(video_id, country))
+        self.model_requests += 1
+        # Exactly once, from a known source.
+        assert result.video_id == video_id
+        assert result.source in ("local", "remote", "origin")
+        # Never served by a dead replica.
+        if result.source != "origin":
+            assert self.replicas[result.served_by].alive
+        else:
+            assert result.served_by == "origin"
+        assert result.distance_km >= 0.0
+
+    @rule(replica_id=replica_strategy)
+    def kill(self, replica_id):
+        self.replicas[replica_id].fail()
+
+    @rule(replica_id=replica_strategy)
+    def revive(self, replica_id):
+        self.replicas[replica_id].recover()
+
+    @rule(video_id=video_strategy, replica_id=replica_strategy)
+    def push(self, video_id, replica_id):
+        try:
+            self.harness.run(self.controller.push(replica_id, video_id))
+        except ReplicaDownError:
+            assert not self.replicas[replica_id].alive
+        except CircuitOpenError:
+            # The breaker may only reject pushes while it is open or
+            # limiting half-open probes — never from the closed state.
+            assert self.controller.breaker(replica_id).state != "closed"
+
+    @rule(seconds=st.sampled_from([0.5, 2.0, 10.0]))
+    def advance_time(self, seconds):
+        """Let breaker reset timeouts elapse (virtually)."""
+        self.harness.run(asyncio.sleep(seconds))
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def served_exactly_once(self):
+        stats = self.controller.stats
+        assert stats.failed == 0
+        assert (
+            stats.local_hits + stats.remote_hits + stats.origin_fetches
+            == stats.requests
+        )
+        assert stats.requests == self.model_requests
+
+    @invariant()
+    def index_is_superset_of_replica_contents(self):
+        index = self.controller.routing_index()
+        for replica in self.replicas.values():
+            for video_id in replica.contents():
+                assert replica.replica_id in index.get(video_id, set()), (
+                    f"{video_id} cached on {replica.replica_id} "
+                    "but missing from the routing index"
+                )
+
+    @invariant()
+    def caches_never_over_capacity(self):
+        for replica in self.replicas.values():
+            assert len(replica.cache) <= replica.cache.capacity
+
+
+TestServingStateful = ServingMachine.TestCase
+TestServingStateful.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None
+)
