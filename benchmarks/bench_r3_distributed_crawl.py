@@ -1,0 +1,202 @@
+"""R3 — distributed multi-worker crawl throughput vs single-process.
+
+The paper's crawl was latency-bound: every video costs a metadata
+request plus related-feed pages against a remote API. A multi-process
+crawl wins by overlapping that network wait, not by burning more CPU —
+so this benchmark serves the simulated API over TCP with a per-request
+latency floor and measures end-to-end crawl throughput (videos/second)
+for a single-process crawler vs a 4-worker
+:class:`~repro.crawler.distributed.DistributedCrawlSupervisor`.
+
+Gates (written to ``BENCH_r3.json`` at the repository root):
+
+- **correctness**: both crawls collect the identical video set;
+- **throughput**: the 4-worker crawl sustains at least
+  ``BENCH_R3_MIN_SPEEDUP`` (default 1.5) x the single-process rate.
+
+Environment knobs:
+
+- ``BENCH_R3_PRESET`` (default ``medium``): universe preset.
+- ``BENCH_R3_MAX_VIDEOS`` (default 1500): crawl budget; throughput is
+  rate-based, so a capped crawl on the medium universe is a fair probe.
+- ``BENCH_R3_LATENCY`` (default 0.002): per-request server latency in
+  seconds (the "remote API" the workers overlap).
+- ``BENCH_R3_MIN_SPEEDUP`` (default 1.5): throughput gate.
+- ``BENCH_R3_GATE`` (default ``full``): ``smoke`` shrinks the run (tiny
+  preset, small budget) and only sanity-checks the speedup, for CI.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.resilient import ResilientYoutubeClient
+from repro.api.service import YoutubeService
+from repro.api.transport import YoutubeAPIServer
+from repro.crawler.distributed import DistributedCrawlSupervisor
+from repro.crawler.snowball import SnowballCrawler
+from repro.errors import CircuitOpenError, TransportError
+from repro.resilience import RetryPolicy
+from repro.synth.presets import preset_config
+from repro.synth.universe import build_universe
+
+REPO_ROOT = Path(__file__).parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_r3.json"
+
+GATE = os.environ.get("BENCH_R3_GATE", "full")
+PRESET = os.environ.get(
+    "BENCH_R3_PRESET", "tiny" if GATE == "smoke" else "medium"
+)
+MAX_VIDEOS = int(
+    os.environ.get("BENCH_R3_MAX_VIDEOS", 150 if GATE == "smoke" else 1_500)
+)
+LATENCY = float(os.environ.get("BENCH_R3_LATENCY", 0.002))
+MIN_SPEEDUP = float(os.environ.get("BENCH_R3_MIN_SPEEDUP", 1.5))
+WORKERS = 4
+
+
+def _single_process_crawl(universe):
+    """Baseline: one crawler over the same TCP transport and latency."""
+    with YoutubeAPIServer(
+        YoutubeService(universe, latency_seconds=LATENCY)
+    ) as server:
+        with ResilientYoutubeClient(
+            server.host,
+            server.port,
+            timeout=5.0,
+            retry=RetryPolicy(
+                max_attempts=6,
+                backoff_base=0.01,
+                backoff_cap=0.05,
+                retryable=(TransportError, CircuitOpenError),
+            ),
+        ) as client:
+            start = time.perf_counter()
+            result = SnowballCrawler(client, max_videos=MAX_VIDEOS).run()
+            return result, time.perf_counter() - start
+
+
+def _distributed_crawl(universe, tmp_path):
+    with YoutubeAPIServer(
+        YoutubeService(universe, latency_seconds=LATENCY)
+    ) as server:
+        with DistributedCrawlSupervisor(
+            server.host,
+            server.port,
+            store_path=str(tmp_path / "crawl.db"),
+            workdir=str(tmp_path / "journals"),
+            workers=WORKERS,
+            max_videos=MAX_VIDEOS,
+        ) as supervisor:
+            start = time.perf_counter()
+            result = supervisor.run()
+            return result, time.perf_counter() - start
+
+
+def test_r3_distributed_crawl_throughput(tmp_path, report_writer):
+    universe = build_universe(preset_config(PRESET))
+
+    single, single_s = _single_process_crawl(universe)
+    distributed, distributed_s = _distributed_crawl(universe, tmp_path)
+
+    # Correctness gate first. A budget-capped crawl truncates the BFS
+    # at scheduler-dependent points, so the two runs may cover slightly
+    # different prefixes of the universe — but every id both collected
+    # must carry an identical record, and both must fill the budget.
+    single_records = {v.video_id: v for v in single.dataset}
+    distributed_records = {v.video_id: v for v in distributed.dataset}
+    common = set(single_records) & set(distributed_records)
+    assert common
+    assert all(
+        single_records[vid] == distributed_records[vid] for vid in common
+    )
+    for result in (single, distributed):
+        # Either the budget was filled or the reachable set ran out.
+        assert (
+            len(result.dataset) >= MAX_VIDEOS
+            or not result.stats.stopped_by_budget
+        )
+
+    single_rate = len(single.dataset) / single_s
+    distributed_rate = len(distributed.dataset) / distributed_s
+    speedup = distributed_rate / single_rate if single_rate > 0 else 0.0
+
+    payload = {
+        "benchmark": "r3_distributed_crawl",
+        "preset": PRESET,
+        "gate_mode": GATE,
+        "workers": WORKERS,
+        "max_videos": MAX_VIDEOS,
+        "latency_seconds": LATENCY,
+        "videos_collected": len(distributed.dataset),
+        "single_seconds": round(single_s, 3),
+        "distributed_seconds": round(distributed_s, 3),
+        "single_videos_per_sec": round(single_rate, 1),
+        "distributed_videos_per_sec": round(distributed_rate, 1),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "records_consistent": True,
+        "common_ids": len(common),
+        "workers_spawned": distributed.stats.workers_spawned,
+        "workers_restarted": distributed.stats.workers_restarted,
+        "leases_revoked": distributed.stats.leases_revoked,
+        "shards_requeued": distributed.stats.shards_requeued,
+    }
+    OUTPUT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    report_writer(
+        "r3_distributed_crawl",
+        f"R3 — {WORKERS}-worker distributed crawl vs single process "
+        f"({PRESET} preset, {LATENCY * 1000:.1f} ms/request, "
+        f"budget {MAX_VIDEOS})\n"
+        f"single:      {len(single.dataset)} videos in {single_s:.2f}s "
+        f"({single_rate:.1f}/s)\n"
+        f"distributed: {len(distributed.dataset)} videos in "
+        f"{distributed_s:.2f}s ({distributed_rate:.1f}/s)\n"
+        f"speedup: {speedup:.2f}x (gate: >= {MIN_SPEEDUP}x, mode {GATE})\n"
+        f"records consistent on {len(common)} common ids",
+    )
+
+    if GATE == "smoke":
+        # CI sanity floor only — tiny universes under-reward overlap.
+        assert speedup > 0.5
+    else:
+        assert speedup >= MIN_SPEEDUP
+
+
+def test_r3_distributed_crawl_survives_kills(tmp_path, report_writer):
+    """Robustness rider: the same benchmark config with two scripted
+    worker kills still collects the identical set (slower is fine)."""
+    universe = build_universe(preset_config("tiny"))
+    budget = 10_000  # exhaustive, so set-equality is scheduler-independent
+    with YoutubeAPIServer(YoutubeService(universe)) as server:
+        clean = SnowballCrawler(
+            YoutubeService(universe), max_videos=budget
+        ).run()
+        with DistributedCrawlSupervisor(
+            server.host,
+            server.port,
+            store_path=str(tmp_path / "kill.db"),
+            workdir=str(tmp_path / "kill-journals"),
+            workers=WORKERS,
+            max_videos=budget,
+            kill_plan={0: 5, 1: 11},
+        ) as supervisor:
+            result = supervisor.run()
+
+    assert set(result.dataset.video_ids()) == set(clean.dataset.video_ids())
+    assert result.stats.workers_restarted >= 2
+    report_writer(
+        "r3_distributed_crawl_kills",
+        "R3 rider — 4-worker crawl with 2 scripted kills\n"
+        f"videos: {len(result.dataset)} (clean run: {len(clean.dataset)}; "
+        "sets identical)\n"
+        f"workers restarted: {result.stats.workers_restarted}  "
+        f"leases revoked: {result.stats.leases_revoked}  "
+        f"shards requeued: {result.stats.shards_requeued}",
+    )

@@ -8,6 +8,7 @@ the T1 benchmark uses it to cap crawl effort reproducibly.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -74,3 +75,82 @@ class QuotaBudget:
         """Restore the full budget (a new 'day')."""
         self._used = 0
         self._by_kind.clear()
+
+
+class QuotaTracker:
+    """Client-side estimate of aggregate quota spend across workers.
+
+    :class:`QuotaBudget` lives server-side and is authoritative; a
+    distributed crawl supervisor cannot see it directly, so it keeps
+    this tracker updated from per-worker request reports and uses it
+    for **backpressure**: once the estimated remaining budget drops
+    below what a whole shard could plausibly cost, the supervisor
+    stops granting leases instead of letting N workers slam into
+    ``QuotaExceededError`` mid-flight.
+
+    Thread-safe (the supervisor's control loop and test harnesses may
+    note spend from multiple threads); same cost table as the budget.
+
+    Args:
+        limit: Known or assumed server budget (:data:`UNLIMITED` when
+            the crawl has no quota to respect).
+        costs: Unit cost per request kind; unknown kinds cost 1.
+    """
+
+    def __init__(self, limit: float = UNLIMITED, costs: Dict[str, int] = None):
+        if limit is not UNLIMITED and limit < 0:
+            raise ConfigError(f"quota limit must be >= 0, got {limit}")
+        self.limit = limit
+        self.costs = dict(DEFAULT_COSTS if costs is None else costs)
+        self._lock = threading.Lock()
+        self._spent = 0
+        self._by_kind: Dict[str, int] = {}
+
+    def note(self, kind: str, count: int = 1) -> None:
+        """Record ``count`` requests of ``kind`` as (probably) spent."""
+        if count < 0:
+            raise ConfigError(f"request count must be >= 0, got {count}")
+        cost = self.costs.get(kind, 1) * count
+        with self._lock:
+            self._spent += cost
+            self._by_kind[kind] = self._by_kind.get(kind, 0) + cost
+
+    def note_many(self, requests: Dict[str, int]) -> None:
+        """Record a worker's per-kind request report in one call."""
+        for kind, count in requests.items():
+            self.note(kind, count)
+
+    @property
+    def spent(self) -> int:
+        """Estimated units consumed so far."""
+        with self._lock:
+            return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Estimated units left (may be ``inf``)."""
+        with self._lock:
+            return self.limit - self._spent
+
+    def spend_by_kind(self) -> Dict[str, int]:
+        """Estimated units consumed per request kind (copy)."""
+        with self._lock:
+            return dict(self._by_kind)
+
+    def can_afford(self, kind: str, count: int = 1) -> bool:
+        """True when ``count`` more ``kind`` requests should still fit."""
+        cost = self.costs.get(kind, 1) * count
+        with self._lock:
+            return self._spent + cost <= self.limit
+
+    def estimate_shard_cost(self, entries: int, related_pages: int = 2) -> int:
+        """Pessimistic unit cost of visiting ``entries`` frontier items.
+
+        Each visit is one ``get_video`` plus up to ``related_pages``
+        related-feed reads; the supervisor compares this against
+        :attr:`remaining` before granting a lease.
+        """
+        per_visit = self.costs.get("get_video", 1) + (
+            related_pages * self.costs.get("related_videos", 1)
+        )
+        return entries * per_visit

@@ -82,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
     crawl.add_argument(
         "--world", default=None, help="crawl a saved world instead of a preset"
     )
+    crawl.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="crawl worker processes; >1 shards the frontier across a "
+        "supervised multi-process crawl (default: 1)",
+    )
 
     stats = sub.add_parser("stats", help="funnel + corpus statistics")
     stats.add_argument("--in", dest="input", required=True)
@@ -177,6 +184,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=50,
         help="crawl videos per durable journal batch",
     )
+    resume.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="crawl worker processes; >1 shards the frontier across a "
+        "supervised multi-process crawl (default: 1)",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -217,7 +231,26 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             faults=FaultInjector(rate=args.fault_rate, seed=universe.config.seed),
         )
         budget = args.max_videos if args.max_videos else len(universe)
-        crawl = SnowballCrawler(service, max_videos=budget).run()
+        if args.workers > 1:
+            import tempfile
+
+            from repro.api.transport import YoutubeAPIServer
+            from repro.crawler.distributed import DistributedCrawlSupervisor
+
+            with tempfile.TemporaryDirectory(prefix="repro-crawl-") as tmp:
+                with YoutubeAPIServer(service) as server:
+                    supervisor = DistributedCrawlSupervisor(
+                        server.host,
+                        server.port,
+                        store_path=f"{tmp}/crawl.db",
+                        workdir=f"{tmp}/journals",
+                        workers=args.workers,
+                        max_videos=budget,
+                    )
+                    with supervisor:
+                        crawl = supervisor.run()
+        else:
+            crawl = SnowballCrawler(service, max_videos=budget).run()
     else:
         universe_config = preset_config(args.preset)
         if args.seed is not None:
@@ -229,6 +262,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
                 universe=universe_config,
                 crawl_budget=args.max_videos,
                 fault_rate=args.fault_rate,
+                workers=args.workers,
             )
         ).crawl
     written = write_videos_jsonl(crawl.dataset, args.out)
@@ -522,6 +556,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         crawl_budget=args.max_videos,
         fault_rate=args.fault_rate,
         checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
     )
     result = run_pipeline(config, workdir=args.workdir)
     if result.stages_skipped:

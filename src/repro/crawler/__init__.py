@@ -34,6 +34,12 @@ from repro.crawler.checkpoint import CrawlCheckpoint
 from repro.crawler.snowball import CrawlResult, SnowballCrawler
 from repro.crawler.parallel import ParallelSnowballCrawler
 from repro.crawler.politeness import TokenBucket
+from repro.crawler.leases import Lease, LeaseError, LeaseManager
+from repro.crawler.distributed import (
+    DistributedCrawlSupervisor,
+    WorkerConfig,
+    merge_worker_checkpoints,
+)
 from repro.resilience import CircuitBreaker, RetryPolicy
 
 __all__ = [
@@ -42,8 +48,14 @@ __all__ = [
     "CrawlStats",
     "CrawlCheckpoint",
     "CrawlResult",
+    "DistributedCrawlSupervisor",
+    "Lease",
+    "LeaseError",
+    "LeaseManager",
     "RetryPolicy",
     "SnowballCrawler",
     "ParallelSnowballCrawler",
     "TokenBucket",
+    "WorkerConfig",
+    "merge_worker_checkpoints",
 ]

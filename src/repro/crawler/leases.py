@@ -1,0 +1,189 @@
+"""Frontier leases: deadline-bound ownership of crawl shards.
+
+The distributed crawl supervisor (:mod:`repro.crawler.distributed`)
+hands frontier entries to workers in *shards*. A shard is never given
+away — it is **leased**: the supervisor records who holds which entries
+and until when, workers extend their leases by heartbeating, and a
+lease whose deadline passes is presumed lost (worker dead or hung) and
+can be revoked so its shard goes back onto the frontier.
+
+The invariant the manager maintains, and the tests pin: at any moment
+every admitted frontier entry is in exactly one place — queued at the
+supervisor, held by exactly one live lease, or completed. Revocation
+moves a lease's entries back to "queued"; completion retires them.
+
+Time comes from the :class:`~repro.clock.Clock` seam, never from
+``time.monotonic`` directly, so lease expiry is testable with a
+:class:`~repro.clock.ManualClock` and no test ever waits out a real
+deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clock import SYSTEM_CLOCK, ClockLike, now_fn
+from repro.errors import ConfigError, CrawlError
+
+#: One frontier entry: ``(video_id, bfs_depth)``.
+Entry = Tuple[str, int]
+
+
+class LeaseError(CrawlError):
+    """A lease operation that violates the ownership protocol."""
+
+
+@dataclass
+class Lease:
+    """One worker's deadline-bound claim on a frontier shard."""
+
+    lease_id: int
+    worker_id: int
+    entries: Tuple[Entry, ...]
+    granted_at: float
+    deadline: float
+    #: Heartbeat extensions granted so far.
+    renewals: int = 0
+    #: Entry ids the supervisor has learned are fully processed.
+    acked: List[str] = field(default_factory=list)
+
+    def expired(self, now: float) -> bool:
+        return now > self.deadline
+
+    def unacked(self) -> List[Entry]:
+        """Entries not yet acknowledged as processed, in grant order."""
+        done = set(self.acked)
+        return [entry for entry in self.entries if entry[0] not in done]
+
+
+class LeaseManager:
+    """Grant, renew, complete, and revoke frontier-shard leases.
+
+    Args:
+        timeout: Seconds of heartbeat silence after which a lease is
+            considered expired.
+        clock: Time source (:class:`~repro.clock.Clock` or a bare
+            ``() -> float`` callable); defaults to the system clock.
+
+    The manager is deliberately single-owner (the supervisor's control
+    loop); it is not thread-safe and does not need to be.
+    """
+
+    def __init__(self, timeout: float, clock: ClockLike = SYSTEM_CLOCK):
+        if timeout <= 0:
+            raise ConfigError(f"lease timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._now = now_fn(clock)
+        self._leases: Dict[int, Lease] = {}
+        self._by_worker: Dict[int, int] = {}
+        self._next_id = 0
+
+        #: Leases ever granted.
+        self.granted = 0
+        #: Leases revoked (expiry or explicit revocation).
+        self.revoked = 0
+        #: Leases completed normally.
+        self.completed = 0
+
+    # -- protocol -----------------------------------------------------------
+
+    def grant(self, worker_id: int, entries: Sequence[Entry]) -> Lease:
+        """Lease ``entries`` to ``worker_id`` until ``now + timeout``.
+
+        A worker holds at most one lease at a time; granting a second
+        raises :class:`LeaseError` (the supervisor must complete or
+        revoke the first).
+        """
+        if not entries:
+            raise LeaseError("cannot grant an empty lease")
+        if worker_id in self._by_worker:
+            raise LeaseError(
+                f"worker {worker_id} already holds lease "
+                f"{self._by_worker[worker_id]}"
+            )
+        now = self._now()
+        self._next_id += 1
+        lease = Lease(
+            lease_id=self._next_id,
+            worker_id=worker_id,
+            entries=tuple(entries),
+            granted_at=now,
+            deadline=now + self.timeout,
+        )
+        self._leases[lease.lease_id] = lease
+        self._by_worker[worker_id] = lease.lease_id
+        self.granted += 1
+        return lease
+
+    def renew(self, lease_id: int) -> bool:
+        """Heartbeat: push the deadline out to ``now + timeout``.
+
+        Returns False for an unknown (already revoked/completed) lease —
+        a late heartbeat from a worker whose lease was revoked is
+        ignorable, not an error.
+        """
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return False
+        lease.deadline = self._now() + self.timeout
+        lease.renewals += 1
+        return True
+
+    def ack(self, lease_id: int, video_id: str) -> bool:
+        """Record one entry of the lease as durably processed."""
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return False
+        if video_id not in lease.acked:
+            lease.acked.append(video_id)
+        return True
+
+    def complete(self, lease_id: int) -> Lease:
+        """Retire a lease whose every entry was processed."""
+        lease = self._pop(lease_id, "complete")
+        self.completed += 1
+        return lease
+
+    def revoke(self, lease_id: int) -> Lease:
+        """Forcibly reclaim a lease; returns it so the caller can
+        requeue :meth:`Lease.unacked` entries."""
+        lease = self._pop(lease_id, "revoke")
+        self.revoked += 1
+        return lease
+
+    def _pop(self, lease_id: int, verb: str) -> Lease:
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            raise LeaseError(f"cannot {verb} unknown lease {lease_id}")
+        self._by_worker.pop(lease.worker_id, None)
+        return lease
+
+    # -- queries ------------------------------------------------------------
+
+    def expired(self, now: Optional[float] = None) -> List[Lease]:
+        """Leases whose deadline has passed, oldest deadline first."""
+        if now is None:
+            now = self._now()
+        stale = [lease for lease in self._leases.values() if lease.expired(now)]
+        return sorted(stale, key=lambda lease: lease.deadline)
+
+    def for_worker(self, worker_id: int) -> Optional[Lease]:
+        lease_id = self._by_worker.get(worker_id)
+        return self._leases.get(lease_id) if lease_id is not None else None
+
+    def get(self, lease_id: int) -> Optional[Lease]:
+        return self._leases.get(lease_id)
+
+    @property
+    def outstanding(self) -> int:
+        """Live leases."""
+        return len(self._leases)
+
+    @property
+    def outstanding_entries(self) -> int:
+        """Frontier entries currently out on live leases (unacked)."""
+        return sum(len(lease.unacked()) for lease in self._leases.values())
+
+    def __len__(self) -> int:
+        return len(self._leases)

@@ -99,6 +99,20 @@ class _SharedFrontier:
         with self._lock:
             self._queue.appendleft(entry)
 
+    def abandon(self, entry: Tuple[str, int]) -> None:
+        """Atomically un-claim ``entry``: off the in-flight list and back
+        at the queue front in one locked step.
+
+        This is the crash-safe counterpart of ``requeue()`` + ``release()``:
+        a worker dying between those two calls would leave the entry
+        either duplicated or (worse) only in the in-flight list of a
+        thread that no longer exists. ``abandon`` leaves no window —
+        the entry is pending again the instant the lock drops.
+        """
+        with self._lock:
+            self._in_flight.remove(entry)
+            self._queue.appendleft(entry)
+
     def drained(self) -> bool:
         """True when nothing is queued and nobody is mid-item."""
         with self._lock:
@@ -208,6 +222,8 @@ class ParallelSnowballCrawler:
         self._stats = CrawlStats()
         self._quota_hit = threading.Event()
         self._seeded = False
+        #: Unexpected per-worker exceptions (re-raised by :meth:`run`).
+        self._worker_errors: List[BaseException] = []
 
         self._journal = journal
         self.checkpoint_every = checkpoint_every
@@ -240,6 +256,8 @@ class ParallelSnowballCrawler:
             thread.start()
         for thread in threads:
             thread.join()
+        if self._worker_errors:
+            raise self._worker_errors[0]
         if self._quota_hit.is_set():
             self._stats.stopped_by_quota = True
         if len(self._videos) >= self.max_videos:
@@ -354,11 +372,18 @@ class ParallelSnowballCrawler:
                 self._visit(video_id, depth)
             except QuotaExceededError:
                 self._quota_hit.set()
-                # The interrupted item was not recorded; keep it pending
-                # so a checkpoint/resume revisits it.
-                self._frontier.requeue(claimed)
+                # The interrupted item was not recorded; atomically put
+                # it back as pending so a checkpoint/resume revisits it.
+                self._frontier.abandon(claimed)
                 self._frontier.stop()
-            finally:
+            except BaseException as exc:
+                # Unexpected failure: never strand the claimed entry.
+                self._frontier.abandon(claimed)
+                with self._results_lock:
+                    self._worker_errors.append(exc)
+                self._frontier.stop()
+                return
+            else:
                 self._frontier.release(claimed)
 
     def _visit(self, video_id: str, depth: int) -> None:

@@ -56,6 +56,15 @@ class CrawlStats:
     journal_replays: int = 0
     #: Corrupt artifacts moved aside during journal recovery.
     artifacts_quarantined: int = 0
+    #: Worker processes started by the distributed supervisor (including
+    #: restarts).
+    workers_spawned: int = 0
+    #: Worker processes respawned after a death or revocation.
+    workers_restarted: int = 0
+    #: Frontier-shard leases reclaimed from dead or hung workers.
+    leases_revoked: int = 0
+    #: Frontier entries requeued from revoked or failed leases.
+    shards_requeued: int = 0
 
     def record_fetch(self, depth: int) -> None:
         self.fetched += 1
@@ -72,6 +81,36 @@ class CrawlStats:
         self.reconnects = int(snapshot.get("reconnects", 0))
         self.breaker_opens = int(snapshot.get("breaker_opens", 0))
         self.deadline_expiries = int(snapshot.get("deadline_expiries", 0))
+
+    #: Counter fields summed by :meth:`accumulate` (everything numeric
+    #: except the boolean stop flags and the per-depth histogram).
+    _ADDITIVE = (
+        "fetched", "not_found", "retries_exhausted", "transient_errors",
+        "backoff_seconds", "politeness_wait_seconds", "related_pages",
+        "seed_pages", "map_decode_failures", "transport_errors",
+        "reconnects", "breaker_opens", "deadline_expiries",
+        "checkpoints_written", "journal_replays", "artifacts_quarantined",
+        "workers_spawned", "workers_restarted", "leases_revoked",
+        "shards_requeued",
+    )
+
+    def accumulate(self, other: "CrawlStats") -> None:
+        """Fold another run's counters into this one (sum semantics).
+
+        Used by the distributed supervisor to merge per-worker stats:
+        every counter adds, the stop flags OR together, and the
+        per-depth histogram merges bucket-wise.
+        """
+        for name in self._ADDITIVE:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.stopped_by_quota = self.stopped_by_quota or other.stopped_by_quota
+        self.stopped_by_budget = (
+            self.stopped_by_budget or other.stopped_by_budget
+        )
+        for depth, count in other.fetched_by_depth.items():
+            self.fetched_by_depth[depth] = (
+                self.fetched_by_depth.get(depth, 0) + count
+            )
 
     @property
     def max_depth_reached(self) -> int:
@@ -98,6 +137,10 @@ class CrawlStats:
             ("checkpoints written", self.checkpoints_written),
             ("journal replays", self.journal_replays),
             ("artifacts quarantined", self.artifacts_quarantined),
+            ("workers spawned", self.workers_spawned),
+            ("workers restarted", self.workers_restarted),
+            ("leases revoked", self.leases_revoked),
+            ("shards requeued", self.shards_requeued),
             ("stopped by quota", self.stopped_by_quota),
             ("stopped by budget", self.stopped_by_budget),
         ]
@@ -125,6 +168,10 @@ class CrawlStats:
             "checkpoints_written": self.checkpoints_written,
             "journal_replays": self.journal_replays,
             "artifacts_quarantined": self.artifacts_quarantined,
+            "workers_spawned": self.workers_spawned,
+            "workers_restarted": self.workers_restarted,
+            "leases_revoked": self.leases_revoked,
+            "shards_requeued": self.shards_requeued,
         }
 
     @classmethod
@@ -150,6 +197,10 @@ class CrawlStats:
             checkpoints_written=int(data.get("checkpoints_written", 0)),
             journal_replays=int(data.get("journal_replays", 0)),
             artifacts_quarantined=int(data.get("artifacts_quarantined", 0)),
+            workers_spawned=int(data.get("workers_spawned", 0)),
+            workers_restarted=int(data.get("workers_restarted", 0)),
+            leases_revoked=int(data.get("leases_revoked", 0)),
+            shards_requeued=int(data.get("shards_requeued", 0)),
         )
         stats.fetched_by_depth = {
             int(k): int(v) for k, v in data.get("fetched_by_depth", {}).items()

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -124,68 +125,96 @@ class VideoStore:
 
     # -- writes -------------------------------------------------------------
 
-    def add(self, video: Video) -> None:
-        """Insert one video; raises on duplicate id."""
-        self.add_many([video])
+    #: Total time add/add_many keeps retrying SQLITE_BUSY before giving
+    #: up (matches the connection's ``busy_timeout``).
+    BUSY_RETRY_SECONDS = 5.0
+
+    def add(self, video: Video) -> int:
+        """Upsert one video; see :meth:`add_many`."""
+        return self.add_many([video])
 
     def add_many(self, videos: Iterable[Video]) -> int:
-        """Insert a batch in one transaction; returns the number inserted.
+        """Upsert a batch in one transaction; returns rows newly inserted.
 
-        Duplicate ids (within the batch or against the store) raise
-        :class:`DatasetError` naming the colliding id, and the whole
-        batch is rolled back.
+        Writes are **idempotent**: a video whose id is already present
+        with an *identical* payload (within the batch or against the
+        store) is silently skipped, so concurrent crawl workers that
+        race to record the same video never abort each other. A
+        *divergent* payload under an existing id is data corruption and
+        raises :class:`DatasetError` naming the colliding id; the whole
+        batch rolls back.
+
+        Writer contention (``SQLITE_BUSY`` from a concurrent
+        transaction) is retried for up to :attr:`BUSY_RETRY_SECONDS`
+        on top of SQLite's own busy timeout.
         """
-        rows = []
-        tag_rows = []
-        batch_ids = set()
+        batch: List[Video] = []
+        batch_ids = {}
         for video in videos:
-            if video.video_id in batch_ids:
-                raise DatasetError(
-                    f"duplicate video id in batch: {video.video_id!r}"
-                )
-            batch_ids.add(video.video_id)
-            rows.append(
-                (
-                    video.video_id,
-                    video.title,
-                    video.uploader,
-                    video.upload_date,
-                    video.views,
-                    (
-                        json.dumps(video.popularity.as_dict())
-                        if video.popularity is not None
-                        else None
-                    ),
-                    json.dumps(list(video.tags)),
-                    json.dumps(list(video.related_ids)),
-                )
-            )
-            for tag in video.tags:
-                tag_rows.append((tag, video.video_id))
-        try:
-            with self._conn:
-                self._conn.executemany(
+            seen = batch_ids.get(video.video_id)
+            if seen is not None:
+                if seen != video:
+                    raise DatasetError(
+                        f"divergent duplicate video id in batch: "
+                        f"{video.video_id!r}"
+                    )
+                continue  # identical duplicate within the batch: collapse
+            batch_ids[video.video_id] = video
+            batch.append(video)
+
+        deadline = time.monotonic() + self.BUSY_RETRY_SECONDS
+        while True:
+            try:
+                return self._upsert_batch(batch)
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                busy = "locked" in message or "busy" in message
+                if not busy or time.monotonic() >= deadline:
+                    raise DatasetIOError(f"store write failed: {exc}") from exc
+                time.sleep(0.01)
+            except sqlite3.Error as exc:
+                raise DatasetIOError(f"store write failed: {exc}") from exc
+
+    def _upsert_batch(self, batch: List[Video]) -> int:
+        inserted = 0
+        with self._conn:
+            for video in batch:
+                cursor = self._conn.execute(
                     "INSERT INTO videos "
                     "(id, title, uploader, upload_date, views, pop, tags, related) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                    rows,
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?) "
+                    "ON CONFLICT(id) DO NOTHING",
+                    (
+                        video.video_id,
+                        video.title,
+                        video.uploader,
+                        video.upload_date,
+                        video.views,
+                        (
+                            json.dumps(video.popularity.as_dict())
+                            if video.popularity is not None
+                            else None
+                        ),
+                        json.dumps(list(video.tags)),
+                        json.dumps(list(video.related_ids)),
+                    ),
                 )
+                if cursor.rowcount == 0:
+                    # Existing row: a no-op only if the payloads agree.
+                    if self.get(video.video_id) != video:
+                        raise DatasetError(
+                            f"divergent duplicate video id: "
+                            f"{video.video_id!r} already in store with a "
+                            "different payload"
+                        )
+                    continue
+                inserted += 1
                 self._conn.executemany(
-                    "INSERT INTO video_tags (tag, video_id) VALUES (?, ?)",
-                    tag_rows,
+                    "INSERT INTO video_tags (tag, video_id) VALUES (?, ?) "
+                    "ON CONFLICT(tag, video_id) DO NOTHING",
+                    [(tag, video.video_id) for tag in video.tags],
                 )
-        except sqlite3.IntegrityError as exc:
-            # The transaction rolled back, so any batch id already in the
-            # store is the collision.
-            for row in rows:
-                if row[0] in self:
-                    raise DatasetError(
-                        f"duplicate video id: {row[0]!r} already in store"
-                    ) from exc
-            raise DatasetError(f"duplicate video id: {exc}") from exc
-        except sqlite3.Error as exc:
-            raise DatasetIOError(f"store write failed: {exc}") from exc
-        return len(rows)
+        return inserted
 
     # -- reads ----------------------------------------------------------------
 

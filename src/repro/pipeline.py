@@ -77,6 +77,10 @@ class PipelineConfig:
         seed_countries: Seed countries (paper: 25).
         checkpoint_every: Crawl journal cadence (videos per durable
             batch); only used when running with a ``workdir``.
+        workers: Crawl worker processes. ``1`` (default) keeps the
+            single-process journaling crawler; ``>1`` serves the
+            simulated API over TCP and shards the frontier across a
+            :class:`~repro.crawler.distributed.DistributedCrawlSupervisor`.
     """
 
     universe: UniverseConfig = field(
@@ -88,6 +92,7 @@ class PipelineConfig:
     seeds_per_country: int = 10
     seed_countries: tuple = SEED_COUNTRIES
     checkpoint_every: int = 50
+    workers: int = 1
 
 
 @dataclass
@@ -155,6 +160,10 @@ def config_fingerprint(config: PipelineConfig) -> str:
         "seeds_per_country": config.seeds_per_country,
         "seed_countries": list(config.seed_countries),
     }
+    if config.workers != 1:
+        # Only stamped when distributed, so single-process workdirs
+        # created before the knob existed keep their fingerprint.
+        payload["workers"] = config.workers
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 
@@ -289,16 +298,59 @@ def _crawl_budget(config: PipelineConfig, universe: Universe) -> int:
     )
 
 
+def _run_distributed_crawl(
+    config: PipelineConfig,
+    service: YoutubeService,
+    universe: Universe,
+    store_path: PathLike,
+    journal_root: PathLike,
+) -> Tuple[CrawlResult, List[Path]]:
+    """Crawl stage for ``workers > 1``: serve the API over TCP and
+    shard the frontier across supervised worker processes. Returns the
+    crawl result plus any journal files quarantined during resume."""
+    from repro.api.transport import YoutubeAPIServer
+    from repro.crawler.distributed import DistributedCrawlSupervisor
+
+    with YoutubeAPIServer(service) as server:
+        supervisor = DistributedCrawlSupervisor(
+            server.host,
+            server.port,
+            store_path=str(store_path),
+            workdir=str(journal_root),
+            workers=config.workers,
+            seed_countries=config.seed_countries,
+            seeds_per_country=config.seeds_per_country,
+            max_videos=_crawl_budget(config, universe),
+            quota_limit=config.quota_limit,
+            checkpoint_every=max(1, min(config.checkpoint_every, 25)),
+        )
+        with supervisor:
+            crawl = supervisor.run()
+            return crawl, list(supervisor.journal.quarantined)
+
+
 def _run_in_memory(config: PipelineConfig) -> PipelineResult:
     universe = build_universe(config.universe)
     service = _build_service(config, universe)
-    crawler = SnowballCrawler(
-        service,
-        seed_countries=config.seed_countries,
-        seeds_per_country=config.seeds_per_country,
-        max_videos=_crawl_budget(config, universe),
-    )
-    crawl = crawler.run()
+    if config.workers > 1:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-crawl-") as tmp:
+            crawl, _ = _run_distributed_crawl(
+                config,
+                service,
+                universe,
+                Path(tmp) / "crawl.db",
+                Path(tmp) / "journals",
+            )
+    else:
+        crawler = SnowballCrawler(
+            service,
+            seed_countries=config.seed_countries,
+            seeds_per_country=config.seeds_per_country,
+            max_videos=_crawl_budget(config, universe),
+        )
+        crawl = crawler.run()
     dataset, filter_report = crawl.dataset.apply_paper_filter()
     reconstructor = ViewReconstructor(universe.traffic)
     tag_table = TagViewsTable(dataset, reconstructor)
@@ -341,20 +393,30 @@ def _run_resumable(config: PipelineConfig, wd: _Workdir) -> PipelineResult:
         crawl = CrawlResult(Dataset(videos, registry), stats)
         skipped.append("crawl")
     else:
-        journal = CheckpointJournal(wd.path("journal"), fs=wd.fs)
-        try:
-            crawler = SnowballCrawler.resume_from_journal(
+        if config.workers > 1:
+            crawl, quarantined = _run_distributed_crawl(
+                config,
                 service,
-                journal,
-                seed_countries=config.seed_countries,
-                seeds_per_country=config.seeds_per_country,
-                max_videos=_crawl_budget(config, universe),
-                checkpoint_every=config.checkpoint_every,
+                universe,
+                wd.path("crawl.db"),
+                wd.path("journal"),
             )
-            crawl = crawler.run()
-        finally:
-            wd.quarantined.extend(journal.quarantined)
-            journal.close()
+            wd.quarantined.extend(quarantined)
+        else:
+            journal = CheckpointJournal(wd.path("journal"), fs=wd.fs)
+            try:
+                crawler = SnowballCrawler.resume_from_journal(
+                    service,
+                    journal,
+                    seed_countries=config.seed_countries,
+                    seeds_per_country=config.seeds_per_country,
+                    max_videos=_crawl_budget(config, universe),
+                    checkpoint_every=config.checkpoint_every,
+                )
+                crawl = crawler.run()
+            finally:
+                wd.quarantined.extend(journal.quarantined)
+                journal.close()
         write_videos_jsonl(iter(crawl.dataset), crawl_path)
         artifacts.persist_file(crawl_path, fs=wd.fs)
         artifacts.atomic_write_text(

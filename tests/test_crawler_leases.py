@@ -1,0 +1,184 @@
+"""Tests for lease-based frontier-shard ownership.
+
+All timing runs on a ManualClock — no test waits out a real deadline.
+"""
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.crawler.leases import Lease, LeaseError, LeaseManager
+from repro.errors import ConfigError
+
+ENTRIES = (("vid-a", 0), ("vid-b", 1), ("vid-c", 1))
+
+
+def make_manager(timeout=30.0):
+    clock = ManualClock()
+    return LeaseManager(timeout, clock=clock), clock
+
+
+class TestGrant:
+    def test_grant_sets_deadline_from_clock(self):
+        manager, clock = make_manager(timeout=30.0)
+        clock.advance(100.0)
+        lease = manager.grant(0, ENTRIES)
+        assert lease.granted_at == pytest.approx(100.0)
+        assert lease.deadline == pytest.approx(130.0)
+        assert lease.entries == ENTRIES
+        assert manager.outstanding == 1
+        assert manager.granted == 1
+
+    def test_one_lease_per_worker(self):
+        manager, _ = make_manager()
+        manager.grant(0, ENTRIES)
+        with pytest.raises(LeaseError, match="already holds"):
+            manager.grant(0, (("vid-z", 2),))
+        # A different worker is fine.
+        manager.grant(1, (("vid-z", 2),))
+        assert manager.outstanding == 2
+
+    def test_empty_lease_rejected(self):
+        manager, _ = make_manager()
+        with pytest.raises(LeaseError, match="empty"):
+            manager.grant(0, ())
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            LeaseManager(0.0)
+        with pytest.raises(ConfigError):
+            LeaseManager(-1.0)
+
+    def test_lease_ids_are_unique(self):
+        manager, _ = make_manager()
+        first = manager.grant(0, ENTRIES)
+        manager.complete(first.lease_id)
+        second = manager.grant(0, ENTRIES)
+        assert second.lease_id != first.lease_id
+
+
+class TestExpiry:
+    def test_lease_expires_after_timeout_of_silence(self):
+        manager, clock = make_manager(timeout=30.0)
+        lease = manager.grant(0, ENTRIES)
+        clock.advance(30.0)
+        assert manager.expired() == []  # deadline is inclusive
+        clock.advance(0.1)
+        assert [stale.lease_id for stale in manager.expired()] == [
+            lease.lease_id
+        ]
+
+    def test_renew_pushes_deadline_out(self):
+        manager, clock = make_manager(timeout=30.0)
+        lease = manager.grant(0, ENTRIES)
+        clock.advance(25.0)
+        assert manager.renew(lease.lease_id)
+        clock.advance(25.0)  # 50s since grant, 25s since heartbeat
+        assert manager.expired() == []
+        assert manager.get(lease.lease_id).renewals == 1
+
+    def test_renew_unknown_lease_is_ignorable(self):
+        # A late heartbeat from a worker whose lease was already
+        # revoked must not blow up the control loop.
+        manager, _ = make_manager()
+        assert manager.renew(999) is False
+
+    def test_expired_sorted_oldest_deadline_first(self):
+        manager, clock = make_manager(timeout=10.0)
+        first = manager.grant(0, (("vid-a", 0),))
+        clock.advance(5.0)
+        second = manager.grant(1, (("vid-b", 0),))
+        clock.advance(20.0)
+        assert [stale.lease_id for stale in manager.expired()] == [
+            first.lease_id,
+            second.lease_id,
+        ]
+
+
+class TestAckCompleteRevoke:
+    def test_ack_narrows_unacked(self):
+        manager, _ = make_manager()
+        lease = manager.grant(0, ENTRIES)
+        assert manager.ack(lease.lease_id, "vid-b")
+        assert lease.unacked() == [("vid-a", 0), ("vid-c", 1)]
+        assert manager.outstanding_entries == 2
+
+    def test_ack_is_idempotent(self):
+        manager, _ = make_manager()
+        lease = manager.grant(0, ENTRIES)
+        manager.ack(lease.lease_id, "vid-a")
+        manager.ack(lease.lease_id, "vid-a")
+        assert lease.acked == ["vid-a"]
+
+    def test_ack_unknown_lease_is_ignorable(self):
+        manager, _ = make_manager()
+        assert manager.ack(42, "vid-a") is False
+
+    def test_complete_retires_lease_and_frees_worker(self):
+        manager, _ = make_manager()
+        lease = manager.grant(0, ENTRIES)
+        manager.complete(lease.lease_id)
+        assert manager.outstanding == 0
+        assert manager.completed == 1
+        assert manager.for_worker(0) is None
+        manager.grant(0, ENTRIES)  # worker can lease again
+
+    def test_revoke_returns_lease_with_unacked_for_requeue(self):
+        manager, _ = make_manager()
+        lease = manager.grant(0, ENTRIES)
+        manager.ack(lease.lease_id, "vid-a")
+        revoked = manager.revoke(lease.lease_id)
+        assert revoked.unacked() == [("vid-b", 1), ("vid-c", 1)]
+        assert manager.revoked == 1
+        assert manager.for_worker(0) is None
+
+    def test_complete_or_revoke_unknown_lease_raises(self):
+        manager, _ = make_manager()
+        with pytest.raises(LeaseError, match="unknown lease"):
+            manager.complete(7)
+        with pytest.raises(LeaseError, match="unknown lease"):
+            manager.revoke(7)
+
+    def test_double_revoke_raises(self):
+        manager, _ = make_manager()
+        lease = manager.grant(0, ENTRIES)
+        manager.revoke(lease.lease_id)
+        with pytest.raises(LeaseError):
+            manager.revoke(lease.lease_id)
+
+
+class TestOwnershipInvariant:
+    def test_every_entry_in_exactly_one_place(self):
+        """Pin the module invariant: queued, leased, or completed —
+        never two at once, never lost — through a grant/ack/revoke/
+        regrant/complete cycle."""
+        manager, clock = make_manager(timeout=10.0)
+        queued = list(ENTRIES)
+        done = []
+
+        lease = manager.grant(0, tuple(queued))
+        leased = list(queued)
+        queued.clear()
+
+        manager.ack(lease.lease_id, "vid-a")
+        clock.advance(11.0)
+        stale = manager.expired()[0]
+        revoked = manager.revoke(stale.lease_id)
+        done.append("vid-a")
+        queued.extend(revoked.unacked())
+        leased.clear()
+
+        assert sorted([entry[0] for entry in queued] + done) == sorted(
+            entry[0] for entry in ENTRIES
+        )
+
+        second = manager.grant(1, tuple(queued))
+        for video_id, _ in list(queued):
+            manager.ack(second.lease_id, video_id)
+            done.append(video_id)
+        queued.clear()
+        assert second.unacked() == []
+        manager.complete(second.lease_id)
+
+        assert manager.outstanding == 0
+        assert manager.outstanding_entries == 0
+        assert sorted(done) == sorted(entry[0] for entry in ENTRIES)

@@ -3,6 +3,7 @@
 import time
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.api.faults import FaultInjector
 from repro.api.quota import QuotaBudget
@@ -109,3 +110,49 @@ class TestConcurrencySpeedup:
             ParallelSnowballCrawler(service, max_videos=0)
         with pytest.raises(ConfigError):
             ParallelSnowballCrawler(service, seeds_per_country=0)
+
+
+class TestFrontierKillAtEveryStep:
+    """Property test for the claim/abandon loss window.
+
+    ``abandon()`` un-claims an entry in one locked step; a worker dying
+    at *any* point of its claim must leave the frontier able to hand the
+    entry out again — never lost, never handed out twice concurrently.
+    """
+
+    @given(
+        deaths=st.lists(st.booleans(), max_size=80),
+        n_entries=st.integers(min_value=1, max_value=12),
+    )
+    def test_abandon_never_loses_or_duplicates_entries(
+        self, deaths, n_entries
+    ):
+        from collections import deque
+
+        from repro.crawler.parallel import _SharedFrontier
+
+        frontier = _SharedFrontier()
+        ids = [f"AAAAAAAA{i:03d}" for i in range(n_entries)]
+        frontier.push_all(ids, 0)
+        plan = deque(deaths)
+        processed = []
+        while True:
+            entry = frontier.claim()
+            if entry is None:
+                break
+            if plan and plan.popleft():
+                # Worker dies mid-item: abandon is atomic, so a
+                # snapshot taken at any moment afterwards sees the
+                # entry pending exactly once.
+                frontier.abandon(entry)
+                pending, _ = frontier.snapshot()
+                assert [e for e in pending if e[0] == entry[0]] == [entry]
+            else:
+                processed.append(entry)
+                frontier.release(entry)
+        pending, admitted = frontier.snapshot()
+        assert pending == []
+        assert frontier.drained()
+        # Exactly-once: every entry processed, none twice.
+        assert sorted(video_id for video_id, _ in processed) == sorted(ids)
+        assert admitted == set(ids)

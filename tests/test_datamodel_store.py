@@ -38,25 +38,41 @@ class TestBasicOperations:
             with pytest.raises(DatasetError):
                 store.get(IDS[0])
 
-    def test_duplicate_id_rejected_atomically(self):
+    def test_identical_duplicate_is_idempotent(self):
+        # Distributed workers may legitimately visit the same video
+        # twice (at-least-once delivery); re-adding the same payload is
+        # a no-op, not an error.
+        with VideoStore() as store:
+            store.add(video(IDS[0]))
+            store.add(video(IDS[0]))
+            store.add_many([video(IDS[1]), video(IDS[0])])
+            assert len(store) == 2
+            assert store.get(IDS[0]) == video(IDS[0])
+
+    def test_divergent_duplicate_rejected_atomically(self):
         with VideoStore() as store:
             store.add(video(IDS[0]))
             with pytest.raises(DatasetError):
-                store.add_many([video(IDS[1]), video(IDS[0])])
+                store.add_many([video(IDS[1]), video(IDS[0], views=999)])
             # The failed batch must not have been partially applied.
             assert IDS[1] not in store
             assert len(store) == 1
 
-    def test_duplicate_error_names_the_colliding_id(self):
+    def test_divergent_duplicate_error_names_the_colliding_id(self):
         with VideoStore() as store:
             store.add(video(IDS[3]))
             with pytest.raises(DatasetError, match=IDS[3]):
-                store.add_many([video(IDS[4]), video(IDS[3])])
+                store.add_many([video(IDS[4]), video(IDS[3], tags=("x",))])
 
-    def test_intra_batch_duplicate_names_the_id(self):
+    def test_intra_batch_identical_duplicate_collapsed(self):
+        with VideoStore() as store:
+            store.add_many([video(IDS[5]), video(IDS[5])])
+            assert len(store) == 1
+
+    def test_intra_batch_divergent_duplicate_names_the_id(self):
         with VideoStore() as store:
             with pytest.raises(DatasetError, match=IDS[5]):
-                store.add_many([video(IDS[5]), video(IDS[5])])
+                store.add_many([video(IDS[5]), video(IDS[5], views=7)])
             assert len(store) == 0
 
     def test_iteration_in_insertion_order(self):
@@ -167,3 +183,65 @@ class TestDurability:
 
 def make_ids(count):
     return [f"BBBBBBBB{i:03d}" for i in range(count)]
+
+
+def _writer_process(path, ids):
+    # Module-level so it can be forked/spawned as a multiprocessing
+    # target; each process re-adds an overlapping id range.
+    with VideoStore(path) as store:
+        for vid in ids:
+            store.add(video(vid))
+
+
+class TestConcurrentWriters:
+    def test_overlapping_cross_process_writes_converge(self, tmp_path):
+        """N processes upserting overlapping id ranges never corrupt the
+        store and converge to the union — exactly the distributed-crawl
+        write pattern (idempotent upserts + busy retry under WAL)."""
+        import multiprocessing
+
+        path = tmp_path / "crawl.db"
+        ids = make_ids(40)
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_writer_process, args=(path, ids[start::2]))
+            for start in (0, 1, 0, 1)  # two pairs write identical ranges
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        with VideoStore(path) as store:
+            assert len(store) == len(ids)
+            store.integrity_check()
+            assert sorted(v.video_id for v in store) == sorted(ids)
+
+    def test_busy_writer_retries_until_lock_clears(self, tmp_path):
+        """A long-held write transaction in another connection produces
+        SQLITE_BUSY; add() must wait it out instead of failing."""
+        import sqlite3
+        import threading
+
+        path = tmp_path / "crawl.db"
+        with VideoStore(path) as store:
+            store.add(video(IDS[0]))
+
+            # check_same_thread=False: the release Timer commits from
+            # another thread.
+            blocker = sqlite3.connect(
+                path, timeout=0.05, check_same_thread=False
+            )
+            blocker.execute("PRAGMA journal_mode=WAL")
+            blocker.execute("BEGIN IMMEDIATE")
+            blocker.execute(
+                "UPDATE videos SET views = views + 1 WHERE id = ?", (IDS[0],)
+            )
+            release = threading.Timer(0.3, blocker.commit)
+            release.start()
+            try:
+                store.add(video(IDS[1]))  # must outlive the held lock
+            finally:
+                release.join()
+                blocker.close()
+            assert IDS[1] in store
