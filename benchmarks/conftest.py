@@ -39,6 +39,30 @@ def bench_trace(bench_pipeline):
 
 
 @pytest.fixture(scope="session")
+def overload_counters():
+    """Extract a ServingReport's overload/failover counters for a bench
+    payload — shed/hedge/probe accounting in one place so every serving
+    benchmark records the same fields the same way."""
+
+    def _extract(report) -> dict:
+        return {
+            "offered": report.offered,
+            "shed": report.shed,
+            "shed_fraction": round(report.shed_fraction, 6),
+            "goodput": round(report.goodput, 6),
+            "hedges": report.hedges,
+            "hedge_wins": report.hedge_wins,
+            "hedge_cancelled": report.hedge_cancelled,
+            "health_probes": report.health_probes,
+            "overload_rejections": report.overload_rejections,
+            "queued": report.queued,
+            "rewarms": report.rewarms,
+        }
+
+    return _extract
+
+
+@pytest.fixture(scope="session")
 def report_writer():
     """Write an experiment's printable report under benchmarks/out/."""
     OUT_DIR.mkdir(exist_ok=True)

@@ -1,6 +1,6 @@
 """Injectable clocks: one seam for every wall-time dependence.
 
-Determinism is this repo's core discipline (GUIDE §14): experiments must
+Determinism is this repo's core discipline (GUIDE §15): experiments must
 replay bit-identically, and tests must never block on real delays. Any
 component that needs to *read* time or *pay* a delay therefore takes a
 :class:`Clock` instead of calling :func:`time.monotonic` /

@@ -199,6 +199,27 @@ class ReplicaDownError(ServingError, TransportError):
     """
 
 
+class ReplicaOverloadedError(ServingError, TransientAPIError):
+    """A replica's service slots and wait queue are both full.
+
+    Also a :class:`TransientAPIError`: an overloaded-but-alive replica
+    is a transient condition, so the controller's probe path retries
+    once and then reroutes, and repeated overloads trip the replica's
+    circuit breaker — exactly the backpressure a saturated edge needs.
+    """
+
+
+class RequestShedError(ServingError):
+    """The admission controller refused the request (load shedding).
+
+    Raised only when the caller asked for raise-on-shed semantics; the
+    default admission path *returns* a
+    :class:`~repro.serving.admission.ShedResult` instead, so every
+    request is served-or-shed exactly once, never dropped via an
+    unhandled exception.
+    """
+
+
 class SimulationDeadlockError(ServingError):
     """The virtual-time event loop has runnable work but no way to make
     progress: every task is blocked on something that is neither ready

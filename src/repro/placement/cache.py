@@ -101,6 +101,14 @@ class EdgeCache:
         """
         return self._snapshot()
 
+    def clear(self) -> None:
+        """Drop every entry (a cold restart lost the cache contents).
+
+        Clearing is not eviction: the evictions counter stays untouched,
+        so hit-rate analysis is not polluted by chaos events.
+        """
+        self._clear()
+
     # -- subclass hooks -------------------------------------------------------
 
     def _contains(self, video_id: str) -> bool:
@@ -116,6 +124,9 @@ class EdgeCache:
         raise NotImplementedError
 
     def _snapshot(self) -> Set[str]:
+        raise NotImplementedError
+
+    def _clear(self) -> None:
         raise NotImplementedError
 
 
@@ -143,6 +154,9 @@ class LRUCache(EdgeCache):
 
     def _snapshot(self) -> Set[str]:
         return set(self._entries)
+
+    def _clear(self) -> None:
+        self._entries.clear()
 
 
 class LFUCache(EdgeCache):
@@ -176,6 +190,9 @@ class LFUCache(EdgeCache):
     def _snapshot(self) -> Set[str]:
         return set(self._frequency)
 
+    def _clear(self) -> None:
+        self._frequency.clear()
+
 
 class StaticCache(EdgeCache):
     """Pin-only cache: requests never insert or evict.
@@ -207,3 +224,6 @@ class StaticCache(EdgeCache):
 
     def _snapshot(self) -> Set[str]:
         return set(self._pinned)
+
+    def _clear(self) -> None:
+        self._pinned.clear()

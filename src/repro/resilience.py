@@ -193,9 +193,19 @@ class CircuitBreaker:
     ``failure_threshold`` the breaker opens. Open: every
     :meth:`allow` raises :class:`~repro.errors.CircuitOpenError`
     until ``reset_timeout`` seconds pass, then the breaker goes
-    half-open. Half-open: up to ``half_open_max_calls`` probe requests
-    are admitted; one success closes the breaker, one failure reopens
-    it.
+    half-open. Half-open: exactly **one probe is in flight at a time**
+    (stricter than the historical ``half_open_max_calls`` bound, which
+    admitted that many *concurrent* probes; the parameter is kept for
+    configuration compatibility but concurrency is now clamped to one);
+    one probe success closes the breaker, one probe failure reopens it,
+    and a probe cancelled without a verdict hands its slot back via
+    :meth:`record_cancelled`.
+
+    A success recorded while the breaker is *open* is a stale call that
+    was admitted before the breaker tripped — it is **not** a half-open
+    probe and does not close the breaker. Before this rule, every
+    long-in-flight call effectively acted as a probe, and N concurrent
+    stale successes could slam a just-opened breaker shut again.
 
     Thread-safe; all transitions happen under one lock. The clock is
     injectable — a :class:`~repro.clock.Clock` or a bare ``() -> float``
@@ -262,7 +272,11 @@ class CircuitBreaker:
                 self._state = HALF_OPEN
                 self._half_open_inflight = 0
             if self._state == HALF_OPEN:
-                if self._half_open_inflight >= self.half_open_max_calls:
+                # One probe in flight at a time: concurrent callers must
+                # not all be treated as probes — the second and later
+                # callers are rejected until the probe reports back (or
+                # releases its slot via record_cancelled).
+                if self._half_open_inflight >= 1:
                     self._rejections += 1
                     raise CircuitOpenError("circuit half-open; probe in flight")
                 self._half_open_inflight += 1
@@ -272,7 +286,10 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             if self._state == HALF_OPEN:
                 self._half_open_inflight = 0
-            self._state = CLOSED
+                self._state = CLOSED
+            # While OPEN this is a stale call admitted before the breaker
+            # tripped, not a probe: the breaker stays open until a real
+            # half-open probe succeeds. CLOSED stays closed.
 
     def record_failure(self) -> None:
         with self._lock:
@@ -285,6 +302,20 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self._half_open_inflight = 0
                 self._opens += 1
+
+    def record_cancelled(self) -> None:
+        """Release an admitted call that was cancelled before a verdict.
+
+        A hedged probe that loses its race is cancelled between
+        :meth:`allow` and ``record_success``/``record_failure``; in the
+        half-open state that admitted call holds the single probe slot
+        and must hand it back, or the breaker would reject probes
+        forever. No counters or state change otherwise — a cancelled
+        call says nothing about the peer's health.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN and self._half_open_inflight > 0:
+                self._half_open_inflight -= 1
 
     def call(self, fn: Callable[[], object]):
         """Convenience wrapper: admit, run, record the outcome."""

@@ -22,36 +22,84 @@ the paper's closing conjecture as an actual serving system:
   harness: a virtual-time event loop, so every async test — including
   replica-failure and failover scenarios — replays identically with
   zero wall-clock sleeps.
+
+Overload and regional failover (PR 8) layer on the same pieces:
+replicas gain a bounded concurrency/queue model with health reporting,
+:mod:`~repro.serving.admission` sheds excess load explicitly
+(served-or-shed exactly once), the controller hedges slow probes and
+runs active health probes, chaos gains regional blackouts and flash
+crowds, and :class:`~repro.serving.planner.AdaptiveTagPlanner` re-runs
+the Eq. (3) placement against observed, shifted demand.
 """
 
-from repro.serving.cluster import ChaosAction, ChaosSchedule, EdgeCluster, ServingReport
-from repro.serving.controller import Controller, ControllerStats, ServeResult
+from repro.serving.admission import (
+    BACKGROUND,
+    INTERACTIVE,
+    STANDARD,
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionStats,
+    ShedResult,
+)
+from repro.serving.cluster import (
+    ChaosAction,
+    ChaosSchedule,
+    EdgeCluster,
+    FlashCrowdWave,
+    ServingReport,
+    inject_flash_crowd,
+)
+from repro.serving.controller import (
+    Controller,
+    ControllerStats,
+    HedgePolicy,
+    ServeResult,
+)
 from repro.serving.origin import Origin
 from repro.serving.planner import (
+    AdaptiveTagPlanner,
     ReactiveOnlyPlanner,
     RoundRobinPlanner,
     ServingPlanner,
     TagAwarePlanner,
 )
-from repro.serving.replica import Replica, ReplicaStats
-from repro.serving.simtime import SimulationHarness, VirtualTimeLoop, run_virtual
+from repro.serving.replica import Replica, ReplicaHealth, ReplicaStats
+from repro.serving.simtime import (
+    SimulationHarness,
+    VirtualTimeLoop,
+    cancel_and_wait,
+    run_virtual,
+)
 
 __all__ = [
+    "AdaptiveTagPlanner",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionStats",
+    "BACKGROUND",
     "ChaosAction",
     "ChaosSchedule",
     "Controller",
     "ControllerStats",
     "EdgeCluster",
+    "FlashCrowdWave",
+    "HedgePolicy",
+    "INTERACTIVE",
     "Origin",
     "ReactiveOnlyPlanner",
     "Replica",
+    "ReplicaHealth",
     "ReplicaStats",
     "RoundRobinPlanner",
+    "STANDARD",
     "ServeResult",
     "ServingPlanner",
     "ServingReport",
+    "ShedResult",
     "SimulationHarness",
     "TagAwarePlanner",
     "VirtualTimeLoop",
+    "cancel_and_wait",
+    "inject_flash_crowd",
     "run_virtual",
 ]

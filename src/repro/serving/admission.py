@@ -1,0 +1,304 @@
+"""Admission control: shed excess load explicitly, never drop it.
+
+During a flash crowd the edge saturates: the home replica's slots and
+queue fill, probes bounce with
+:class:`~repro.errors.ReplicaOverloadedError`, and retries amplify the
+very load that caused the problem. The classic remedy sits *in front of*
+the controller: an admission gate that measures load and rejects a
+deterministic, priority-aware fraction of requests before they consume
+slots, retries, or origin bandwidth.
+
+Two properties are non-negotiable here and enforced by the stateful test
+suite:
+
+- **served-or-shed exactly once** — every call to
+  :meth:`AdmissionController.get` returns exactly one outcome, either
+  the controller's :class:`~repro.serving.controller.ServeResult` or a
+  :class:`ShedResult`. Nothing is silently dropped; shed requests are
+  first-class, counted, and carry the reason and load level that shed
+  them (discriminate on the ``.shed`` attribute, present on both).
+- **determinism** — shedding probability draws come from a keyed BLAKE2
+  hash of ``(seed, draw counter, virtual now)``, the same discipline as
+  :class:`~repro.resilience.RetryPolicy` jitter and the fault injector,
+  so a fixed seed on the virtual clock replays the same shed decisions
+  run after run.
+
+Priorities are small ints, lowest = most important: ``INTERACTIVE`` (a
+viewer pressing play) sheds last, ``BACKGROUND`` (prefetch, re-warm
+traffic) sheds first. Each priority has its own load threshold; between
+threshold and saturation the shed probability ramps linearly, so load
+shedding engages gradually instead of cliff-edging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable, ClassVar, Dict, Mapping, Optional
+
+from repro.errors import ConfigError, RequestShedError
+from repro.resilience import _unit_uniform
+from repro.serving.controller import Controller, ServeResult
+from repro.serving.simtime import running_loop_time
+
+#: Request priorities, lowest number = most important (shed last).
+INTERACTIVE = 0
+STANDARD = 1
+BACKGROUND = 2
+
+PRIORITY_NAMES: Dict[int, str] = {
+    INTERACTIVE: "interactive",
+    STANDARD: "standard",
+    BACKGROUND: "background",
+}
+
+#: Default per-priority load thresholds: the load factor above which
+#: that priority starts shedding. Background yields early, interactive
+#: holds out until the edge is nearly saturated.
+DEFAULT_THRESHOLDS: Dict[int, float] = {
+    INTERACTIVE: 0.98,
+    STANDARD: 0.85,
+    BACKGROUND: 0.60,
+}
+
+
+@dataclass(frozen=True)
+class ShedResult:
+    """The other half of served-or-shed: an explicit, counted rejection.
+
+    Mirrors :class:`~repro.serving.controller.ServeResult` closely
+    enough that trace drivers can treat the two uniformly — both carry
+    ``video_id``/``country`` and a ``shed`` discriminator.
+    """
+
+    video_id: str
+    country: str
+    priority: int
+    reason: str
+    load: float
+
+    shed: ClassVar[bool] = True
+
+    @property
+    def hit(self) -> bool:
+        """A shed request hit nothing."""
+        return False
+
+
+@dataclass
+class AdmissionStats:
+    """Gate-level counters; ``offered == served + shed + errors`` always."""
+
+    offered: int = 0
+    admitted: int = 0
+    served: int = 0
+    shed: int = 0
+    errors: int = 0
+    shed_interactive: int = 0
+    shed_standard: int = 0
+    shed_background: int = 0
+
+    @property
+    def goodput(self) -> float:
+        """Served / offered — the availability number the S3 gate reads."""
+        if self.offered == 0:
+            return 0.0
+        return self.served / self.offered
+
+    @property
+    def shed_fraction(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+    def copy(self) -> "AdmissionStats":
+        return replace(self)
+
+    def delta(self, since: "AdmissionStats") -> "AdmissionStats":
+        return AdmissionStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+class AdmissionPolicy:
+    """When to shed: per-priority thresholds with a linear ramp.
+
+    ``decide(load, priority, now)`` is pure given the draw counter: below
+    the priority's threshold everything is admitted; at or above load
+    1.0 everything is shed (``"saturated"``); in between, the shed
+    probability ramps linearly from 0 to 1 across the remaining load
+    range, decided by a deterministic seeded draw (``"overload"``).
+
+    Args:
+        max_inflight: Gate-level concurrency bound — an independent
+            brake on requests inside the controller at once, feeding
+            the load signal even when replicas are unbounded.
+        thresholds: Priority → load threshold overrides; unlisted
+            priorities inherit :data:`DEFAULT_THRESHOLDS` (unknown
+            priorities use the background threshold — shed first).
+        seed: Determinism key for the shed-probability draws.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 256,
+        thresholds: Optional[Mapping[int, float]] = None,
+        seed: int = 0,
+    ):
+        if max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+        merged = dict(DEFAULT_THRESHOLDS)
+        if thresholds:
+            merged.update(thresholds)
+        for priority, value in merged.items():
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"threshold for priority {priority} must be in [0, 1], "
+                    f"got {value}"
+                )
+        self.max_inflight = max_inflight
+        self.thresholds = merged
+        self.seed = seed
+        self._draws = 0
+
+    def threshold(self, priority: int) -> float:
+        return self.thresholds.get(
+            priority, self.thresholds.get(BACKGROUND, 0.6)
+        )
+
+    def decide(self, load: float, priority: int, now: float) -> Optional[str]:
+        """None = admit; otherwise the shed reason (``"saturated"`` or
+        ``"overload"``). Every probabilistic decision consumes one draw
+        from the seeded stream, keyed on the virtual clock."""
+        limit = self.threshold(priority)
+        if load < limit:
+            return None
+        if load >= 1.0:
+            return "saturated"
+        self._draws += 1
+        ramp = (load - limit) / (1.0 - limit)
+        draw = _unit_uniform(f"{self.seed}:{self._draws}:{round(now, 6)}")
+        if draw < ramp:
+            return "overload"
+        return None
+
+
+class AdmissionController:
+    """The gate in front of :meth:`Controller.get`.
+
+    Load signal is the max of three saturation measures:
+
+    - the requester's home-replica
+      :meth:`~repro.serving.replica.Replica.load_factor` — slots and
+      queue actually occupied (the async, measured view);
+    - the gate's own *pending admissions against that home replica*
+      over the home's total admittable capacity (slots + queue). This
+      is the synchronous early-warning signal: a burst admitted in one
+      scheduling instant has not reached the replica's slots yet, but
+      the gate already knows it is in flight — without this, a flash
+      crowd's whole wave is admitted against an idle-looking replica
+      and the shed happens downstream as overload errors instead of
+      up front as controlled sheds;
+    - the gate's global in-flight count against ``policy.max_inflight``.
+
+    A dead home contributes only the global term — the controller will
+    reroute, and shedding on a corpse's stale counters would refuse
+    traffic the survivors can serve.
+
+    Args:
+        controller: The routing controller being protected.
+        policy: Shed policy; defaults to :class:`AdmissionPolicy()`.
+        clock: ``() -> float`` now-source for the deterministic draws
+            (default: the running loop's virtual clock).
+    """
+
+    def __init__(
+        self,
+        controller: Controller,
+        policy: Optional[AdmissionPolicy] = None,
+        clock: Callable[[], float] = running_loop_time,
+    ):
+        self.controller = controller
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._clock = clock
+        self._inflight = 0
+        self._home_pending: Dict[str, int] = {}
+        self.stats = AdmissionStats()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently inside the controller via this gate."""
+        return self._inflight
+
+    def load(self, country: str) -> float:
+        """The load signal a request from ``country`` is admitted against."""
+        home = self.controller.home(country)
+        gate_load = self._inflight / self.policy.max_inflight
+        if not home.alive:
+            return gate_load
+        home_load = home.load_factor()
+        if home.concurrency is not None:
+            pending = self._home_pending.get(home.replica_id, 0)
+            capacity = home.concurrency + home.queue_depth
+            home_load = max(home_load, pending / capacity)
+        return max(home_load, gate_load)
+
+    def _count_shed(self, priority: int) -> None:
+        self.stats.shed += 1
+        if priority <= INTERACTIVE:
+            self.stats.shed_interactive += 1
+        elif priority == STANDARD:
+            self.stats.shed_standard += 1
+        else:
+            self.stats.shed_background += 1
+
+    async def get(
+        self,
+        video_id: str,
+        country: str,
+        priority: int = STANDARD,
+        raise_on_shed: bool = False,
+    ):
+        """Serve or shed, exactly once.
+
+        Returns a :class:`~repro.serving.controller.ServeResult` when
+        admitted and served, or a :class:`ShedResult` when shed (unless
+        ``raise_on_shed``, for callers who prefer
+        :class:`~repro.errors.RequestShedError`). A controller failure
+        after admission propagates — and is counted in ``errors`` so the
+        offered == served + shed + errors ledger still balances.
+        """
+        self.stats.offered += 1
+        load = self.load(country)
+        reason = self.policy.decide(load, priority, self._clock())
+        if reason is not None:
+            self._count_shed(priority)
+            if raise_on_shed:
+                raise RequestShedError(
+                    f"request for {video_id!r} from {country!r} shed "
+                    f"({reason}, load {load:.3f}, "
+                    f"priority {PRIORITY_NAMES.get(priority, priority)})"
+                )
+            return ShedResult(
+                video_id=video_id,
+                country=country,
+                priority=priority,
+                reason=reason,
+                load=load,
+            )
+        self.stats.admitted += 1
+        self._inflight += 1
+        home_id = self.controller.home(country).replica_id
+        self._home_pending[home_id] = self._home_pending.get(home_id, 0) + 1
+        try:
+            result = await self.controller.get(video_id, country)
+        except BaseException:
+            self.stats.errors += 1
+            raise
+        finally:
+            self._inflight -= 1
+            self._home_pending[home_id] -= 1
+        self.stats.served += 1
+        return result

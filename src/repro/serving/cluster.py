@@ -9,7 +9,12 @@ load, resilience counters).
 Chaos is first-class: a :class:`ChaosSchedule` kills and revives
 replicas at named request indices, deterministically, so "k of N edges
 die mid-workload" is one reproducible test case rather than a flaky
-thread race.
+thread race. :meth:`ChaosSchedule.regional_blackout` scripts the
+hardest failure the roadmap calls for — every replica in a region goes
+dark at once, recovering staggered — and
+:func:`inject_flash_crowd` splices regional demand spikes into a base
+trace, so "a video goes viral in one country while its region's edge is
+down" is a single deterministic experiment.
 """
 
 from __future__ import annotations
@@ -24,8 +29,14 @@ from repro.datamodel.dataset import Dataset
 from repro.errors import ServingError
 from repro.placement.cache import EdgeCache, LRUCache
 from repro.placement.workload import Request
-from repro.resilience import CircuitBreaker, RetryPolicy
-from repro.serving.controller import Controller, ControllerStats
+from repro.resilience import CircuitBreaker, RetryPolicy, _unit_uniform
+from repro.serving.admission import (
+    STANDARD,
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionStats,
+)
+from repro.serving.controller import Controller, ControllerStats, HedgePolicy
 from repro.serving.origin import Origin
 from repro.serving.planner import ReactiveOnlyPlanner, ServingPlanner
 from repro.serving.replica import Replica
@@ -40,11 +51,17 @@ RECOVER = "recover"
 
 @dataclass(frozen=True)
 class ChaosAction:
-    """Flip one replica's liveness just before request ``at_request``."""
+    """Flip one replica's liveness just before request ``at_request``.
+
+    ``cold`` only applies to ``recover`` actions: a cold recovery clears
+    the replica's cache (the blackout took the processes down; a healed
+    partition would recover warm).
+    """
 
     at_request: int
     action: str  # "fail" | "recover"
     replica_id: str
+    cold: bool = False
 
 
 class ChaosSchedule:
@@ -88,6 +105,63 @@ class ChaosSchedule:
             ]
         return cls(actions)
 
+    @classmethod
+    def regional_blackout(
+        cls,
+        replica_regions: Dict[str, str],
+        region: str,
+        at_request: int,
+        recover_at: Optional[int] = None,
+        stagger: int = 0,
+        cold_recovery: bool = True,
+    ) -> "ChaosSchedule":
+        """Kill every replica in ``region`` at once; recover staggered.
+
+        ``replica_regions`` maps replica id → region key (see
+        :meth:`EdgeCluster.replica_regions`). All of the region's
+        replicas fail at ``at_request``; with ``recover_at`` set, the
+        i-th replica (id order) recovers at ``recover_at + i·stagger`` —
+        real regions come back rack by rack, not all at once, and the
+        staggered schedule exercises routing against a half-recovered
+        region.
+
+        Blackout recoveries default to *cold* (``cold_recovery=True``):
+        a region-wide power loss restarts the edge processes, so the
+        replicas come back with empty caches and must be re-warmed —
+        exactly the situation an adaptive planner exists for. Pass
+        ``cold_recovery=False`` to model a pure network partition whose
+        caches survive.
+        """
+        victims = sorted(
+            rid for rid, reg in replica_regions.items() if reg == region
+        )
+        if not victims:
+            raise ServingError(
+                f"no replicas in region {region!r} "
+                f"(regions present: {sorted(set(replica_regions.values()))})"
+            )
+        if stagger < 0:
+            raise ServingError(f"stagger must be >= 0, got {stagger}")
+        actions = [ChaosAction(at_request, FAIL, rid) for rid in victims]
+        if recover_at is not None:
+            if recover_at <= at_request:
+                raise ServingError("recover_at must come after at_request")
+            actions += [
+                ChaosAction(
+                    recover_at + i * stagger, RECOVER, rid, cold=cold_recovery
+                )
+                for i, rid in enumerate(victims)
+            ]
+        return cls(actions)
+
+    @classmethod
+    def merge(cls, *schedules: "ChaosSchedule") -> "ChaosSchedule":
+        """Combine schedules (blackout + extra kills) into one timeline."""
+        actions: List[ChaosAction] = []
+        for schedule in schedules:
+            actions.extend(schedule._actions)
+        return cls(actions)
+
     def __len__(self) -> int:
         return len(self._actions)
 
@@ -98,7 +172,10 @@ class ChaosSchedule:
     def reset(self) -> None:
         self._position = 0
 
-    def apply(self, cluster: "EdgeCluster", request_index: int) -> None:
+    def apply(self, cluster: "EdgeCluster", request_index: int) -> int:
+        """Execute every due action; returns how many fired (so a trace
+        driver can react — e.g. force a re-warm after a chaos event)."""
+        applied = 0
         while (
             self._position < len(self._actions)
             and self._actions[self._position].at_request <= request_index
@@ -108,8 +185,78 @@ class ChaosSchedule:
             if action.action == FAIL:
                 replica.fail()
             else:
-                replica.recover()
+                replica.recover(cold=action.cold)
             self._position += 1
+            applied += 1
+        return applied
+
+
+@dataclass(frozen=True)
+class FlashCrowdWave:
+    """A regional demand spike: one country hammers a few videos.
+
+    Attributes:
+        at_request: Base-trace index where the wave starts.
+        duration: How many base requests the wave overlaps.
+        country: Where the crowd is.
+        video_ids: What it wants (the viral set; typically the synth tag
+            model's top videos for that country).
+        intensity: Extra requests injected per base request inside the
+            wave (2.0 = crowd traffic at twice the base rate).
+    """
+
+    at_request: int
+    duration: int
+    country: str
+    video_ids: Tuple[str, ...]
+    intensity: float
+
+    def __post_init__(self):
+        if self.at_request < 0:
+            raise ServingError("at_request must be >= 0")
+        if self.duration < 1:
+            raise ServingError("duration must be >= 1")
+        if not self.video_ids:
+            raise ServingError("a flash crowd needs at least one video")
+        if self.intensity <= 0:
+            raise ServingError(
+                f"intensity must be > 0, got {self.intensity}"
+            )
+
+
+def inject_flash_crowd(
+    base: Iterable[Request],
+    waves: Sequence[FlashCrowdWave],
+    seed: int = 0,
+) -> Iterable[Request]:
+    """Splice flash-crowd waves into a base trace, deterministically.
+
+    Inside each wave's ``[at_request, at_request + duration)`` window,
+    every base request is followed by ``intensity`` crowd requests
+    (fractional intensities accumulate — 0.5 injects one crowd request
+    every other base request). Crowd requests pick from the wave's viral
+    set via the keyed-hash stream, so the same seed replays the same
+    spike. Yields plain :class:`~repro.placement.workload.Request`
+    objects; downstream (chaos indices, admission, reports) sees one
+    merged trace.
+    """
+    active = sorted(waves, key=lambda w: (w.at_request, w.country))
+    carry = {id(wave): 0.0 for wave in active}
+    emitted = 0
+    for index, request in enumerate(base):
+        yield request
+        emitted += 1
+        for wave in active:
+            if not wave.at_request <= index < wave.at_request + wave.duration:
+                continue
+            key = id(wave)
+            carry[key] += wave.intensity
+            while carry[key] >= 1.0:
+                carry[key] -= 1.0
+                draw = _unit_uniform(f"flash:{seed}:{wave.country}:{emitted}")
+                video_id = wave.video_ids[int(draw * len(wave.video_ids))]
+                yield Request(video_id=video_id, country=wave.country)
+                emitted += 1
 
 
 @dataclass(frozen=True)
@@ -134,6 +281,24 @@ class ServingReport:
     reroutes: int
     breaker_opens: int
     placed: int
+    #: Overload/failover accounting (all zero for a gate-less,
+    #: unhedged trace — pre-overload reports are unchanged).
+    offered: int = 0  # requests presented to the admission gate
+    shed: int = 0  # requests the gate refused (explicitly, counted)
+    goodput: float = 1.0  # served / offered (1.0 with no gate)
+    hedges: int = 0  # hedge probes fired
+    hedge_wins: int = 0  # requests won by the hedge probe
+    hedge_cancelled: int = 0  # losing probes cancelled + drained
+    health_probes: int = 0  # active pings issued during the trace
+    overload_rejections: int = 0  # replica-level sheds (slots+queue full)
+    queued: int = 0  # requests that waited for a service slot
+    rewarms: int = 0  # planner re-placements run during the trace
+
+    @property
+    def shed_fraction(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
 
     def as_rows(self) -> List[Tuple[str, float]]:
         return [
@@ -152,6 +317,17 @@ class ServingReport:
             ("reroutes", float(self.reroutes)),
             ("breaker_opens", float(self.breaker_opens)),
             ("placed", float(self.placed)),
+            ("offered", float(self.offered)),
+            ("shed", float(self.shed)),
+            ("shed_fraction", self.shed_fraction),
+            ("goodput", self.goodput),
+            ("hedges", float(self.hedges)),
+            ("hedge_wins", float(self.hedge_wins)),
+            ("hedge_cancelled", float(self.hedge_cancelled)),
+            ("health_probes", float(self.health_probes)),
+            ("overload_rejections", float(self.overload_rejections)),
+            ("queued", float(self.queued)),
+            ("rewarms", float(self.rewarms)),
         ]
 
 
@@ -179,6 +355,17 @@ class EdgeCluster:
             country-distance atoms. 0 (default) disables it.
         retry / breaker_factory / reactive_admission: Passed through to
             the :class:`~repro.serving.controller.Controller`.
+        replica_concurrency / replica_queue_depth /
+        replica_service_seconds: The per-replica bounded-capacity model
+            (see :class:`~repro.serving.replica.Replica`); the default
+            ``None`` keeps replicas unbounded, the pre-overload model.
+        hedge: Optional :class:`~repro.serving.controller.HedgePolicy`
+            enabling hedged requests in the controller.
+        admission: Optional
+            :class:`~repro.serving.admission.AdmissionPolicy`; when set,
+            :meth:`serve_trace` routes every request through an
+            :class:`~repro.serving.admission.AdmissionController` and
+            the report gains offered/shed/goodput accounting.
     """
 
     def __init__(
@@ -196,6 +383,11 @@ class EdgeCluster:
         retry: Optional[RetryPolicy] = None,
         breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
         reactive_admission: bool = True,
+        replica_concurrency: Optional[int] = None,
+        replica_queue_depth: int = 0,
+        replica_service_seconds: float = 0.0,
+        hedge: Optional[HedgePolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ):
         if not replica_countries:
             raise ServingError("need at least one replica country")
@@ -221,6 +413,9 @@ class EdgeCluster:
                 country=country,
                 cache=cache_factory(),
                 latency_seconds=replica_latency,
+                concurrency=replica_concurrency,
+                queue_depth=replica_queue_depth,
+                service_seconds=replica_service_seconds,
             )
             for country in replica_countries
         ]
@@ -232,8 +427,15 @@ class EdgeCluster:
             breaker_factory=breaker_factory,
             distances=distance_matrix(registry),
             reactive_admission=reactive_admission,
+            hedge=hedge,
+        )
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(self.controller, admission)
+            if admission is not None
+            else None
         )
         self._placed = 0
+        self._rewarms = 0
 
     @staticmethod
     def top_markets(traffic: TrafficModel, count: int) -> List[str]:
@@ -258,6 +460,31 @@ class EdgeCluster:
         """Copies placed by the last :meth:`warm`."""
         return self._placed
 
+    def replica_regions(self) -> Dict[str, str]:
+        """Replica id → world-region key (for regional chaos scripts)."""
+        return {
+            replica.replica_id: self.registry.get(replica.country).region
+            for replica in self._fleet
+        }
+
+    def blackout(
+        self,
+        region: str,
+        at_request: int,
+        recover_at: Optional[int] = None,
+        stagger: int = 0,
+        cold_recovery: bool = True,
+    ) -> ChaosSchedule:
+        """A :meth:`ChaosSchedule.regional_blackout` for this fleet."""
+        return ChaosSchedule.regional_blackout(
+            self.replica_regions(),
+            region,
+            at_request,
+            recover_at,
+            stagger,
+            cold_recovery=cold_recovery,
+        )
+
     # -- lifecycle -----------------------------------------------------------
 
     async def warm(self, catalogue=None) -> int:
@@ -270,6 +497,7 @@ class EdgeCluster:
         source = self.catalogue if catalogue is None else catalogue
         plan = self.planner.plan(source, self._fleet, self.capacity)
         self._placed = await self.controller.place(plan)
+        self._rewarms += 1
         return self._placed
 
     async def serve_trace(
@@ -279,6 +507,10 @@ class EdgeCluster:
         chaos: Optional[ChaosSchedule] = None,
         rewarm_every: Optional[int] = None,
         catalogue_at: Optional[Callable[[int], object]] = None,
+        priority_at: Optional[Callable[[int, Request], int]] = None,
+        probe_every: Optional[int] = None,
+        rewarm_on_chaos: bool = False,
+        on_result: Optional[Callable[[int, object, float], None]] = None,
     ) -> ServingReport:
         """Serve a whole trace; returns the report *for this trace only*
         (stats are delta-measured, so repeated calls each report their
@@ -292,9 +524,28 @@ class EdgeCluster:
         ``catalogue_at`` (requires ``rewarm_every``) maps the request
         index to the catalogue the re-warm plans over — how a rollout
         workload tells the planner which videos have launched.
-        Every request produces exactly one result — an exception
-        anywhere aborts the run loudly rather than dropping requests
-        silently.
+
+        Overload/failover knobs: ``priority_at(index, request)`` assigns
+        each request an admission priority (requires the cluster's
+        ``admission`` gate; default: all ``STANDARD``); ``probe_every``
+        runs an active :meth:`Controller.probe_health` sweep every
+        that-many requests, feeding the breakers out-of-band;
+        ``rewarm_on_chaos`` re-runs the planner immediately after any
+        chaos action fires (the adaptive failover path — with an
+        :class:`~repro.serving.planner.AdaptiveTagPlanner` this re-places
+        the lost region's catalogue onto survivors); ``on_result(index,
+        result, distance_km)`` observes every outcome — ServeResult or
+        ShedResult — in issue order; ``distance_km`` is the *charged*
+        serving distance including last-mile jitter (exactly what the
+        report aggregates; NaN for sheds), which is how the S3
+        benchmark builds its recovery timeline.
+
+        Every request produces exactly one outcome — served or shed —
+        and an exception anywhere aborts the run loudly rather than
+        dropping requests silently. When the cluster has a planner with
+        ``observe_request`` (the adaptive planner), every offered
+        request's country is fed to it, shed or not: shed traffic is
+        still demand the next placement should chase.
         """
         if concurrency < 1:
             raise ServingError(f"concurrency must be >= 1, got {concurrency}")
@@ -304,10 +555,25 @@ class EdgeCluster:
             )
         if catalogue_at is not None and rewarm_every is None:
             raise ServingError("catalogue_at requires rewarm_every")
+        if priority_at is not None and self.admission is None:
+            raise ServingError(
+                "priority_at requires the cluster's admission gate "
+                "(pass admission=AdmissionPolicy(...) to EdgeCluster)"
+            )
+        if probe_every is not None and probe_every < 1:
+            raise ServingError(
+                f"probe_every must be >= 1, got {probe_every}"
+            )
         loop = asyncio.get_event_loop()
         started = loop.time()
         before = self.controller.stats.copy()
+        admission_before = (
+            self.admission.stats.copy() if self.admission is not None else None
+        )
+        replica_before = self._replica_counters()
+        rewarms_before = self._rewarms
         distances: List[float] = []
+        observe = getattr(self.planner, "observe_request", None)
 
         # Last-mile draws depend only on the request index (issue order),
         # so identical traces through different policies see identical
@@ -318,21 +584,50 @@ class EdgeCluster:
         jitter_chunk = 65536
         jitter_buf = None
 
-        async def serve_one(request: Request, extra_km: float) -> None:
-            result = await self.controller.get(request.video_id, request.country)
-            distances.append(result.distance_km + extra_km)
+        async def serve_one(
+            index: int, request: Request, extra_km: float, priority: int
+        ) -> None:
+            if self.admission is not None:
+                result = await self.admission.get(
+                    request.video_id, request.country, priority=priority
+                )
+            else:
+                result = await self.controller.get(
+                    request.video_id, request.country
+                )
+            charged_km = float("nan")
+            if not result.shed:
+                charged_km = result.distance_km + extra_km
+                distances.append(charged_km)
+            if on_result is not None:
+                on_result(index, result, charged_km)
 
         batch: List = []
+
+        async def flush() -> None:
+            nonlocal batch
+            if batch:
+                await asyncio.gather(*batch)
+                batch = []
+
         for index, request in enumerate(requests):
             if chaos is not None:
-                chaos.apply(self, index)
+                fired = chaos.apply(self, index)
+                if fired and rewarm_on_chaos:
+                    await flush()
+                    await self.warm(
+                        catalogue_at(index) if catalogue_at is not None else None
+                    )
             if rewarm_every is not None and index > 0 and index % rewarm_every == 0:
-                if batch:
-                    await asyncio.gather(*batch)
-                    batch = []
+                await flush()
                 await self.warm(
                     catalogue_at(index) if catalogue_at is not None else None
                 )
+            if probe_every is not None and index > 0 and index % probe_every == 0:
+                await flush()
+                await self.controller.probe_health()
+            if observe is not None:
+                observe(request.country)
             if jitter_rng is not None:
                 offset = index % jitter_chunk
                 if offset == 0:
@@ -340,20 +635,38 @@ class EdgeCluster:
                 extra_km = float(jitter_buf[offset]) * self.last_mile_km
             else:
                 extra_km = 0.0
+            priority = (
+                priority_at(index, request) if priority_at is not None else STANDARD
+            )
             if concurrency == 1:
-                await serve_one(request, extra_km)
+                await serve_one(index, request, extra_km, priority)
             else:
-                batch.append(serve_one(request, extra_km))
+                batch.append(serve_one(index, request, extra_km, priority))
                 if len(batch) >= concurrency:
-                    await asyncio.gather(*batch)
-                    batch = []
-        if batch:
-            await asyncio.gather(*batch)
-        return self._report(before, distances, loop.time() - started)
+                    await flush()
+        await flush()
+        return self._report(
+            before,
+            admission_before,
+            replica_before,
+            rewarms_before,
+            distances,
+            loop.time() - started,
+        )
+
+    def _replica_counters(self) -> Tuple[int, int]:
+        """Fleet-wide (overload rejections, queued) counter snapshot."""
+        return (
+            sum(r.stats.rejected_overload for r in self._fleet),
+            sum(r.stats.queued for r in self._fleet),
+        )
 
     def _report(
         self,
         before: "ControllerStats",
+        admission_before: Optional["AdmissionStats"],
+        replica_before: Tuple[int, int],
+        rewarms_before: int,
         distances: Sequence[float],
         virtual_seconds: float,
     ) -> ServingReport:
@@ -365,6 +678,16 @@ class EdgeCluster:
             p99_km = float(np.percentile(array, 99))
         else:
             mean_km = p50_km = p99_km = 0.0
+        if admission_before is not None:
+            admission = self.admission.stats.delta(admission_before)
+            offered = admission.offered
+            shed = admission.shed
+            goodput = admission.goodput
+        else:
+            offered = stats.requests
+            shed = 0
+            goodput = 1.0 if stats.requests else 0.0
+        overload_after, queued_after = self._replica_counters()
         return ServingReport(
             planner=self.planner.name,
             requests=stats.requests,
@@ -382,4 +705,14 @@ class EdgeCluster:
             reroutes=stats.reroutes,
             breaker_opens=self.controller.breaker_opens(),
             placed=self._placed,
+            offered=offered,
+            shed=shed,
+            goodput=goodput,
+            hedges=stats.hedges,
+            hedge_wins=stats.hedge_wins,
+            hedge_cancelled=stats.hedge_cancelled,
+            health_probes=stats.health_probes,
+            overload_rejections=overload_after - replica_before[0],
+            queued=queued_after - replica_before[1],
+            rewarms=self._rewarms - rewarms_before,
         )

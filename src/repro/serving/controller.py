@@ -24,25 +24,50 @@ pushes and reactive admissions add entries through the controller, but
 LRU evictions happen silently inside replicas. A probe that misses
 removes the stale entry (self-healing), and the invariant the test suite
 enforces is exactly ``index ⊇ actual cache contents``.
+
+Two optional tail-latency defences layer on top of the basic route:
+
+- **hedged requests** (:class:`HedgePolicy`) — when the first-choice
+  probe has not answered within an adaptive deadline (an EWMA of
+  observed probe latency times a multiplier), a second probe fires at
+  the next candidate; first hit wins, the loser is cancelled via
+  :func:`~repro.serving.simtime.cancel_and_wait` and accounted (never
+  double-served, never leaked);
+- **active health probes** (:meth:`Controller.probe_health`) — cheap
+  pings that feed the per-replica breakers out-of-band, so a recovered
+  replica's breaker closes on probe traffic instead of burning a user
+  request, and a dead one's breaker opens before users find it.
 """
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, fields, replace
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.errors import (
     CircuitOpenError,
+    ConfigError,
     ReplicaDownError,
+    ReplicaOverloadedError,
     ServingError,
     TransientAPIError,
 )
 from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.serving.origin import Origin
-from repro.serving.replica import Replica
-from repro.serving.simtime import running_loop_time
+from repro.serving.replica import Replica, ReplicaHealth
+from repro.serving.simtime import cancel_and_wait, running_loop_time
 from repro.world.countries import CountryRegistry
 from repro.world.geo import distance_matrix
 
@@ -76,6 +101,65 @@ def default_breaker_factory() -> CircuitBreaker:
     )
 
 
+class HedgePolicy:
+    """Adaptive hedging deadline: EWMA of probe latency × multiplier.
+
+    The hedge deadline tracks what probes *normally* take, so hedges
+    fire only when a probe is genuinely slow (queued behind a saturated
+    replica, mid-outage) rather than on every request. Google's classic
+    tail-at-scale recipe: hedge at ~p95-equivalent latency, pay a few
+    percent duplicate work, cut the tail.
+
+    Args:
+        multiplier: Deadline = ``multiplier × ewma(latency)``.
+        min_deadline: Floor, so near-zero service times cannot make
+            every request hedge.
+        initial_deadline: Used until the first latency observation.
+        alpha: EWMA weight of the newest observation.
+    """
+
+    def __init__(
+        self,
+        multiplier: float = 2.0,
+        min_deadline: float = 0.005,
+        initial_deadline: float = 0.04,
+        alpha: float = 0.2,
+    ):
+        if multiplier <= 0:
+            raise ConfigError("multiplier must be > 0")
+        if min_deadline < 0:
+            raise ConfigError("min_deadline must be >= 0")
+        if initial_deadline <= 0:
+            raise ConfigError("initial_deadline must be > 0")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self.multiplier = multiplier
+        self.min_deadline = min_deadline
+        self.initial_deadline = initial_deadline
+        self.alpha = alpha
+        self._ewma: Optional[float] = None
+
+    @property
+    def observed_latency(self) -> Optional[float]:
+        """Current EWMA of successful probe latency (None before any)."""
+        return self._ewma
+
+    def observe(self, latency: float) -> None:
+        """Feed one completed probe's latency into the EWMA."""
+        if latency < 0:
+            return
+        if self._ewma is None:
+            self._ewma = latency
+        else:
+            self._ewma = self.alpha * latency + (1 - self.alpha) * self._ewma
+
+    def deadline(self) -> float:
+        """How long to wait for the primary before firing the hedge."""
+        if self._ewma is None:
+            return max(self.min_deadline, self.initial_deadline)
+        return max(self.min_deadline, self.multiplier * self._ewma)
+
+
 @dataclass(frozen=True)
 class ServeResult:
     """Outcome of one ``get``: exactly one per request, always.
@@ -87,6 +171,8 @@ class ServeResult:
         served_by: Serving replica id, or ``"origin"``.
         distance_km: Viewer-country → serving-node centroid distance.
         probes: Replica probes attempted (successful or not).
+        hedged: True when a hedge fired anywhere along this request's
+            route (whichever candidate ultimately won).
     """
 
     video_id: str
@@ -95,6 +181,12 @@ class ServeResult:
     served_by: str
     distance_km: float
     probes: int
+    hedged: bool = False
+
+    #: Discriminator shared with
+    #: :class:`~repro.serving.admission.ShedResult`: a served result is
+    #: never a shed one.
+    shed: ClassVar[bool] = False
 
     @property
     def hit(self) -> bool:
@@ -117,6 +209,11 @@ class ControllerStats:
     admissions: int = 0
     pushes: int = 0
     push_failures: int = 0
+    hedges: int = 0  # hedge probes fired (deadline expired)
+    hedge_wins: int = 0  # requests the hedge probe won
+    hedge_cancelled: int = 0  # losing probes cancelled and drained
+    health_probes: int = 0  # active pings sent by probe_health()
+    health_probe_failures: int = 0  # pings that found a dead replica
 
     @property
     def served(self) -> int:
@@ -171,6 +268,8 @@ class Controller:
         reactive_admission: After a miss served remotely or from origin,
             insert the video into the requester's home replica (the
             copy rides back on the response).
+        hedge: Optional :class:`HedgePolicy`; when set, slow probes are
+            hedged against the next candidate, first hit wins.
     """
 
     def __init__(
@@ -182,6 +281,7 @@ class Controller:
         breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
         distances: Optional[np.ndarray] = None,
         reactive_admission: bool = True,
+        hedge: Optional[HedgePolicy] = None,
     ):
         if origin.country not in registry:
             raise ServingError(f"unknown origin country {origin.country!r}")
@@ -191,6 +291,7 @@ class Controller:
         if breaker_factory is None:
             breaker_factory = default_breaker_factory
         self.reactive_admission = reactive_admission
+        self.hedge = hedge
 
         self._replicas: Dict[str, Replica] = {}
         self._by_country: Dict[str, Replica] = {}
@@ -319,9 +420,13 @@ class Controller:
                 try:
                     if await self.push(replica_id, video_id):
                         placed += 1
-                except (ReplicaDownError, CircuitOpenError):
+                except (
+                    ReplicaDownError,
+                    CircuitOpenError,
+                    ReplicaOverloadedError,
+                ):
                     self.stats.reroutes += 1
-                    break  # this replica is down; skip its whole list
+                    break  # this replica is unreachable; skip its list
         return placed
 
     # -- serving path --------------------------------------------------------
@@ -355,29 +460,54 @@ class Controller:
             candidates.append((distance, REMOTE, self._replicas[rid]))
 
         probes = 0
-        for distance, source, replica in candidates:
-            probes += 1
-            try:
-                hit = await self._probe(replica, video_id)
-            except (ReplicaDownError, CircuitOpenError, TransientAPIError):
-                self.stats.reroutes += 1
-                continue
-            if hit:
-                if source == LOCAL:
-                    self.stats.local_hits += 1
-                else:
-                    self.stats.remote_hits += 1
-                    self._admit_home(home, video_id)
-                return ServeResult(
-                    video_id=video_id,
-                    country=country,
-                    source=source,
-                    served_by=replica.replica_id,
-                    distance_km=distance,
-                    probes=probes,
+        hedged = False
+        if self.hedge is None:
+            # Sequential route: probe candidates nearest-first.
+            for distance, source, replica in candidates:
+                probes += 1
+                try:
+                    hit = await self._probe(replica, video_id)
+                except (ReplicaDownError, CircuitOpenError, TransientAPIError):
+                    self.stats.reroutes += 1
+                    continue
+                if hit:
+                    return self._account_hit(
+                        video_id, country, home, distance, source, replica,
+                        probes, hedged,
+                    )
+                # The index lied (eviction since placement) — self-heal.
+                self._unindex(video_id, replica.replica_id)
+        else:
+            # Hedged route: probe pairs, hedge on a slow primary.
+            position = 0
+            while position < len(candidates):
+                primary = candidates[position]
+                secondary = (
+                    candidates[position + 1]
+                    if position + 1 < len(candidates)
+                    else None
                 )
-            # The index lied (eviction since placement) — self-heal.
-            self._unindex(video_id, replica.replica_id)
+                resolved, winner, fired, hedge_won = await self._hedged_pair(
+                    video_id, primary, secondary
+                )
+                probes += 2 if fired else 1
+                hedged = hedged or fired
+                for (_, _, replica), outcome in resolved:
+                    if outcome == "miss":
+                        self._unindex(video_id, replica.replica_id)
+                    else:
+                        self.stats.reroutes += 1
+                if winner is not None:
+                    if hedge_won:
+                        self.stats.hedge_wins += 1
+                    distance, source, replica = winner
+                    return self._account_hit(
+                        video_id, country, home, distance, source, replica,
+                        probes, hedged,
+                    )
+                # Only candidates that definitively answered (miss or
+                # error) are consumed; an unfired secondary stays next.
+                position += max(1, len(resolved))
 
         await self.origin.fetch(video_id)
         self.stats.origin_fetches += 1
@@ -389,7 +519,113 @@ class Controller:
             served_by=ORIGIN,
             distance_km=self._distance(country, self.origin.country),
             probes=probes,
+            hedged=hedged,
         )
+
+    def _account_hit(
+        self,
+        video_id: str,
+        country: str,
+        home: Replica,
+        distance: float,
+        source: str,
+        replica: Replica,
+        probes: int,
+        hedged: bool,
+    ) -> ServeResult:
+        """Count one replica hit and build its result."""
+        if source == LOCAL:
+            self.stats.local_hits += 1
+        else:
+            self.stats.remote_hits += 1
+            self._admit_home(home, video_id)
+        return ServeResult(
+            video_id=video_id,
+            country=country,
+            source=source,
+            served_by=replica.replica_id,
+            distance_km=distance,
+            probes=probes,
+            hedged=hedged,
+        )
+
+    async def _hedged_pair(
+        self,
+        video_id: str,
+        primary: Tuple[float, str, Replica],
+        secondary: Optional[Tuple[float, str, Replica]],
+    ):
+        """Race the primary candidate against a late-fired hedge.
+
+        Fire the primary probe; if it has not answered within the
+        adaptive deadline and a secondary candidate exists, fire that
+        too and take the **first hit** — the loser is cancelled and
+        fully drained (its slot releases and breaker bookkeeping run
+        before we return, so nothing races the next request). Completed
+        tasks are processed primary-first for determinism when both
+        finish in the same virtual instant.
+
+        Returns ``(resolved, winner, fired, hedge_won)`` where
+        ``resolved`` lists candidates that definitively answered with a
+        miss or a routing error (never the winner, never a cancelled
+        loser).
+        """
+        loop = asyncio.get_event_loop()
+        tasks: Dict[asyncio.Task, Tuple[float, str, Replica]] = {}
+
+        def spawn(candidate: Tuple[float, str, Replica]) -> asyncio.Task:
+            task = loop.create_task(self._probe(candidate[2], video_id))
+            tasks[task] = candidate
+            return task
+
+        resolved: List[Tuple[Tuple[float, str, Replica], str]] = []
+        winner: Optional[Tuple[float, str, Replica]] = None
+        fired = False
+        hedge_won = False
+
+        primary_task = spawn(primary)
+        try:
+            done, _ = await asyncio.wait(
+                {primary_task}, timeout=self.hedge.deadline()
+            )
+            if not done and secondary is not None:
+                fired = True
+                self.stats.hedges += 1
+                spawn(secondary)
+            active = {task for task in tasks if not task.done()}
+            finished = {task for task in tasks if task.done()}
+            while finished or active:
+                if not finished:
+                    finished, active = await asyncio.wait(
+                        active, return_when=asyncio.FIRST_COMPLETED
+                    )
+                for task in sorted(
+                    finished, key=lambda t: 0 if t is primary_task else 1
+                ):
+                    candidate = tasks[task]
+                    try:
+                        hit = task.result()
+                    except (
+                        ReplicaDownError,
+                        CircuitOpenError,
+                        TransientAPIError,
+                    ):
+                        resolved.append((candidate, "error"))
+                        continue
+                    if hit:
+                        winner = candidate
+                        hedge_won = task is not primary_task
+                        break
+                    resolved.append((candidate, "miss"))
+                if winner is not None:
+                    break
+                finished = set()
+        finally:
+            for task in tasks:
+                if not task.done():
+                    self.stats.hedge_cancelled += 1
+                    await cancel_and_wait(task)
+        return resolved, winner, fired, hedge_won
 
     async def _probe(self, replica: Replica, video_id: str) -> bool:
         """One breaker-guarded, retry-wrapped replica lookup."""
@@ -399,13 +635,57 @@ class Controller:
             breaker.allow()
             try:
                 result = await replica.get(video_id)
+            except asyncio.CancelledError:
+                # A cancelled hedge loser has no verdict: hand back the
+                # breaker admission (critical in half-open, where this
+                # call holds the single probe slot).
+                breaker.record_cancelled()
+                raise
             except Exception:
                 breaker.record_failure()
                 raise
             breaker.record_success()
             return result
 
-        return await self.retry.run_async(attempt, on_failure=self._on_retry)
+        started = running_loop_time()
+        result = await self.retry.run_async(attempt, on_failure=self._on_retry)
+        if self.hedge is not None:
+            self.hedge.observe(running_loop_time() - started)
+        return result
+
+    async def probe_health(self) -> Dict[str, Optional[ReplicaHealth]]:
+        """Ping every replica once, feeding the per-replica breakers.
+
+        The out-of-band recovery path: after an outage, a replica's
+        breaker is closed again by a successful *ping* through its
+        half-open probe slot — no user request pays for the experiment.
+        Returns each replica's :class:`~repro.serving.replica
+        .ReplicaHealth`, or ``None`` for replicas that are unreachable
+        or whose breaker refused the probe.
+        """
+        results: Dict[str, Optional[ReplicaHealth]] = {}
+        for replica_id in sorted(self._replicas):
+            replica = self._replicas[replica_id]
+            breaker = self._breakers[replica_id]
+            self.stats.health_probes += 1
+            try:
+                breaker.allow()
+            except CircuitOpenError:
+                results[replica_id] = None
+                continue
+            try:
+                health = await replica.ping()
+            except asyncio.CancelledError:
+                breaker.record_cancelled()
+                raise
+            except Exception:
+                breaker.record_failure()
+                self.stats.health_probe_failures += 1
+                results[replica_id] = None
+                continue
+            breaker.record_success()
+            results[replica_id] = health
+        return results
 
     def _on_retry(self, exc, attempt, delay) -> None:
         if delay is not None:

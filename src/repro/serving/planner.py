@@ -15,7 +15,13 @@ replica fleet:
   each video, predict its per-country view shares from its tags
   (Eq. (3) mixture), aggregate the predicted demand onto each country's
   *nearest replica*, and give every replica the videos it is predicted
-  to serve most.
+  to serve most;
+- :class:`AdaptiveTagPlanner` — the tag planner with a feedback loop:
+  it observes the countries actually requesting, reweights the Eq. (3)
+  demand toward where traffic *is* (flash crowds), and plans only over
+  replicas that are still alive (regional blackouts) — so a re-warm
+  after chaos pushes the lost region's catalogue onto the survivors
+  nearest the shifted demand.
 
 Plans are deterministic: ties break on video id / replica id, never on
 hash order.
@@ -23,7 +29,7 @@ hash order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -165,6 +171,15 @@ class TagAwarePlanner(ServingPlanner):
             self._cache_key = cache_key
             self._cache_candidates = candidates
 
+        return self._fill(candidates, fleet, capacity)
+
+    @staticmethod
+    def _fill(
+        candidates: Sequence[Tuple[float, str, str]],
+        fleet: Sequence[Replica],
+        capacity: int,
+    ) -> Dict[str, List[str]]:
+        """Global greedy: best-scored candidates claim capacity first."""
         plan: Dict[str, List[str]] = {
             replica.replica_id: [] for replica in fleet
         }
@@ -174,7 +189,12 @@ class TagAwarePlanner(ServingPlanner):
                 target.append(video_id)
         return plan
 
-    def _score(self, catalogue, fleet) -> List[Tuple[float, str, str]]:
+    def _score(
+        self,
+        catalogue,
+        fleet,
+        weights: Optional[np.ndarray] = None,
+    ) -> List[Tuple[float, str, str]]:
         registry = self.predictor.registry
         codes = registry.codes()
         code_index = {code: i for i, code in enumerate(codes)}
@@ -195,10 +215,14 @@ class TagAwarePlanner(ServingPlanner):
         aggregate[nearest, np.arange(len(codes))] = 1.0
 
         # Each video's k-th best replica (by predicted absorbed demand)
-        # becomes a candidate worth demand · discount^k.
+        # becomes a candidate worth demand · discount^k. ``weights``
+        # (registry-ordered, per-country) tilts the predicted shares
+        # toward observed demand before aggregation.
         candidates: List[Tuple[float, str, str]] = []
         for video in catalogue:
             shares = self.predictor.predict_shares(video)
+            if weights is not None:
+                shares = shares * weights
             demand = aggregate @ shares * float(video.views)  # (R,)
             order = np.argsort(-demand, kind="stable")[: self.replicas_per_video]
             for copy, position in enumerate(order):
@@ -211,3 +235,86 @@ class TagAwarePlanner(ServingPlanner):
 
         candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
         return candidates
+
+
+class AdaptiveTagPlanner(TagAwarePlanner):
+    """The tag planner that re-plans against demand *as observed*.
+
+    The static :class:`TagAwarePlanner` answers "where will this video's
+    viewers be, according to its tags?" — a prior. This subclass folds in
+    the posterior: the cluster feeds it every requesting country via
+    :meth:`observe_request`, and at the next ``plan()`` (a periodic
+    re-warm, or one forced by a chaos event):
+
+    - the fleet is filtered to **live replicas only**, so a blacked-out
+      region's share of the catalogue is re-placed onto survivors
+      instead of being pushed at corpses;
+    - predicted per-country shares are multiplied by ``1 +
+      demand_boost · observed_share(country)``, so a flash crowd's
+      country pulls its videos toward its nearest surviving replica;
+    - the observation vector then decays by ``decay``, so the boost
+      follows the crowd instead of remembering it forever.
+
+    With no observations and a fully live fleet it degrades to exactly
+    the static plan (and reuses its memoized candidates).
+
+    Args:
+        demand_boost: Strength of the observed-demand tilt (0 disables).
+        decay: Multiplier applied to the observation vector after each
+            plan, in [0, 1].
+    """
+
+    name = "tags-adaptive"
+
+    def __init__(
+        self,
+        predictor,
+        replicas_per_video: int = 2,
+        copy_discount: float = 0.5,
+        demand_boost: float = 4.0,
+        decay: float = 0.5,
+    ):
+        super().__init__(
+            predictor,
+            replicas_per_video=replicas_per_video,
+            copy_discount=copy_discount,
+        )
+        if demand_boost < 0:
+            raise ServingError(
+                f"demand_boost must be >= 0, got {demand_boost}"
+            )
+        if not 0.0 <= decay <= 1.0:
+            raise ServingError(f"decay must be in [0, 1], got {decay}")
+        self.demand_boost = demand_boost
+        self.decay = decay
+        codes = predictor.registry.codes()
+        self._code_index = {code: i for i, code in enumerate(codes)}
+        self._observed = np.zeros(len(codes))
+        self.replans = 0
+
+    def observe_request(self, country: str) -> None:
+        """Record one offered request's origin country (cheap, O(1))."""
+        index = self._code_index.get(country)
+        if index is not None:
+            self._observed[index] += 1.0
+
+    @property
+    def observed_total(self) -> float:
+        """Un-decayed weight of observations currently influencing plans."""
+        return float(self._observed.sum())
+
+    def plan(self, catalogue, replicas, capacity):
+        fleet = self._check(replicas, capacity)
+        alive = [replica for replica in fleet if replica.alive]
+        if alive:
+            fleet = alive  # plan only onto replicas that can take a push
+        self.replans += 1
+        total = float(self._observed.sum())
+        if total > 0.0 and self.demand_boost > 0.0:
+            weights = 1.0 + self.demand_boost * (self._observed / total)
+            candidates = self._score(catalogue, fleet, weights=weights)
+            plan = self._fill(candidates, fleet, capacity)
+        else:
+            plan = super().plan(catalogue, fleet, capacity)
+        self._observed *= self.decay
+        return plan

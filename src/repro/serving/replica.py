@@ -1,14 +1,29 @@
-"""An edge replica: one country's cache, servable and killable.
+"""An edge replica: one country's cache, servable, killable, saturable.
 
 A replica wraps one :class:`~repro.placement.cache.EdgeCache` (any
 flavour — LRU, LFU, or pin-only static) behind an async interface with
-simulated network latency, and adds the two things a *running* service
+simulated network latency, and adds the things a *running* service
 needs that the offline simulator did not:
 
 - **liveness** — ``fail()`` / ``recover()`` flip the replica dead and
   alive; a dead replica raises
   :class:`~repro.errors.ReplicaDownError` (a ``TransportError``, so
-  retry policies and circuit breakers treat it like a dead peer);
+  retry policies and circuit breakers treat it like a dead peer).
+  ``fail()`` bumps an internal *epoch*: calls already in flight when
+  the replica dies observe the epoch change at their next await point
+  and are rejected deterministically — no phantom hits, no counters
+  mutated by a call the failed machine could never have answered;
+- **bounded capacity** — an optional M/M/c-style concurrency model on
+  virtual time: at most ``concurrency`` requests are *in service* (each
+  occupying a slot for ``service_seconds``), up to ``queue_depth`` more
+  wait FIFO for a slot, and anything beyond that is rejected with
+  :class:`~repro.errors.ReplicaOverloadedError`. Queueing delay is real
+  (virtual) time, so a saturated replica visibly slows and sheds — the
+  overload signal admission control and hedging react to;
+- **health reporting** — :meth:`health` is the utilization snapshot the
+  admission controller reads synchronously; :meth:`ping` is the cheap
+  active probe the controller fires to feed circuit breakers without
+  burning user requests (it pays network latency but no service slot);
 - **transient flakiness** — an optional deterministic
   :class:`~repro.api.faults.FaultInjector` makes a fraction of calls
   raise :class:`~repro.errors.TransientAPIError`, which the
@@ -18,11 +33,16 @@ needs that the offline simulator did not:
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Deque, Optional, Set
 
 from repro.api.faults import FaultInjector
-from repro.errors import ReplicaDownError, ServingError
+from repro.errors import (
+    ReplicaDownError,
+    ReplicaOverloadedError,
+    ServingError,
+)
 from repro.placement.cache import EdgeCache
 
 
@@ -35,7 +55,38 @@ class ReplicaStats:
     hits: int = 0
     misses: int = 0
     pushes: int = 0
-    rejected: int = 0  # calls refused while down
+    pings: int = 0
+    rejected: int = 0  # calls refused up front while down
+    rejected_overload: int = 0  # calls shed because slots + queue were full
+    queued: int = 0  # calls that had to wait for a service slot
+    killed_in_flight: int = 0  # in-flight calls rejected by fail()
+    peak_inflight: int = 0  # high-water mark of occupied service slots
+
+
+@dataclass(frozen=True)
+class ReplicaHealth:
+    """Utilization snapshot: what admission control and probes see.
+
+    Attributes:
+        utilization: Occupied service slots / ``concurrency`` (0.0 for
+            an unbounded replica — it can always absorb more).
+        load_factor: (in service + waiting) / (slots + queue): 1.0
+            means the next request is shed. 0.0 for unbounded replicas.
+    """
+
+    replica_id: str
+    alive: bool
+    inflight: int
+    waiting: int
+    concurrency: Optional[int]
+    queue_depth: int
+    utilization: float
+    load_factor: float
+
+    @property
+    def saturated(self) -> bool:
+        """True when the next request would be rejected for overload."""
+        return self.load_factor >= 1.0
 
 
 class Replica:
@@ -46,7 +97,15 @@ class Replica:
         country: The country whose viewers this replica is local to.
         cache: Storage + eviction policy (one of
             :mod:`repro.placement.cache`).
-        latency_seconds: Simulated per-call latency.
+        latency_seconds: Simulated network round-trip per call.
+        concurrency: Max requests in service at once; ``None`` (default)
+            models infinite capacity (the pre-overload behaviour).
+        queue_depth: Waiting-room size once all slots are busy; beyond
+            it, calls are rejected with ``ReplicaOverloadedError``.
+            Only meaningful with bounded ``concurrency``.
+        service_seconds: Virtual time a request occupies its slot
+            (default 0.0: lookups are instantaneous once admitted, so
+            bounded replicas only queue when configured to take time).
         fault_injector: Optional deterministic transient-fault source.
     """
 
@@ -56,19 +115,40 @@ class Replica:
         country: str,
         cache: EdgeCache,
         latency_seconds: float = 0.01,
+        concurrency: Optional[int] = None,
+        queue_depth: int = 0,
+        service_seconds: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
     ):
         if latency_seconds < 0:
             raise ServingError(
                 f"latency_seconds must be >= 0, got {latency_seconds}"
             )
+        if concurrency is not None and concurrency < 1:
+            raise ServingError(
+                f"concurrency must be >= 1 (or None), got {concurrency}"
+            )
+        if queue_depth < 0:
+            raise ServingError(
+                f"queue_depth must be >= 0, got {queue_depth}"
+            )
+        if service_seconds < 0:
+            raise ServingError(
+                f"service_seconds must be >= 0, got {service_seconds}"
+            )
         self.replica_id = replica_id
         self.country = country
         self.cache = cache
         self.latency_seconds = latency_seconds
+        self.concurrency = concurrency
+        self.queue_depth = queue_depth
+        self.service_seconds = service_seconds
         self.fault_injector = fault_injector
         self.stats = ReplicaStats()
         self._alive = True
+        self._epoch = 0
+        self._inflight = 0
+        self._waiters: Deque[asyncio.Future] = deque()
 
     # -- liveness ------------------------------------------------------------
 
@@ -77,11 +157,39 @@ class Replica:
         return self._alive
 
     def fail(self) -> None:
-        """Take the replica offline (chaos hook)."""
-        self._alive = False
+        """Take the replica offline (chaos hook).
 
-    def recover(self) -> None:
-        """Bring the replica back; its cache contents survive the outage."""
+        Deterministic teardown: the epoch bump makes every in-flight
+        call reject itself at its next await point (their counters stay
+        untouched — the lookup never completed), and every queued waiter
+        is failed immediately with :class:`ReplicaDownError`. Service
+        slots reset; stale completions from the previous epoch cannot
+        release slots of the new one.
+        """
+        self._alive = False
+        self._epoch += 1
+        self._inflight = 0
+        waiters, self._waiters = self._waiters, deque()
+        for waiter in waiters:
+            if not waiter.done():
+                self.stats.killed_in_flight += 1
+                waiter.set_exception(
+                    ReplicaDownError(
+                        f"replica {self.replica_id!r} went down while the "
+                        "request was queued"
+                    )
+                )
+
+    def recover(self, cold: bool = False) -> None:
+        """Bring the replica back.
+
+        By default the cache contents survive the outage (a network
+        partition healed). ``cold=True`` models a process restart after
+        a regional blackout: the machine comes back *empty*, and whoever
+        wants it useful again must re-warm it or pay reactive misses.
+        """
+        if cold:
+            self.cache.clear()
         self._alive = True
 
     def _check_up(self, operation: str) -> None:
@@ -91,30 +199,166 @@ class Replica:
                 f"replica {self.replica_id!r} is down ({operation})"
             )
 
+    def _check_in_flight(self, epoch: int, operation: str) -> None:
+        """Reject a call whose replica died under it, deterministically."""
+        if epoch != self._epoch or not self._alive:
+            self.stats.killed_in_flight += 1
+            raise ReplicaDownError(
+                f"replica {self.replica_id!r} went down mid-{operation}"
+            )
+
+    # -- capacity model ------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently occupying a service slot."""
+        return self._inflight
+
+    @property
+    def waiting(self) -> int:
+        """Requests queued for a service slot."""
+        return len(self._waiters)
+
+    @property
+    def utilization(self) -> float:
+        """Occupied service slots as a fraction (0.0 when unbounded)."""
+        if self.concurrency is None:
+            return 0.0
+        return self._inflight / self.concurrency
+
+    def load_factor(self) -> float:
+        """(in service + waiting) / total admittable; 1.0 = next is shed."""
+        if self.concurrency is None:
+            return 0.0
+        total = self.concurrency + self.queue_depth
+        return (self._inflight + len(self._waiters)) / total
+
+    def health(self) -> ReplicaHealth:
+        """Synchronous utilization snapshot (no latency, no side effects)."""
+        return ReplicaHealth(
+            replica_id=self.replica_id,
+            alive=self._alive,
+            inflight=self._inflight,
+            waiting=len(self._waiters),
+            concurrency=self.concurrency,
+            queue_depth=self.queue_depth,
+            utilization=self.utilization,
+            load_factor=self.load_factor(),
+        )
+
+    async def _acquire_slot(self) -> bool:
+        """Take a service slot, queueing FIFO; True when a slot is held.
+
+        Raises :class:`ReplicaOverloadedError` when both slots and queue
+        are full — the caller was *shed*, visibly, never silently
+        dropped. Unbounded replicas return False (nothing to release).
+        """
+        if self.concurrency is None:
+            return False
+        if self._inflight < self.concurrency:
+            self._inflight += 1
+            if self._inflight > self.stats.peak_inflight:
+                self.stats.peak_inflight = self._inflight
+            return True
+        if len(self._waiters) >= self.queue_depth:
+            self.stats.rejected_overload += 1
+            raise ReplicaOverloadedError(
+                f"replica {self.replica_id!r} saturated: "
+                f"{self._inflight} in service, {len(self._waiters)} queued"
+            )
+        waiter = asyncio.get_event_loop().create_future()
+        self._waiters.append(waiter)
+        self.stats.queued += 1
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled() and waiter.exception() is None:
+                # The slot was handed over in the same instant we were
+                # cancelled: pass it on instead of leaking it.
+                self._release_slot()
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            raise
+        return True
+
+    def _release_slot(self) -> None:
+        """Hand the slot to the oldest live waiter, else free it."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+        self._inflight -= 1
+
     # -- serving -------------------------------------------------------------
 
     async def get(self, video_id: str) -> bool:
-        """Cache lookup; True on hit. Raises when down or (injected) flaky."""
+        """Cache lookup; True on hit.
+
+        Raises when down, killed mid-flight, overloaded, or (injected)
+        flaky. Counters are only touched by calls that *complete*: a
+        call rejected mid-flight leaves ``gets``/``hits``/``misses``
+        untouched and the cache unread (no phantom hits).
+        """
         self._check_up("get")
         if self.fault_injector is not None:
             self.fault_injector.before_request(f"get {video_id}")
+        epoch = self._epoch
         if self.latency_seconds > 0:
             await asyncio.sleep(self.latency_seconds)
-        self.stats.gets += 1
-        hit = self.cache.request(video_id)
-        if hit:
-            self.stats.hits += 1
-        else:
-            self.stats.misses += 1
-        return hit
+            self._check_in_flight(epoch, "get")
+        held = await self._acquire_slot()
+        try:
+            if self.service_seconds > 0:
+                await asyncio.sleep(self.service_seconds)
+            self._check_in_flight(epoch, "get")
+            self.stats.gets += 1
+            hit = self.cache.request(video_id)
+            if hit:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+            return hit
+        finally:
+            # Only release into the epoch the slot was taken from:
+            # fail() already reset the slot accounting for a new epoch.
+            if held and epoch == self._epoch:
+                self._release_slot()
 
     async def push(self, video_id: str) -> None:
-        """Proactively place a copy (the controller's placement path)."""
+        """Proactively place a copy (the controller's placement path).
+
+        A push interrupted by ``fail()`` rejects without pinning: the
+        copy never landed on the dead machine, so neither the cache nor
+        ``pushes`` may claim it did.
+        """
         self._check_up("push")
+        epoch = self._epoch
         if self.latency_seconds > 0:
             await asyncio.sleep(self.latency_seconds)
+            self._check_in_flight(epoch, "push")
         self.cache.pin(video_id)
         self.stats.pushes += 1
+
+    async def ping(self) -> ReplicaHealth:
+        """Active health probe: pays network latency, no service slot.
+
+        The controller's probe loop calls this to feed per-replica
+        circuit breakers — a dead replica fails the ping (opening /
+        keeping open its breaker), a live one reports utilization and,
+        through the breaker's half-open path, closes it again after an
+        outage without burning a user request on the experiment.
+        """
+        self._check_up("ping")
+        epoch = self._epoch
+        if self.latency_seconds > 0:
+            await asyncio.sleep(self.latency_seconds)
+            self._check_in_flight(epoch, "ping")
+        self.stats.pings += 1
+        return self.health()
 
     def admit(self, video_id: str) -> None:
         """Reactive insert after an origin fetch (no extra round trip —
@@ -128,6 +372,8 @@ class Replica:
 
     def __repr__(self) -> str:
         state = "up" if self._alive else "down"
+        if self.concurrency is not None:
+            state += f", {self._inflight}/{self.concurrency} busy"
         return (
             f"Replica({self.replica_id!r}, {self.country!r}, "
             f"{len(self.cache)}/{self.cache.capacity} cached, {state})"

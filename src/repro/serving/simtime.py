@@ -96,6 +96,26 @@ class VirtualTimeLoop(asyncio.SelectorEventLoop):
         return self._virtual_now
 
 
+async def cancel_and_wait(task: "asyncio.Task") -> None:
+    """Cancel ``task`` and wait until it has fully unwound.
+
+    The hedged-request primitive: the losing probe of a first-wins race
+    must be *gone* — its cancellation delivered, its ``finally`` blocks
+    (slot releases, breaker bookkeeping) executed — before the winner's
+    result is returned, or the next virtual-time step would race against
+    a half-dead coroutine. The loser's own outcome is irrelevant: a
+    late success is discarded and a late failure already lost the race,
+    so both are swallowed here.
+    """
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        pass
+    except Exception:
+        pass  # the loser's own failure; the race already has a winner
+
+
 def _cancel_pending(loop: asyncio.AbstractEventLoop) -> None:
     """Cancel and drain whatever tasks are still alive on ``loop``."""
     pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
@@ -147,6 +167,11 @@ class SimulationHarness:
 
     def run(self, coro: Awaitable[T]) -> T:
         return self.loop.run_until_complete(coro)
+
+    def advance(self, seconds: float) -> None:
+        """Let ``seconds`` of virtual time elapse (e.g. to expire a
+        breaker's ``reset_timeout`` or an admission window)."""
+        self.run(asyncio.sleep(seconds))
 
     def close(self) -> None:
         if self.loop.is_closed():

@@ -176,6 +176,68 @@ class TestCircuitBreaker:
         with pytest.raises(CircuitOpenError):
             breaker.allow()  # only one probe at a time
 
+    def test_half_open_single_probe_even_with_larger_max_calls(self):
+        # Regression: half_open_max_calls > 1 used to admit that many
+        # concurrent callers, every one treated as a probe; a flurry of
+        # stale successes could then close a breaker that had seen one
+        # lucky call. The half-open state now holds exactly one probe in
+        # flight regardless of the configured value.
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, half_open_max_calls=3, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()  # the single probe slot
+        for _ in range(3):
+            with pytest.raises(CircuitOpenError):
+                breaker.allow()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_stale_success_while_open_does_not_close(self):
+        # A call admitted before the breaker tripped reports back after
+        # it opened: that success is stale evidence, not a probe, and
+        # must not slam the breaker shut.
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        breaker.allow()  # stale call admitted while closed
+        breaker.record_failure()  # another call trips the breaker
+        assert breaker.state == OPEN
+        breaker.record_success()  # the stale call comes back happy
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+
+    def test_cancelled_probe_releases_the_half_open_slot(self):
+        # A hedged probe cancelled mid-flight has no verdict; it must
+        # hand the single half-open slot back or the breaker would
+        # reject probes forever.
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()  # probe admitted...
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        breaker.record_cancelled()  # ...then cancelled without a verdict
+        assert breaker.state == HALF_OPEN
+        breaker.allow()  # slot is free for the next probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_record_cancelled_is_a_noop_outside_half_open(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.allow()
+        breaker.record_cancelled()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.record_cancelled()
+        assert breaker.state == OPEN
+
     def test_failed_probe_reopens(self):
         clock = FakeClock()
         breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)

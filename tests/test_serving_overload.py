@@ -1,0 +1,947 @@
+"""Overload & regional-failover tests: bounded replicas, admission
+control, hedged requests, health probes, flash crowds, blackouts, and
+the adaptive planner.
+
+All async pieces run on virtual time (:func:`run_virtual` /
+:class:`SimulationHarness`): saturation, queueing delay, hedge
+deadlines, and breaker resets elapse deterministically and instantly.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.video import Video
+from repro.errors import (
+    ReplicaDownError,
+    ReplicaOverloadedError,
+    RequestShedError,
+    ServingError,
+)
+from repro.placement.cache import LRUCache
+from repro.serving import (
+    BACKGROUND,
+    INTERACTIVE,
+    STANDARD,
+    AdaptiveTagPlanner,
+    AdmissionController,
+    AdmissionPolicy,
+    ChaosSchedule,
+    Controller,
+    EdgeCluster,
+    FlashCrowdWave,
+    HedgePolicy,
+    Origin,
+    Replica,
+    ShedResult,
+    SimulationHarness,
+    TagAwarePlanner,
+    inject_flash_crowd,
+    run_virtual,
+)
+from repro.world.countries import default_registry
+
+VIDEOS = [
+    Video(
+        video_id=f"BBBBBBBBB{i:02d}",
+        title=f"video {i}",
+        uploader="uploader",
+        upload_date="2011-01-01",
+        views=1000 - i,
+        tags=("music",),
+    )
+    for i in range(8)
+]
+VIDEO_IDS = [video.video_id for video in VIDEOS]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="module")
+def catalogue(registry):
+    return Dataset(VIDEOS, registry=registry)
+
+
+def make_replica(**kwargs):
+    defaults = dict(latency_seconds=0.01)
+    defaults.update(kwargs)
+    return Replica("edge-US", "US", LRUCache(4), **defaults)
+
+
+# ---------------------------------------------------------------------------
+# Bounded replica capacity model
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedReplica:
+    def test_unbounded_by_default(self):
+        replica = make_replica()
+        assert replica.concurrency is None
+        assert replica.utilization == 0.0
+        assert replica.load_factor() == 0.0
+        assert not replica.health().saturated
+
+    def test_overload_rejects_beyond_slots_and_queue(self):
+        replica = make_replica(
+            concurrency=1, queue_depth=1, service_seconds=1.0
+        )
+        replica.cache.pin(VIDEO_IDS[0])
+
+        async def scenario():
+            first = asyncio.get_event_loop().create_task(
+                replica.get(VIDEO_IDS[0])
+            )
+            second = asyncio.get_event_loop().create_task(
+                replica.get(VIDEO_IDS[0])
+            )
+            await asyncio.sleep(0.5)  # both past latency: slot + queue full
+            assert replica.inflight == 1
+            assert replica.waiting == 1
+            assert replica.health().saturated
+            with pytest.raises(ReplicaOverloadedError):
+                await replica.get(VIDEO_IDS[0])
+            assert await first is True
+            assert await second is True
+
+        run_virtual(scenario())
+        assert replica.stats.rejected_overload == 1
+        assert replica.stats.queued == 1
+        assert replica.stats.gets == 2
+        assert replica.stats.peak_inflight == 1
+        assert replica.inflight == 0 and replica.waiting == 0
+
+    def test_queueing_costs_virtual_time(self):
+        replica = make_replica(
+            latency_seconds=0.0, concurrency=1, queue_depth=4,
+            service_seconds=1.0,
+        )
+        replica.cache.pin(VIDEO_IDS[0])
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            started = loop.time()
+            await asyncio.gather(
+                *[replica.get(VIDEO_IDS[0]) for _ in range(3)]
+            )
+            return loop.time() - started
+
+        elapsed = run_virtual(scenario())
+        # Three 1s services through one slot: strictly serialized.
+        assert elapsed == pytest.approx(3.0)
+        assert replica.stats.queued == 2
+        assert replica.stats.peak_inflight == 1
+
+    def test_utilization_and_load_factor(self):
+        replica = make_replica(
+            latency_seconds=0.0, concurrency=2, queue_depth=2,
+            service_seconds=1.0,
+        )
+        replica.cache.pin(VIDEO_IDS[0])
+
+        async def scenario():
+            tasks = [
+                asyncio.get_event_loop().create_task(
+                    replica.get(VIDEO_IDS[0])
+                )
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.5)
+            health = replica.health()
+            assert health.inflight == 2
+            assert health.waiting == 1
+            assert health.utilization == pytest.approx(1.0)
+            assert health.load_factor == pytest.approx(0.75)
+            assert not health.saturated
+            await asyncio.gather(*tasks)
+
+        run_virtual(scenario())
+
+    def test_config_validation(self):
+        with pytest.raises(ServingError):
+            make_replica(concurrency=0)
+        with pytest.raises(ServingError):
+            make_replica(queue_depth=-1)
+        with pytest.raises(ServingError):
+            make_replica(service_seconds=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: fail() mid-flight rejects deterministically, no phantoms
+# ---------------------------------------------------------------------------
+
+
+class TestInFlightKill:
+    def test_get_killed_mid_flight_no_phantom_hit(self):
+        replica = make_replica(latency_seconds=0.1)
+        replica.cache.pin(VIDEO_IDS[0])
+
+        async def scenario():
+            task = asyncio.get_event_loop().create_task(
+                replica.get(VIDEO_IDS[0])
+            )
+            await asyncio.sleep(0.05)  # the get is mid-network
+            replica.fail()
+            with pytest.raises(ReplicaDownError):
+                await task
+
+        run_virtual(scenario())
+        # The lookup never completed: no counters, no cache read.
+        assert replica.stats.gets == 0
+        assert replica.stats.hits == 0
+        assert replica.stats.misses == 0
+        assert replica.stats.killed_in_flight == 1
+
+    def test_push_killed_mid_flight_no_phantom_pin(self):
+        replica = make_replica(latency_seconds=0.1)
+
+        async def scenario():
+            task = asyncio.get_event_loop().create_task(
+                replica.push(VIDEO_IDS[1])
+            )
+            await asyncio.sleep(0.05)
+            replica.fail()
+            with pytest.raises(ReplicaDownError):
+                await task
+
+        run_virtual(scenario())
+        assert replica.stats.pushes == 0
+        assert VIDEO_IDS[1] not in replica.cache
+        assert replica.stats.killed_in_flight == 1
+
+    def test_queued_waiters_drain_on_kill(self):
+        replica = make_replica(
+            latency_seconds=0.0, concurrency=1, queue_depth=2,
+            service_seconds=1.0,
+        )
+        replica.cache.pin(VIDEO_IDS[0])
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            holder = loop.create_task(replica.get(VIDEO_IDS[0]))
+            queued = loop.create_task(replica.get(VIDEO_IDS[0]))
+            await asyncio.sleep(0.5)
+            assert replica.inflight == 1 and replica.waiting == 1
+            replica.fail()
+            with pytest.raises(ReplicaDownError):
+                await queued  # failed immediately, not after the slot
+            with pytest.raises(ReplicaDownError):
+                await holder  # rejected at its next await point
+
+        run_virtual(scenario())
+        assert replica.stats.gets == 0
+        assert replica.stats.killed_in_flight == 2
+        assert replica.inflight == 0 and replica.waiting == 0
+
+    def test_recovery_after_in_flight_kill_serves_cleanly(self):
+        replica = make_replica(
+            latency_seconds=0.01, concurrency=2, queue_depth=2,
+            service_seconds=0.05,
+        )
+        replica.cache.pin(VIDEO_IDS[0])
+
+        async def scenario():
+            task = asyncio.get_event_loop().create_task(
+                replica.get(VIDEO_IDS[0])
+            )
+            await asyncio.sleep(0.005)
+            replica.fail()
+            with pytest.raises(ReplicaDownError):
+                await task
+            replica.recover()
+            assert await replica.get(VIDEO_IDS[0]) is True
+
+        run_virtual(scenario())
+        assert replica.stats.gets == 1
+        assert replica.stats.hits == 1
+        assert replica.inflight == 0
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionPolicy:
+    def test_below_threshold_admits(self):
+        policy = AdmissionPolicy()
+        assert policy.decide(0.1, INTERACTIVE, now=0.0) is None
+        assert policy.decide(0.5, BACKGROUND, now=0.0) is None
+
+    def test_saturated_sheds_everything(self):
+        policy = AdmissionPolicy()
+        for priority in (INTERACTIVE, STANDARD, BACKGROUND):
+            assert policy.decide(1.0, priority, now=0.0) == "saturated"
+            assert policy.decide(2.0, priority, now=0.0) == "saturated"
+
+    def test_priorities_shed_in_order(self):
+        # At a load between the background and standard thresholds,
+        # only background traffic is at risk.
+        policy = AdmissionPolicy(seed=3)
+        load = 0.75
+        assert policy.decide(load, INTERACTIVE, now=0.0) is None
+        assert policy.decide(load, STANDARD, now=0.0) is None
+        decisions = [
+            policy.decide(load, BACKGROUND, now=float(i)) for i in range(200)
+        ]
+        assert any(d == "overload" for d in decisions)
+        assert any(d is None for d in decisions)
+
+    def test_decisions_are_seed_deterministic(self):
+        a = AdmissionPolicy(seed=5)
+        b = AdmissionPolicy(seed=5)
+        loads = [0.65, 0.7, 0.9, 0.95, 0.99] * 20
+        decisions_a = [
+            a.decide(load, BACKGROUND, now=float(i))
+            for i, load in enumerate(loads)
+        ]
+        decisions_b = [
+            b.decide(load, BACKGROUND, now=float(i))
+            for i, load in enumerate(loads)
+        ]
+        assert decisions_a == decisions_b
+        other = AdmissionPolicy(seed=6)
+        decisions_c = [
+            other.decide(load, BACKGROUND, now=float(i))
+            for i, load in enumerate(loads)
+        ]
+        assert decisions_c != decisions_a
+
+    def test_config_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(max_inflight=0)
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(thresholds={STANDARD: 1.5})
+
+
+class TestAdmissionController:
+    def _gate(
+        self, registry, catalogue, concurrency=1, queue_depth=1,
+        **policy_kwargs,
+    ):
+        replicas = [
+            Replica(
+                "edge-US", "US", LRUCache(4),
+                latency_seconds=0.0, concurrency=concurrency,
+                queue_depth=queue_depth, service_seconds=1.0,
+            ),
+        ]
+        controller = Controller(
+            Origin(catalogue, latency_seconds=0.0), replicas, registry
+        )
+        gate = AdmissionController(
+            controller, AdmissionPolicy(**policy_kwargs)
+        )
+        return gate, replicas[0]
+
+    def test_served_or_shed_exactly_once_under_burst(
+        self, registry, catalogue
+    ):
+        gate, _ = self._gate(registry, catalogue, max_inflight=256, seed=1)
+
+        async def scenario():
+            return await asyncio.gather(
+                *[
+                    gate.get(VIDEO_IDS[0], "US", priority=STANDARD)
+                    for _ in range(12)
+                ]
+            )
+
+        results = run_virtual(scenario())
+        stats = gate.stats
+        assert stats.offered == 12
+        assert stats.offered == stats.served + stats.shed
+        assert stats.errors == 0
+        served = [r for r in results if not r.shed]
+        shed = [r for r in results if r.shed]
+        assert len(served) == stats.served
+        assert len(shed) == stats.shed
+        # The 1-slot + 1-queue home saturates: the burst cannot all land.
+        assert stats.shed > 0
+        for result in shed:
+            assert isinstance(result, ShedResult)
+            assert result.reason in ("overload", "saturated")
+            assert not result.hit
+
+    def test_interactive_survives_where_background_sheds(
+        self, registry, catalogue
+    ):
+        # A burst that drives the home into the ramp zone (load between
+        # the background and interactive thresholds) but never to full
+        # saturation: interactive rides it out, background sheds.
+        shed_by_priority = {}
+        for priority in (INTERACTIVE, BACKGROUND):
+            gate, _ = self._gate(
+                registry, catalogue, concurrency=4, queue_depth=4,
+                max_inflight=256, seed=1,
+            )
+
+            async def scenario():
+                return await asyncio.gather(
+                    *[
+                        gate.get(VIDEO_IDS[0], "US", priority=priority)
+                        for _ in range(8)
+                    ]
+                )
+
+            run_virtual(scenario())
+            shed_by_priority[priority] = gate.stats.shed
+        assert shed_by_priority[INTERACTIVE] == 0
+        assert shed_by_priority[BACKGROUND] > 0
+
+    def test_raise_on_shed(self, registry, catalogue):
+        gate, _ = self._gate(registry, catalogue, max_inflight=256, seed=1)
+
+        async def scenario():
+            # Cache the video on the home so gets occupy its one slot.
+            await gate.controller.push("edge-US", VIDEO_IDS[0])
+            first = asyncio.get_event_loop().create_task(
+                gate.get(VIDEO_IDS[0], "US")
+            )
+            second = asyncio.get_event_loop().create_task(
+                gate.get(VIDEO_IDS[0], "US")
+            )
+            await asyncio.sleep(0.1)  # home now saturated (1 + 1)
+            with pytest.raises(RequestShedError):
+                await gate.get(
+                    VIDEO_IDS[0], "US", priority=BACKGROUND,
+                    raise_on_shed=True,
+                )
+            await asyncio.gather(first, second)
+
+        run_virtual(scenario())
+        assert gate.stats.shed == 1
+        assert gate.stats.shed_background == 1
+
+    def test_dead_home_does_not_shed(self, registry, catalogue):
+        gate, replica = self._gate(registry, catalogue, max_inflight=256)
+        replica.fail()
+
+        async def scenario():
+            return await asyncio.gather(
+                *[gate.get(VIDEO_IDS[0], "US") for _ in range(8)]
+            )
+
+        results = run_virtual(scenario())
+        # A dead home means reroute-to-origin, not shed: survivors (the
+        # origin here) can absorb the load.
+        assert gate.stats.shed == 0
+        assert all(r.source == "origin" for r in results)
+
+
+# ---------------------------------------------------------------------------
+# Hedged requests
+# ---------------------------------------------------------------------------
+
+
+class TestHedging:
+    def test_deadline_adapts_to_observed_latency(self):
+        policy = HedgePolicy(
+            multiplier=2.0, min_deadline=0.001, initial_deadline=0.05,
+            alpha=0.5,
+        )
+        assert policy.deadline() == 0.05
+        policy.observe(0.01)
+        assert policy.deadline() == pytest.approx(0.02)
+        policy.observe(0.03)
+        assert policy.deadline() == pytest.approx(2.0 * 0.02)
+
+    def _controller(self, registry, catalogue, slow=0.2, fast=0.01):
+        slow_replica = Replica(
+            "edge-US", "US", LRUCache(4), latency_seconds=slow
+        )
+        fast_replica = Replica(
+            "edge-CA", "CA", LRUCache(4), latency_seconds=fast
+        )
+        controller = Controller(
+            Origin(catalogue, latency_seconds=0.0),
+            [slow_replica, fast_replica],
+            registry,
+            hedge=HedgePolicy(initial_deadline=0.05, min_deadline=0.01),
+        )
+        return controller, slow_replica, fast_replica
+
+    def test_hedge_fires_and_secondary_wins(self, registry, catalogue):
+        controller, slow, fast = self._controller(registry, catalogue)
+
+        async def scenario():
+            await controller.push("edge-US", VIDEO_IDS[0])
+            await controller.push("edge-CA", VIDEO_IDS[0])
+            return await controller.get(VIDEO_IDS[0], "US")
+
+        result = run_virtual(scenario())
+        stats = controller.stats
+        # Primary (home, 0.2s) blew the 0.05s deadline; the hedge fired
+        # at the fast peer and won; the slow loser was cancelled.
+        assert stats.hedges == 1
+        assert stats.hedge_wins == 1
+        assert stats.hedge_cancelled == 1
+        assert result.hedged
+        assert result.source == "remote"
+        assert result.served_by == "edge-CA"
+        # Exactly once despite the duplicate probe.
+        assert stats.requests == 1
+        assert stats.local_hits + stats.remote_hits + stats.origin_fetches == 1
+        # The cancelled probe completed nothing on the slow replica.
+        assert slow.stats.gets == 0
+
+    def test_fast_primary_never_hedges(self, registry, catalogue):
+        controller, _, _ = self._controller(
+            registry, catalogue, slow=0.01, fast=0.01
+        )
+
+        async def scenario():
+            await controller.push("edge-US", VIDEO_IDS[0])
+            await controller.push("edge-CA", VIDEO_IDS[0])
+            return await controller.get(VIDEO_IDS[0], "US")
+
+        result = run_virtual(scenario())
+        assert controller.stats.hedges == 0
+        assert not result.hedged
+        assert result.source == "local"
+
+    def test_hedged_route_is_deterministic(self, registry, catalogue):
+        def run_once():
+            controller, _, _ = self._controller(registry, catalogue)
+
+            async def scenario():
+                await controller.push("edge-US", VIDEO_IDS[0])
+                await controller.push("edge-CA", VIDEO_IDS[0])
+                results = []
+                for _ in range(20):
+                    results.append(await controller.get(VIDEO_IDS[0], "US"))
+                return [
+                    (r.source, r.served_by, r.hedged, r.probes)
+                    for r in results
+                ]
+
+            return run_virtual(scenario()), controller.stats
+
+        outcomes_a, stats_a = run_once()
+        outcomes_b, stats_b = run_once()
+        assert outcomes_a == outcomes_b
+        assert stats_a == stats_b
+
+    def test_hedge_loser_releases_bounded_slots(self, registry, catalogue):
+        # The cancelled loser must free its service slot: repeat hedged
+        # requests against a 1-slot replica would otherwise wedge.
+        slow_replica = Replica(
+            "edge-US", "US", LRUCache(4),
+            latency_seconds=0.0, concurrency=1, queue_depth=1,
+            service_seconds=0.2,
+        )
+        fast_replica = Replica(
+            "edge-CA", "CA", LRUCache(4), latency_seconds=0.01
+        )
+        controller = Controller(
+            Origin(catalogue, latency_seconds=0.0),
+            [slow_replica, fast_replica],
+            registry,
+            hedge=HedgePolicy(initial_deadline=0.05, min_deadline=0.01),
+        )
+
+        async def scenario():
+            await controller.push("edge-US", VIDEO_IDS[0])
+            await controller.push("edge-CA", VIDEO_IDS[0])
+            for _ in range(10):
+                result = await controller.get(VIDEO_IDS[0], "US")
+                assert result.hit
+
+        run_virtual(scenario())
+        assert slow_replica.inflight == 0
+        assert slow_replica.waiting == 0
+
+
+# ---------------------------------------------------------------------------
+# Active health probes
+# ---------------------------------------------------------------------------
+
+
+class TestHealthProbes:
+    def _controller(self, registry, catalogue):
+        replicas = [
+            Replica("edge-US", "US", LRUCache(4), latency_seconds=0.01),
+            Replica("edge-JP", "JP", LRUCache(4), latency_seconds=0.01),
+        ]
+        controller = Controller(
+            Origin(catalogue, latency_seconds=0.0), replicas, registry
+        )
+        return controller, replicas
+
+    def test_probes_report_health_and_feed_breakers(
+        self, registry, catalogue
+    ):
+        controller, replicas = self._controller(registry, catalogue)
+
+        async def scenario():
+            healths = await controller.probe_health()
+            assert set(healths) == {"edge-JP", "edge-US"}
+            assert all(h is not None and h.alive for h in healths.values())
+            replicas[1].fail()
+            # Ping failures open the dead replica's breaker (threshold 3).
+            for _ in range(3):
+                await controller.probe_health()
+            assert controller.breaker("edge-JP").state == "open"
+            healths = await controller.probe_health()
+            assert healths["edge-JP"] is None  # breaker refuses the ping
+            assert healths["edge-US"] is not None
+
+        run_virtual(scenario())
+        assert controller.stats.health_probes > 0
+        assert controller.stats.health_probe_failures == 3
+        assert replicas[0].stats.pings >= 4
+
+    def test_probe_closes_breaker_after_recovery_without_user_traffic(
+        self, registry, catalogue
+    ):
+        controller, replicas = self._controller(registry, catalogue)
+
+        async def scenario():
+            replicas[1].fail()
+            for _ in range(3):
+                await controller.probe_health()
+            assert controller.breaker("edge-JP").state == "open"
+            replicas[1].recover()
+            await asyncio.sleep(5.0)  # breaker reset timeout elapses
+            await controller.probe_health()  # the half-open probe is a ping
+            assert controller.breaker("edge-JP").state == "closed"
+
+        run_virtual(scenario())
+        # Recovery cost zero user requests.
+        assert controller.stats.requests == 0
+
+
+# ---------------------------------------------------------------------------
+# Flash crowds and regional blackouts
+# ---------------------------------------------------------------------------
+
+
+class TestFlashCrowd:
+    def test_injection_counts_and_window(self):
+        from repro.placement.workload import Request
+
+        base = [Request(VIDEO_IDS[i % len(VIDEO_IDS)], "US") for i in range(100)]
+        wave = FlashCrowdWave(
+            at_request=20, duration=30, country="JP",
+            video_ids=(VIDEO_IDS[0], VIDEO_IDS[1]), intensity=2.0,
+        )
+        merged = list(inject_flash_crowd(base, [wave], seed=4))
+        assert len(merged) == 100 + 30 * 2
+        crowd = [r for r in merged if r.country == "JP"]
+        assert len(crowd) == 60
+        assert set(r.video_id for r in crowd) <= {VIDEO_IDS[0], VIDEO_IDS[1]}
+        # Base requests survive untouched, in order.
+        assert [r for r in merged if r.country == "US"] == base
+
+    def test_fractional_intensity_accumulates(self):
+        from repro.placement.workload import Request
+
+        base = [Request(VIDEO_IDS[0], "US") for _ in range(40)]
+        wave = FlashCrowdWave(
+            at_request=0, duration=40, country="BR",
+            video_ids=(VIDEO_IDS[0],), intensity=0.5,
+        )
+        merged = list(inject_flash_crowd(base, [wave], seed=0))
+        assert sum(1 for r in merged if r.country == "BR") == 20
+
+    def test_injection_is_deterministic(self):
+        from repro.placement.workload import Request
+
+        base = [Request(VIDEO_IDS[i % 4], "US") for i in range(50)]
+        wave = FlashCrowdWave(
+            at_request=5, duration=20, country="DE",
+            video_ids=tuple(VIDEO_IDS[:4]), intensity=1.5,
+        )
+        a = list(inject_flash_crowd(base, [wave], seed=9))
+        b = list(inject_flash_crowd(base, [wave], seed=9))
+        assert a == b
+        c = list(inject_flash_crowd(base, [wave], seed=10))
+        assert [r.video_id for r in c] != [r.video_id for r in a]
+
+    def test_wave_validation(self):
+        with pytest.raises(ServingError):
+            FlashCrowdWave(-1, 10, "US", (VIDEO_IDS[0],), 1.0)
+        with pytest.raises(ServingError):
+            FlashCrowdWave(0, 0, "US", (VIDEO_IDS[0],), 1.0)
+        with pytest.raises(ServingError):
+            FlashCrowdWave(0, 10, "US", (), 1.0)
+        with pytest.raises(ServingError):
+            FlashCrowdWave(0, 10, "US", (VIDEO_IDS[0],), 0.0)
+
+
+class TestRegionalBlackout:
+    def test_blackout_kills_whole_region_and_staggers_recovery(
+        self, catalogue, registry
+    ):
+        cluster = EdgeCluster(
+            catalogue, registry, ["US", "DE", "FR", "JP"], capacity=4
+        )
+        regions = cluster.replica_regions()
+        assert regions["edge-DE"] == regions["edge-FR"] == "western-europe"
+        chaos = cluster.blackout(
+            "western-europe", at_request=10, recover_at=20, stagger=5
+        )
+        # 2 kills + 2 staggered recoveries.
+        assert len(chaos) == 4
+        chaos.apply(cluster, 10)
+        assert not cluster.replica("edge-DE").alive
+        assert not cluster.replica("edge-FR").alive
+        assert cluster.replica("edge-US").alive
+        chaos.apply(cluster, 20)  # first recovery only
+        assert cluster.replica("edge-DE").alive
+        assert not cluster.replica("edge-FR").alive
+        chaos.apply(cluster, 25)
+        assert cluster.replica("edge-FR").alive
+        assert chaos.exhausted
+
+    def test_unknown_region_raises(self, catalogue, registry):
+        cluster = EdgeCluster(catalogue, registry, ["US"], capacity=4)
+        with pytest.raises(ServingError):
+            cluster.blackout("atlantis", at_request=0)
+
+    def test_merge_combines_schedules(self, catalogue, registry):
+        cluster = EdgeCluster(
+            catalogue, registry, ["US", "DE", "FR"], capacity=4
+        )
+        merged = ChaosSchedule.merge(
+            cluster.blackout("western-europe", at_request=5, recover_at=15),
+            ChaosSchedule.kill(["edge-US"], at_request=8, recover_at=12),
+        )
+        assert len(merged) == 6
+        merged.apply(cluster, 8)
+        assert not cluster.replica("edge-US").alive
+        assert not cluster.replica("edge-DE").alive
+        merged.apply(cluster, 15)
+        assert all(r.alive for r in cluster.replicas)
+
+    def test_blackout_recovery_is_cold_by_default(self, catalogue, registry):
+        # A regional blackout restarts the edge processes: the replicas
+        # come back alive but EMPTY — proactive re-warming (or slow
+        # reactive refill) is what restores them, never free survival
+        # of the cache across a power loss.
+        cluster = EdgeCluster(
+            catalogue, registry, ["US", "DE", "FR"], capacity=4
+        )
+
+        async def place():
+            for rid in ("edge-US", "edge-DE", "edge-FR"):
+                await cluster.controller.push(rid, VIDEO_IDS[0])
+
+        run_virtual(place())
+        assert len(cluster.replica("edge-DE").cache) > 0
+        chaos = cluster.blackout(
+            "western-europe", at_request=5, recover_at=10
+        )
+        chaos.apply(cluster, 5)
+        chaos.apply(cluster, 10)
+        for rid in ("edge-DE", "edge-FR"):
+            replica = cluster.replica(rid)
+            assert replica.alive
+            assert len(replica.cache) == 0
+        # The bystander kept its copies.
+        assert len(cluster.replica("edge-US").cache) > 0
+
+    def test_blackout_can_opt_into_warm_recovery(self, catalogue, registry):
+        cluster = EdgeCluster(catalogue, registry, ["US", "DE"], capacity=4)
+        run_virtual(cluster.controller.push("edge-DE", VIDEO_IDS[0]))
+        warm_contents = cluster.replica("edge-DE").contents()
+        assert warm_contents
+        chaos = cluster.blackout(
+            "western-europe", at_request=0, recover_at=1, cold_recovery=False
+        )
+        chaos.apply(cluster, 1)
+        assert cluster.replica("edge-DE").contents() == warm_contents
+
+    def test_plain_kill_recover_stays_warm(self, catalogue, registry):
+        # Backward compatibility: ChaosSchedule.kill models a partition,
+        # not a restart — contents survive.
+        cluster = EdgeCluster(catalogue, registry, ["US", "DE"], capacity=4)
+        run_virtual(cluster.controller.push("edge-DE", VIDEO_IDS[0]))
+        warm_contents = cluster.replica("edge-DE").contents()
+        assert warm_contents
+        chaos = ChaosSchedule.kill(["edge-DE"], at_request=0, recover_at=1)
+        chaos.apply(cluster, 1)
+        assert cluster.replica("edge-DE").contents() == warm_contents
+
+
+# ---------------------------------------------------------------------------
+# Adaptive planner
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveTagPlanner:
+    def test_no_observations_matches_static_plan(self, tiny_pipeline):
+        from repro.placement.predictor import TagGeoPredictor
+
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        fleet = [
+            Replica(f"edge-{c}", c, LRUCache(8))
+            for c in ("US", "JP", "BR", "DE")
+        ]
+        static = TagAwarePlanner(predictor, replicas_per_video=2)
+        adaptive = AdaptiveTagPlanner(predictor, replicas_per_video=2)
+        catalogue = tiny_pipeline.dataset
+        assert adaptive.plan(catalogue, fleet, 8) == static.plan(
+            catalogue, fleet, 8
+        )
+
+    def test_plans_only_over_live_replicas(self, tiny_pipeline):
+        from repro.placement.predictor import TagGeoPredictor
+
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        fleet = [
+            Replica(f"edge-{c}", c, LRUCache(8))
+            for c in ("US", "JP", "BR", "DE")
+        ]
+        planner = AdaptiveTagPlanner(predictor, replicas_per_video=2)
+        fleet[1].fail()  # edge-JP goes dark
+        plan = planner.plan(tiny_pipeline.dataset, fleet, 8)
+        assert "edge-JP" not in plan
+        assert set(plan) == {"edge-BR", "edge-DE", "edge-US"}
+        # JP's demand re-placed: survivors still get full plans.
+        assert sum(len(v) for v in plan.values()) > 0
+
+    def test_observed_demand_tilts_the_plan(self, tiny_pipeline):
+        from repro.placement.predictor import TagGeoPredictor
+
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        fleet = [
+            Replica(f"edge-{c}", c, LRUCache(8))
+            for c in ("US", "JP", "BR", "DE")
+        ]
+        catalogue = tiny_pipeline.dataset
+        capacity = 8
+        static_plan = TagAwarePlanner(predictor, replicas_per_video=2).plan(
+            catalogue, fleet, capacity
+        )
+        planner = AdaptiveTagPlanner(
+            predictor, replicas_per_video=2, demand_boost=50.0
+        )
+        for _ in range(500):
+            planner.observe_request("JP")
+        tilted_plan = planner.plan(catalogue, fleet, capacity)
+        assert tilted_plan != static_plan
+        assert planner.replans == 1
+        # Observations decay after the plan.
+        assert planner.observed_total < 500
+
+    def test_all_dead_falls_back_to_full_fleet(self, tiny_pipeline):
+        from repro.placement.predictor import TagGeoPredictor
+
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        fleet = [Replica("edge-US", "US", LRUCache(8))]
+        fleet[0].fail()
+        planner = AdaptiveTagPlanner(predictor)
+        plan = planner.plan(tiny_pipeline.dataset, fleet, 4)
+        assert set(plan) == {"edge-US"}
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: flash crowd + blackout through the full cluster
+# ---------------------------------------------------------------------------
+
+
+class TestOverloadFailoverEndToEnd:
+    N = 3000
+
+    def _cluster(self, tiny_pipeline, planner_kind):
+        from repro.placement.predictor import TagGeoPredictor
+
+        registry = tiny_pipeline.tag_table.registry
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        if planner_kind == "adaptive":
+            planner = AdaptiveTagPlanner(predictor, replicas_per_video=3)
+        else:
+            planner = TagAwarePlanner(predictor, replicas_per_video=3)
+        return EdgeCluster(
+            tiny_pipeline.dataset,
+            registry,
+            ["US", "JP", "BR", "DE"],
+            capacity=48,
+            planner=planner,
+            replica_concurrency=8,
+            replica_queue_depth=8,
+            replica_service_seconds=0.005,
+            hedge=HedgePolicy(),
+            admission=AdmissionPolicy(max_inflight=256, seed=17),
+        )
+
+    def _trace(self, tiny_pipeline, tiny_trace):
+        base = tiny_trace(self.N, seed=555)
+        viral = tuple(
+            video.video_id for video in list(tiny_pipeline.dataset)[:6]
+        )
+        wave = FlashCrowdWave(
+            at_request=self.N // 4, duration=self.N // 4, country="JP",
+            video_ids=viral, intensity=2.0,
+        )
+        return list(inject_flash_crowd(base, [wave], seed=2))
+
+    def test_exactly_once_through_crowd_and_blackout(
+        self, tiny_pipeline, tiny_trace
+    ):
+        cluster = self._cluster(tiny_pipeline, "adaptive")
+        trace = self._trace(tiny_pipeline, tiny_trace)
+        chaos = cluster.blackout(
+            "east-asia",
+            at_request=len(trace) // 2,
+            recover_at=3 * len(trace) // 4,
+        )
+        outcomes = []
+        with SimulationHarness() as sim:
+            sim.run(cluster.warm())
+            report = sim.run(
+                cluster.serve_trace(
+                    trace,
+                    concurrency=24,
+                    chaos=chaos,
+                    rewarm_every=len(trace) // 6,
+                    rewarm_on_chaos=True,
+                    probe_every=len(trace) // 10,
+                    on_result=lambda i, r, km: outcomes.append(r),
+                )
+            )
+        assert report.failed == 0
+        assert report.offered == len(trace)
+        assert report.offered == report.requests + report.shed
+        assert len(outcomes) == len(trace)
+        assert sum(1 for r in outcomes if r.shed) == report.shed
+        served = [r for r in outcomes if not r.shed]
+        assert len(served) == report.requests
+        assert report.rewarms >= 2  # periodic + chaos-forced
+        assert report.health_probes > 0
+        assert chaos.exhausted
+
+    def test_adaptive_beats_static_during_blackout(
+        self, tiny_pipeline, tiny_trace
+    ):
+        trace = self._trace(tiny_pipeline, tiny_trace)
+        blackout_at = len(trace) // 2
+        reports = {}
+        for kind in ("adaptive", "static"):
+            cluster = self._cluster(tiny_pipeline, kind)
+            chaos = cluster.blackout("east-asia", at_request=blackout_at)
+            with SimulationHarness() as sim:
+                sim.run(cluster.warm())
+                reports[kind] = sim.run(
+                    cluster.serve_trace(
+                        trace,
+                        concurrency=24,
+                        chaos=chaos,
+                        rewarm_every=len(trace) // 6,
+                        rewarm_on_chaos=(kind == "adaptive"),
+                    )
+                )
+        assert reports["adaptive"].failed == 0
+        assert reports["static"].failed == 0
+        # The adaptive planner re-places the dead region's catalogue on
+        # survivors; the static one keeps planning for the corpse.
+        assert (
+            reports["adaptive"].replica_hit_ratio
+            >= reports["static"].replica_hit_ratio
+        )

@@ -24,7 +24,15 @@ from repro.datamodel.dataset import Dataset
 from repro.datamodel.video import Video
 from repro.errors import CircuitOpenError, ReplicaDownError
 from repro.placement.cache import LRUCache
-from repro.serving import Controller, Origin, Replica, SimulationHarness
+from repro.serving import (
+    AdmissionController,
+    AdmissionPolicy,
+    Controller,
+    HedgePolicy,
+    Origin,
+    Replica,
+    SimulationHarness,
+)
 from repro.world.countries import default_registry
 
 VIDEOS = [
@@ -139,4 +147,185 @@ class ServingMachine(RuleBasedStateMachine):
 TestServingStateful = ServingMachine.TestCase
 TestServingStateful.settings = settings(
     max_examples=25, stateful_step_count=50, deadline=None
+)
+
+
+# ---------------------------------------------------------------------------
+# Overload machine: bounded replicas, admission gate, hedging, region kills
+# ---------------------------------------------------------------------------
+
+OVERLOAD_COUNTRIES = ["US", "DE", "FR", "JP"]
+OVERLOAD_REPLICA_IDS = [f"edge-{country}" for country in OVERLOAD_COUNTRIES]
+#: DE and FR share western-europe, so killing that region is a true
+#: multi-replica blackout; the others are single-replica regions.
+OVERLOAD_REGIONS = ["north-america", "western-europe", "east-asia"]
+
+priority_strategy = st.sampled_from([0, 1, 2])
+region_strategy = st.sampled_from(OVERLOAD_REGIONS)
+overload_replica_strategy = st.sampled_from(OVERLOAD_REPLICA_IDS)
+
+
+class OverloadServingMachine(RuleBasedStateMachine):
+    """Random overload + sheds + hedges + regional kills.
+
+    Every request must come back served *or* shed, exactly once:
+    ``offered == served + shed`` at the admission gate, and inside the
+    controller ``local + remote + origin == requests`` with zero
+    failures — a hedge that fires and loses must never double-count its
+    request, a shed must never reach the controller, and the routing
+    index must stay a superset of every cache through it all.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.harness = SimulationHarness()
+        registry = default_registry()
+        self.replicas = {
+            f"edge-{country}": Replica(
+                f"edge-{country}",
+                country,
+                LRUCache(4),
+                concurrency=2,
+                queue_depth=1,
+                service_seconds=0.02,
+            )
+            for country in OVERLOAD_COUNTRIES
+        }
+        self.controller = Controller(
+            Origin(Dataset(VIDEOS, registry=registry)),
+            list(self.replicas.values()),
+            registry,
+            hedge=HedgePolicy(initial_deadline=0.015, min_deadline=0.002),
+        )
+        self.admission = AdmissionController(
+            self.controller, AdmissionPolicy(max_inflight=8, seed=7)
+        )
+        self.by_region = {}
+        for replica in self.replicas.values():
+            region = registry.get(replica.country).region
+            self.by_region.setdefault(region, []).append(replica)
+        self.offered = 0
+
+    def teardown(self):
+        self.harness.close()
+
+    # -- actions ------------------------------------------------------------
+
+    @rule(
+        video_id=video_strategy,
+        country=country_strategy,
+        priority=priority_strategy,
+        burst=st.integers(min_value=1, max_value=6),
+    )
+    def serve_burst(self, video_id, country, priority, burst):
+        """A concurrent burst — enough to saturate a 2+1 replica."""
+
+        async def run():
+            return await asyncio.gather(
+                *[
+                    self.admission.get(video_id, country, priority=priority)
+                    for _ in range(burst)
+                ]
+            )
+
+        results = self.harness.run(run())
+        self.offered += burst
+        assert len(results) == burst
+        for result in results:
+            assert result.video_id == video_id
+            if result.shed:
+                assert result.reason in ("overload", "saturated")
+                assert result.load > 0.0
+                assert result.priority == priority
+            else:
+                assert result.source in ("local", "remote", "origin")
+                if result.source != "origin":
+                    assert self.replicas[result.served_by].alive
+
+    @rule(region=region_strategy)
+    def kill_region(self, region):
+        for replica in self.by_region[region]:
+            replica.fail()
+
+    @rule(region=region_strategy)
+    def revive_region(self, region):
+        for replica in self.by_region[region]:
+            replica.recover()
+
+    @rule(video_id=video_strategy, replica_id=overload_replica_strategy)
+    def push(self, video_id, replica_id):
+        try:
+            self.harness.run(self.controller.push(replica_id, video_id))
+        except ReplicaDownError:
+            assert not self.replicas[replica_id].alive
+        except CircuitOpenError:
+            assert self.controller.breaker(replica_id).state != "closed"
+
+    @rule()
+    def probe_health(self):
+        self.harness.run(self.controller.probe_health())
+
+    @rule(seconds=st.sampled_from([0.5, 2.0, 10.0]))
+    def advance_time(self, seconds):
+        self.harness.advance(seconds)
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def served_or_shed_exactly_once(self):
+        gate = self.admission.stats
+        controller = self.controller.stats
+        assert gate.offered == self.offered
+        assert gate.errors == 0
+        assert gate.offered == gate.served + gate.shed
+        # Admitted requests reach the controller exactly once — hedged
+        # duplicates are probes, never extra requests.
+        assert gate.admitted == controller.requests
+        assert controller.failed == 0
+        assert (
+            controller.local_hits
+            + controller.remote_hits
+            + controller.origin_fetches
+            == controller.requests
+        )
+        shed_split = (
+            gate.shed_interactive + gate.shed_standard + gate.shed_background
+        )
+        assert shed_split == gate.shed
+
+    @invariant()
+    def hedges_accounted(self):
+        stats = self.controller.stats
+        assert stats.hedge_wins <= stats.hedges
+        assert stats.hedge_cancelled <= stats.hedges
+
+    @invariant()
+    def no_slot_leaks_when_idle(self):
+        # Between rules nothing is in flight: every slot and queue
+        # position must have drained (a leak here would starve later
+        # bursts into permanent overload).
+        for replica in self.replicas.values():
+            assert replica.waiting == 0
+            if replica.alive:
+                assert replica.inflight == 0
+
+    @invariant()
+    def index_is_superset_of_replica_contents(self):
+        index = self.controller.routing_index()
+        for replica in self.replicas.values():
+            for video_id in replica.contents():
+                assert replica.replica_id in index.get(video_id, set()), (
+                    f"{video_id} cached on {replica.replica_id} "
+                    "but missing from the routing index"
+                )
+
+    @invariant()
+    def caches_never_over_capacity(self):
+        for replica in self.replicas.values():
+            assert len(replica.cache) <= replica.cache.capacity
+
+
+TestOverloadServingStateful = OverloadServingMachine.TestCase
+TestOverloadServingStateful.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
 )
