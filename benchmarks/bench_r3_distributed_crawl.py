@@ -96,7 +96,7 @@ def _distributed_crawl(universe, tmp_path):
             return result, time.perf_counter() - start
 
 
-def test_r3_distributed_crawl_throughput(tmp_path, report_writer):
+def test_r3_distributed_crawl_throughput(tmp_path, report_writer, rss_probe):
     universe = build_universe(preset_config(PRESET))
 
     single, single_s = _single_process_crawl(universe)
@@ -144,6 +144,7 @@ def test_r3_distributed_crawl_throughput(tmp_path, report_writer):
         "workers_restarted": distributed.stats.workers_restarted,
         "leases_revoked": distributed.stats.leases_revoked,
         "shards_requeued": distributed.stats.shards_requeued,
+        "peak_rss_mb": round(rss_probe(), 1),
     }
     OUTPUT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

@@ -193,7 +193,7 @@ def _serve(pipeline, planner, markets, capacity, proactive):
     return report, wall
 
 
-def test_s2_edge_serving(s2_pipeline, report_writer):
+def test_s2_edge_serving(s2_pipeline, report_writer, rss_probe):
     dataset = s2_pipeline.dataset
     registry = s2_pipeline.tag_table.registry
     predictor = TagGeoPredictor(s2_pipeline.tag_table)
@@ -238,6 +238,7 @@ def test_s2_edge_serving(s2_pipeline, report_writer):
         "gate_mode": GATE,
         "seed": SEED,
         "min_rps": MIN_RPS,
+        "peak_rss_mb": round(rss_probe(), 1),
         "policies": {},
     }
     for key, report in reports.items():

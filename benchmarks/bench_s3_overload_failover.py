@@ -328,7 +328,9 @@ def _serve(pipeline, markets, capacity, trace, crowd_country, crowd_region,
     return report, outcomes
 
 
-def test_s3_overload_failover(s3_pipeline, report_writer, overload_counters):
+def test_s3_overload_failover(
+    s3_pipeline, report_writer, overload_counters, rss_probe
+):
     dataset = s3_pipeline.dataset
     registry = s3_pipeline.tag_table.registry
     traffic = default_traffic_model(registry)
@@ -376,6 +378,7 @@ def test_s3_overload_failover(s3_pipeline, report_writer, overload_counters):
         "tail_start": tail_start,
         "gate_mode": GATE,
         "seed": SEED,
+        "peak_rss_mb": round(rss_probe(), 1),
         "policies": {},
     }
     analysis = {}

@@ -10,6 +10,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import resource
 from pathlib import Path
 
 import pytest
@@ -19,6 +20,28 @@ from repro.placement.workload import WorkloadGenerator
 from repro.synth.presets import preset_config
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux (bytes on macOS — normalized here).
+    Note this is the process *high-water mark*: it only ever grows, so a
+    benchmark that runs after a hungrier one inherits that peak. Gates
+    that need a tight ceiling must run in a fresh pytest invocation (CI
+    runs the P1 scaling gate that way, via ``-k "scaling"``).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak > 1 << 32:  # plausibly bytes (macOS)
+        return peak / (1 << 20)
+    return peak / 1024.0
+
+
+@pytest.fixture(scope="session")
+def rss_probe():
+    """Session fixture exposing :func:`peak_rss_mb` so every benchmark
+    records ``peak_rss_mb`` in its JSON payload the same way."""
+    return peak_rss_mb
 
 
 @pytest.fixture(scope="session")

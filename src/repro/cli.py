@@ -27,8 +27,10 @@ are re-read by the analysis subcommands with the library's default
 traffic model. ``genworld`` saves a universe *with ground truth* so
 ``validate`` (and crawls of the same world) can run in later processes.
 ``tag``/``toptags``/``classify``/``country`` accept
-``--engine {auto,columnar,scalar}`` to pick the Eq. (1)-(3) execution
-engine (columnar vectorized fast path vs. the scalar reference loop).
+``--engine {auto,columnar,chunked,scalar}`` to pick the Eq. (1)-(3)
+execution engine (columnar vectorized fast path, bounded-memory chunked
+streaming, or the scalar reference loop), plus ``--chunk-rows N`` and
+``--dtype {float64,float32}`` to tune the chunked path.
 """
 
 from __future__ import annotations
@@ -59,8 +61,34 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         default="auto",
         choices=ENGINES,
         help="Eq. (1)-(3) execution engine: the vectorized columnar fast "
-        "path (auto/columnar) or the per-video scalar reference",
+        "path (auto/columnar), the bounded-memory streaming path "
+        "(chunked; identical float64 output), or the per-video scalar "
+        "reference",
     )
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chunk budget for the chunked engine (CSR entries per "
+        "streamed block); default: library default",
+    )
+    parser.add_argument(
+        "--dtype",
+        default="float64",
+        choices=("float64", "float32"),
+        help="compute precision for the engine paths; float32 halves "
+        "memory at <=1e-4 relative error (default: float64)",
+    )
+
+
+def _table_kwargs(args: argparse.Namespace) -> dict:
+    """TagViewsTable keyword arguments from the engine flags."""
+    return {
+        "engine": args.engine,
+        "dtype": None if args.dtype == "float64" else args.dtype,
+        "block_entries": args.chunk_rows,
+    }
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -300,7 +328,7 @@ def _cmd_tag(args: argparse.Namespace) -> int:
     raw = _load_dataset(args.input)
     filtered, _ = raw.apply_paper_filter()
     reconstructor = ViewReconstructor()
-    table = TagViewsTable(filtered, reconstructor, engine=args.engine)
+    table = TagViewsTable(filtered, reconstructor, **_table_kwargs(args))
     if args.tag not in table:
         print(f"tag {args.tag!r} not found in dataset", file=sys.stderr)
         return 1
@@ -319,7 +347,7 @@ def _cmd_tag(args: argparse.Namespace) -> int:
 def _cmd_toptags(args: argparse.Namespace) -> int:
     raw = _load_dataset(args.input)
     filtered, _ = raw.apply_paper_filter()
-    table = TagViewsTable(filtered, ViewReconstructor(), engine=args.engine)
+    table = TagViewsTable(filtered, ViewReconstructor(), **_table_kwargs(args))
     print(f"{'rank':>4}  {'tag':<24} {'est. views':>16} {'videos':>8}")
     for rank, (tag, views) in enumerate(
         table.top_tags_by_views(args.count), start=1
@@ -337,7 +365,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     raw = _load_dataset(args.input)
     filtered, _ = raw.apply_paper_filter()
     reconstructor = ViewReconstructor()
-    table = TagViewsTable(filtered, reconstructor, engine=args.engine)
+    table = TagViewsTable(filtered, reconstructor, **_table_kwargs(args))
     report = TagGeographyReport(
         table, reconstructor.traffic, min_videos=args.min_videos
     )
@@ -419,7 +447,7 @@ def _cmd_country(args: argparse.Namespace) -> int:
 
     raw = _load_dataset(args.input)
     filtered, _ = raw.apply_paper_filter()
-    table = TagViewsTable(filtered, ViewReconstructor(), engine=args.engine)
+    table = TagViewsTable(filtered, ViewReconstructor(), **_table_kwargs(args))
     signatures = CountrySignatures(table, min_videos=args.min_videos)
     code = args.code.upper()
     entries = signatures.signature(code, args.count)

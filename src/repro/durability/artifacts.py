@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro.durability.fsfaults import Filesystem, REAL_FILESYSTEM
 from repro.errors import ArtifactError, ArtifactIntegrityError
@@ -38,6 +38,9 @@ CHECKSUM_SUFFIX = ".sha256"
 
 #: Suffix a corrupt artifact is renamed to by :func:`quarantine`.
 QUARANTINE_SUFFIX = ".quarantined"
+
+#: Chunk size used when hashing artifacts without loading them whole.
+HASH_CHUNK_BYTES = 1 << 20
 
 _SIDECAR_FORMAT = "repro-checksum"
 
@@ -122,26 +125,47 @@ def persist_file(
         write_checksum(path, fs=fs)
 
 
-def write_checksum(
-    path: PathLike, data: Optional[bytes] = None, fs: Optional[Filesystem] = None
-) -> Path:
-    """Write the ``.sha256`` sidecar for ``path``; returns the sidecar path."""
-    path = Path(path)
-    fs = _fs(fs)
-    if data is None:
-        try:
-            data = fs.read_bytes(path)
-        except OSError as exc:
-            raise ArtifactError(f"cannot checksum {path}: {exc}") from exc
+def _stream_digest(path: Path, fs: Filesystem) -> Tuple[str, int]:
+    """SHA-256 digest and size of ``path``, hashed chunk by chunk."""
+    hasher = hashlib.sha256()
+    size = 0
+    for chunk in fs.iter_chunks(path, HASH_CHUNK_BYTES):
+        hasher.update(chunk)
+        size += len(chunk)
+    return hasher.hexdigest(), size
+
+
+def _write_sidecar(path: Path, digest: str, size: int, fs: Filesystem) -> Path:
     sidecar = {
         "format": _SIDECAR_FORMAT,
         "algorithm": "sha256",
-        "digest": hashlib.sha256(data).hexdigest(),
-        "size": len(data),
+        "digest": digest,
+        "size": size,
     }
     target = checksum_path(path)
     atomic_write_bytes(target, json.dumps(sidecar).encode("utf-8"), fs=fs)
     return target
+
+
+def write_checksum(
+    path: PathLike, data: Optional[bytes] = None, fs: Optional[Filesystem] = None
+) -> Path:
+    """Write the ``.sha256`` sidecar for ``path``; returns the sidecar path.
+
+    Without ``data`` the file is hashed by streaming it in
+    :data:`HASH_CHUNK_BYTES` pieces, so multi-GB artifacts never sit in
+    memory just to be checksummed.
+    """
+    path = Path(path)
+    fs = _fs(fs)
+    if data is None:
+        try:
+            digest, size = _stream_digest(path, fs)
+        except OSError as exc:
+            raise ArtifactError(f"cannot checksum {path}: {exc}") from exc
+    else:
+        digest, size = hashlib.sha256(data).hexdigest(), len(data)
+    return _write_sidecar(path, digest, size, fs)
 
 
 def has_checksum(path: PathLike, fs: Optional[Filesystem] = None) -> bool:
@@ -173,17 +197,110 @@ def verify_artifact(path: PathLike, fs: Optional[Filesystem] = None) -> None:
     if sidecar.get("format") != _SIDECAR_FORMAT or "digest" not in sidecar:
         raise ArtifactIntegrityError(f"malformed checksum sidecar for {path}")
     try:
-        data = fs.read_bytes(path)
+        digest, size = _stream_digest(path, fs)
     except OSError as exc:
         raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
-    if len(data) != int(sidecar.get("size", -1)):
+    if size != int(sidecar.get("size", -1)):
         raise ArtifactIntegrityError(
-            f"artifact truncated: {path} is {len(data)} bytes, "
+            f"artifact truncated: {path} is {size} bytes, "
             f"expected {sidecar.get('size')}"
         )
-    digest = hashlib.sha256(data).hexdigest()
     if digest != sidecar["digest"]:
         raise ArtifactIntegrityError(f"artifact corrupt (digest mismatch): {path}")
+
+
+class ArtifactStream:
+    """Stream a large artifact to disk with :func:`atomic_write_bytes`'s
+    guarantees, without ever holding the whole payload in memory.
+
+    Bytes are written to ``<name>.tmp`` and hashed as they pass, so
+    :meth:`commit` can fsync + rename + write the sidecar without
+    re-reading the file. Call :meth:`commit` on success; anything else
+    (including leaving a ``with`` block on an exception) aborts and
+    unlinks the temp file, leaving any previous artifact untouched.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        fs: Optional[Filesystem] = None,
+        checksum: bool = True,
+    ):
+        self._path = Path(path)
+        self._fs = _fs(fs)
+        self._checksum = checksum
+        self._tmp = self._path.with_name(self._path.name + ".tmp")
+        self._hasher = hashlib.sha256()
+        self._size = 0
+        self._committed = False
+        self._open = False
+        try:
+            self._handle = self._fs.open(self._tmp, "wb")
+        except OSError as exc:
+            raise ArtifactError(f"cannot write artifact {self._path}: {exc}") from exc
+        self._open = True
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def bytes_written(self) -> int:
+        return self._size
+
+    def write(self, data: bytes) -> None:
+        if not self._open:
+            raise ArtifactError(
+                f"artifact stream is closed: {self._path}"
+            )
+        try:
+            self._handle.write(data)
+        except OSError as exc:
+            self.abort()
+            raise ArtifactError(f"cannot write artifact {self._path}: {exc}") from exc
+        self._hasher.update(data)
+        self._size += len(data)
+
+    def commit(self) -> None:
+        """Fsync, rename into place, fsync the directory, write sidecar."""
+        if self._committed:
+            raise ArtifactError(f"artifact stream already committed: {self._path}")
+        try:
+            self._fs.fsync(self._handle)
+            self._handle.close()
+            self._open = False
+            self._fs.replace(self._tmp, self._path)
+            self._fs.fsync_dir(self._path.parent)
+        except OSError as exc:
+            self.abort()
+            raise ArtifactError(f"cannot write artifact {self._path}: {exc}") from exc
+        self._committed = True
+        if self._checksum:
+            _write_sidecar(self._path, self._hasher.hexdigest(), self._size, self._fs)
+
+    def abort(self) -> None:
+        """Drop the temp file; a committed stream is left alone."""
+        if self._committed:
+            return
+        if self._open:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._open = False
+        try:
+            self._fs.unlink(self._tmp)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ArtifactStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._committed:
+            self.commit()
+        else:
+            self.abort()
 
 
 def quarantine(path: PathLike, fs: Optional[Filesystem] = None) -> Path:

@@ -9,17 +9,46 @@ checksummed ``.npz`` artifact (:mod:`~repro.engine.npz`) so resumable
 pipelines skip re-materialization. The scalar path remains the reference
 oracle; benchmark P1 tracks the speedup and the property tests pin the
 two paths together within 1e-9.
+
+Beyond a few hundred thousand videos the engine goes out-of-core: a
+raw-array memmap store (:mod:`~repro.engine.store`), chunk-streaming
+builds and reductions (:mod:`~repro.engine.outofcore`), and chunked
+kernels (``chunk_rows`` / ``dtype`` options in
+:mod:`~repro.engine.compute`) keep peak memory proportional to a chunk
+while staying bit-identical to the dense float64 path.
 """
 
 from repro.engine.columnar import ColumnarDataset, build_columnar
-from repro.engine.compute import reconstruct_all, tag_segment_sums
+from repro.engine.compute import (
+    reconstruct_all,
+    reconstruct_rows,
+    reconstruct_stream,
+    tag_segment_sums,
+    tag_segment_sums_streaming,
+)
 from repro.engine.npz import load_columnar, save_columnar
+from repro.engine.outofcore import (
+    VideoChunk,
+    build_store_streaming,
+    row_metrics_streaming,
+    tag_views_streaming,
+)
+from repro.engine.store import open_store, save_store
 
 __all__ = [
     "ColumnarDataset",
     "build_columnar",
     "reconstruct_all",
+    "reconstruct_rows",
+    "reconstruct_stream",
     "tag_segment_sums",
+    "tag_segment_sums_streaming",
     "save_columnar",
     "load_columnar",
+    "save_store",
+    "open_store",
+    "VideoChunk",
+    "build_store_streaming",
+    "tag_views_streaming",
+    "row_metrics_streaming",
 ]

@@ -25,11 +25,22 @@ codes      ``(C,)`` unicode registry axis
 
 Intensities are stored as ``uint8`` (they live in 0..61) — an 8× size
 cut over float64 — and widened on load.
+
+Out-of-core: ``save_columnar(compressed=False)`` stores the members
+*uncompressed* (zip ``STORED``), which makes them contiguous byte runs
+inside the archive — so ``load_columnar(mmap_mode="r")`` can hand back
+``numpy.memmap`` views at the members' offsets and a resumed million-
+video run never reads the matrix through RAM. Checksum verification
+streams the file in chunks either way (it never buffers the archive).
+A compressed archive silently falls back to an eager read under
+``mmap_mode`` — same arrays, just not lazily backed. For datasets built
+out-of-core from the start, prefer :mod:`repro.engine.store`.
 """
 
 from __future__ import annotations
 
 import io
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 from zipfile import BadZipFile
@@ -53,21 +64,98 @@ def save_columnar(
     columnar: ColumnarDataset,
     path: PathLike,
     fs: Optional[Filesystem] = None,
+    compressed: bool = True,
 ) -> None:
-    """Write ``columnar`` to ``path`` atomically with a checksum sidecar."""
+    """Write ``columnar`` to ``path`` atomically with a checksum sidecar.
+
+    ``compressed=False`` stores the members raw (zip ``STORED``), which
+    costs disk but lets :func:`load_columnar` memory-map them.
+    """
     buffer = io.BytesIO()
-    np.savez_compressed(
+    savez = np.savez_compressed if compressed else np.savez
+    savez(
         buffer,
         format=np.array([FORMAT]),
-        video_ids=np.array(columnar.video_ids, dtype=np.str_),
-        pop=columnar.pop.astype(np.uint8),
-        views=columnar.views.astype(np.int64),
-        tags=np.array(columnar.tags, dtype=np.str_),
-        indptr=columnar.indptr.astype(np.int64),
-        indices=columnar.indices.astype(np.int64),
+        video_ids=np.asarray(columnar.video_ids, dtype=np.str_),
+        pop=np.asarray(columnar.pop).astype(np.uint8),
+        views=np.asarray(columnar.views).astype(np.int64),
+        tags=np.asarray(columnar.tags, dtype=np.str_),
+        indptr=np.asarray(columnar.indptr).astype(np.int64),
+        indices=np.asarray(columnar.indices).astype(np.int64),
         codes=np.array(columnar.codes, dtype=np.str_),
     )
     artifacts.atomic_write_bytes(path, buffer.getvalue(), fs=fs, checksum=True)
+
+
+def _memmap_member(
+    path: Path, info: zipfile.ZipInfo
+) -> Optional[np.ndarray]:
+    """Map one STORED ``.npy`` member in place; None when not mappable.
+
+    A stored zip member is a contiguous run of bytes after its local
+    header, and a ``.npy`` payload is a contiguous C-order array after
+    *its* header — so the array can be mapped straight out of the
+    archive at ``local header + npy header``.
+    """
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) < 30 or local[:4] != b"PK\x03\x04":
+            return None
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        try:
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+        except ValueError:
+            return None
+        if fortran:
+            return None
+        offset = handle.tell()
+    if int(np.prod(shape)) == 0:
+        return np.zeros(shape, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape)
+
+
+def _load_mmap(path: Path) -> ColumnarDataset:
+    """Memmap-backed load: big arrays stay on disk, in storage dtypes."""
+    arrays = {}
+    with zipfile.ZipFile(path) as archive:
+        names = set(archive.namelist())
+        missing = [key for key in _KEYS if f"{key}.npy" not in names]
+        if missing:
+            raise ArtifactError(
+                f"{path} is not a columnar archive (missing {missing})"
+            )
+        for key in _KEYS:
+            info = archive.getinfo(f"{key}.npy")
+            member = None
+            if info.compress_type == zipfile.ZIP_STORED:
+                member = _memmap_member(path, info)
+            if member is None:
+                # Compressed (or exotic) member: eager fallback.
+                with archive.open(info) as fp:
+                    member = np.lib.format.read_array(fp, allow_pickle=False)
+            arrays[key] = member
+    if str(arrays["format"][0]) != FORMAT:
+        raise ArtifactError(
+            f"{path} has unsupported columnar format {arrays['format'][0]!r}"
+        )
+    return ColumnarDataset(
+        video_ids=arrays["video_ids"],
+        pop=arrays["pop"],
+        views=arrays["views"],
+        tags=arrays["tags"],
+        indptr=arrays["indptr"],
+        indices=arrays["indices"],
+        codes=tuple(str(c) for c in arrays["codes"]),
+    )
 
 
 def load_columnar(
@@ -75,6 +163,7 @@ def load_columnar(
     registry: Optional[CountryRegistry] = None,
     fs: Optional[Filesystem] = None,
     verify: bool = True,
+    mmap_mode: Optional[str] = None,
 ) -> ColumnarDataset:
     """Load a columnar dataset written by :func:`save_columnar`.
 
@@ -86,37 +175,48 @@ def load_columnar(
         fs: Filesystem facade for the integrity check.
         verify: Check the ``.sha256`` sidecar before trusting the bytes
             (raises :class:`~repro.errors.ArtifactIntegrityError` on
-            corruption).
+            corruption). The file is hashed by streaming it in chunks.
+        mmap_mode: ``None`` (default) loads eagerly, widening ``pop`` to
+            float64 and returning tuple labels. ``"r"`` memory-maps
+            every STORED member read-only instead: ``pop`` stays the
+            uint8 storage dtype (the chunked kernels widen per chunk)
+            and labels stay numpy arrays. Members a compressed archive
+            cannot map are read eagerly — results are equal either way.
 
     Raises:
         ArtifactError: Unreadable or non-columnar archive.
         ReconstructionError: Internally inconsistent arrays or an axis
             that does not match ``registry``.
     """
+    if mmap_mode not in (None, "r"):
+        raise ArtifactError(f"mmap_mode must be None or 'r', got {mmap_mode!r}")
     path = Path(path)
     if verify:
         artifacts.verify_artifact(path, fs=fs)
     try:
-        with np.load(path, allow_pickle=False) as archive:
-            missing = [key for key in _KEYS if key not in archive.files]
-            if missing:
-                raise ArtifactError(
-                    f"{path} is not a columnar archive (missing {missing})"
+        if mmap_mode == "r":
+            columnar = _load_mmap(path)
+        else:
+            with np.load(path, allow_pickle=False) as archive:
+                missing = [key for key in _KEYS if key not in archive.files]
+                if missing:
+                    raise ArtifactError(
+                        f"{path} is not a columnar archive (missing {missing})"
+                    )
+                if str(archive["format"][0]) != FORMAT:
+                    raise ArtifactError(
+                        f"{path} has unsupported columnar format "
+                        f"{archive['format'][0]!r}"
+                    )
+                columnar = ColumnarDataset(
+                    video_ids=tuple(str(v) for v in archive["video_ids"]),
+                    pop=archive["pop"].astype(np.float64),
+                    views=archive["views"].astype(np.int64),
+                    tags=tuple(str(t) for t in archive["tags"]),
+                    indptr=archive["indptr"].astype(np.int64),
+                    indices=archive["indices"].astype(np.int64),
+                    codes=tuple(str(c) for c in archive["codes"]),
                 )
-            if str(archive["format"][0]) != FORMAT:
-                raise ArtifactError(
-                    f"{path} has unsupported columnar format "
-                    f"{archive['format'][0]!r}"
-                )
-            columnar = ColumnarDataset(
-                video_ids=tuple(str(v) for v in archive["video_ids"]),
-                pop=archive["pop"].astype(np.float64),
-                views=archive["views"].astype(np.int64),
-                tags=tuple(str(t) for t in archive["tags"]),
-                indptr=archive["indptr"].astype(np.int64),
-                indices=archive["indices"].astype(np.int64),
-                codes=tuple(str(c) for c in archive["codes"]),
-            )
     except (OSError, ValueError, BadZipFile) as exc:
         raise ArtifactError(f"cannot load columnar archive {path}: {exc}") from exc
     columnar.validate()

@@ -1,0 +1,254 @@
+"""Out-of-core assembly and reduction: 1M–10M videos on laptop RAM.
+
+This module connects the three out-of-core pieces — the chunk-streaming
+synthesis (:mod:`repro.synth.stream`), the memmap store
+(:mod:`repro.engine.store`), and the chunked kernels
+(:mod:`repro.engine.compute`) — so the full pipeline
+
+    generate → build store → Eq. (1)–(3) → per-tag table / row metrics
+
+runs with peak memory proportional to a *chunk*, never to the corpus.
+
+The interchange unit is :class:`VideoChunk`: a batch of generated (or
+crawled) video rows as flat arrays. :func:`build_store_streaming`
+consumes chunks, appends the eligible rows straight to a
+:class:`~repro.engine.store.StoreWriter`, and holds back only the
+(tag id, row) incidence pairs — ~16 bytes per tag assignment — until the
+CSR can be finalized. Tag identity follows the exact first-seen-order
+rule of :func:`~repro.engine.columnar.build_columnar`, so a store built
+from chunks is *identical* to a dense build over the same videos.
+
+:func:`tag_views_streaming` then evaluates Eq. (3) against the store
+without materializing the ``(V, C)`` estimate matrix: each tag block
+reconstructs only the rows it references via
+:func:`~repro.engine.compute.reconstruct_rows` — the same arithmetic the
+dense path runs, hence bit-identical float64 output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.durability.fsfaults import Filesystem
+from repro.engine.columnar import ColumnarDataset
+from repro.engine.compute import (
+    DEFAULT_CHUNK_ROWS,
+    STREAMING_BLOCK_ENTRIES,
+    DTypeLike,
+    entropy_rows,
+    gini_rows,
+    herfindahl_rows,
+    jensen_shannon_rows,
+    reconstruct_rows,
+    reconstruct_stream,
+    rows_to_distributions,
+    tag_segment_sums_streaming,
+    top_k_share_rows,
+)
+from repro.engine.store import StoreWriter, open_store
+from repro.errors import ReconstructionError
+from repro.world.countries import CountryRegistry, default_registry
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class VideoChunk:
+    """One generated batch of video rows, as flat arrays.
+
+    Attributes:
+        video_ids: ``(n,)`` unicode video ids.
+        views: ``(n,)`` int64 worldwide view counts.
+        pop: ``(n, C)`` uint8 intensity rows; all-zero where the
+            popularity map is missing.
+        has_map: ``(n,)`` bool — True where a popularity map was
+            retrieved (the paper's ``p_missing_map`` funnel stage).
+        tag_indptr: ``(n + 1,)`` int64 pointer into ``tag_ids``; video
+            ``i``'s distinct tags are ``tag_ids[tag_indptr[i]:tag_indptr[i+1]]``
+            in uploader order.
+        tag_ids: ``(nnz,)`` int64 vocabulary tag ids.
+        true_shares: Optional ``(n, C)`` float64 ground-truth view
+            shares (kept only when the generator is asked to).
+    """
+
+    video_ids: np.ndarray
+    views: np.ndarray
+    pop: np.ndarray
+    has_map: np.ndarray
+    tag_indptr: np.ndarray
+    tag_ids: np.ndarray
+    true_shares: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.video_ids)
+
+
+def build_store_streaming(
+    chunks: Iterable[VideoChunk],
+    tag_names: np.ndarray,
+    path: PathLike,
+    registry: Optional[CountryRegistry] = None,
+    fs: Optional[Filesystem] = None,
+    pop_dtype: str = "uint8",
+) -> ColumnarDataset:
+    """Build a memmap-backed columnar store from a stream of chunks.
+
+    Eligibility mirrors :func:`~repro.engine.columnar.build_columnar`:
+    a row needs a popularity map. Tag ids in the chunks are vocabulary
+    ids; the stored vocabulary keeps only tags that occur, numbered in
+    first-seen order (scanning videos in stream order, tags in uploader
+    order) — exactly the dense builder's rule, so both paths produce
+    identical arrays for the same videos.
+
+    Returns the finished store, opened memmapped (unverified — the
+    bytes were hashed as they streamed out).
+    """
+    if registry is None:
+        registry = default_registry()
+    codes = tuple(registry.codes())
+    tag_names = np.asarray(tag_names)
+    writer = StoreWriter(path, codes, fs=fs, pop_dtype=pop_dtype)
+    entry_tags: List[np.ndarray] = []
+    entry_rows: List[np.ndarray] = []
+    row_base = 0
+    try:
+        for chunk in chunks:
+            eligible = np.asarray(chunk.has_map, dtype=bool)
+            rows_sel = np.flatnonzero(eligible)
+            if rows_sel.size:
+                writer.append(
+                    chunk.pop[rows_sel],
+                    chunk.views[rows_sel],
+                    chunk.video_ids[rows_sel],
+                )
+            tag_counts = np.diff(chunk.tag_indptr)
+            keep_entry = np.repeat(eligible, tag_counts)
+            if keep_entry.any():
+                new_row = np.cumsum(eligible) - 1 + row_base
+                video_of_entry = np.repeat(
+                    np.arange(len(chunk), dtype=np.int64), tag_counts
+                )
+                entry_tags.append(
+                    np.asarray(chunk.tag_ids, dtype=np.int64)[keep_entry]
+                )
+                entry_rows.append(new_row[video_of_entry[keep_entry]])
+            row_base += int(rows_sel.size)
+
+        if entry_tags:
+            all_tags = np.concatenate(entry_tags)
+            all_rows = np.concatenate(entry_rows)
+        else:
+            all_tags = np.zeros(0, dtype=np.int64)
+            all_rows = np.zeros(0, dtype=np.int64)
+        # Vocabulary in first-seen order: unique returns sorted ids with
+        # the index of each id's first occurrence; re-sorting those
+        # first-occurrence positions recovers encounter order.
+        uniq, first_pos = np.unique(all_tags, return_index=True)
+        observed = uniq[np.argsort(first_pos, kind="stable")]
+        remap = np.full(len(tag_names), -1, dtype=np.int64)
+        remap[observed] = np.arange(len(observed), dtype=np.int64)
+        mapped = remap[all_tags]
+        counts = np.bincount(mapped, minlength=len(observed)).astype(np.int64)
+        indptr = np.zeros(len(observed) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # Stable counting sort preserves within-tag row (stream) order.
+        order = np.argsort(mapped, kind="stable")
+        indices = all_rows[order]
+        tags = tag_names[observed] if len(observed) else np.zeros(0, dtype="<U1")
+        writer.finish(tags, indptr, indices)
+    except BaseException:
+        writer.abort()
+        raise
+    return open_store(path, registry=registry, fs=fs, verify=False)
+
+
+def tag_views_streaming(
+    columnar: ColumnarDataset,
+    prior: Optional[np.ndarray] = None,
+    naive: bool = False,
+    smoothing: float = 0.0,
+    block_entries: Optional[int] = None,
+    dtype: DTypeLike = None,
+) -> np.ndarray:
+    """Eq. (3) per-tag view matrix without materializing ``(V, C)``.
+
+    Each tag block reconstructs just the rows it references (a fancy
+    read off the ``pop``/``views`` memmaps) through
+    :func:`~repro.engine.compute.reconstruct_rows` — so the float64
+    result is bit-identical to ``tag_segment_sums(reconstruct_all(...))``
+    while peak memory stays ``O(block_entries × C)``.
+    """
+    if smoothing < 0:
+        raise ReconstructionError(f"smoothing must be >= 0, got {smoothing}")
+    if not naive and prior is None:
+        raise ReconstructionError("non-naive reconstruction needs a prior")
+    pop, views = columnar.pop, columnar.views
+
+    def row_source(video_rows: np.ndarray) -> np.ndarray:
+        return reconstruct_rows(
+            pop[video_rows],
+            views[video_rows],
+            prior,
+            naive=naive,
+            smoothing=smoothing,
+            dtype=dtype,
+        )
+
+    return tag_segment_sums_streaming(
+        row_source,
+        columnar.indptr,
+        columnar.indices,
+        columnar.pop.shape[1],
+        block_entries=block_entries or STREAMING_BLOCK_ENTRIES,
+        dtype=dtype,
+    )
+
+
+def row_metrics_streaming(
+    columnar: ColumnarDataset,
+    prior: Optional[np.ndarray] = None,
+    naive: bool = False,
+    smoothing: float = 0.0,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    dtype: DTypeLike = None,
+    top_k: int = 1,
+    jsd_reference: Optional[np.ndarray] = None,
+) -> Dict[str, np.ndarray]:
+    """Per-video distribution metrics with one chunk alive at a time.
+
+    Reconstructs Eq. (1)–(2) chunk by chunk, normalizes each chunk to
+    row distributions, and fills the ``(V,)`` metric vectors — entropy,
+    Gini, HHI, top-k share, and (when ``jsd_reference`` is given) the
+    Jensen–Shannon divergence to that distribution. Equal to running
+    the dense kernels over the full matrix, row for row.
+    """
+    n = columnar.n_videos
+    out: Dict[str, np.ndarray] = {
+        "entropy": np.empty(n, dtype=np.float64),
+        "gini": np.empty(n, dtype=np.float64),
+        "hhi": np.empty(n, dtype=np.float64),
+        "top_k_share": np.empty(n, dtype=np.float64),
+    }
+    if jsd_reference is not None:
+        out["jsd"] = np.empty(n, dtype=np.float64)
+    for start, stop, block in reconstruct_stream(
+        columnar.pop,
+        columnar.views,
+        prior,
+        naive=naive,
+        smoothing=smoothing,
+        chunk_rows=chunk_rows,
+        dtype=dtype,
+    ):
+        shares = rows_to_distributions(block)
+        out["entropy"][start:stop] = entropy_rows(shares)
+        out["gini"][start:stop] = gini_rows(shares)
+        out["hhi"][start:stop] = herfindahl_rows(shares)
+        out["top_k_share"][start:stop] = top_k_share_rows(shares, k=top_k)
+        if jsd_reference is not None:
+            out["jsd"][start:stop] = jensen_shannon_rows(shares, jsd_reference)
+    return out

@@ -62,6 +62,13 @@ MANIFEST_NAME = "manifest.json"
 _MANIFEST_FORMAT = "repro-pipeline-manifest"
 _MANIFEST_VERSION = 1
 
+#: Filtered-dataset size from which the reconstruct stage goes
+#: out-of-core on its own: the columnar artifact is written uncompressed
+#: (memmappable), resumed runs load it with ``mmap_mode="r"``, and
+#: Eq. (3) aggregates through the streaming kernels. Output is
+#: bit-identical to the dense float64 path either way.
+OUT_OF_CORE_VIDEOS = 200_000
+
 
 @dataclass(frozen=True)
 class PipelineConfig:
@@ -81,6 +88,16 @@ class PipelineConfig:
             single-process journaling crawler; ``>1`` serves the
             simulated API over TCP and shards the frontier across a
             :class:`~repro.crawler.distributed.DistributedCrawlSupervisor`.
+        engine: Eq. (1)–(3) execution engine for the reconstruct stage
+            (see :data:`repro.reconstruct.views.ENGINES`). ``"chunked"``
+            forces the streaming aggregation + uncompressed/memmapped
+            columnar artifact; ``"auto"`` picks it automatically above
+            :data:`OUT_OF_CORE_VIDEOS` videos. Results are identical.
+        chunk_rows: Row-chunk size for the chunked engine (``None`` =
+            library default).
+        columnar_dtype: Compute precision for the engine paths —
+            ``"float64"`` (default, exact) or ``"float32"`` (documented
+            ≤1e-4 relative error, half the memory).
     """
 
     universe: UniverseConfig = field(
@@ -93,6 +110,9 @@ class PipelineConfig:
     seed_countries: tuple = SEED_COUNTRIES
     checkpoint_every: int = 50
     workers: int = 1
+    engine: str = "auto"
+    chunk_rows: Optional[int] = None
+    columnar_dtype: str = "float64"
 
 
 @dataclass
@@ -164,6 +184,16 @@ def config_fingerprint(config: PipelineConfig) -> str:
         # Only stamped when distributed, so single-process workdirs
         # created before the knob existed keep their fingerprint.
         payload["workers"] = config.workers
+    # Engine knobs are likewise only stamped off their defaults: the
+    # engines produce identical float64 output, so a default-config
+    # workdir stays resumable across engine choices — but a float32 run
+    # is numerically distinct and must not mix with float64 artifacts.
+    if config.engine != "auto":
+        payload["engine"] = config.engine
+    if config.chunk_rows is not None:
+        payload["chunk_rows"] = config.chunk_rows
+    if config.columnar_dtype != "float64":
+        payload["columnar_dtype"] = config.columnar_dtype
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 
@@ -329,6 +359,33 @@ def _run_distributed_crawl(
             return crawl, list(supervisor.journal.quarantined)
 
 
+def _resolve_pipeline_engine(config: PipelineConfig, n_videos: int) -> str:
+    """The reconstruct-stage engine after ``auto`` resolution.
+
+    ``auto`` goes chunked above :data:`OUT_OF_CORE_VIDEOS` videos so big
+    corpora never materialize the ``(V, C)`` estimate matrix; all engine
+    choices produce identical float64 tables.
+    """
+    from repro.reconstruct.views import ENGINES
+
+    if config.engine not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {config.engine!r}; choose from {ENGINES}"
+        )
+    if config.engine == "auto":
+        return "chunked" if n_videos >= OUT_OF_CORE_VIDEOS else "columnar"
+    return config.engine
+
+
+def _pipeline_dtype(config: PipelineConfig):
+    if config.columnar_dtype not in ("float64", "float32"):
+        raise ConfigError(
+            "columnar_dtype must be 'float64' or 'float32', got "
+            f"{config.columnar_dtype!r}"
+        )
+    return None if config.columnar_dtype == "float64" else config.columnar_dtype
+
+
 def _run_in_memory(config: PipelineConfig) -> PipelineResult:
     universe = build_universe(config.universe)
     service = _build_service(config, universe)
@@ -353,7 +410,13 @@ def _run_in_memory(config: PipelineConfig) -> PipelineResult:
         crawl = crawler.run()
     dataset, filter_report = crawl.dataset.apply_paper_filter()
     reconstructor = ViewReconstructor(universe.traffic)
-    tag_table = TagViewsTable(dataset, reconstructor)
+    tag_table = TagViewsTable(
+        dataset,
+        reconstructor,
+        engine=_resolve_pipeline_engine(config, len(dataset)),
+        dtype=_pipeline_dtype(config),
+        block_entries=config.chunk_rows,
+    )
     return PipelineResult(
         universe=universe,
         service=service,
@@ -469,14 +532,23 @@ def _run_resumable(config: PipelineConfig, wd: _Workdir) -> PipelineResult:
     from repro.engine import build_columnar, load_columnar, save_columnar
 
     reconstructor = ViewReconstructor(universe.traffic)
+    engine = _resolve_pipeline_engine(config, len(dataset))
+    dtype = _pipeline_dtype(config)
+    out_of_core = engine == "chunked"
     tagviews_path = wd.path("tag_views.json")
     columnar_path = wd.path("columnar.npz")
     columnar = None
     if wd.stage_intact("reconstruct"):
         try:
             # stage_intact already checksummed the file; skip re-hashing.
+            # Out-of-core resume memory-maps the stored members instead
+            # of pulling the matrices through RAM.
             columnar = load_columnar(
-                columnar_path, registry=registry, fs=wd.fs, verify=False
+                columnar_path,
+                registry=registry,
+                fs=wd.fs,
+                verify=False,
+                mmap_mode="r" if out_of_core else None,
             )
             skipped.append("reconstruct")
         except ReproError:
@@ -485,8 +557,16 @@ def _run_resumable(config: PipelineConfig, wd: _Workdir) -> PipelineResult:
             wd.quarantined.append(artifacts.quarantine(columnar_path, fs=wd.fs))
     if columnar is None:
         columnar = build_columnar(dataset, registry)
-        save_columnar(columnar, columnar_path, fs=wd.fs)
-        tag_table = TagViewsTable.from_columnar(columnar, reconstructor)
+        # Uncompressed members are memmappable on resume; worth the disk
+        # exactly when the matrices are big enough to matter.
+        save_columnar(columnar, columnar_path, fs=wd.fs, compressed=not out_of_core)
+        tag_table = TagViewsTable.from_columnar(
+            columnar,
+            reconstructor,
+            streaming=out_of_core,
+            dtype=dtype,
+            block_entries=config.chunk_rows,
+        )
         summary = {
             "tags": len(tag_table),
             "views": {
@@ -501,7 +581,13 @@ def _run_resumable(config: PipelineConfig, wd: _Workdir) -> PipelineResult:
         )
         wd.mark_done("reconstruct")
     else:
-        tag_table = TagViewsTable.from_columnar(columnar, reconstructor)
+        tag_table = TagViewsTable.from_columnar(
+            columnar,
+            reconstructor,
+            streaming=out_of_core,
+            dtype=dtype,
+            block_entries=config.chunk_rows,
+        )
 
     return PipelineResult(
         universe=universe,

@@ -4,11 +4,16 @@
 paper's Figs. 2 and 3. :class:`TagViewsTable` materializes it for every
 tag of a dataset.
 
-Two build paths produce the identical table:
+Three build paths produce the identical table:
 
 - **columnar** (the default): the dataset is materialized once through
   :mod:`repro.engine`, Eq. (1)–(2) runs vectorized for every video, and
   Eq. (3) becomes CSR segment sums — a handful of numpy ops total;
+- **chunked** (``engine="chunked"``): the same arithmetic streamed in
+  tag blocks via :func:`repro.engine.outofcore.tag_views_streaming` —
+  the ``(V × C)`` estimate matrix is never materialized, so
+  million-video (memmap-backed) datasets aggregate in bounded memory
+  with bit-identical float64 output;
 - **scalar** (``engine="scalar"``): the historical per-video loop, kept
   as the reference oracle the property tests pin the engine to.
 
@@ -42,7 +47,13 @@ class TagViewsTable:
         reconstructor: The Eq. (1)–(2) estimator to use; defaults to the
             standard one.
         engine: ``"auto"``/``"columnar"`` for the vectorized fast path,
-            ``"scalar"`` for the per-video reference oracle.
+            ``"chunked"`` for the streaming aggregation (bounded memory,
+            identical float64 output), ``"scalar"`` for the per-video
+            reference oracle.
+        dtype: Compute precision for the engine paths (``None`` =
+            float64; ``"float32"`` stays within ~1e-4 relative).
+        block_entries: Streaming block budget (CSR entries per block)
+            for the chunked engine; ``None`` uses the library default.
 
     The table is built eagerly in the constructor.
     """
@@ -52,46 +63,83 @@ class TagViewsTable:
         dataset: Dataset,
         reconstructor: Optional[ViewReconstructor] = None,
         engine: str = "auto",
+        dtype=None,
+        block_entries: Optional[int] = None,
     ):
         if reconstructor is None:
             reconstructor = ViewReconstructor()
         self.reconstructor = reconstructor
         self.registry: CountryRegistry = reconstructor.registry
-        if _resolve_engine(engine) == "columnar":
+        resolved = _resolve_engine(engine)
+        if resolved == "scalar":
+            self._build_scalar(dataset)
+        else:
             from repro.engine.columnar import build_columnar
 
-            self._build_from_columnar(build_columnar(dataset, self.registry))
-        else:
-            self._build_scalar(dataset)
+            columnar = build_columnar(dataset, self.registry)
+            if resolved == "chunked":
+                self._build_streaming(columnar, dtype, block_entries)
+            else:
+                self._build_from_columnar(columnar, dtype=dtype)
 
     @classmethod
     def from_columnar(
         cls,
         columnar,
         reconstructor: Optional[ViewReconstructor] = None,
+        streaming: bool = False,
+        dtype=None,
+        block_entries: Optional[int] = None,
     ) -> "TagViewsTable":
         """Build directly from a prebuilt/persisted columnar dataset.
 
         This is the resume path: a pipeline that already holds a
         :class:`~repro.engine.columnar.ColumnarDataset` (e.g. loaded from
-        the ``columnar.npz`` artifact) skips re-materialization entirely
-        and goes straight to the vectorized kernels.
+        the ``columnar.npz`` artifact or a raw-array store) skips
+        re-materialization entirely and goes straight to the vectorized
+        kernels. ``streaming=True`` aggregates through
+        :func:`repro.engine.outofcore.tag_views_streaming` instead —
+        the right mode for memmap-backed datasets, with bit-identical
+        float64 results.
         """
         table = cls.__new__(cls)
         if reconstructor is None:
             reconstructor = ViewReconstructor()
         table.reconstructor = reconstructor
         table.registry = reconstructor.registry
-        table._build_from_columnar(columnar)
+        if streaming:
+            table._build_streaming(columnar, dtype, block_entries)
+        else:
+            table._build_from_columnar(columnar, dtype=dtype)
         return table
 
     # -- construction -----------------------------------------------------
 
-    def _build_from_columnar(self, columnar) -> None:
+    def _build_from_columnar(self, columnar, dtype=None) -> None:
         from repro.engine.compute import tag_segment_sums
 
-        estimated = self.reconstructor.matrix_for_columnar(columnar)
+        estimated = self.reconstructor.matrix_for_columnar(columnar, dtype=dtype)
         matrix = tag_segment_sums(estimated, columnar.indptr, columnar.indices)
+        self._finish(columnar.tags, matrix, columnar.tag_video_counts())
+
+    def _build_streaming(
+        self, columnar, dtype=None, block_entries: Optional[int] = None
+    ) -> None:
+        from repro.engine.outofcore import tag_views_streaming
+
+        if tuple(columnar.codes) != tuple(self.registry.codes()):
+            raise AnalysisError(
+                "columnar dataset was built on a different country axis"
+            )
+        reconstructor = self.reconstructor
+        matrix = tag_views_streaming(
+            columnar,
+            prior=reconstructor.prior,
+            naive=reconstructor.naive,
+            smoothing=reconstructor.smoothing,
+            block_entries=block_entries,
+            dtype=dtype,
+        )
         self._finish(columnar.tags, matrix, columnar.tag_video_counts())
 
     def _build_scalar(self, dataset: Dataset) -> None:
@@ -124,9 +172,9 @@ class TagViewsTable:
         counts: Sequence[int],
     ) -> None:
         self._tags: List[str] = list(tags)
-        self._index: Dict[str, int] = {
-            tag: i for i, tag in enumerate(self._tags)
-        }
+        self._index: Dict[str, int] = dict(
+            zip(self._tags, range(len(self._tags)))
+        )
         self._matrix = matrix
         self._counts = np.asarray(counts, dtype=np.int64)
         self._totals = matrix.sum(axis=1)

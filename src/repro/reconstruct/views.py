@@ -38,9 +38,10 @@ from repro.world.countries import CountryRegistry, default_registry
 from repro.world.traffic import TrafficModel, default_traffic_model
 
 #: Engine selection values for the dataset-scale entry points. ``auto``
-#: resolves to the columnar fast path; ``scalar`` forces the per-video
-#: reference oracle.
-ENGINES = ("auto", "columnar", "scalar")
+#: resolves to the columnar fast path; ``chunked`` runs the same numpy
+#: kernels in fixed-size row chunks (bounded peak memory, identical
+#: float64 output); ``scalar`` forces the per-video reference oracle.
+ENGINES = ("auto", "columnar", "chunked", "scalar")
 
 
 def _resolve_engine(engine: str) -> str:
@@ -217,13 +218,24 @@ class ViewReconstructor:
             return reconstruct_views(video.popularity, 1, self.traffic)
         return views / total
 
-    def matrix_for_columnar(self, columnar) -> np.ndarray:
+    def matrix_for_columnar(
+        self,
+        columnar,
+        chunk_rows: Optional[int] = None,
+        dtype=None,
+    ) -> np.ndarray:
         """Vectorized Eq. (1)–(2) over a prebuilt columnar dataset.
 
         ``columnar`` is a :class:`~repro.engine.columnar.ColumnarDataset`
         (imported lazily to keep the oracle module free of engine
         dependencies at import time). Returns the ``(V, C)`` matrix of
         reconstructed views, rows aligned with ``columnar.video_ids``.
+
+        ``chunk_rows`` computes the matrix in fixed-size row chunks —
+        bit-identical float64 output, bounded temporaries; the natural
+        mode for memmap-backed datasets. ``dtype`` selects the compute
+        precision (``"float32"`` trades ≤1e-4 relative error for half
+        the memory; see :func:`repro.engine.compute.resolve_dtype`).
         """
         from repro.engine.compute import reconstruct_all
 
@@ -237,6 +249,8 @@ class ViewReconstructor:
             self._prior,
             naive=self.naive,
             smoothing=self.smoothing,
+            chunk_rows=chunk_rows,
+            dtype=dtype,
         )
 
     def for_dataset(
@@ -264,7 +278,8 @@ class ViewReconstructor:
         self, dataset: Dataset, engine: str = "auto"
     ) -> Tuple[List[str], np.ndarray]:
         """Dense ``(ids, matrix)`` of reconstructed views (rows = videos)."""
-        if _resolve_engine(engine) == "scalar":
+        resolved = _resolve_engine(engine)
+        if resolved == "scalar":
             ids: List[str] = []
             rows: List[np.ndarray] = []
             for video in dataset:
@@ -275,8 +290,12 @@ class ViewReconstructor:
                 return ids, np.vstack(rows)
             return ids, np.zeros((0, len(self.registry)))
         from repro.engine.columnar import build_columnar
+        from repro.engine.compute import DEFAULT_CHUNK_ROWS
 
         columnar = build_columnar(dataset, self.registry)
         if columnar.n_videos == 0:
             return [], np.zeros((0, len(self.registry)))
-        return list(columnar.video_ids), self.matrix_for_columnar(columnar)
+        chunk_rows = DEFAULT_CHUNK_ROWS if resolved == "chunked" else None
+        return list(columnar.video_ids), self.matrix_for_columnar(
+            columnar, chunk_rows=chunk_rows
+        )

@@ -4,19 +4,29 @@ The paper's corpus had ~1.06M videos; generating that many is possible
 but unnecessary for shape-level reproduction. Presets trade size for
 runtime; every benchmark states which preset it uses.
 
-========  ========  =======  =============================================
-Preset    Videos    Tags     Intended use
-========  ========  =======  =============================================
-tiny      400       300      unit/integration tests (sub-second)
-small     2,500     1,500    examples, quick exploration
-medium    12,000    8,000    default for benchmarks (seconds)
-large     40,000    22,000   heavier-duty benchmark runs
-========  ========  =======  =============================================
+========  =========  =======  ============================================
+Preset    Videos     Tags     Intended use
+========  =========  =======  ============================================
+tiny      400        300      unit/integration tests (sub-second)
+small     2,500      1,500    examples, quick exploration
+medium    12,000     8,000    default for benchmarks (seconds)
+large     40,000     22,000   heavier-duty benchmark runs
+xlarge    250,000    120,000  out-of-core scaling runs (stream-only)
+xxlarge   1,000,000  400,000  paper-scale corpus (stream-only)
+========  =========  =======  ============================================
+
+The ``xlarge``/``xxlarge`` presets approach the paper's real corpus
+(1.06M videos, 705k unique tags). They are **stream-only**: generate
+them with :class:`~repro.synth.stream.StreamingUniverse`, never with
+the object-path :func:`~repro.synth.universe.build_universe`, whose
+per-draw ``rng.choice(p=...)`` tag sampling is ``O(n_tags)`` per tag —
+computationally hopeless at this scale (and it would hold every video
+in RAM). :data:`STREAM_ONLY_PRESETS` names them so callers can route.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, FrozenSet
 
 from repro.errors import ConfigError
 from repro.synth.universe import UniverseConfig
@@ -26,7 +36,13 @@ PRESETS: Dict[str, UniverseConfig] = {
     "small": UniverseConfig(n_videos=2_500, n_tags=1_500, seed=2011),
     "medium": UniverseConfig(n_videos=12_000, n_tags=8_000, seed=2011),
     "large": UniverseConfig(n_videos=40_000, n_tags=22_000, seed=2011),
+    "xlarge": UniverseConfig(n_videos=250_000, n_tags=120_000, seed=2011),
+    "xxlarge": UniverseConfig(n_videos=1_000_000, n_tags=400_000, seed=2011),
 }
+
+#: Presets too large for the object-path generator; use
+#: :class:`repro.synth.stream.StreamingUniverse` for these.
+STREAM_ONLY_PRESETS: FrozenSet[str] = frozenset({"xlarge", "xxlarge"})
 
 
 def preset_config(name: str) -> UniverseConfig:

@@ -68,3 +68,42 @@ class TestDemoCommand:
         output = capsys.readouterr().out
         assert "filter funnel" in output
         assert "Popularity map" in output
+
+
+class TestEngineFlags:
+    """The engine/precision knobs ride every analysis command."""
+
+    def test_chunked_engine_matches_default(self, crawl_file, capsys):
+        assert main(["toptags", "--in", str(crawl_file), "--count", "5"]) == 0
+        default_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "toptags", "--in", str(crawl_file), "--count", "5",
+                    "--engine", "chunked", "--chunk-rows", "16",
+                ]
+            )
+            == 0
+        )
+        # Bit-identical float64 tables → identical printed rankings.
+        assert capsys.readouterr().out == default_out
+
+    def test_float32_runs(self, crawl_file, capsys):
+        assert (
+            main(
+                [
+                    "tag", "--in", str(crawl_file), "music",
+                    "--engine", "chunked", "--dtype", "float32",
+                ]
+            )
+            == 0
+        )
+        assert "'music'" in capsys.readouterr().out
+
+    def test_unknown_engine_rejected(self, crawl_file):
+        with pytest.raises(SystemExit):
+            main(["stats", "--in", str(crawl_file), "--engine", "quantum"])
+
+    def test_unknown_dtype_rejected(self, crawl_file):
+        with pytest.raises(SystemExit):
+            main(["tag", "--in", str(crawl_file), "music", "--dtype", "f16"])

@@ -92,6 +92,68 @@ class TestVerification:
         assert sidecar["size"] == len(b"payload-bytes")
 
 
+class TestArtifactStream:
+    def test_streamed_write_equals_atomic_write(self, tmp_path):
+        path = tmp_path / "streamed.bin"
+        stream = artifacts.ArtifactStream(path)
+        stream.write(b"part one, ")
+        stream.write(b"part two")
+        stream.commit()
+        assert path.read_bytes() == b"part one, part two"
+        artifacts.verify_artifact(path)  # sidecar from the rolling hash
+
+    def test_nothing_visible_before_commit(self, tmp_path):
+        path = tmp_path / "pending.bin"
+        stream = artifacts.ArtifactStream(path)
+        stream.write(b"half-written")
+        assert not path.exists()
+        stream.commit()
+        assert path.exists()
+
+    def test_abort_discards_temp_and_keeps_previous(self, tmp_path):
+        path = tmp_path / "data.bin"
+        artifacts.atomic_write_bytes(path, b"precious", checksum=True)
+        stream = artifacts.ArtifactStream(path)
+        stream.write(b"doomed")
+        stream.abort()
+        assert path.read_bytes() == b"precious"
+        assert not list(tmp_path.glob("*.tmp"))
+        artifacts.verify_artifact(path)
+
+    def test_double_commit_rejected(self, tmp_path):
+        stream = artifacts.ArtifactStream(tmp_path / "once.bin")
+        stream.write(b"x")
+        stream.commit()
+        with pytest.raises(ArtifactError):
+            stream.commit()
+
+    def test_write_after_commit_rejected(self, tmp_path):
+        stream = artifacts.ArtifactStream(tmp_path / "done.bin")
+        stream.commit()
+        with pytest.raises(ArtifactError):
+            stream.write(b"late")
+
+    def test_empty_stream_commits_empty_artifact(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        artifacts.ArtifactStream(path).commit()
+        assert path.read_bytes() == b""
+        artifacts.verify_artifact(path)
+
+
+class TestStreamingVerification:
+    def test_large_artifact_verifies_in_chunks(self, tmp_path):
+        # Bigger than one read chunk (1 MiB): verification must stream.
+        payload = bytes(range(256)) * (8 << 10)  # 2 MiB
+        path = tmp_path / "big.bin"
+        artifacts.atomic_write_bytes(path, payload, checksum=True)
+        artifacts.verify_artifact(path)
+        blob = bytearray(payload)
+        blob[(1 << 20) + 17] ^= 0x01  # flip a bit past the first chunk
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactIntegrityError, match="digest mismatch"):
+            artifacts.verify_artifact(path)
+
+
 class TestQuarantine:
     def test_quarantine_moves_artifact_and_sidecar(self, tmp_path):
         path = tmp_path / "art.bin"

@@ -102,9 +102,30 @@ class TestBuild:
         np.testing.assert_array_equal(serial.indptr, sharded.indptr)
         np.testing.assert_array_equal(serial.indices, sharded.indices)
 
+    @pytest.mark.parametrize("parallel", ["thread", "process"])
+    def test_parallel_fill_identical_to_serial(
+        self, tiny_dataset, registry, parallel
+    ):
+        serial = build_columnar(
+            tiny_dataset, registry, workers=1, parallel="serial"
+        )
+        filled = build_columnar(
+            tiny_dataset, registry, workers=2, parallel=parallel
+        )
+        assert serial.video_ids == filled.video_ids
+        assert serial.tags == filled.tags
+        np.testing.assert_array_equal(serial.pop, filled.pop)
+        np.testing.assert_array_equal(serial.views, filled.views)
+        np.testing.assert_array_equal(serial.indptr, filled.indptr)
+        np.testing.assert_array_equal(serial.indices, filled.indices)
+
     def test_bad_worker_count_rejected(self, small_dataset, registry):
         with pytest.raises(ReconstructionError, match="workers"):
             build_columnar(small_dataset, registry, workers=0)
+
+    def test_bad_parallel_mode_rejected(self, small_dataset, registry):
+        with pytest.raises(ReconstructionError, match="parallel"):
+            build_columnar(small_dataset, registry, parallel="gpu")
 
     def test_validate_catches_structural_damage(self, small_dataset, registry):
         good = build_columnar(small_dataset, registry)
@@ -184,3 +205,31 @@ class TestNpzPersistence:
         shrunk = registry.subset(["US", "BR"])
         with pytest.raises(ReconstructionError, match="country axis"):
             load_columnar(path, shrunk)
+
+    def test_mmap_load_equals_eager_load(
+        self, small_dataset, registry, tmp_path
+    ):
+        path = tmp_path / "columnar.npz"
+        save_columnar(
+            build_columnar(small_dataset, registry), path, compressed=False
+        )
+        eager = load_columnar(path, registry)
+        mapped = load_columnar(path, registry, mmap_mode="r")
+        np.testing.assert_array_equal(np.asarray(mapped.pop), eager.pop)
+        np.testing.assert_array_equal(np.asarray(mapped.views), eager.views)
+        np.testing.assert_array_equal(
+            np.asarray(mapped.indices), eager.indices
+        )
+
+    def test_mmap_falls_back_on_compressed_archive(
+        self, small_dataset, registry, tmp_path
+    ):
+        path = tmp_path / "columnar.npz"
+        save_columnar(
+            build_columnar(small_dataset, registry), path, compressed=True
+        )
+        # Compressed members cannot be mapped; the loader degrades to an
+        # eager read instead of failing.
+        loaded = load_columnar(path, registry, mmap_mode="r")
+        eager = load_columnar(path, registry)
+        np.testing.assert_array_equal(np.asarray(loaded.pop), eager.pop)

@@ -2,7 +2,10 @@
 
 The contract the ISSUE encodes: for any dataset, the vectorized
 Eq. (1)–(3) path agrees with the per-video scalar reference within 1e-9
-— in plain, naive and smoothed modes, zero-view videos included.
+— in plain, naive and smoothed modes, zero-view videos included. The
+chunked/streaming variants carry a stronger contract: **bit-identical**
+float64 output for any chunk size (1 row, a prime, larger than the
+dataset), and ≤1e-4 relative in float32.
 """
 
 import numpy as np
@@ -138,3 +141,106 @@ class TestEdgeCases:
         np.testing.assert_allclose(
             columnar.views_matrix(), scalar.views_matrix(), rtol=RTOL
         )
+
+
+#: Chunk/block sizes the streaming contracts must be invariant under —
+#: degenerate (one row/entry at a time), an awkward prime, and "bigger
+#: than anything the strategies generate" (the single-chunk fast path).
+_CHUNKINGS = (1, 3, 10_000)
+
+
+@pytest.mark.parametrize("mode", ["plain", "naive", "smoothed"])
+class TestChunkedEquivalence:
+    """The chunked engine is *bit-identical* to dense float64 — not
+    merely close: both run :func:`repro.engine.compute.reconstruct_rows`
+    on the same rows, so any drift is a kernel bug, not roundoff."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(dataset=datasets())
+    def test_chunked_matrix_bitwise_equal(self, mode, dataset):
+        from repro.engine.columnar import build_columnar
+
+        reconstructor = _reconstructor(mode)
+        columnar = build_columnar(dataset, reconstructor.registry)
+        dense = reconstructor.matrix_for_columnar(columnar)
+        for chunk_rows in _CHUNKINGS:
+            chunked = reconstructor.matrix_for_columnar(
+                columnar, chunk_rows=chunk_rows
+            )
+            np.testing.assert_array_equal(chunked, dense)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dataset=datasets())
+    def test_chunked_table_bitwise_equal(self, mode, dataset):
+        reconstructor = _reconstructor(mode)
+        dense = TagViewsTable(dataset, reconstructor, engine="columnar")
+        for block_entries in _CHUNKINGS:
+            chunked = TagViewsTable(
+                dataset,
+                reconstructor,
+                engine="chunked",
+                block_entries=block_entries,
+            )
+            assert chunked.tags() == dense.tags()
+            np.testing.assert_array_equal(
+                chunked.views_matrix(), dense.views_matrix()
+            )
+            np.testing.assert_array_equal(
+                chunked.video_counts(), dense.video_counts()
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(dataset=datasets())
+    def test_float32_within_documented_bound(self, mode, dataset):
+        reconstructor = _reconstructor(mode)
+        dense = TagViewsTable(dataset, reconstructor, engine="columnar")
+        for engine in ("columnar", "chunked"):
+            f32 = TagViewsTable(
+                dataset, reconstructor, engine=engine, dtype="float32"
+            )
+            a = f32.views_matrix()
+            b = dense.views_matrix()
+            mask = np.abs(b) > 0
+            if mask.any():
+                rel = np.max(np.abs(a[mask] - b[mask]) / np.abs(b[mask]))
+                assert rel <= 1e-4
+            # Exact zeros stay exact zeros in float32.
+            np.testing.assert_array_equal(a[~mask], b[~mask])
+
+
+class TestRowKernelChunking:
+    """Every row kernel is chunk-size invariant, including the metric
+    kernels the streaming row-metrics path composes."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(dataset=datasets())
+    def test_row_metrics_streaming_matches_dense(self, dataset):
+        from repro.engine.columnar import build_columnar
+        from repro.engine.compute import (
+            entropy_rows,
+            gini_rows,
+            herfindahl_rows,
+            rows_to_distributions,
+            top_k_share_rows,
+        )
+        from repro.engine.outofcore import row_metrics_streaming
+
+        reconstructor = _reconstructor("plain")
+        columnar = build_columnar(dataset, reconstructor.registry)
+        shares = rows_to_distributions(
+            reconstructor.matrix_for_columnar(columnar)
+        )
+        expected = {
+            "entropy": entropy_rows(shares),
+            "gini": gini_rows(shares),
+            "hhi": herfindahl_rows(shares),
+            "top_k_share": top_k_share_rows(shares, k=1),
+        }
+        for chunk_rows in _CHUNKINGS:
+            got = row_metrics_streaming(
+                columnar,
+                prior=reconstructor.prior,
+                chunk_rows=chunk_rows,
+            )
+            for key, want in expected.items():
+                np.testing.assert_array_equal(got[key], want)

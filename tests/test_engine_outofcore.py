@@ -1,0 +1,241 @@
+"""Unit tests for the out-of-core pieces: store, streaming build, Eq. (3).
+
+The load-bearing contract: a store built from a chunk stream is
+*identical* — array for array — to the dense columnar build over the
+same videos, and the streaming Eq. (3) reduction is *bit-identical*
+(float64) to the dense ``tag_segment_sums(reconstruct_all(...))`` path,
+for every block size including the degenerate ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datamodel.dataset import Dataset
+from repro.engine.columnar import build_columnar
+from repro.engine.compute import reconstruct_all, tag_segment_sums
+from repro.engine.outofcore import (
+    build_store_streaming,
+    row_metrics_streaming,
+    tag_views_streaming,
+)
+from repro.engine.store import StoreWriter, open_store, save_store
+from repro.errors import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    ReconstructionError,
+)
+from repro.reconstruct.tagviews import TagViewsTable
+from repro.reconstruct.views import ViewReconstructor
+from repro.synth.stream import StreamingUniverse, chunk_to_videos
+from repro.synth.universe import UniverseConfig
+from repro.world.countries import default_registry
+from repro.world.traffic import default_traffic_model
+
+CONFIG = UniverseConfig(n_videos=2_000, n_tags=300, seed=2011)
+
+#: Block/chunk sizes the streaming reductions must be invariant under.
+_BLOCKS = (1, 7, 10**7)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="module")
+def universe(registry):
+    return StreamingUniverse(CONFIG, registry=registry)
+
+
+@pytest.fixture(scope="module")
+def chunks(universe):
+    return list(universe.iter_chunks(chunk_rows=333))
+
+
+@pytest.fixture(scope="module")
+def dense(chunks, universe, registry):
+    """The dense reference build over the same corpus."""
+    videos = [
+        video
+        for chunk in chunks
+        for video in chunk_to_videos(chunk, universe.tag_names, registry)
+    ]
+    return build_columnar(Dataset(videos), registry)
+
+
+@pytest.fixture(scope="module")
+def store(chunks, universe, registry, tmp_path_factory):
+    return build_store_streaming(
+        iter(chunks),
+        universe.tag_names,
+        tmp_path_factory.mktemp("store") / "columnar",
+        registry=registry,
+    )
+
+
+@pytest.fixture(scope="module")
+def reconstructor():
+    return ViewReconstructor(default_traffic_model())
+
+
+class TestStreamingBuild:
+    def test_identical_to_dense_build(self, store, dense):
+        assert list(store.video_ids) == list(dense.video_ids)
+        assert list(store.tags) == list(dense.tags)
+        np.testing.assert_array_equal(np.asarray(store.pop), dense.pop)
+        np.testing.assert_array_equal(np.asarray(store.views), dense.views)
+        np.testing.assert_array_equal(np.asarray(store.indptr), dense.indptr)
+        np.testing.assert_array_equal(
+            np.asarray(store.indices), dense.indices
+        )
+
+    def test_store_arrays_are_memmapped(self, store):
+        assert isinstance(store.pop, np.memmap)
+        assert isinstance(store.views, np.memmap)
+
+    def test_rows_without_map_are_dropped(self, chunks, store):
+        eligible = sum(int(chunk.has_map.sum()) for chunk in chunks)
+        assert store.n_videos == eligible
+
+
+class TestStreamingEquation3:
+    def test_bitwise_equal_across_block_sizes(
+        self, store, dense, reconstructor
+    ):
+        estimated = reconstruct_all(
+            dense.pop, dense.views, reconstructor.prior
+        )
+        expected = tag_segment_sums(estimated, dense.indptr, dense.indices)
+        for block_entries in _BLOCKS:
+            got = tag_views_streaming(
+                store,
+                prior=reconstructor.prior,
+                block_entries=block_entries,
+            )
+            np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("mode", ["naive", "smoothed"])
+    def test_modes_bitwise_equal(self, store, dense, reconstructor, mode):
+        naive = mode == "naive"
+        smoothing = 0.7 if mode == "smoothed" else 0.0
+        estimated = reconstruct_all(
+            dense.pop,
+            dense.views,
+            reconstructor.prior,
+            naive=naive,
+            smoothing=smoothing,
+        )
+        expected = tag_segment_sums(estimated, dense.indptr, dense.indices)
+        got = tag_views_streaming(
+            store,
+            prior=reconstructor.prior,
+            naive=naive,
+            smoothing=smoothing,
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_float32_within_documented_bound(self, store, reconstructor):
+        f64 = tag_views_streaming(store, prior=reconstructor.prior)
+        f32 = tag_views_streaming(
+            store, prior=reconstructor.prior, dtype="float32"
+        )
+        assert f32.dtype == np.float32
+        mask = np.abs(f64) > 0
+        rel = np.max(np.abs(f32[mask] - f64[mask]) / f64[mask])
+        assert rel <= 1e-4
+
+    def test_tag_table_streaming_equals_dense(self, store, reconstructor):
+        dense_table = TagViewsTable.from_columnar(store, reconstructor)
+        streamed = TagViewsTable.from_columnar(
+            store, reconstructor, streaming=True
+        )
+        assert streamed.tags() == dense_table.tags()
+        np.testing.assert_array_equal(
+            streamed.views_matrix(), dense_table.views_matrix()
+        )
+
+    def test_row_metrics_streaming_matches_dense_kernels(
+        self, store, reconstructor
+    ):
+        from repro.engine.compute import (
+            entropy_rows,
+            rows_to_distributions,
+        )
+
+        shares = rows_to_distributions(
+            reconstruct_all(store.pop, store.views, reconstructor.prior)
+        )
+        got = row_metrics_streaming(
+            store, prior=reconstructor.prior, chunk_rows=97
+        )
+        np.testing.assert_array_equal(got["entropy"], entropy_rows(shares))
+
+    def test_missing_prior_rejected(self, store):
+        with pytest.raises(ReconstructionError):
+            tag_views_streaming(store)
+
+
+class TestStorePersistence:
+    def test_save_open_roundtrip(self, dense, tmp_path, registry):
+        root = save_store(dense, tmp_path / "store")
+        reopened = open_store(root, registry=registry)
+        assert list(reopened.video_ids) == list(dense.video_ids)
+        np.testing.assert_array_equal(np.asarray(reopened.pop), dense.pop)
+        np.testing.assert_array_equal(
+            np.asarray(reopened.indices), dense.indices
+        )
+
+    def test_eager_open_equals_mapped(self, dense, tmp_path):
+        root = save_store(dense, tmp_path / "store")
+        eager = open_store(root, mmap=False)
+        assert not isinstance(eager.pop, np.memmap)
+        np.testing.assert_array_equal(np.asarray(eager.pop), dense.pop)
+
+    def test_bitflip_fails_streaming_verification(self, dense, tmp_path):
+        root = save_store(dense, tmp_path / "store")
+        target = root / "views.bin"
+        payload = bytearray(target.read_bytes())
+        payload[3] ^= 0xFF
+        target.write_bytes(bytes(payload))
+        with pytest.raises(ArtifactIntegrityError):
+            open_store(root)
+        # verify=False maps the damaged bytes without complaint — the
+        # caller owns that trade (used right after a hashed write).
+        open_store(root, verify=False)
+
+    def test_non_store_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            open_store(tmp_path)
+
+    def test_axis_mismatch_rejected(self, dense, tmp_path):
+        root = save_store(dense, tmp_path / "store")
+        meta = (root / "meta.json").read_text()
+
+        class TwoCountries:
+            def codes(self):
+                return ("US", "BR")
+
+        assert "codes" in meta
+        with pytest.raises(ReconstructionError):
+            open_store(root, registry=TwoCountries())
+
+    def test_aborted_writer_leaves_no_store(self, tmp_path, registry):
+        writer = StoreWriter(tmp_path / "store", registry.codes())
+        writer.append(
+            np.zeros((2, len(registry)), dtype=np.uint8),
+            np.array([1, 2]),
+            np.array(["AAAAAAAAA00", "AAAAAAAAA01"]),
+        )
+        writer.abort()
+        with pytest.raises(ArtifactError):
+            open_store(tmp_path / "store")
+
+    def test_mismatched_batch_rejected(self, tmp_path, registry):
+        writer = StoreWriter(tmp_path / "store", registry.codes())
+        with pytest.raises(ReconstructionError):
+            writer.append(
+                np.zeros((2, 3), dtype=np.uint8),
+                np.array([1, 2]),
+                np.array(["AAAAAAAAA00", "AAAAAAAAA01"]),
+            )
+        writer.abort()

@@ -140,3 +140,69 @@ class TestResumableRun:
         result = run_pipeline(config)
         assert result.stages_skipped == ()
         assert ids_of(result) == ids_of(reference)
+
+
+class TestOutOfCoreMode:
+    """engine="chunked": streamed aggregation + memmap resume, same table."""
+
+    @pytest.fixture(scope="class")
+    def chunked_config(self):
+        return PipelineConfig(
+            universe=preset_config("tiny"),
+            checkpoint_every=25,
+            engine="chunked",
+            chunk_rows=64,
+        )
+
+    def test_chunked_run_equals_default(
+        self, config, reference, chunked_config, tmp_path
+    ):
+        result = run_pipeline(chunked_config, workdir=tmp_path)
+        assert ids_of(result) == ids_of(reference)
+        assert set(result.tag_table.tags()) == set(
+            reference.tag_table.tags()
+        )
+        for tag in reference.tag_table.tags():
+            # Bit-identical float64: streamed Eq. (3) is the same
+            # arithmetic, not an approximation.
+            assert result.tag_table.total_views(
+                tag
+            ) == reference.tag_table.total_views(tag)
+
+    def test_chunked_resume_skips_and_matches(
+        self, chunked_config, reference, tmp_path
+    ):
+        first = run_pipeline(chunked_config, workdir=tmp_path)
+        rerun = run_pipeline(chunked_config, workdir=tmp_path)
+        assert rerun.stages_skipped == PIPELINE_STAGES
+        for tag in first.tag_table.tags():
+            assert rerun.tag_table.total_views(
+                tag
+            ) == first.tag_table.total_views(tag)
+
+    def test_engine_choice_changes_fingerprint(self, config, chunked_config):
+        assert config_fingerprint(chunked_config) != config_fingerprint(
+            config
+        )
+
+    def test_default_engine_fingerprint_is_stable(self, config):
+        explicit = PipelineConfig(
+            universe=preset_config("tiny"),
+            checkpoint_every=25,
+            engine="auto",
+            columnar_dtype="float64",
+        )
+        # Defaults are not stamped: old workdirs keep their fingerprints.
+        assert config_fingerprint(explicit) == config_fingerprint(config)
+
+    def test_bad_engine_rejected(self):
+        bad = PipelineConfig(universe=preset_config("tiny"), engine="quantum")
+        with pytest.raises(ConfigError, match="unknown engine"):
+            run_pipeline(bad)
+
+    def test_bad_dtype_rejected(self):
+        bad = PipelineConfig(
+            universe=preset_config("tiny"), columnar_dtype="float16"
+        )
+        with pytest.raises(ConfigError, match="columnar_dtype"):
+            run_pipeline(bad)

@@ -1,0 +1,166 @@
+"""Unit tests for the chunk-streaming universe generator.
+
+The contracts that make :mod:`repro.synth.stream` usable for scaling
+curves and out-of-core builds:
+
+- **determinism** — the corpus is a pure function of the config seed;
+- **chunk-size invariance** — ``iter_chunks(chunk_rows=k)`` yields the
+  same corpus for every ``k``; chunking is presentation, not sampling;
+- **prefix property** — ``limit=N`` is literally the first ``N`` videos
+  of any larger run, so a 100k scaling point is a prefix of the 1M one;
+- **funnel statistics** — the missing-map and no-tag fractions track the
+  config probabilities the object-path generator uses;
+- **well-formedness** — unique ids, deduplicated per-video tags, valid
+  interop ``Video`` objects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth.stream import (
+    GEN_BLOCK,
+    StreamingUniverse,
+    StreamVocabulary,
+    chunk_to_videos,
+)
+from repro.synth.tagmodel import CURATED_TAGS
+from repro.synth.universe import UniverseConfig
+from repro.world.countries import default_registry
+
+
+def _config(n_videos=5_000, n_tags=400, seed=2011, **overrides):
+    return UniverseConfig(
+        n_videos=n_videos, n_tags=n_tags, seed=seed, **overrides
+    )
+
+
+def _concat(chunks):
+    """Flatten a chunk stream into one comparable tuple of arrays."""
+    chunks = list(chunks)
+    indptr = [np.zeros(1, dtype=np.int64)]
+    offset = 0
+    for chunk in chunks:
+        indptr.append(chunk.tag_indptr[1:] + offset)
+        offset += chunk.tag_indptr[-1]
+    return (
+        np.concatenate([c.video_ids for c in chunks]),
+        np.concatenate([c.views for c in chunks]),
+        np.concatenate([c.pop for c in chunks]),
+        np.concatenate([c.has_map for c in chunks]),
+        np.concatenate(indptr),
+        np.concatenate([c.tag_ids for c in chunks]),
+    )
+
+
+def _assert_same_corpus(a, b):
+    for left, right in zip(a, b):
+        np.testing.assert_array_equal(left, right)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="module")
+def corpus(registry):
+    """One reference corpus, generated at the default chunking."""
+    uni = StreamingUniverse(_config(), registry=registry)
+    return _concat(uni.iter_chunks())
+
+
+class TestDeterminismAndChunking:
+    def test_same_seed_same_corpus(self, registry, corpus):
+        again = StreamingUniverse(_config(), registry=registry)
+        _assert_same_corpus(corpus, _concat(again.iter_chunks()))
+
+    def test_different_seed_different_corpus(self, registry, corpus):
+        other = StreamingUniverse(_config(seed=77), registry=registry)
+        views = _concat(other.iter_chunks())[1]
+        assert not np.array_equal(views, corpus[1])
+
+    @pytest.mark.parametrize("chunk_rows", [1, 997, GEN_BLOCK + 13])
+    def test_chunk_size_never_changes_the_corpus(
+        self, registry, corpus, chunk_rows
+    ):
+        uni = StreamingUniverse(_config(), registry=registry)
+        chunks = list(uni.iter_chunks(chunk_rows=chunk_rows))
+        assert all(len(c) == chunk_rows for c in chunks[:-1])
+        _assert_same_corpus(corpus, _concat(chunks))
+
+    def test_limit_is_a_prefix(self, registry, corpus):
+        uni = StreamingUniverse(_config(), registry=registry)
+        prefix = _concat(uni.iter_chunks(chunk_rows=512, limit=1_234))
+        assert len(prefix[0]) == 1_234
+        np.testing.assert_array_equal(prefix[0], corpus[0][:1_234])
+        np.testing.assert_array_equal(prefix[2], corpus[2][:1_234])
+        nnz = prefix[4][-1]
+        np.testing.assert_array_equal(prefix[5], corpus[5][:nnz])
+
+
+class TestCorpusShape:
+    def test_video_ids_unique_and_wellformed(self, corpus):
+        ids = corpus[0]
+        assert len(np.unique(ids)) == len(ids)
+        assert all(len(str(v)) == 11 for v in ids[:100])
+
+    def test_funnel_fractions_track_config(self, corpus):
+        config = _config()
+        has_map, indptr = corpus[3], corpus[4]
+        assert np.mean(has_map) == pytest.approx(
+            1.0 - config.p_missing_map, abs=0.03
+        )
+        untagged = np.mean(np.diff(indptr) == 0)
+        assert untagged == pytest.approx(config.p_no_tags, abs=0.01)
+
+    def test_missing_map_rows_are_zero(self, corpus):
+        pop, has_map = corpus[2], corpus[3]
+        assert not pop[~has_map].any()
+        # Every retrieved map peaks at the paper's intensity ceiling.
+        assert pop[has_map].max(axis=1).min() == 61
+
+    def test_tags_distinct_within_each_video(self, corpus):
+        indptr, tag_ids = corpus[4], corpus[5]
+        for row in range(200):
+            tags = tag_ids[indptr[row] : indptr[row + 1]]
+            assert len(np.unique(tags)) == len(tags)
+
+    def test_views_positive(self, corpus):
+        assert corpus[1].min() >= 1
+
+
+class TestVocabulary:
+    def test_names_unique_and_curated_head_present(self, registry):
+        vocab = StreamVocabulary(_config(), registry, None)
+        names = vocab.names
+        assert len(set(names.tolist())) == len(names)
+        curated = {entry[0] for entry in CURATED_TAGS}
+        assert curated <= set(names.tolist())
+
+    def test_too_few_tags_rejected(self, registry):
+        with pytest.raises(ConfigError):
+            StreamVocabulary(
+                _config(n_tags=len(CURATED_TAGS) - 1), registry, None
+            )
+
+
+class TestInterop:
+    def test_chunk_to_videos_roundtrips_arrays(self, registry):
+        uni = StreamingUniverse(_config(n_videos=300), registry=registry)
+        (chunk,) = list(uni.iter_chunks(chunk_rows=300))
+        videos = chunk_to_videos(chunk, uni.tag_names, registry)
+        assert len(videos) == 300
+        for row in (0, 17, 299):
+            video = videos[row]
+            assert video.video_id == str(chunk.video_ids[row])
+            assert video.views == int(chunk.views[row])
+            assert video.has_valid_popularity() == (
+                bool(chunk.has_map[row]) and chunk.pop[row].any()
+            )
+            tags = chunk.tag_ids[
+                chunk.tag_indptr[row] : chunk.tag_indptr[row + 1]
+            ]
+            assert video.tags == tuple(
+                str(uni.tag_names[t]) for t in tags
+            )

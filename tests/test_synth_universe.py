@@ -100,11 +100,21 @@ class TestToDataset:
 
 class TestPresets:
     def test_known_presets(self):
-        assert set(PRESETS) == {"tiny", "small", "medium", "large"}
+        assert set(PRESETS) == {
+            "tiny", "small", "medium", "large", "xlarge", "xxlarge",
+        }
 
     def test_sizes_increase(self):
-        sizes = [PRESETS[name].n_videos for name in ("tiny", "small", "medium", "large")]
+        names = ("tiny", "small", "medium", "large", "xlarge", "xxlarge")
+        sizes = [PRESETS[name].n_videos for name in names]
         assert sizes == sorted(sizes)
+
+    def test_stream_only_presets_are_presets(self):
+        from repro.synth.presets import STREAM_ONLY_PRESETS
+
+        assert STREAM_ONLY_PRESETS <= set(PRESETS)
+        # Everything the object-path generator can afford stays routable.
+        assert "large" not in STREAM_ONLY_PRESETS
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ConfigError):
