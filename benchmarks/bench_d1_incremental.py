@@ -1,0 +1,158 @@
+"""Benchmark D1 — delta-batch ingestion vs cold rebuilds.
+
+The incremental engine's reason to exist is that absorbing a view-delta
+batch must cost O(touched), not O(V×C). This benchmark streams a full
+temporal preset (arrivals + per-trajectory view deltas) through
+:class:`~repro.engine.incremental.IncrementalEngine`, then measures what
+the *static* engine would have paid: one
+:func:`~repro.engine.incremental.cold_rebuild` of the cumulative
+snapshot — the same vectorized kernels, first-seen vocabulary, and
+counting-sort CSR, so the comparison is against the honest fastest
+batch path, not a strawman.
+
+Machine-readable results land in ``BENCH_d1.json`` at the repository
+root. Gates (full mode, ``medium-temporal``):
+
+- mean per-batch apply time ≥ 25× faster than one cold rebuild to the
+  same state (the rebuild is what every batch would cost without
+  incrementality);
+- sustained ingest ≥ 200,000 deltas/s over the whole stream (flush
+  included — deferred tag work is not hidden from the clock);
+- the post-ingest tag-views table is **bit-identical** (float64) to the
+  rebuilt oracle, and the vocabulary matches exactly.
+
+Environment knobs:
+
+- ``BENCH_D1_PRESET`` — temporal preset (default ``medium-temporal``);
+- ``BENCH_D1_GATE`` — ``full`` (default) or ``smoke``: smoke keeps the
+  bit-identity gate exact but relaxes the performance floors for small
+  presets / busy CI runners;
+- ``BENCH_D1_STEPS`` — override the preset's horizon;
+- ``BENCH_D1_MIN_SPEEDUP`` / ``BENCH_D1_MIN_RATE`` — override floors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.incremental import IncrementalEngine, cold_rebuild
+from repro.synth.temporal import scaled_temporal
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_d1.json"
+
+PRESET = os.environ.get("BENCH_D1_PRESET", "medium-temporal")
+GATE = os.environ.get("BENCH_D1_GATE", "full")
+STEPS = (
+    int(os.environ["BENCH_D1_STEPS"]) if "BENCH_D1_STEPS" in os.environ else None
+)
+_FLOORS = {"full": (25.0, 200_000.0), "smoke": (2.0, 20_000.0)}
+_DEFAULT_SPEEDUP, _DEFAULT_RATE = _FLOORS.get(GATE, _FLOORS["full"])
+MIN_SPEEDUP = float(os.environ.get("BENCH_D1_MIN_SPEEDUP", _DEFAULT_SPEEDUP))
+MIN_RATE = float(os.environ.get("BENCH_D1_MIN_RATE", _DEFAULT_RATE))
+REBUILD_REPEATS = int(os.environ.get("BENCH_D1_REBUILD_REPEATS", "3"))
+
+
+def _best_of(fn, repeats: int = REBUILD_REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_d1_incremental_ingest(report_writer, rss_probe, bench_meta):
+    stream = scaled_temporal(PRESET, STEPS)
+    batches = list(stream.iter_batches())
+    n_deltas = sum(batch.n_deltas for batch in batches)
+    assert batches and n_deltas > 0
+
+    # Warm the kernels on the first batch shape (imports, allocator).
+    IncrementalEngine().apply(batches[0])
+
+    engine = IncrementalEngine(track_metrics=True)
+    start = time.perf_counter()
+    for batch in batches:
+        engine.apply(batch)
+    engine.flush()
+    engine.metric("entropy")  # materialize the metric surfaces too
+    ingest_s = time.perf_counter() - start
+    per_batch_s = ingest_s / len(batches)
+    rate = n_deltas / ingest_s
+
+    # The static alternative: a full rebuild of the cumulative snapshot.
+    pop, views, indptr, names = stream.snapshot_eligible()
+    rebuild_s = _best_of(
+        lambda: cold_rebuild(
+            pop, views, indptr, names, track_metrics=True
+        )
+    )
+    oracle = cold_rebuild(pop, views, indptr, names, track_metrics=True)
+    speedup = rebuild_s / per_batch_s
+
+    vocab_identical = engine.tags == oracle.tags
+    table_identical = bool(
+        np.array_equal(engine.tag_views, oracle.tag_views)
+    )
+    est_identical = bool(np.array_equal(engine.est, oracle.est))
+    metrics_identical = all(
+        np.array_equal(engine.metric(name), oracle.metrics[name])
+        for name in oracle.metrics
+    )
+
+    payload = {
+        "benchmark": "d1_incremental_ingest",
+        "preset": PRESET,
+        "gate_mode": GATE,
+        "batches": len(batches),
+        "deltas": n_deltas,
+        "deltas_ignored": engine.deltas_ignored,
+        "videos": engine.n_videos,
+        "videos_skipped": engine.videos_skipped,
+        "tags": engine.n_tags,
+        "countries": engine.n_countries,
+        "ingest_seconds": round(ingest_s, 6),
+        "per_batch_ms": round(per_batch_s * 1000.0, 4),
+        "deltas_per_sec": round(rate, 1),
+        "rebuild_seconds": round(rebuild_s, 6),
+        "speedup_per_batch": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "min_deltas_per_sec": MIN_RATE,
+        "tag_rows_recomputed": engine.tag_rows_recomputed,
+        "tag_rows_deferred": engine.tag_rows_deferred,
+        "flushes": engine.flushes,
+        "vocab_identical": vocab_identical,
+        "table_bit_identical": table_identical,
+        "est_bit_identical": est_identical,
+        "metrics_bit_identical": metrics_identical,
+        "peak_rss_mb": round(rss_probe(), 1),
+        **bench_meta,
+    }
+    OUTPUT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    report_writer(
+        "d1_incremental_ingest",
+        "\n".join(f"{key}: {value}" for key, value in sorted(payload.items())),
+    )
+
+    # Exactness gates first: a fast wrong engine is worthless.
+    assert vocab_identical, "incremental vocabulary diverged from cold rebuild"
+    assert table_identical, "tag-views table is not bit-identical to oracle"
+    assert est_identical, "estimate matrix is not bit-identical to oracle"
+    assert metrics_identical, "metric surfaces diverged from oracle"
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch apply only {speedup:.1f}x faster than cold rebuild "
+        f"({per_batch_s * 1000:.2f} ms/batch vs {rebuild_s * 1000:.1f} ms); "
+        f"floor is {MIN_SPEEDUP}x"
+    )
+    assert rate >= MIN_RATE, (
+        f"sustained only {rate:,.0f} deltas/s; floor is {MIN_RATE:,.0f}"
+    )

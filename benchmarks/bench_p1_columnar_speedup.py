@@ -125,7 +125,7 @@ def _merge_output(update: dict) -> None:
     )
 
 
-def test_p1_columnar_speedup(p1_pipeline, report_writer, rss_probe):
+def test_p1_columnar_speedup(p1_pipeline, report_writer, rss_probe, bench_meta):
     dataset = p1_pipeline.dataset
     reconstructor = p1_pipeline.reconstructor
     registry = dataset.registry
@@ -179,6 +179,7 @@ def test_p1_columnar_speedup(p1_pipeline, report_writer, rss_probe):
         "columnar_tags_per_sec": round(tags / compute_s, 1),
         "max_rel_diff": max_rel_diff,
         "peak_rss_mb": round(rss_probe(), 1),
+        **bench_meta,
     }
     _merge_output(payload)
 
@@ -288,7 +289,7 @@ def _stream_point(size: int, tmp_path: Path, rss_probe) -> dict:
     return row
 
 
-def test_p1_scaling_curve(tmp_path, report_writer, rss_probe):
+def test_p1_scaling_curve(tmp_path, report_writer, rss_probe, bench_meta):
     """Out-of-core scaling gate: stream each ``BENCH_P1_SIZES`` point and
     hold the largest one under ``BENCH_P1_RSS_CEILING_MB`` peak RSS."""
     rows = []
@@ -299,6 +300,7 @@ def test_p1_scaling_curve(tmp_path, report_writer, rss_probe):
         {
             "scaling": rows,
             "scaling_rss_ceiling_mb": RSS_CEILING_MB,
+            **bench_meta,
         }
     )
     report_writer(

@@ -96,7 +96,7 @@ def _distributed_crawl(universe, tmp_path):
             return result, time.perf_counter() - start
 
 
-def test_r3_distributed_crawl_throughput(tmp_path, report_writer, rss_probe):
+def test_r3_distributed_crawl_throughput(tmp_path, report_writer, rss_probe, bench_meta):
     universe = build_universe(preset_config(PRESET))
 
     single, single_s = _single_process_crawl(universe)
@@ -145,6 +145,7 @@ def test_r3_distributed_crawl_throughput(tmp_path, report_writer, rss_probe):
         "leases_revoked": distributed.stats.leases_revoked,
         "shards_requeued": distributed.stats.shards_requeued,
         "peak_rss_mb": round(rss_probe(), 1),
+        **bench_meta,
     }
     OUTPUT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

@@ -193,7 +193,7 @@ def _serve(pipeline, planner, markets, capacity, proactive):
     return report, wall
 
 
-def test_s2_edge_serving(s2_pipeline, report_writer, rss_probe):
+def test_s2_edge_serving(s2_pipeline, report_writer, rss_probe, bench_meta):
     dataset = s2_pipeline.dataset
     registry = s2_pipeline.tag_table.registry
     predictor = TagGeoPredictor(s2_pipeline.tag_table)
@@ -268,6 +268,7 @@ def test_s2_edge_serving(s2_pipeline, report_writer, rss_probe):
         },
         "p50_km": {k: tags.p50_km < r.p50_km for k, r in baselines.items()},
         "p99_km": {k: tags.p99_km < r.p99_km for k, r in baselines.items()},
+        **bench_meta,
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

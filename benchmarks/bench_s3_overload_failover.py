@@ -329,7 +329,7 @@ def _serve(pipeline, markets, capacity, trace, crowd_country, crowd_region,
 
 
 def test_s3_overload_failover(
-    s3_pipeline, report_writer, overload_counters, rss_probe
+    s3_pipeline, report_writer, overload_counters, rss_probe, bench_meta
 ):
     dataset = s3_pipeline.dataset
     registry = s3_pipeline.tag_table.registry
@@ -448,6 +448,7 @@ def test_s3_overload_failover(
                 or adaptive_recovery < static_recovery
             )
         ),
+        **bench_meta,
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

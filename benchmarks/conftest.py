@@ -11,6 +11,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import resource
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -20,6 +21,27 @@ from repro.placement.workload import WorkloadGenerator
 from repro.synth.presets import preset_config
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Version of the shared ``BENCH_*.json`` payload envelope. Bump when a
+#: field common to every benchmark payload changes meaning.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_sha() -> str:
+    """Short commit SHA of the working tree, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 def peak_rss_mb() -> float:
@@ -42,6 +64,18 @@ def rss_probe():
     """Session fixture exposing :func:`peak_rss_mb` so every benchmark
     records ``peak_rss_mb`` in its JSON payload the same way."""
     return peak_rss_mb
+
+
+@pytest.fixture(scope="session")
+def bench_meta():
+    """Provenance stamp merged into every ``BENCH_*.json`` payload.
+
+    ``{"schema_version": ..., "git_sha": ...}`` — one shared envelope so
+    the perf trajectory across PRs is traceable: any two benchmark
+    payloads can be compared knowing which commit produced them and
+    whether their field conventions match.
+    """
+    return {"schema_version": BENCH_SCHEMA_VERSION, "git_sha": _git_sha()}
 
 
 @pytest.fixture(scope="session")

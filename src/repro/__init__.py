@@ -40,7 +40,14 @@ Quickstart::
     print(result.tag_table.top_tags_by_views(5))
 """
 
-from repro.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    TemporalIngestConfig,
+    TemporalIngestResult,
+    run_pipeline,
+    run_temporal_ingest,
+)
 
 __version__ = "1.0.0"
 
@@ -48,5 +55,8 @@ __all__ = [
     "PipelineConfig",
     "PipelineResult",
     "run_pipeline",
+    "TemporalIngestConfig",
+    "TemporalIngestResult",
+    "run_temporal_ingest",
     "__version__",
 ]

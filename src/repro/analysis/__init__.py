@@ -15,6 +15,9 @@ quantitative:
 - :mod:`repro.analysis.conjecture` — the paper's central conjecture,
   tested: does the tag-aggregate geography predict a held-out video's
   view distribution better than global priors?
+- :mod:`repro.analysis.trending` — per-region top-moving tags/videos
+  from the incremental engine's delta flow (decayed delta rates),
+  feeding the adaptive planner's pre-warm hints.
 """
 
 from repro.analysis.metrics import (
@@ -53,6 +56,7 @@ from repro.analysis.regionview import (
     dataset_region_shares,
     region_shares,
 )
+from repro.analysis.trending import TrendingDetector, TrendingEntry
 
 __all__ = [
     "normalized_entropy",
@@ -88,4 +92,6 @@ __all__ = [
     "dataset_continent_shares",
     "dataset_region_shares",
     "region_shares",
+    "TrendingDetector",
+    "TrendingEntry",
 ]

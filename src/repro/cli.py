@@ -42,10 +42,16 @@ from typing import List, Optional
 from repro.datamodel.dataset import Dataset
 from repro.datamodel.io import read_videos_jsonl, write_videos_jsonl
 from repro.errors import ReproError
-from repro.pipeline import PipelineConfig, run_pipeline
+from repro.pipeline import (
+    PipelineConfig,
+    TemporalIngestConfig,
+    run_pipeline,
+    run_temporal_ingest,
+)
 from repro.reconstruct.tagviews import TagViewsTable
 from repro.reconstruct.views import ENGINES, ViewReconstructor
 from repro.synth.presets import PRESETS, preset_config
+from repro.synth.temporal import TEMPORAL_PRESETS
 from repro.viz.report import (
     funnel_report,
     stats_report,
@@ -194,6 +200,63 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="end-to-end walkthrough on a preset")
     demo.add_argument("--preset", default="tiny", choices=sorted(PRESETS))
+
+    def _add_temporal_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--preset",
+            default="small-temporal",
+            choices=sorted(TEMPORAL_PRESETS),
+        )
+        p.add_argument(
+            "--steps",
+            type=int,
+            default=None,
+            help="override the preset's horizon (delta batches)",
+        )
+        p.add_argument(
+            "--half-life",
+            type=float,
+            default=None,
+            help="trending half-life in seconds (default: 4 stream steps)",
+        )
+
+    ingest = sub.add_parser(
+        "ingest-deltas",
+        help="stream view-delta batches through the incremental engine",
+    )
+    _add_temporal_flags(ingest)
+    ingest.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also maintain the per-row metric surfaces",
+    )
+    ingest.add_argument(
+        "--eager-limit",
+        type=int,
+        default=None,
+        help="recompute tags at or below this degree inside apply() "
+        "(default: defer everything to reads)",
+    )
+    ingest.add_argument(
+        "--verify-oracle",
+        action="store_true",
+        help="cold-rebuild the cumulative snapshot and check the "
+        "tag-views table is bit-identical",
+    )
+
+    trend = sub.add_parser(
+        "trend",
+        help="top-moving tags/videos from an ingested delta stream",
+    )
+    _add_temporal_flags(trend)
+    trend.add_argument(
+        "--country",
+        default=None,
+        help="rank within one country code (default: worldwide)",
+    )
+    trend.add_argument(
+        "--count", type=int, default=10, help="entries per ranking"
+    )
 
     resume = sub.add_parser(
         "resume",
@@ -571,6 +634,98 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _temporal_config(
+    args: argparse.Namespace, **overrides
+) -> TemporalIngestConfig:
+    return TemporalIngestConfig(
+        preset=args.preset,
+        n_steps=args.steps,
+        half_life=args.half_life,
+        **overrides,
+    )
+
+
+def _cmd_ingest_deltas(args: argparse.Namespace) -> int:
+    result = run_temporal_ingest(
+        _temporal_config(
+            args,
+            track_metrics=args.metrics,
+            eager_degree_limit=(
+                "default" if args.eager_limit is None else args.eager_limit
+            ),
+            verify_oracle=args.verify_oracle,
+        )
+    )
+    engine = result.engine
+    print(f"preset:            {args.preset}")
+    print(f"batches applied:   {result.batches}")
+    print(
+        f"deltas applied:    {result.deltas:,}"
+        f" ({result.deltas_ignored:,} to funnel-dropped videos ignored)"
+    )
+    print(
+        f"videos:            {result.new_videos:,}"
+        f" ({result.new_videos_skipped:,} arrivals without popularity maps"
+        " skipped)"
+    )
+    print(f"tags:              {result.n_tags:,}")
+    print(
+        f"ingest:            {result.elapsed_seconds:.3f}s"
+        f" ({result.deltas_per_second:,.0f} deltas/s)"
+    )
+    print(
+        f"tag rows:          {engine.tag_rows_recomputed:,} recomputed,"
+        f" {engine.tag_rows_deferred:,} deferred across"
+        f" {engine.flushes} flush(es)"
+    )
+    if result.oracle_identical is not None:
+        status = "bit-identical" if result.oracle_identical else "MISMATCH"
+        print(f"cold-rebuild check: {status}")
+        if not result.oracle_identical:
+            return 1
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.viz.report import format_table
+
+    result = run_temporal_ingest(_temporal_config(args))
+    detector = result.detector
+    where = args.country if args.country else "worldwide"
+    print(
+        f"trending after {result.batches} batches"
+        f" ({result.deltas:,} deltas), {where},"
+        f" half-life {detector.half_life:.0f}s"
+    )
+    print()
+    tags = detector.top_tags(args.country, count=args.count)
+    print(
+        format_table(
+            [(tag, f"{score:,.0f}") for tag, score in tags],
+            title="top-moving tags (decayed views)",
+        )
+    )
+    print()
+    videos = detector.top_videos(args.country, count=args.count)
+    print(
+        format_table(
+            [(vid, f"{score:,.0f}") for vid, score in videos],
+            title="top-moving videos (decayed views)",
+        )
+    )
+    demand = detector.demand_vector()
+    codes = result.engine.codes
+    top = sorted(
+        zip(codes, demand), key=lambda item: (-item[1], item[0])
+    )[:5]
+    print()
+    print(
+        "pre-warm demand hint (top countries): "
+        + ", ".join(f"{code}={value:,.0f}" for code, value in top)
+    )
+    return 0
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.viz.report import format_table
 
@@ -679,6 +834,8 @@ _COMMANDS = {
     "genworld": _cmd_genworld,
     "validate": _cmd_validate,
     "demo": _cmd_demo,
+    "ingest-deltas": _cmd_ingest_deltas,
+    "trend": _cmd_trend,
     "resume": _cmd_resume,
     "verify": _cmd_verify,
 }

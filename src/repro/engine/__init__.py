@@ -16,9 +16,22 @@ builds and reductions (:mod:`~repro.engine.outofcore`), and chunked
 kernels (``chunk_rows`` / ``dtype`` options in
 :mod:`~repro.engine.compute`) keep peak memory proportional to a chunk
 while staying bit-identical to the dense float64 path.
+
+For *changing* corpora, :mod:`~repro.engine.incremental` keeps the
+same surfaces live under timestamped view-delta batches — O(touched)
+per batch, bit-identical to a cold rebuild of the cumulative snapshot
+after any batch sequence.
 """
 
 from repro.engine.columnar import ColumnarDataset, build_columnar
+from repro.engine.incremental import (
+    ApplyResult,
+    ColdRebuild,
+    DeltaBatch,
+    IncrementalEngine,
+    batch_from_chunk,
+    cold_rebuild,
+)
 from repro.engine.compute import (
     reconstruct_all,
     reconstruct_rows,
@@ -51,4 +64,10 @@ __all__ = [
     "build_store_streaming",
     "tag_views_streaming",
     "row_metrics_streaming",
+    "IncrementalEngine",
+    "DeltaBatch",
+    "ApplyResult",
+    "ColdRebuild",
+    "cold_rebuild",
+    "batch_from_chunk",
 ]

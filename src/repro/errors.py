@@ -164,6 +164,12 @@ class ReconstructionError(ReproError):
     """View reconstruction failed (missing data, degenerate inputs)."""
 
 
+class IncrementalStateError(ReconstructionError):
+    """A delta batch is malformed or inconsistent with the engine state
+    (unknown video id, duplicate arrival, time running backwards,
+    views driven negative)."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine received degenerate or inconsistent input."""
 

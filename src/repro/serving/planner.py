@@ -298,6 +298,31 @@ class AdaptiveTagPlanner(TagAwarePlanner):
         if index is not None:
             self._observed[index] += 1.0
 
+    def observe_demand(self, weights) -> None:
+        """Fold a whole per-country demand vector into the observations.
+
+        The batch counterpart of :meth:`observe_request` — pre-warm
+        hints land here. The intended feeder is a trending detector's
+        :meth:`~repro.analysis.trending.TrendingDetector.demand_vector`
+        (decayed per-country view-delta rates), so the next re-warm
+        tilts placement toward where views are *moving*, before the
+        requests themselves arrive. ``weights`` must align with the
+        predictor registry's country order and be nonnegative; the
+        caller chooses the scale (weights compete with raw request
+        counts under the shared ``demand_boost`` normalization).
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != self._observed.shape:
+            raise ServingError(
+                f"demand vector has shape {weights.shape}, expected "
+                f"{self._observed.shape} (one weight per registry country)"
+            )
+        if not np.all(np.isfinite(weights)) or np.any(weights < 0.0):
+            raise ServingError(
+                "demand vector must be finite and nonnegative"
+            )
+        self._observed += weights
+
     @property
     def observed_total(self) -> float:
         """Un-decayed weight of observations currently influencing plans."""

@@ -42,6 +42,14 @@ from repro.synth.universe import Universe, UniverseConfig, build_universe
 from repro.synth.presets import PRESETS, preset_config
 from repro.synth.io import save_universe, load_universe
 from repro.synth.stats import UniverseStats, summarize_universe
+from repro.synth.temporal import (
+    TEMPORAL_PRESETS,
+    TemporalConfig,
+    TemporalUniverse,
+    make_temporal,
+    scaled_temporal,
+    temporal_preset,
+)
 
 __all__ = [
     "derive_seed",
@@ -63,4 +71,10 @@ __all__ = [
     "load_universe",
     "UniverseStats",
     "summarize_universe",
+    "TemporalConfig",
+    "TemporalUniverse",
+    "TEMPORAL_PRESETS",
+    "temporal_preset",
+    "make_temporal",
+    "scaled_temporal",
 ]

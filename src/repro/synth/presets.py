@@ -22,6 +22,13 @@ the object-path :func:`~repro.synth.universe.build_universe`, whose
 per-draw ``rng.choice(p=...)`` tag sampling is ``O(n_tags)`` per tag —
 computationally hopeless at this scale (and it would hold every video
 in RAM). :data:`STREAM_ONLY_PRESETS` names them so callers can route.
+
+These presets describe a *static* snapshot. For the time axis — the
+same corpora unrolled into deterministic view-delta streams with
+per-video trajectory classes — see
+:data:`repro.synth.temporal.TEMPORAL_PRESETS` (``tiny-temporal``,
+``small-temporal``, ``medium-temporal``), which pair a preset here
+with a :class:`~repro.synth.temporal.TemporalConfig` horizon.
 """
 
 from __future__ import annotations

@@ -1,0 +1,391 @@
+"""Per-video view-count trajectories and deterministic delta streams.
+
+The streaming generator (:mod:`repro.synth.stream`) produces a *static*
+snapshot: each video's final view count, drawn in one shot. This module
+adds the time axis the related work models: every video gets a
+**trajectory class** governing how its views accumulate between its
+arrival and the end of its active life —
+
+- **viral** — a sharp early burst that saturates: the cumulative
+  fraction follows ``(1 − e^{−s·x})/(1 − e^{−s})`` with burst sharpness
+  ``s``, over a short lifetime;
+- **memoryless** — views arrive at a constant rate over the lifetime
+  (linear cumulative fraction);
+- **quality-driven** — slow start, accelerating word-of-mouth growth:
+  cumulative fraction ``x^q`` with ``q > 1``, over a long lifetime —
+
+the three population classes of "Modelling View-count Dynamics in
+YouTube" (PAPERS.md), simplified to closed-form cumulative curves.
+
+Determinism and exactness
+-------------------------
+
+The stream is **derived, not simulated**: a video with final count
+``V`` and cumulative curve ``Φ`` has exactly
+``c(t) = rint(V · Φ(x_t))`` views at step ``t``, and the emitted delta
+is ``c(t) − c(t−1)``. No randomness enters at emission time, so
+
+- the per-step batches are a pure function of ``(config, temporal)`` —
+  same seed, same stream, always;
+- the deltas *telescope*: their sum per video is exactly ``V``, so the
+  end state of any consumer equals the static snapshot bit-for-bit
+  (the property suite leans on this);
+- temporal parameters are drawn per :data:`~repro.synth.stream.GEN_BLOCK`
+  block from ``spawn_rng(seed, "temporal:<block>")`` child generators —
+  prefix-stable and independent of chunking, like the base corpus.
+
+Videos *arrive* in snapshot row order, spread over the first
+``arrival_fraction`` of the horizon. Arrival order = row order keeps
+the cumulative snapshot equal to the base corpus prefix (rows are
+i.i.d., so this loses no generality) and gives the incremental engine
+the same first-seen tag order a cold build would assign. Ineligible
+videos (no chartmap) still arrive — flagged ``has_map=False`` so the
+consumer can exercise the paper's funnel — but emit no deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.incremental import DeltaBatch
+from repro.errors import ConfigError
+from repro.synth.presets import preset_config
+from repro.synth.rng import spawn_rng
+from repro.synth.stream import GEN_BLOCK, StreamingUniverse
+from repro.synth.universe import UniverseConfig
+from repro.world.countries import CountryRegistry
+from repro.world.traffic import TrafficModel
+
+#: Trajectory class codes (array values in :attr:`TemporalUniverse.classes`).
+VIRAL, MEMORYLESS, QUALITY = 0, 1, 2
+
+CLASS_NAMES = ("viral", "memoryless", "quality")
+
+
+@dataclass(frozen=True)
+class TemporalConfig:
+    """Knobs for the temporal layer on top of a universe config.
+
+    Attributes:
+        n_steps: Length of the horizon, in steps.
+        step_seconds: Wall-clock seconds per step (batch timestamps are
+            ``step × step_seconds``).
+        arrival_fraction: Fraction of the horizon over which videos
+            arrive (spread uniformly in row order); the rest of the
+            horizon only accumulates views.
+        p_viral / p_memoryless: Class mixture (quality gets the rest).
+        viral_lifetime / memoryless_lifetime / quality_lifetime:
+            ``(lo, hi)`` inclusive ranges, in steps, for each class's
+            active life (uniform draw, clamped to the horizon).
+        viral_sharpness: ``(lo, hi)`` range of the viral burst
+            parameter ``s``.
+        quality_exponent: ``(lo, hi)`` range of the quality growth
+            exponent ``q``.
+    """
+
+    n_steps: int = 64
+    step_seconds: float = 3600.0
+    arrival_fraction: float = 0.5
+    p_viral: float = 0.15
+    p_memoryless: float = 0.55
+    viral_lifetime: Tuple[int, int] = (2, 6)
+    memoryless_lifetime: Tuple[int, int] = (6, 24)
+    quality_lifetime: Tuple[int, int] = (20, 64)
+    viral_sharpness: Tuple[float, float] = (6.0, 18.0)
+    quality_exponent: Tuple[float, float] = (1.8, 3.5)
+
+    def validate(self) -> None:
+        if self.n_steps < 1:
+            raise ConfigError(f"n_steps must be >= 1, got {self.n_steps}")
+        if self.step_seconds <= 0:
+            raise ConfigError(
+                f"step_seconds must be > 0, got {self.step_seconds}"
+            )
+        if not 0.0 < self.arrival_fraction <= 1.0:
+            raise ConfigError(
+                f"arrival_fraction must be in (0, 1], "
+                f"got {self.arrival_fraction}"
+            )
+        if self.p_viral < 0 or self.p_memoryless < 0 or (
+            self.p_viral + self.p_memoryless > 1.0
+        ):
+            raise ConfigError(
+                f"class mixture must be nonnegative and sum <= 1, got "
+                f"p_viral={self.p_viral}, p_memoryless={self.p_memoryless}"
+            )
+        for name, (lo, hi) in (
+            ("viral_lifetime", self.viral_lifetime),
+            ("memoryless_lifetime", self.memoryless_lifetime),
+            ("quality_lifetime", self.quality_lifetime),
+        ):
+            if lo < 1 or hi < lo:
+                raise ConfigError(f"{name} must satisfy 1 <= lo <= hi")
+
+
+#: Named (universe, temporal) preset pairs. The base corpus names match
+#: :data:`repro.synth.presets.PRESETS` scales; ``medium-temporal`` is
+#: the benchmark D1 workload (the ``large`` 40k-video corpus over a
+#: 256-step horizon, so each batch touches a few percent of the rows).
+TEMPORAL_PRESETS: Dict[str, Tuple[UniverseConfig, TemporalConfig]] = {
+    "tiny-temporal": (
+        preset_config("tiny"),
+        TemporalConfig(n_steps=16, quality_lifetime=(6, 12)),
+    ),
+    "small-temporal": (
+        preset_config("small"),
+        TemporalConfig(n_steps=48, quality_lifetime=(16, 40)),
+    ),
+    "medium-temporal": (
+        preset_config("large"),
+        TemporalConfig(n_steps=256, quality_lifetime=(20, 64)),
+    ),
+}
+
+
+def temporal_preset(name: str) -> Tuple[UniverseConfig, TemporalConfig]:
+    """Look up a temporal preset; raises :class:`~repro.errors.ConfigError`."""
+    try:
+        return TEMPORAL_PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown temporal preset {name!r}; "
+            f"choose from {sorted(TEMPORAL_PRESETS)}"
+        ) from None
+
+
+class TemporalUniverse:
+    """A streamed corpus unrolled into a deterministic delta stream.
+
+    Materializes the base :class:`StreamingUniverse` corpus once into
+    flat arrays (snapshot order), assigns every video a trajectory
+    (class, lifetime, shape, arrival step), and yields one
+    :class:`~repro.engine.incremental.DeltaBatch` per step via
+    :meth:`iter_batches`. The final cumulative state equals the static
+    snapshot exactly (see module docstring).
+
+    Args:
+        config: Base corpus config (any :data:`PRESETS` scale works;
+            generation is the vectorized streaming path).
+        temporal: Horizon and trajectory knobs.
+        registry / traffic: World model, as for the base generator.
+    """
+
+    def __init__(
+        self,
+        config: UniverseConfig,
+        temporal: Optional[TemporalConfig] = None,
+        registry: Optional[CountryRegistry] = None,
+        traffic: Optional[TrafficModel] = None,
+    ):
+        self.config = config
+        self.temporal = temporal if temporal is not None else TemporalConfig()
+        self.temporal.validate()
+        universe = StreamingUniverse(config, registry=registry, traffic=traffic)
+        self.registry = universe.registry
+        self.tag_names = universe.tag_names
+
+        ids, views, pop, has_map, indptrs, tag_ids = [], [], [], [], [], []
+        classes, lifetimes, shapes = [], [], []
+        base = 0
+        for block_index, chunk in enumerate(universe.iter_chunks()):
+            ids.append(chunk.video_ids)
+            views.append(chunk.views)
+            pop.append(chunk.pop)
+            has_map.append(chunk.has_map)
+            indptrs.append(chunk.tag_indptr[1:] + base)
+            base += int(chunk.tag_indptr[-1])
+            tag_ids.append(chunk.tag_ids)
+            cls, life, shape = self._draw_block_params(
+                block_index, len(chunk)
+            )
+            classes.append(cls)
+            lifetimes.append(life)
+            shapes.append(shape)
+
+        self.video_ids = np.concatenate(ids)
+        self.views = np.concatenate(views)
+        self.pop = np.concatenate(pop)
+        self.has_map = np.concatenate(has_map)
+        self.tag_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64)] + indptrs
+        )
+        self.tag_ids = np.concatenate(tag_ids)
+        self.classes = np.concatenate(classes)
+        self.shapes = np.concatenate(shapes)
+
+        # Arrivals in row order, spread over the arrival window; each
+        # lifetime is clamped to the steps remaining after arrival so
+        # every trajectory *completes* inside the horizon — that is
+        # what makes the delta stream telescope exactly to the static
+        # snapshot (late arrivals just live compressed lives).
+        n = len(self.video_ids)
+        arrival_steps = max(
+            1, int(round(self.temporal.n_steps * self.temporal.arrival_fraction))
+        )
+        self.arrivals = (
+            np.arange(n, dtype=np.int64) * arrival_steps // max(n, 1)
+        )
+        self.lifetimes = np.minimum(
+            np.concatenate(lifetimes), self.temporal.n_steps - self.arrivals
+        )
+        self.deaths = self.arrivals + self.lifetimes
+
+    def __len__(self) -> int:
+        return len(self.video_ids)
+
+    @property
+    def n_steps(self) -> int:
+        return self.temporal.n_steps
+
+    def _draw_block_params(
+        self, block_index: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-video trajectory draws for one generation block.
+
+        One child RNG per base-corpus block with a fixed draw layout,
+        so parameters are stable under chunking and corpus prefixes
+        (mirroring the base generator's ``stream:<block>`` discipline).
+        """
+        cfg = self.temporal
+        rng = spawn_rng(self.config.seed, f"temporal:{block_index}")
+        u_class = rng.random(GEN_BLOCK)
+        u_life = rng.random(GEN_BLOCK)
+        u_shape = rng.random(GEN_BLOCK)
+        classes = np.where(
+            u_class < cfg.p_viral,
+            VIRAL,
+            np.where(u_class < cfg.p_viral + cfg.p_memoryless, MEMORYLESS, QUALITY),
+        ).astype(np.int64)
+
+        ranges = np.array(
+            [cfg.viral_lifetime, cfg.memoryless_lifetime, cfg.quality_lifetime],
+            dtype=np.float64,
+        )
+        lo, hi = ranges[classes, 0], ranges[classes, 1]
+        lifetimes = (lo + np.rint(u_life * (hi - lo))).astype(np.int64)
+
+        shapes = np.ones(GEN_BLOCK, dtype=np.float64)
+        s_lo, s_hi = cfg.viral_sharpness
+        q_lo, q_hi = cfg.quality_exponent
+        shapes = np.where(
+            classes == VIRAL, s_lo + u_shape * (s_hi - s_lo), shapes
+        )
+        shapes = np.where(
+            classes == QUALITY, q_lo + u_shape * (q_hi - q_lo), shapes
+        )
+        return classes[:n], lifetimes[:n], shapes[:n]
+
+    def _cumulative(self, rows: np.ndarray, step: int) -> np.ndarray:
+        """Exact cumulative view counts of ``rows`` after ``step``."""
+        x = (step - self.arrivals[rows] + 1) / self.lifetimes[rows]
+        x = np.clip(x, 0.0, 1.0)
+        cls = self.classes[rows]
+        shape = self.shapes[rows]
+        phi = np.where(cls == MEMORYLESS, x, 0.0)
+        viral = cls == VIRAL
+        if np.any(viral):
+            s = shape[viral]
+            phi[viral] = -np.expm1(-s * x[viral]) / -np.expm1(-s)
+        quality = cls == QUALITY
+        if np.any(quality):
+            phi[quality] = x[quality] ** shape[quality]
+        return np.rint(self.views[rows] * phi).astype(np.int64)
+
+    def iter_batches(self) -> Iterator[DeltaBatch]:
+        """One :class:`DeltaBatch` per step, timestamps nondecreasing."""
+        arrivals = self.arrivals
+        n = len(self)
+        hi = 0
+        for step in range(self.temporal.n_steps):
+            timestamp = step * self.temporal.step_seconds
+            lo = hi
+            hi = int(np.searchsorted(arrivals, step, side="right"))
+            new_rows = np.arange(lo, hi, dtype=np.int64)
+
+            # Deltas: rows that arrived earlier and are still alive.
+            prefix = np.arange(lo, dtype=np.int64)
+            alive = prefix[
+                (self.deaths[:lo] > step) & self.has_map[:lo]
+            ]
+            if len(alive):
+                deltas = self._cumulative(alive, step) - self._cumulative(
+                    alive, step - 1
+                )
+                moved = deltas > 0
+                alive, deltas = alive[moved], deltas[moved]
+            else:
+                deltas = np.empty(0, dtype=np.int64)
+
+            if len(new_rows):
+                indptr = self.tag_indptr[lo : hi + 1]
+                batch = DeltaBatch(
+                    timestamp=timestamp,
+                    video_ids=self.video_ids[alive],
+                    view_deltas=deltas,
+                    new_video_ids=self.video_ids[new_rows],
+                    new_views=self._cumulative(new_rows, step),
+                    new_pop=self.pop[new_rows],
+                    new_has_map=self.has_map[new_rows],
+                    new_tag_indptr=indptr - indptr[0],
+                    new_tags=self.tag_names[
+                        self.tag_ids[indptr[0] : indptr[-1]]
+                    ],
+                )
+            else:
+                batch = DeltaBatch(
+                    timestamp=timestamp,
+                    video_ids=self.video_ids[alive],
+                    view_deltas=deltas,
+                )
+            yield batch
+        if hi < n:  # arrival_fraction rounding can strand the tail
+            raise ConfigError(
+                f"internal: {n - hi} videos never arrived"
+            )
+
+    # -- the cumulative snapshot (oracle inputs) ----------------------------
+
+    def snapshot_eligible(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Final-state arrays for the *eligible* rows, snapshot order.
+
+        Returns ``(pop, views, tag_indptr, tag_name_entries)`` shaped
+        for :func:`repro.engine.incremental.cold_rebuild` — what the
+        whole delta stream cumulates to.
+        """
+        keep = np.flatnonzero(self.has_map)
+        counts = np.diff(self.tag_indptr)[keep]
+        indptr = np.zeros(len(keep) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        gather = np.concatenate(
+            [
+                np.arange(self.tag_indptr[row], self.tag_indptr[row + 1])
+                for row in keep
+            ]
+        ) if len(keep) else np.empty(0, dtype=np.int64)
+        return (
+            self.pop[keep].astype(np.float64),
+            self.views[keep],
+            indptr,
+            self.tag_names[self.tag_ids[gather]],
+        )
+
+
+def make_temporal(name: str) -> TemporalUniverse:
+    """Build the named :data:`TEMPORAL_PRESETS` universe."""
+    config, temporal = temporal_preset(name)
+    return TemporalUniverse(config, temporal)
+
+
+def scaled_temporal(
+    name: str, n_steps: Optional[int] = None
+) -> TemporalUniverse:
+    """A named preset with an overridden horizon (smoke/CI runs)."""
+    config, temporal = temporal_preset(name)
+    if n_steps is not None:
+        temporal = replace(temporal, n_steps=n_steps)
+    return TemporalUniverse(config, temporal)

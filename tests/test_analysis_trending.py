@@ -1,0 +1,209 @@
+"""Trending detector: exact decay math over the engine's delta flow.
+
+The half-life decay uses ``2^(−Δt / half_life)``, so waiting exactly one
+half-life must halve a score *bitwise* (``exp2(-1) == 0.5``) — the tests
+lean on that to check the lazy-decay bookkeeping without tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trending import TrendingDetector
+from repro.engine.incremental import ApplyResult, DeltaBatch, IncrementalEngine
+from repro.errors import AnalysisError
+
+US_POP = {"US": 5}
+
+
+def _engine_with_videos():
+    """Two eligible videos: vid A (US-only) tagged music+live, B (JP) music."""
+    engine = IncrementalEngine()
+    engine.apply(
+        DeltaBatch(
+            timestamp=0.0,
+            new_video_ids=np.array(["videoAAAAAA", "videoBBBBBB"]),
+            new_views=np.array([0, 0], dtype=np.int64),
+            new_pop=np.stack(
+                [_pop({"US": 5}), _pop({"JP": 3})]
+            ),
+            new_tag_indptr=np.array([0, 2, 3], dtype=np.int64),
+            new_tags=np.array(["music", "live", "music"]),
+        )
+    )
+    return engine
+
+
+def _pop(intensities):
+    from repro.world.countries import default_registry
+
+    codes = default_registry().codes()
+    row = np.zeros(len(codes), dtype=np.float64)
+    for code, value in intensities.items():
+        row[codes.index(code)] = value
+    return row
+
+
+def _delta(engine, timestamp, vid, views):
+    return engine.apply(
+        DeltaBatch(
+            timestamp=timestamp,
+            video_ids=np.array([vid]),
+            view_deltas=np.array([views], dtype=np.int64),
+        )
+    )
+
+
+def _tick(engine, timestamp):
+    """An empty batch: advances time, moves nothing."""
+    return engine.apply(DeltaBatch(timestamp=timestamp))
+
+
+class TestValidation:
+    def test_nonpositive_half_life_raises(self):
+        engine = IncrementalEngine()
+        with pytest.raises(AnalysisError, match="half_life"):
+            TrendingDetector(engine, half_life=0.0)
+
+    def test_time_backwards_raises(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=10.0)
+        detector.update(_delta(engine, 5.0, "videoAAAAAA", 1))
+        fake = ApplyResult(
+            timestamp=1.0,
+            touched_rows=np.empty(0, dtype=np.int64),
+            row_views_added=np.empty(0, dtype=np.int64),
+            touched_tags=np.empty(0, dtype=np.int64),
+            n_deltas=0,
+            n_deltas_ignored=0,
+            n_new_videos=0,
+            n_new_videos_skipped=0,
+            n_new_tags=0,
+            n_tags_deferred=0,
+        )
+        with pytest.raises(AnalysisError, match="time ran backwards"):
+            detector.update(fake)
+
+    def test_unknown_country_raises(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=10.0)
+        detector.update(_delta(engine, 1.0, "videoAAAAAA", 1))
+        with pytest.raises(AnalysisError, match="unknown country"):
+            detector.top_tags("XX")
+
+    def test_negative_count_raises(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=10.0)
+        with pytest.raises(AnalysisError, match="count"):
+            detector.top_videos(count=-1)
+
+
+class TestDecayMath:
+    def test_impulse_lands_in_estimate_share_country(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=100.0)
+        detector.update(_delta(engine, 0.0, "videoAAAAAA", 100))
+        assert detector.video_scores("US")[0] == 100.0
+        assert detector.video_scores("JP")[0] == 0.0
+        assert detector.video_scores()[0] == 100.0
+
+    def test_one_half_life_halves_exactly(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=50.0)
+        detector.update(_delta(engine, 0.0, "videoAAAAAA", 100))
+        detector.update(_tick(engine, 50.0))
+        assert detector.video_scores("US")[0] == 50.0
+        assert detector.tag_scores("US")[engine.tag_id("music")] == 50.0
+
+    def test_accumulation_decays_older_impulses(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=50.0)
+        detector.update(_delta(engine, 0.0, "videoAAAAAA", 100))
+        detector.update(_delta(engine, 50.0, "videoAAAAAA", 100))
+        assert detector.video_scores("US")[0] == 150.0
+
+    def test_tags_inherit_member_impulses(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=100.0)
+        detector.update(_delta(engine, 0.0, "videoAAAAAA", 40))
+        detector.update(_delta(engine, 0.0, "videoBBBBBB", 60))
+        # "music" tags both videos; "live" only the US one.
+        assert detector.tag_scores()[engine.tag_id("music")] == 100.0
+        assert detector.tag_scores()[engine.tag_id("live")] == 40.0
+        assert detector.tag_scores("JP")[engine.tag_id("music")] == 60.0
+
+    def test_uniform_fallback_when_estimate_row_is_zero(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=100.0)
+        fake = ApplyResult(
+            timestamp=0.0,
+            touched_rows=np.array([0], dtype=np.int64),
+            row_views_added=np.array([62], dtype=np.int64),
+            touched_tags=np.empty(0, dtype=np.int64),
+            n_deltas=1,
+            n_deltas_ignored=0,
+            n_new_videos=0,
+            n_new_videos_skipped=0,
+            n_new_tags=0,
+            n_tags_deferred=0,
+        )
+        detector.update(fake)  # row 0 has views=0, est row all zeros
+        scores = detector._video_rate[0]
+        assert np.all(scores == 62 / engine.n_countries)
+
+
+class TestQueries:
+    def test_empty_detector_scores_are_zero(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=10.0)
+        assert np.all(detector.video_scores() == 0.0)
+        assert detector.top_videos() == []
+        assert detector.top_tags() == []
+        assert np.all(detector.demand_vector() == 0.0)
+
+    def test_ranking_excludes_zero_scores(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=10.0)
+        detector.update(_delta(engine, 0.0, "videoAAAAAA", 10))
+        names = [vid for vid, _ in detector.top_videos(count=10)]
+        assert names == ["videoAAAAAA"]
+
+    def test_ranking_order_and_count_clamp(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=10.0)
+        detector.update(_delta(engine, 0.0, "videoAAAAAA", 10))
+        detector.update(_delta(engine, 0.0, "videoBBBBBB", 99))
+        top = detector.top_videos(count=1)
+        assert top == [("videoBBBBBB", 99.0)]
+        tags = detector.top_tags(count=99)
+        assert tags[0][0] == "music"
+        assert detector.top_videos(count=0) == []
+
+    def test_demand_vector_totals_views(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=100.0)
+        detector.update(_delta(engine, 0.0, "videoAAAAAA", 70))
+        detector.update(_delta(engine, 0.0, "videoBBBBBB", 30))
+        demand = detector.demand_vector()
+        codes = engine.codes
+        assert demand[codes.index("US")] == 70.0
+        assert demand[codes.index("JP")] == 30.0
+        assert demand.sum() == 100.0
+
+    def test_detector_follows_new_arrivals(self):
+        engine = _engine_with_videos()
+        detector = TrendingDetector(engine, half_life=100.0)
+        detector.update(_delta(engine, 0.0, "videoAAAAAA", 5))
+        result = engine.apply(
+            DeltaBatch(
+                timestamp=1.0,
+                new_video_ids=np.array(["videoCCCCCC"]),
+                new_views=np.array([500], dtype=np.int64),
+                new_pop=_pop({"BR": 9})[None, :],
+                new_tag_indptr=np.array([0, 1], dtype=np.int64),
+                new_tags=np.array(["samba"]),
+            )
+        )
+        detector.update(result)
+        assert detector.top_videos("BR") == [("videoCCCCCC", 500.0)]
+        assert detector.top_tags("BR")[0][0] == "samba"
+        assert detector.batches_observed == 2

@@ -132,3 +132,62 @@ class TestRegionsAndCooccur:
 
     def test_cooccur_unknown_tag(self, crawl_file, capsys):
         assert main(["cooccur", "--in", str(crawl_file), "zzz-absent"]) == 1
+
+
+class TestTemporalCommands:
+    def test_ingest_deltas_with_oracle_check(self, capsys):
+        assert (
+            main(
+                [
+                    "ingest-deltas",
+                    "--preset",
+                    "tiny-temporal",
+                    "--verify-oracle",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "batches applied:   16" in output
+        assert "bit-identical" in output
+
+    def test_ingest_deltas_metrics_and_eager_limit(self, capsys):
+        code = main(
+            [
+                "ingest-deltas",
+                "--preset",
+                "tiny-temporal",
+                "--steps",
+                "4",
+                "--metrics",
+                "--eager-limit",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "deltas applied" in capsys.readouterr().out
+
+    def test_trend_worldwide(self, capsys):
+        assert main(["trend", "--preset", "tiny-temporal", "--count", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "top-moving tags" in output
+        assert "top-moving videos" in output
+        assert "pre-warm demand hint" in output
+
+    def test_trend_single_country(self, capsys):
+        code = main(
+            ["trend", "--preset", "tiny-temporal", "--country", "US"]
+        )
+        assert code == 0
+        assert "US" in capsys.readouterr().out
+
+    def test_trend_unknown_country_fails(self, capsys):
+        code = main(
+            ["trend", "--preset", "tiny-temporal", "--country", "XX"]
+        )
+        assert code == 2
+        assert "unknown country" in capsys.readouterr().err
+
+    def test_unknown_temporal_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ingest-deltas", "--preset", "huge-temporal"])

@@ -1,0 +1,506 @@
+"""Incremental engine: delta ingestion is bit-identical to cold rebuilds.
+
+The contract under test (ISSUE tentpole): after ANY sequence of
+timestamped delta batches — view deltas, new-video arrivals, never-seen
+tags, funnel-dropped videos — the :class:`IncrementalEngine` state is
+bit-identical (float64) to :func:`cold_rebuild` on the cumulative
+snapshot, and invariant to how the stream is chunked. Hypothesis drives
+random streams through both paths; the deterministic tests cover the
+temporal presets end to end plus every error path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.incremental import (
+    METRIC_NAMES,
+    DeltaBatch,
+    IncrementalEngine,
+    batch_from_chunk,
+    cold_rebuild,
+)
+from repro.errors import IncrementalStateError
+from repro.synth.temporal import make_temporal
+from repro.world.countries import default_registry
+
+_REGISTRY = default_registry()
+_CODES = _REGISTRY.codes()
+_N_C = len(_CODES)
+#: Small sub-axis for sparse popularity rows (full axis stays _N_C wide).
+_POP_CODES = _CODES[:10]
+_CODE_INDEX = {code: i for i, code in enumerate(_CODES)}
+_TAG_POOL = ("music", "live", "cats", "how to", "vlog")
+
+
+def _vid(i):
+    return f"vid{i:08d}"
+
+
+def _pop_row(intensities):
+    row = np.zeros(_N_C, dtype=np.float64)
+    for code, value in intensities.items():
+        row[_CODE_INDEX[code]] = value
+    return row
+
+
+def _arrival_batch(timestamp, arrivals):
+    """Build a DeltaBatch from [(id, views, pop_row, has_map, tags)]."""
+    if not arrivals:
+        return DeltaBatch(timestamp=timestamp)
+    tags = [tag for entry in arrivals for tag in entry[4]]
+    indptr = np.cumsum([0] + [len(entry[4]) for entry in arrivals])
+    return DeltaBatch(
+        timestamp=timestamp,
+        new_video_ids=np.array([entry[0] for entry in arrivals]),
+        new_views=np.array([entry[1] for entry in arrivals], dtype=np.int64),
+        new_pop=np.stack([entry[2] for entry in arrivals]),
+        new_has_map=np.array([entry[3] for entry in arrivals], dtype=bool),
+        new_tag_indptr=indptr.astype(np.int64),
+        new_tags=np.array(tags) if tags else np.empty(0, dtype="<U1"),
+    )
+
+
+def _delta_batch(timestamp, deltas):
+    """Build a delta-only batch from [(video_id, delta)]."""
+    return DeltaBatch(
+        timestamp=timestamp,
+        video_ids=np.array([vid for vid, _ in deltas])
+        if deltas
+        else np.empty(0, dtype="<U1"),
+        view_deltas=np.array(
+            [delta for _, delta in deltas], dtype=np.int64
+        ),
+    )
+
+
+def _simple_engine(**kwargs):
+    engine = IncrementalEngine(**kwargs)
+    engine.apply(
+        _arrival_batch(
+            0.0,
+            [
+                (_vid(0), 100, _pop_row({"US": 5, "BR": 2}), True, ("music", "live")),
+                (_vid(1), 40, _pop_row({"JP": 7}), True, ("music",)),
+                (_vid(2), 0, _pop_row({}), False, ("cats",)),
+            ],
+        )
+    )
+    return engine
+
+
+def _dedupe_keep_first(tags):
+    seen, out = set(), []
+    for tag in tags:
+        if tag not in seen:
+            seen.add(tag)
+            out.append(tag)
+    return out
+
+
+def _oracle_arrays(truth):
+    """(pop, views, indptr, names) for the eligible rows of a truth list."""
+    pop = np.stack([row for row, _, _ in truth]) if truth else np.empty((0, _N_C))
+    views = np.array([v for _, v, _ in truth], dtype=np.int64)
+    names = [tag for _, _, tags in truth for tag in tags]
+    indptr = np.cumsum([0] + [len(tags) for _, _, tags in truth]).astype(np.int64)
+    return pop, views, indptr, np.array(names) if names else np.empty(0, "<U1")
+
+
+def _assert_matches_oracle(engine, oracle):
+    assert engine.tags == oracle.tags
+    assert np.array_equal(engine.tag_views, oracle.tag_views)
+    assert np.array_equal(engine.est, oracle.est)
+
+
+# -- deterministic unit coverage ---------------------------------------------
+
+
+class TestApplyBasics:
+    def test_empty_engine(self):
+        engine = IncrementalEngine()
+        assert engine.n_videos == 0
+        assert engine.n_tags == 0
+        assert engine.n_countries == _N_C
+        assert engine.tag_views.shape == (0, _N_C)
+        assert engine.last_timestamp is None
+
+    def test_arrivals_register_state(self):
+        engine = _simple_engine()
+        assert engine.n_videos == 2  # the has_map=False row is dropped
+        assert engine.videos_skipped == 1
+        assert engine.video_ids == (_vid(0), _vid(1))
+        # First-seen vocabulary order; the skipped row's tag never lands.
+        assert engine.tags == ("music", "live")
+        assert list(engine.views) == [100, 40]
+        assert engine.row_of(_vid(1)) == 1
+        assert list(engine.tag_members(engine.tag_id("music"))) == [0, 1]
+        assert list(engine.video_tags(0)) == [0, 1]
+
+    def test_deltas_sum_including_duplicates(self):
+        engine = _simple_engine()
+        engine.apply(
+            _delta_batch(1.0, [(_vid(0), 10), (_vid(0), 5), (_vid(1), 1)])
+        )
+        assert list(engine.views) == [115, 41]
+        assert engine.deltas_applied == 3
+
+    def test_arrival_and_delta_same_batch(self):
+        engine = _simple_engine()
+        batch = _arrival_batch(
+            1.0, [(_vid(9), 7, _pop_row({"FR": 3}), True, ("vlog",))]
+        )
+        batch = DeltaBatch(
+            timestamp=1.0,
+            video_ids=np.array([_vid(9)]),
+            view_deltas=np.array([3], dtype=np.int64),
+            new_video_ids=batch.new_video_ids,
+            new_views=batch.new_views,
+            new_pop=batch.new_pop,
+            new_has_map=batch.new_has_map,
+            new_tag_indptr=batch.new_tag_indptr,
+            new_tags=batch.new_tags,
+        )
+        result = engine.apply(batch)
+        assert engine.views[engine.row_of(_vid(9))] == 10
+        row = engine.row_of(_vid(9))
+        where = list(result.touched_rows).index(row)
+        assert result.row_views_added[where] == 10
+
+    def test_deltas_to_funnel_dropped_videos_are_ignored(self):
+        engine = _simple_engine()
+        result = engine.apply(_delta_batch(1.0, [(_vid(2), 50), (_vid(0), 1)]))
+        assert result.n_deltas_ignored == 1
+        assert result.n_deltas == 1
+        assert engine.deltas_ignored == 1
+        assert list(engine.views) == [101, 40]
+
+    def test_apply_result_shape(self):
+        engine = _simple_engine()
+        result = engine.apply(_delta_batch(2.0, [(_vid(1), 6)]))
+        assert list(result.touched_rows) == [1]
+        assert list(result.row_views_added) == [6]
+        assert result.timestamp == 2.0
+        assert set(result.touched_tags) == {engine.tag_id("music")}
+
+
+class TestErrorPaths:
+    def test_time_backwards_raises(self):
+        engine = _simple_engine()
+        with pytest.raises(IncrementalStateError, match="time ran backwards"):
+            engine.apply(_delta_batch(-1.0, [(_vid(0), 1)]))
+
+    def test_unknown_video_raises(self):
+        engine = _simple_engine()
+        with pytest.raises(IncrementalStateError, match="unknown"):
+            engine.apply(_delta_batch(1.0, [(_vid(77), 1)]))
+
+    def test_negative_cumulative_views_raises(self):
+        engine = _simple_engine()
+        with pytest.raises(IncrementalStateError, match="below zero"):
+            engine.apply(_delta_batch(1.0, [(_vid(1), -41 - 1)]))
+
+    def test_negative_correction_within_bounds_is_fine(self):
+        engine = _simple_engine()
+        engine.apply(_delta_batch(1.0, [(_vid(1), -40)]))
+        assert engine.views[1] == 0
+
+    def test_duplicate_arrival_raises(self):
+        engine = _simple_engine()
+        with pytest.raises(IncrementalStateError, match=_vid(0)):
+            engine.apply(
+                _arrival_batch(
+                    1.0, [(_vid(0), 1, _pop_row({"US": 1}), True, ())]
+                )
+            )
+
+    def test_mismatched_delta_lengths_raise(self):
+        engine = IncrementalEngine()
+        batch = DeltaBatch(
+            timestamp=0.0,
+            video_ids=np.array([_vid(0)]),
+            view_deltas=np.empty(0, dtype=np.int64),
+        )
+        with pytest.raises(IncrementalStateError, match="delta"):
+            engine.apply(batch)
+
+    def test_missing_new_pop_raises(self):
+        engine = IncrementalEngine()
+        batch = DeltaBatch(
+            timestamp=0.0,
+            new_video_ids=np.array([_vid(0)]),
+            new_views=np.array([1], dtype=np.int64),
+        )
+        with pytest.raises(IncrementalStateError, match="new_pop"):
+            engine.apply(batch)
+
+    def test_bad_tag_indptr_raises(self):
+        engine = IncrementalEngine()
+        batch = DeltaBatch(
+            timestamp=0.0,
+            new_video_ids=np.array([_vid(0)]),
+            new_views=np.array([1], dtype=np.int64),
+            new_pop=np.zeros((1, _N_C)),
+            new_tag_indptr=np.array([0, 5], dtype=np.int64),
+            new_tags=np.array(["music"]),
+        )
+        with pytest.raises(IncrementalStateError, match="indptr"):
+            engine.apply(batch)
+
+    def test_negative_eager_limit_raises(self):
+        with pytest.raises(IncrementalStateError, match="eager_degree_limit"):
+            IncrementalEngine(eager_degree_limit=-1)
+
+    def test_metric_without_tracking_raises(self):
+        engine = _simple_engine()
+        with pytest.raises(IncrementalStateError, match="track_metrics"):
+            engine.metric("entropy")
+
+    def test_unknown_metric_raises(self):
+        engine = _simple_engine(track_metrics=True)
+        with pytest.raises(IncrementalStateError, match="unknown metric"):
+            engine.metric("sharpe")
+
+    def test_unknown_lookups_raise(self):
+        engine = _simple_engine()
+        with pytest.raises(IncrementalStateError, match="unknown video"):
+            engine.row_of("nope")
+        with pytest.raises(IncrementalStateError, match="unknown tag"):
+            engine.tag_id("nope")
+
+
+class TestDeferral:
+    def test_default_defers_every_touched_tag(self):
+        engine = _simple_engine()  # default eager_degree_limit=0
+        result = engine.apply(_delta_batch(1.0, [(_vid(0), 5)]))
+        assert result.n_tags_deferred == len(result.touched_tags) > 0
+        assert engine.dirty_tag_count > 0
+        # Reading the table flushes; the read is exact.
+        _ = engine.tag_views
+        assert engine.dirty_tag_count == 0
+        assert engine.flushes >= 1
+
+    def test_eager_none_never_defers(self):
+        engine = _simple_engine(eager_degree_limit=None)
+        result = engine.apply(_delta_batch(1.0, [(_vid(0), 5)]))
+        assert result.n_tags_deferred == 0
+        assert engine.dirty_tag_count == 0
+
+    def test_positive_limit_splits_by_degree(self):
+        # "music" has 2 members, "live" has 1; limit 1 defers only music.
+        engine = _simple_engine(eager_degree_limit=1)
+        result = engine.apply(_delta_batch(1.0, [(_vid(0), 5)]))
+        assert result.n_tags_deferred == 1
+        assert engine.dirty_tag_count == 1
+        assert engine.tag_id("music") in engine._dirty_tags
+
+    def test_flush_returns_count_and_is_idempotent(self):
+        engine = _simple_engine()
+        engine.apply(_delta_batch(1.0, [(_vid(0), 5)]))
+        assert engine.flush() == 2  # music + live
+        assert engine.flush() == 0
+
+
+class TestAgainstOracle:
+    def test_simple_state_matches_cold_rebuild(self):
+        engine = _simple_engine(track_metrics=True)
+        engine.apply(_delta_batch(1.0, [(_vid(0), 23), (_vid(1), 7)]))
+        truth = [
+            (_pop_row({"US": 5, "BR": 2}), 123, ["music", "live"]),
+            (_pop_row({"JP": 7}), 47, ["music"]),
+        ]
+        oracle = cold_rebuild(*_oracle_arrays(truth), track_metrics=True)
+        _assert_matches_oracle(engine, oracle)
+        for name in METRIC_NAMES:
+            assert np.array_equal(engine.metric(name), oracle.metrics[name])
+
+    def test_rebuild_oracle_and_to_columnar_agree(self):
+        engine = _simple_engine()
+        engine.apply(_delta_batch(1.0, [(_vid(0), 9)]))
+        assert np.array_equal(engine.tag_views, engine.rebuild_oracle())
+        columnar = engine.to_columnar()
+        assert columnar.n_videos == engine.n_videos
+        assert tuple(columnar.tags) == engine.tags
+
+    def test_tiny_temporal_stream_is_bit_identical(self):
+        stream = make_temporal("tiny-temporal")
+        engine = IncrementalEngine(track_metrics=True)
+        for batch in stream.iter_batches():
+            engine.apply(batch)
+        oracle = cold_rebuild(*stream.snapshot_eligible(), track_metrics=True)
+        _assert_matches_oracle(engine, oracle)
+        for name in METRIC_NAMES:
+            assert np.array_equal(engine.metric(name), oracle.metrics[name])
+
+    def test_chunking_invariance_on_temporal_stream(self):
+        """Splitting every batch's deltas in half changes nothing."""
+        stream = make_temporal("tiny-temporal")
+        whole = IncrementalEngine()
+        halves = IncrementalEngine()
+        for batch in stream.iter_batches():
+            whole.apply(batch)
+            mid = batch.n_deltas // 2
+            halves.apply(
+                DeltaBatch(
+                    timestamp=batch.timestamp,
+                    video_ids=batch.video_ids[:mid],
+                    view_deltas=batch.view_deltas[:mid],
+                    new_video_ids=batch.new_video_ids,
+                    new_views=batch.new_views,
+                    new_pop=batch.new_pop,
+                    new_has_map=batch.new_has_map,
+                    new_tag_indptr=batch.new_tag_indptr,
+                    new_tags=batch.new_tags,
+                )
+            )
+            halves.apply(
+                DeltaBatch(
+                    timestamp=batch.timestamp,
+                    video_ids=batch.video_ids[mid:],
+                    view_deltas=batch.view_deltas[mid:],
+                )
+            )
+        assert whole.tags == halves.tags
+        assert np.array_equal(whole.views, halves.views)
+        assert np.array_equal(whole.tag_views, halves.tag_views)
+        assert np.array_equal(whole.est, halves.est)
+
+    def test_batch_from_chunk_bootstraps_an_engine(self):
+        stream = make_temporal("tiny-temporal")
+        from repro.synth.stream import StreamingUniverse
+
+        universe = StreamingUniverse(stream.config)
+        engine = IncrementalEngine()
+        for i, chunk in enumerate(universe.iter_chunks()):
+            engine.apply(
+                batch_from_chunk(chunk, universe.tag_names, timestamp=float(i))
+            )
+        assert engine.n_videos > 0
+        assert np.array_equal(engine.tag_views, engine.rebuild_oracle())
+
+
+# -- property suite: random streams vs the cold oracle ------------------------
+
+
+@st.composite
+def delta_streams(draw):
+    """A random batch stream plus its cumulative eligible truth."""
+    n_batches = draw(st.integers(min_value=1, max_value=4))
+    batches = []
+    truth = []  # (pop_row, cumulative_views, deduped_tags) per eligible row
+    row_of = {}
+    skipped = []
+    counter = 0
+    for step in range(n_batches):
+        arrivals = []
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            has_map = draw(st.booleans())
+            # An eligible video has a non-empty popularity vector (the
+            # funnel drops empty/missing maps as has_map=False).
+            intensities = draw(
+                st.dictionaries(
+                    st.sampled_from(_POP_CODES),
+                    st.integers(min_value=1, max_value=50),
+                    min_size=1 if has_map else 0,
+                    max_size=4,
+                )
+            )
+            tags = tuple(
+                draw(
+                    st.lists(
+                        st.sampled_from(_TAG_POOL), min_size=0, max_size=4
+                    )
+                )
+            )
+            views = draw(st.sampled_from((0, 1, 13, 40_000)))
+            vid = _vid(counter)
+            counter += 1
+            arrivals.append((vid, views, _pop_row(intensities), has_map, tags))
+            if has_map:
+                row_of[vid] = len(truth)
+                truth.append(
+                    [_pop_row(intensities), views, _dedupe_keep_first(tags)]
+                )
+            else:
+                skipped.append(vid)
+        deltas = []
+        known = list(row_of) + skipped
+        if known:
+            for _ in range(draw(st.integers(min_value=0, max_value=4))):
+                vid = known[draw(st.integers(0, len(known) - 1))]
+                delta = draw(st.integers(min_value=0, max_value=10_000))
+                deltas.append((vid, delta))
+                if vid in row_of:
+                    truth[row_of[vid]][1] += delta
+        arrival = _arrival_batch(float(step), arrivals)
+        batches.append(
+            DeltaBatch(
+                timestamp=float(step),
+                video_ids=np.array([vid for vid, _ in deltas])
+                if deltas
+                else np.empty(0, dtype="<U1"),
+                view_deltas=np.array(
+                    [d for _, d in deltas], dtype=np.int64
+                ),
+                new_video_ids=arrival.new_video_ids,
+                new_views=arrival.new_views,
+                new_pop=arrival.new_pop,
+                new_has_map=arrival.new_has_map,
+                new_tag_indptr=arrival.new_tag_indptr,
+                new_tags=arrival.new_tags,
+            )
+        )
+    return batches, truth
+
+
+@given(delta_streams())
+def test_property_incremental_equals_cold_rebuild(stream):
+    """Any stream, any eager limit: state is bit-identical to the oracle."""
+    batches, truth = stream
+    engines = {
+        "deferred": IncrementalEngine(track_metrics=True),
+        "eager": IncrementalEngine(track_metrics=True, eager_degree_limit=None),
+        "mixed": IncrementalEngine(track_metrics=True, eager_degree_limit=2),
+    }
+    for batch in batches:
+        for engine in engines.values():
+            engine.apply(batch)
+    oracle = cold_rebuild(*_oracle_arrays(truth), track_metrics=True)
+    for engine in engines.values():
+        _assert_matches_oracle(engine, oracle)
+        for name in METRIC_NAMES:
+            assert np.array_equal(engine.metric(name), oracle.metrics[name])
+
+
+@given(delta_streams())
+def test_property_chunking_invariance(stream):
+    """Arrivals-then-deltas split of every batch leaves identical bits."""
+    batches, _ = stream
+    whole = IncrementalEngine()
+    split = IncrementalEngine()
+    for batch in batches:
+        whole.apply(batch)
+        split.apply(
+            DeltaBatch(
+                timestamp=batch.timestamp,
+                new_video_ids=batch.new_video_ids,
+                new_views=batch.new_views,
+                new_pop=batch.new_pop,
+                new_has_map=batch.new_has_map,
+                new_tag_indptr=batch.new_tag_indptr,
+                new_tags=batch.new_tags,
+            )
+        )
+        split.apply(
+            DeltaBatch(
+                timestamp=batch.timestamp,
+                video_ids=batch.video_ids,
+                view_deltas=batch.view_deltas,
+            )
+        )
+    assert whole.tags == split.tags
+    assert whole.video_ids == split.video_ids
+    assert np.array_equal(whole.views, split.views)
+    assert np.array_equal(whole.tag_views, split.tag_views)
+    assert np.array_equal(whole.est, split.est)

@@ -830,6 +830,52 @@ class TestAdaptiveTagPlanner:
         # Observations decay after the plan.
         assert planner.observed_total < 500
 
+    def test_observe_demand_equals_equivalent_requests(self, tiny_pipeline):
+        """A batch demand vector tilts exactly like unit observations."""
+        import numpy as np
+
+        from repro.placement.predictor import TagGeoPredictor
+
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        fleet = [
+            Replica(f"edge-{c}", c, LRUCache(8))
+            for c in ("US", "JP", "BR", "DE")
+        ]
+        catalogue = tiny_pipeline.dataset
+        by_requests = AdaptiveTagPlanner(
+            predictor, replicas_per_video=2, demand_boost=50.0
+        )
+        for _ in range(500):
+            by_requests.observe_request("JP")
+        by_vector = AdaptiveTagPlanner(
+            predictor, replicas_per_video=2, demand_boost=50.0
+        )
+        codes = predictor.registry.codes()
+        weights = np.zeros(len(codes))
+        weights[codes.index("JP")] = 500.0
+        by_vector.observe_demand(weights)
+        assert by_vector.plan(catalogue, fleet, 8) == by_requests.plan(
+            catalogue, fleet, 8
+        )
+
+    def test_observe_demand_validates_the_vector(self, tiny_pipeline):
+        import numpy as np
+
+        from repro.placement.predictor import TagGeoPredictor
+
+        predictor = TagGeoPredictor(tiny_pipeline.tag_table)
+        planner = AdaptiveTagPlanner(predictor)
+        n = len(predictor.registry.codes())
+        with pytest.raises(ServingError, match="shape"):
+            planner.observe_demand(np.zeros(n - 1))
+        bad = np.zeros(n)
+        bad[0] = -1.0
+        with pytest.raises(ServingError, match="nonnegative"):
+            planner.observe_demand(bad)
+        bad[0] = float("nan")
+        with pytest.raises(ServingError, match="finite"):
+            planner.observe_demand(bad)
+
     def test_all_dead_falls_back_to_full_fleet(self, tiny_pipeline):
         from repro.placement.predictor import TagGeoPredictor
 

@@ -1,0 +1,182 @@
+"""Temporal universe: deterministic delta streams that telescope exactly.
+
+The guarantees under test: same config → bit-identical stream; the
+per-video deltas telescope to the static snapshot's final counts;
+arrivals cover every row (eligible and funnel-dropped alike); all three
+trajectory classes are represented; scaling the horizon only changes
+the time axis, never the corpus.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.incremental import IncrementalEngine
+from repro.errors import ConfigError
+from repro.synth.temporal import (
+    CLASS_NAMES,
+    MEMORYLESS,
+    QUALITY,
+    TEMPORAL_PRESETS,
+    VIRAL,
+    TemporalConfig,
+    TemporalUniverse,
+    make_temporal,
+    scaled_temporal,
+    temporal_preset,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return make_temporal("tiny-temporal")
+
+
+@pytest.fixture(scope="module")
+def tiny_batches(tiny):
+    return list(tiny.iter_batches())
+
+
+class TestPresets:
+    def test_expected_presets_exist(self):
+        assert {"tiny-temporal", "small-temporal", "medium-temporal"} <= set(
+            TEMPORAL_PRESETS
+        )
+
+    def test_temporal_preset_lookup(self):
+        config, temporal = temporal_preset("tiny-temporal")
+        assert temporal.n_steps == 16
+        assert config.n_videos > 0
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigError, match="unknown temporal preset"):
+            temporal_preset("huge-temporal")
+
+    def test_class_name_codes_align(self):
+        assert CLASS_NAMES[VIRAL] == "viral"
+        assert CLASS_NAMES[MEMORYLESS] == "memoryless"
+        assert CLASS_NAMES[QUALITY] == "quality"
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_steps": 0},
+            {"step_seconds": 0.0},
+            {"arrival_fraction": 0.0},
+            {"arrival_fraction": 1.5},
+            {"p_viral": -0.1},
+            {"p_viral": 0.7, "p_memoryless": 0.7},
+            {"viral_lifetime": (0, 4)},
+            {"quality_lifetime": (9, 3)},
+        ],
+    )
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(ConfigError):
+            TemporalConfig(**kwargs).validate()
+
+
+class TestStreamShape:
+    def test_one_batch_per_step(self, tiny, tiny_batches):
+        assert len(tiny_batches) == tiny.temporal.n_steps
+
+    def test_timestamps_nondecreasing(self, tiny, tiny_batches):
+        stamps = [batch.timestamp for batch in tiny_batches]
+        assert stamps == sorted(stamps)
+        assert stamps[1] - stamps[0] == tiny.temporal.step_seconds
+
+    def test_every_video_arrives_exactly_once(self, tiny, tiny_batches):
+        arrived = np.concatenate(
+            [batch.new_video_ids for batch in tiny_batches]
+        )
+        assert len(arrived) == len(tiny)
+        assert len(set(arrived.tolist())) == len(tiny)
+
+    def test_arrivals_confined_to_arrival_window(self, tiny, tiny_batches):
+        window = int(
+            np.ceil(tiny.temporal.n_steps * tiny.temporal.arrival_fraction)
+        )
+        for step, batch in enumerate(tiny_batches):
+            if step > window:
+                assert batch.n_arrivals == 0
+
+    def test_all_trajectory_classes_present(self, tiny):
+        assert set(np.unique(tiny.classes)) == {VIRAL, MEMORYLESS, QUALITY}
+
+    def test_ineligible_rows_emit_no_deltas(self, tiny, tiny_batches):
+        dropped = set(tiny.video_ids[~tiny.has_map].tolist())
+        assert dropped  # tiny preset does produce funnel-dropped rows
+        for batch in tiny_batches:
+            assert dropped.isdisjoint(batch.video_ids.tolist())
+
+
+class TestDeterminism:
+    def test_same_preset_same_stream(self, tiny_batches):
+        replay = list(make_temporal("tiny-temporal").iter_batches())
+        assert len(replay) == len(tiny_batches)
+        for a, b in zip(tiny_batches, replay):
+            assert a.timestamp == b.timestamp
+            assert np.array_equal(a.video_ids, b.video_ids)
+            assert np.array_equal(a.view_deltas, b.view_deltas)
+            assert np.array_equal(a.new_video_ids, b.new_video_ids)
+            assert np.array_equal(a.new_views, b.new_views)
+
+    def test_different_seed_different_trajectories(self, tiny):
+        config, temporal = temporal_preset("tiny-temporal")
+        other = TemporalUniverse(
+            type(config)(**{**config.__dict__, "seed": config.seed + 1}),
+            temporal,
+        )
+        assert not np.array_equal(other.views, tiny.views)
+
+
+class TestTelescoping:
+    def test_deltas_telescope_to_snapshot(self, tiny, tiny_batches):
+        """Σ deltas + initial views == final static snapshot, exactly."""
+        totals = {}
+        for batch in tiny_batches:
+            for vid, views in zip(
+                batch.new_video_ids.tolist(), batch.new_views.tolist()
+            ):
+                totals[vid] = views
+            for vid, delta in zip(
+                batch.video_ids.tolist(), batch.view_deltas.tolist()
+            ):
+                totals[vid] += delta
+        for row in np.flatnonzero(tiny.has_map):
+            assert totals[str(tiny.video_ids[row])] == tiny.views[row]
+
+    def test_snapshot_eligible_matches_ingested_state(self, tiny_batches):
+        engine = IncrementalEngine()
+        for batch in tiny_batches:
+            engine.apply(batch)
+        pop, views, indptr, names = make_temporal(
+            "tiny-temporal"
+        ).snapshot_eligible()
+        assert engine.n_videos == len(views)
+        assert np.array_equal(engine.views, views)
+        assert np.array_equal(engine.pop, pop)
+        assert len(names) == indptr[-1]
+
+
+class TestScaling:
+    def test_scaled_temporal_overrides_horizon(self):
+        short = scaled_temporal("tiny-temporal", 4)
+        assert short.temporal.n_steps == 4
+        assert len(list(short.iter_batches())) == 4
+
+    def test_scaled_default_keeps_preset_horizon(self):
+        assert scaled_temporal("tiny-temporal").temporal.n_steps == 16
+
+    def test_horizon_does_not_change_corpus(self, tiny):
+        short = scaled_temporal("tiny-temporal", 4)
+        assert np.array_equal(short.views, tiny.views)
+        assert np.array_equal(short.pop, tiny.pop)
+        # Lifetimes are clamped to the (shorter) horizon...
+        assert short.lifetimes.max() <= 4
+        # ...so the stream still telescopes to the same final state.
+        engine = IncrementalEngine()
+        for batch in short.iter_batches():
+            engine.apply(batch)
+        keep = short.has_map
+        assert np.array_equal(engine.views, short.views[keep])
